@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Context-sensitive points-to analysis (CSPA) with GPUlog.
+
+Generates a program-shaped synthetic value-flow graph (assignments and
+pointer dereferences), runs the Graspan CSPA rules on the simulated H100, and
+compares the projected runtime against the Soufflé-like CPU baseline — the
+experiment behind Table 4 of the paper, at example scale.
+"""
+
+from repro.datalog.engine import GPULogEngine
+from repro.datasets import generate_cspa_dataset
+from repro.engines import SouffleCPUEngine
+from repro.queries import CSPA_SOURCE
+
+
+def main() -> None:
+    dataset = generate_cspa_dataset(
+        n_functions=8,
+        variables_per_function=24,
+        chain_length=4,
+        fan_in=1,
+        call_chain_length=4,
+        seed=42,
+        name="example-program",
+    )
+    print(f"synthetic program: {dataset.n_variables} variables, "
+          f"{dataset.assign_count} assignments, {dataset.dereference_count} dereferences")
+
+    engine = GPULogEngine(device="h100", collect_relations=False)
+    for relation, rows in dataset.facts().items():
+        engine.add_fact_array(relation, rows)
+    result = engine.run(CSPA_SOURCE)
+
+    print()
+    print("derived relations:")
+    for relation in ("valueflow", "valuealias", "memalias"):
+        print(f"  {relation:12s} {result.count(relation):8d} tuples")
+    print(f"fixpoint reached after {result.total_iterations} iterations")
+    print(f"simulated GPUlog time: {result.elapsed_seconds * 1e3:.3f} ms")
+    print()
+
+    souffle = SouffleCPUEngine().run(CSPA_SOURCE, dataset.facts())
+    print(f"simulated Soufflé (32-core EPYC) time: {souffle.seconds * 1e3:.3f} ms")
+    print(f"GPU/CPU speedup at this scale: {souffle.seconds / result.elapsed_seconds:.1f}x")
+    print("(the paper's Table 4 reports 34-45x at full scale; run "
+          "`python -m repro.experiments table4` for the projected comparison)")
+    engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — a reproduction of "Optimizing Datalog for the GPU" (ASPLOS 2025).
+
+The package implements GPUlog (a Datalog engine built on the Hash-Indexed
+Sorted Array) on top of a simulated SIMT device, plus the baseline systems the
+paper compares against (a Soufflé-like CPU engine, a GPUJoin-like engine and a
+cuDF-like dataframe engine), the benchmark workloads (REACH, SG, CSPA) and an
+experiment harness regenerating every table and figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import GPULogEngine, Program
+>>> program = Program.parse('''
+...     reach(x, y) :- edge(x, y).
+...     reach(x, y) :- edge(x, z), reach(z, y).
+... ''')
+>>> engine = GPULogEngine(device="h100")
+>>> engine.add_facts("edge", [(0, 1), (1, 2), (2, 3)])
+>>> result = engine.run(program)
+>>> sorted(result.relation("reach"))[:3]
+[(0, 1), (0, 2), (0, 3)]
+"""
+
+from .datalog import (
+    Atom,
+    Comparison,
+    Constant,
+    EvaluationResult,
+    GPULogEngine,
+    Program,
+    Rule,
+    Variable,
+    parse_program,
+)
+from .device import Device, DeviceSpec, device_preset, list_device_presets
+from .relational import HISA, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "Constant",
+    "Device",
+    "DeviceSpec",
+    "EvaluationResult",
+    "GPULogEngine",
+    "HISA",
+    "Program",
+    "Relation",
+    "Rule",
+    "Variable",
+    "__version__",
+    "device_preset",
+    "list_device_presets",
+    "parse_program",
+]

@@ -1,0 +1,59 @@
+"""Datalog front-end and the GPUlog engine facade."""
+
+from .analysis import ProgramAnalysis, Stratum, analyze_program, dependency_graph
+from .ast import (
+    Atom,
+    Comparison,
+    Constant,
+    Program,
+    Rule,
+    Term,
+    Variable,
+    make_term,
+    program_from_rules,
+)
+from .engine import EvaluationResult, GPULogEngine, SymbolTable
+from .parser import parse_program, parse_rule
+from .planner import (
+    HeadColumn,
+    InitialScan,
+    JoinStep,
+    Planner,
+    ProgramPlan,
+    RulePlan,
+    RuleVersion,
+    plan_program,
+)
+from .seminaive import EvaluationStats, SemiNaiveEvaluator, StratumResult
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "Constant",
+    "EvaluationResult",
+    "EvaluationStats",
+    "GPULogEngine",
+    "HeadColumn",
+    "InitialScan",
+    "JoinStep",
+    "Planner",
+    "Program",
+    "ProgramAnalysis",
+    "ProgramPlan",
+    "Rule",
+    "RulePlan",
+    "RuleVersion",
+    "SemiNaiveEvaluator",
+    "StratumResult",
+    "Stratum",
+    "SymbolTable",
+    "Term",
+    "Variable",
+    "analyze_program",
+    "dependency_graph",
+    "make_term",
+    "parse_program",
+    "parse_rule",
+    "plan_program",
+    "program_from_rules",
+]

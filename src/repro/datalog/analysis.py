@@ -1,0 +1,134 @@
+"""Static analysis of Datalog programs: dependency graph, SCCs, strata.
+
+Evaluation proceeds stratum by stratum: the predicate dependency graph (an
+edge from every body relation to the head relation it helps derive) is
+condensed into strongly connected components, and the components are evaluated
+in topological order.  Rules whose body mentions a relation in the same SCC as
+the head are *recursive* and participate in the semi-naïve fixpoint loop of
+that stratum; all other rules fire exactly once when their stratum starts.
+
+The same analysis reports, per rule, which body atoms are recursive — the
+planner generates one semi-naïve rule version per recursive atom (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import DatalogError
+from .ast import Program, Rule
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One strongly connected component of the predicate dependency graph."""
+
+    index: int
+    relations: frozenset[str]
+    recursive: bool
+    rules: tuple[Rule, ...]
+
+    def __str__(self) -> str:
+        kind = "recursive" if self.recursive else "non-recursive"
+        return f"Stratum {self.index} ({kind}): {', '.join(sorted(self.relations))}"
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Result of analysing a program: strata, EDB/IDB split, arities."""
+
+    program: Program
+    strata: tuple[Stratum, ...]
+    edb_relations: frozenset[str]
+    idb_relations: frozenset[str]
+    relation_arities: dict[str, int]
+    dependency_graph: nx.DiGraph
+
+    def stratum_of(self, relation: str) -> Stratum | None:
+        for stratum in self.strata:
+            if relation in stratum.relations:
+                return stratum
+        return None
+
+    def recursive_atoms(self, rule: Rule) -> list[int]:
+        """Indices of body atoms whose relation is in the same SCC as the head."""
+        stratum = self.stratum_of(rule.head.relation)
+        if stratum is None or not stratum.recursive:
+            return []
+        return [
+            index
+            for index, atom in enumerate(rule.body)
+            if atom.relation in stratum.relations
+        ]
+
+    def is_recursive_rule(self, rule: Rule) -> bool:
+        return bool(self.recursive_atoms(rule))
+
+
+def dependency_graph(program: Program) -> nx.DiGraph:
+    """Predicate dependency graph: body relation -> head relation edges."""
+    graph = nx.DiGraph()
+    for relation in program.relations():
+        graph.add_node(relation)
+    for rule in program.proper_rules():
+        for atom in rule.body:
+            graph.add_edge(atom.relation, rule.head.relation)
+    return graph
+
+
+def analyze_program(program: Program) -> ProgramAnalysis:
+    """Compute strata (in evaluation order) and classification metadata."""
+    graph = dependency_graph(program)
+    idb = program.idb_relations()
+    edb = program.edb_relations()
+
+    condensation = nx.condensation(graph)
+    order = list(nx.topological_sort(condensation))
+
+    strata: list[Stratum] = []
+    index = 0
+    for component_id in order:
+        members = frozenset(condensation.nodes[component_id]["members"])
+        idb_members = members & idb
+        if not idb_members:
+            # Pure-EDB components need no evaluation pass of their own.
+            continue
+        recursive = _component_is_recursive(graph, members)
+        rules = tuple(
+            rule
+            for rule in program.proper_rules()
+            if rule.head.relation in idb_members
+        )
+        strata.append(Stratum(index=index, relations=members, recursive=recursive, rules=rules))
+        index += 1
+
+    _check_rule_coverage(program, strata)
+    return ProgramAnalysis(
+        program=program,
+        strata=tuple(strata),
+        edb_relations=frozenset(edb),
+        idb_relations=frozenset(idb),
+        relation_arities=program.relation_arities(),
+        dependency_graph=graph,
+    )
+
+
+def _component_is_recursive(graph: nx.DiGraph, members: frozenset[str]) -> bool:
+    if len(members) > 1:
+        return True
+    member = next(iter(members))
+    return graph.has_edge(member, member)
+
+
+def _check_rule_coverage(program: Program, strata: list[Stratum]) -> None:
+    covered = set()
+    for stratum in strata:
+        covered.update(stratum.rules)
+    missing = [rule for rule in program.proper_rules() if rule not in covered]
+    if missing:
+        raise DatalogError(
+            "internal stratification error: rules not assigned to any stratum: "
+            + "; ".join(str(rule) for rule in missing)
+        )

@@ -1,0 +1,325 @@
+"""GPUlog: the public Datalog engine facade.
+
+:class:`GPULogEngine` glues together the front-end (parser, analysis,
+planner), the relational substrate (HISA-backed relations) and the simulated
+device.  Typical usage::
+
+    engine = GPULogEngine(device="h100")
+    engine.add_facts("edge", [(0, 1), (1, 2)])
+    result = engine.run('''
+        reach(x, y) :- edge(x, y).
+        reach(x, y) :- edge(x, z), reach(z, y).
+    ''')
+    result.relation("reach")
+
+String constants in facts or rules are interned into integers transparently
+(GPU relations hold int64 tuples); results are decoded back on the way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, Union
+
+import numpy as np
+
+from ..device.device import Device
+from ..device.profiler import FIGURE6_PHASES, PHASE_LOAD
+from ..device.spec import DeviceSpec
+from ..errors import DatalogError, SchemaError
+from ..relational.hashtable import DEFAULT_LOAD_FACTOR
+from ..relational.relation import IterationStats, Relation
+from .analysis import analyze_program
+from .ast import Atom, Comparison, Constant, Program, Rule, Variable
+from .planner import plan_program
+from .seminaive import EvaluationStats, SemiNaiveEvaluator
+
+FactValue = Union[int, str]
+FactTuple = Sequence[FactValue]
+
+
+class SymbolTable:
+    """Bidirectional interning of string symbols into int64 identifiers.
+
+    Interned identifiers start at ``2**40`` so they do not collide with the
+    integer constants used by the benchmark datasets.
+    """
+
+    BASE = 1 << 40
+
+    def __init__(self) -> None:
+        self._by_symbol: dict[str, int] = {}
+        self._by_id: dict[int, str] = {}
+
+    def encode(self, value: FactValue) -> int:
+        if isinstance(value, bool):
+            raise DatalogError("boolean constants are not supported")
+        if isinstance(value, (int, np.integer)):
+            return int(value)
+        if not isinstance(value, str):
+            raise DatalogError(f"cannot encode constant {value!r}")
+        if value not in self._by_symbol:
+            identifier = self.BASE + len(self._by_symbol)
+            self._by_symbol[value] = identifier
+            self._by_id[identifier] = value
+        return self._by_symbol[value]
+
+    def decode(self, identifier: int) -> FactValue:
+        return self._by_id.get(int(identifier), int(identifier))
+
+    def __len__(self) -> int:
+        return len(self._by_symbol)
+
+
+@dataclass
+class EvaluationResult:
+    """Everything an experiment needs to know about one engine run."""
+
+    program_name: str
+    device_name: str
+    relations: dict[str, list[tuple[FactValue, ...]]]
+    relation_counts: dict[str, int]
+    elapsed_seconds: float
+    fixed_seconds: float
+    variable_seconds: float
+    peak_memory_bytes: int
+    total_iterations: int
+    stratum_iterations: dict[int, int]
+    phase_seconds: dict[str, float]
+    phase_fractions: dict[str, float]
+    iteration_history: dict[str, list[IterationStats]]
+    stats: EvaluationStats
+
+    def relation(self, name: str) -> list[tuple[FactValue, ...]]:
+        """Tuples of ``name`` (decoded), or an empty list if unknown."""
+        return self.relations.get(name, [])
+
+    def relation_set(self, name: str) -> set[tuple[FactValue, ...]]:
+        return set(self.relations.get(name, []))
+
+    def count(self, name: str) -> int:
+        return self.relation_counts.get(name, 0)
+
+    def tail_iterations(self, relation: str, threshold: float = 0.01) -> int:
+        """Iterations whose delta was below ``threshold`` of the final relation size.
+
+        This is the "Tail" column of Table 1 (threshold 1 %).
+        """
+        history = self.iteration_history.get(relation, [])
+        if not history:
+            return 0
+        final_size = max(1, history[-1].full_count)
+        return sum(1 for item in history if 0 < item.delta_count < threshold * final_size)
+
+    @property
+    def peak_memory_gib(self) -> float:
+        return self.peak_memory_bytes / 1024**3
+
+
+class GPULogEngine:
+    """GPU Datalog engine backed by HISA relations on a simulated device."""
+
+    def __init__(
+        self,
+        device: Union[Device, DeviceSpec, str] = "h100",
+        *,
+        memory_capacity_bytes: int | None = None,
+        oom_enabled: bool = True,
+        eager_buffers: bool = True,
+        buffer_growth_factor: float = 8.0,
+        load_factor: float = DEFAULT_LOAD_FACTOR,
+        materialize_nway: bool = True,
+        max_iterations: int = 1_000_000,
+        collect_relations: bool = True,
+    ) -> None:
+        if isinstance(device, Device):
+            self.device = device
+        else:
+            self.device = Device(device, memory_capacity_bytes=memory_capacity_bytes, oom_enabled=oom_enabled)
+        self.collect_relations = bool(collect_relations)
+        self.eager_buffers = bool(eager_buffers)
+        self.buffer_growth_factor = float(buffer_growth_factor)
+        self.load_factor = float(load_factor)
+        self.materialize_nway = bool(materialize_nway)
+        self.max_iterations = int(max_iterations)
+        self.symbols = SymbolTable()
+        self._facts: dict[str, list[tuple[int, ...]]] = {}
+        self._fact_arities: dict[str, int] = {}
+        self.relations: dict[str, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # Fact loading
+    # ------------------------------------------------------------------
+    def add_facts(self, relation: str, tuples: Iterable[FactTuple]) -> int:
+        """Register ground facts for ``relation``; returns how many were added."""
+        added = 0
+        bucket = self._facts.setdefault(relation, [])
+        for row in tuples:
+            encoded = tuple(self.symbols.encode(value) for value in row)
+            if not encoded:
+                raise SchemaError(f"facts for {relation!r} must have at least one column")
+            known = self._fact_arities.get(relation)
+            if known is None:
+                self._fact_arities[relation] = len(encoded)
+            elif known != len(encoded):
+                raise SchemaError(
+                    f"facts for {relation!r} have inconsistent arities {known} and {len(encoded)}"
+                )
+            bucket.append(encoded)
+            added += 1
+        return added
+
+    def add_fact_array(self, relation: str, rows: np.ndarray) -> int:
+        """Register an integer fact array (fast path used by the benchmarks)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 2:
+            raise SchemaError(f"fact array for {relation!r} must be 2-D")
+        known = self._fact_arities.get(relation)
+        if known is None:
+            self._fact_arities[relation] = rows.shape[1]
+        elif known != rows.shape[1]:
+            raise SchemaError(f"facts for {relation!r} have inconsistent arities")
+        bucket = self._facts.setdefault(relation, [])
+        bucket.append(rows)  # type: ignore[arg-type]  # mixed storage handled in _fact_rows
+        return int(rows.shape[0])
+
+    def clear_facts(self) -> None:
+        self._facts.clear()
+        self._fact_arities.clear()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def run(self, program: Union[Program, str], *, name: str | None = None) -> EvaluationResult:
+        """Evaluate ``program`` against the loaded facts."""
+        if isinstance(program, str):
+            program = Program.parse(program, name=name or "program")
+        program = self._intern_program(program)
+
+        analysis = analyze_program(program)
+        plan = plan_program(analysis)
+        arities = self._resolve_arities(program)
+
+        # Build relation storage and register the indexes the plan needs.
+        self.relations = {}
+        for relation_name, arity in arities.items():
+            self.relations[relation_name] = Relation(
+                self.device,
+                relation_name,
+                arity,
+                load_factor=self.load_factor,
+                eager_buffers=self.eager_buffers,
+                buffer_growth_factor=self.buffer_growth_factor,
+            )
+        for relation_name, columns in plan.required_indexes():
+            self.relations[relation_name].require_index(columns)
+
+        # Load EDB facts; keep IDB facts staged for their stratum.
+        idb_facts: dict[str, np.ndarray] = {}
+        with self.device.profiler.phase(PHASE_LOAD):
+            for relation_name, relation in self.relations.items():
+                rows = self._fact_rows(relation_name, relation.arity, program)
+                if relation_name in analysis.idb_relations:
+                    if rows.shape[0]:
+                        idb_facts[relation_name] = rows
+                else:
+                    relation.initialize(rows)
+
+        evaluator = SemiNaiveEvaluator(
+            self.device,
+            plan,
+            self.relations,
+            materialize_nway=self.materialize_nway,
+            max_iterations=self.max_iterations,
+        )
+        stats = evaluator.evaluate(idb_facts)
+        return self._build_result(program, stats)
+
+    def close(self) -> None:
+        """Release all simulated device memory held by the engine's relations."""
+        for relation in self.relations.values():
+            relation.free()
+        self.relations.clear()
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _intern_program(self, program: Program) -> Program:
+        """Replace string constants in the program with interned identifiers."""
+        def intern_term(term):
+            if isinstance(term, Constant) and isinstance(term.value, str):
+                return Constant(self.symbols.encode(term.value))
+            return term
+
+        rules = []
+        for rule in program.rules:
+            head = Atom(rule.head.relation, tuple(intern_term(t) for t in rule.head.terms))
+            body = tuple(Atom(a.relation, tuple(intern_term(t) for t in a.terms)) for a in rule.body)
+            comparisons = tuple(
+                Comparison(c.op, intern_term(c.left), intern_term(c.right)) for c in rule.comparisons
+            )
+            rules.append(Rule(head=head, body=body, comparisons=comparisons))
+        return Program(tuple(rules), name=program.name)
+
+    def _resolve_arities(self, program: Program) -> dict[str, int]:
+        arities = dict(program.relation_arities())
+        for relation_name, arity in self._fact_arities.items():
+            known = arities.get(relation_name)
+            if known is None:
+                arities[relation_name] = arity
+            elif known != arity:
+                raise SchemaError(
+                    f"relation {relation_name!r} has arity {known} in the program but facts of arity {arity}"
+                )
+        return arities
+
+    def _fact_rows(self, relation_name: str, arity: int, program: Program) -> np.ndarray:
+        parts: list[np.ndarray] = []
+        for entry in self._facts.get(relation_name, []):
+            if isinstance(entry, np.ndarray):
+                parts.append(entry)
+            else:
+                parts.append(np.asarray([entry], dtype=np.int64))
+        program_facts = [
+            [term.value for term in rule.head.terms]  # type: ignore[union-attr]
+            for rule in program.facts()
+            if rule.head.relation == relation_name
+        ]
+        if program_facts:
+            parts.append(np.asarray(program_facts, dtype=np.int64))
+        if not parts:
+            return np.empty((0, arity), dtype=np.int64)
+        rows = np.concatenate([np.asarray(p, dtype=np.int64).reshape(-1, arity) for p in parts], axis=0)
+        return rows
+
+    def _build_result(self, program: Program, stats: EvaluationStats) -> EvaluationResult:
+        relations: dict[str, list[tuple[FactValue, ...]]] = {}
+        counts: dict[str, int] = {}
+        history: dict[str, list[IterationStats]] = {}
+        decode = self.symbols.decode
+        for relation_name, relation in self.relations.items():
+            counts[relation_name] = relation.full_count
+            if self.collect_relations:
+                rows = relation.full_rows()
+                relations[relation_name] = [tuple(decode(value) for value in row) for row in rows.tolist()]
+            else:
+                relations[relation_name] = []
+            history[relation_name] = list(relation.history)
+
+        profiler = self.device.profiler
+        return EvaluationResult(
+            program_name=program.name,
+            device_name=self.device.spec.name,
+            relations=relations,
+            relation_counts=counts,
+            elapsed_seconds=self.device.elapsed_seconds,
+            fixed_seconds=profiler.fixed_seconds,
+            variable_seconds=profiler.variable_seconds,
+            peak_memory_bytes=self.device.peak_memory_bytes,
+            total_iterations=stats.total_iterations,
+            stratum_iterations={result.index: result.iterations for result in stats.strata},
+            phase_seconds=profiler.phase_seconds(),
+            phase_fractions=profiler.phase_fractions(FIGURE6_PHASES),
+            iteration_history=history,
+            stats=stats,
+        )

@@ -1,0 +1,291 @@
+"""A small recursive-descent parser for Datalog source text.
+
+Grammar (Soufflé-flavoured)::
+
+    program     := (clause)*
+    clause      := atom ( ":-" body )? "."
+    body        := body_item ("," body_item)*
+    body_item   := atom | comparison
+    atom        := IDENT "(" term ("," term)* ")"
+    comparison  := term op term          with op in  = != < <= > >=
+    term        := IDENT                 (variable)
+                 | INTEGER               (constant)
+                 | STRING                (constant, double quoted)
+                 | "_"                   (anonymous variable)
+
+Comments run from ``//``, ``%`` or ``#`` to end of line.  Relation names may
+contain dots (``def_used.for_address``), matching the DDisasm example in
+Section 3 of the paper.  Anonymous variables (``_``) are each given a unique
+fresh name so they never join against anything.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..errors import ParseError
+from .ast import Atom, Comparison, Constant, Program, Rule, Variable
+
+_COMPARISON_TOKENS = {
+    "=": "==",
+    "==": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+class _Tokenizer:
+    """Converts source text into a token stream with location information."""
+
+    _PUNCT = {
+        ":-": "IMPLIES",
+        "<-": "IMPLIES",
+        "(": "LPAREN",
+        ")": "RPAREN",
+        ",": "COMMA",
+        ".": "DOT",
+        "!=": "OP",
+        "<=": "OP",
+        ">=": "OP",
+        "==": "OP",
+        "=": "OP",
+        "<": "OP",
+        ">": "OP",
+    }
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> list[Token]:
+        result = []
+        while True:
+            token = self._next_token()
+            if token is None:
+                break
+            result.append(token)
+        return result
+
+    # ------------------------------------------------------------------
+    def _advance(self, count: int) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n":
+                self._advance(1)
+                continue
+            if ch in "%#" or self.source.startswith("//", self.pos):
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance(1)
+                continue
+            break
+
+    def _next_token(self) -> Token | None:
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.source):
+            return None
+        line, column = self.line, self.column
+        ch = self.source[self.pos]
+
+        # Two-character punctuation first.
+        for length in (2, 1):
+            candidate = self.source[self.pos : self.pos + length]
+            if candidate in self._PUNCT and len(candidate) == length:
+                # A '.' inside an identifier (e.g. def_used.for_address) is
+                # handled by the identifier branch below, so only treat '.' as
+                # punctuation when it does not continue an identifier.
+                if candidate == "." and self._previous_is_ident_char() and self._next_is_ident_char():
+                    break
+                self._advance(length)
+                return Token(self._PUNCT[candidate], candidate, line, column)
+
+        if ch == '"':
+            return self._string_token(line, column)
+        if ch.isdigit() or (ch == "-" and self._peek_is_digit()):
+            return self._number_token(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._identifier_token(line, column)
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+    def _previous_is_ident_char(self) -> bool:
+        if self.pos == 0:
+            return False
+        prev = self.source[self.pos - 1]
+        return prev.isalnum() or prev == "_"
+
+    def _next_is_ident_char(self) -> bool:
+        if self.pos + 1 >= len(self.source):
+            return False
+        nxt = self.source[self.pos + 1]
+        return nxt.isalpha() or nxt == "_"
+
+    def _peek_is_digit(self) -> bool:
+        return self.pos + 1 < len(self.source) and self.source[self.pos + 1].isdigit()
+
+    def _string_token(self, line: int, column: int) -> Token:
+        end = self.pos + 1
+        while end < len(self.source) and self.source[end] != '"':
+            if self.source[end] == "\n":
+                raise ParseError("unterminated string literal", line, column)
+            end += 1
+        if end >= len(self.source):
+            raise ParseError("unterminated string literal", line, column)
+        text = self.source[self.pos + 1 : end]
+        self._advance(end - self.pos + 1)
+        return Token("STRING", text, line, column)
+
+    def _number_token(self, line: int, column: int) -> Token:
+        end = self.pos
+        if self.source[end] == "-":
+            end += 1
+        while end < len(self.source) and self.source[end].isdigit():
+            end += 1
+        text = self.source[self.pos : end]
+        self._advance(end - self.pos)
+        return Token("INTEGER", text, line, column)
+
+    def _identifier_token(self, line: int, column: int) -> Token:
+        end = self.pos
+        while end < len(self.source) and (self.source[end].isalnum() or self.source[end] in "_."):
+            end += 1
+        # Do not swallow a trailing '.' (end-of-clause dot).
+        text = self.source[self.pos : end]
+        while text.endswith("."):
+            text = text[:-1]
+            end -= 1
+        self._advance(end - self.pos)
+        return Token("IDENT", text, line, column)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self._anon_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token | None:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input, expected {kind}")
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.kind} ({token.text!r})", token.line, token.column)
+        self.pos += 1
+        return token
+
+    def _accept(self, kind: str) -> Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self.pos += 1
+            return token
+        return None
+
+    # ------------------------------------------------------------------
+    def parse_program(self, name: str) -> Program:
+        rules = []
+        while self._peek() is not None:
+            rules.append(self._parse_clause())
+        return Program(tuple(rules), name=name)
+
+    def _parse_clause(self) -> Rule:
+        head = self._parse_atom()
+        body: list[Atom] = []
+        comparisons: list[Comparison] = []
+        if self._accept("IMPLIES"):
+            while True:
+                item = self._parse_body_item()
+                if isinstance(item, Atom):
+                    body.append(item)
+                else:
+                    comparisons.append(item)
+                if not self._accept("COMMA"):
+                    break
+        self._expect("DOT")
+        return Rule(head=head, body=tuple(body), comparisons=tuple(comparisons))
+
+    def _parse_body_item(self) -> Atom | Comparison:
+        token = self._peek()
+        next_token = self._peek(1)
+        if token is not None and token.kind == "IDENT" and next_token is not None and next_token.kind == "LPAREN":
+            return self._parse_atom()
+        return self._parse_comparison()
+
+    def _parse_atom(self) -> Atom:
+        name_token = self._expect("IDENT")
+        self._expect("LPAREN")
+        terms = [self._parse_term()]
+        while self._accept("COMMA"):
+            terms.append(self._parse_term())
+        self._expect("RPAREN")
+        return Atom(relation=name_token.text, terms=tuple(terms))
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_term()
+        op_token = self._expect("OP")
+        right = self._parse_term()
+        op = _COMPARISON_TOKENS.get(op_token.text)
+        if op is None:
+            raise ParseError(f"unknown comparison operator {op_token.text!r}", op_token.line, op_token.column)
+        return Comparison(op=op, left=left, right=right)
+
+    def _parse_term(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input while parsing a term")
+        if token.kind == "INTEGER":
+            self.pos += 1
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            self.pos += 1
+            return Constant(token.text)
+        if token.kind == "IDENT":
+            self.pos += 1
+            if token.text == "_":
+                return Variable(f"_anon_{next(self._anon_counter)}")
+            return Variable(token.text)
+        raise ParseError(f"expected a term, found {token.kind} ({token.text!r})", token.line, token.column)
+
+
+def parse_program(source: str, name: str = "program") -> Program:
+    """Parse Datalog source text into a :class:`~repro.datalog.ast.Program`."""
+    tokens = _Tokenizer(source).tokens()
+    return _Parser(tokens).parse_program(name)
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (must end with a dot)."""
+    tokens = _Tokenizer(source).tokens()
+    parser = _Parser(tokens)
+    rule = parser._parse_clause()
+    if parser._peek() is not None:
+        extra = parser._peek()
+        raise ParseError("trailing input after rule", extra.line, extra.column)
+    return rule

@@ -1,0 +1,377 @@
+"""Compilation of Datalog rules into relational-algebra plans.
+
+Each rule is compiled into one or more *rule versions* (one per recursive body
+atom, as required by semi-naïve evaluation), and each version becomes a
+pipeline::
+
+    initial scan (delta or full/EDB)  ->  join step  ->  ...  ->  head projection
+
+Every join step is a binary hash join against one HISA index, i.e. the
+*temporarily materialized* n-way join strategy of Section 5.2: the result of
+each binary join is materialized and becomes the outer relation of the next
+step, so every kernel launch has a balanced per-thread workload.  The planner
+also records which (relation, join columns) indexes the engine must maintain —
+Datalog engines index for every query (Section 3, [R1]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import PlanningError
+from ..relational.operators import ColumnComparison, JoinOutput
+from .analysis import ProgramAnalysis
+from .ast import Atom, Comparison, Constant, Program, Rule, Variable
+
+DELTA = "delta"
+FULL = "full"
+
+
+def _constant_value(term: Constant) -> int | str:
+    """Raw value of a constant term (string constants are interned by the engine)."""
+    return term.value
+
+
+@dataclass(frozen=True)
+class InitialScan:
+    """The outer relation of a rule version: a (possibly filtered) scan."""
+
+    relation: str
+    version: str  # DELTA or FULL
+    filters: tuple[ColumnComparison, ...]
+    projection: tuple[int, ...]
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One binary hash join against a HISA index of ``relation``'s full version."""
+
+    relation: str
+    join_columns: tuple[int, ...]
+    outer_key_positions: tuple[int, ...]
+    output: tuple[JoinOutput, ...]
+    filters: tuple[ColumnComparison, ...]
+    post_projection: tuple[int, ...] | None
+    schema: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HeadColumn:
+    """One column of the head projection: a schema position or a constant."""
+
+    kind: str  # "var" or "const"
+    position: int | None = None
+    value: int | str | None = None
+
+
+@dataclass(frozen=True)
+class RuleVersion:
+    """One semi-naïve version of a rule (fixed choice of the delta atom)."""
+
+    rule: Rule
+    head_relation: str
+    delta_atom_index: int | None
+    initial: InitialScan
+    joins: tuple[JoinStep, ...]
+    final_filters: tuple[ColumnComparison, ...]
+    head: tuple[HeadColumn, ...]
+
+    @property
+    def is_recursive(self) -> bool:
+        return self.delta_atom_index is not None
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """All versions of one rule plus the indexes they require."""
+
+    rule: Rule
+    versions: tuple[RuleVersion, ...]
+    required_indexes: tuple[tuple[str, tuple[int, ...]], ...]
+
+
+@dataclass(frozen=True)
+class ProgramPlan:
+    """Compiled plan for a whole program, grouped per stratum."""
+
+    analysis: ProgramAnalysis
+    rule_plans: dict[Rule, RulePlan]
+
+    def required_indexes(self) -> set[tuple[str, tuple[int, ...]]]:
+        indexes: set[tuple[str, tuple[int, ...]]] = set()
+        for plan in self.rule_plans.values():
+            indexes.update(plan.required_indexes)
+        return indexes
+
+    def versions_for_stratum(self, stratum_index: int) -> tuple[list[RuleVersion], list[RuleVersion]]:
+        """Return (non_recursive_versions, recursive_versions) for a stratum."""
+        stratum = self.analysis.strata[stratum_index]
+        non_recursive: list[RuleVersion] = []
+        recursive: list[RuleVersion] = []
+        for rule in stratum.rules:
+            for version in self.rule_plans[rule].versions:
+                if version.is_recursive:
+                    recursive.append(version)
+                else:
+                    non_recursive.append(version)
+        return non_recursive, recursive
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+
+class Planner:
+    """Compiles rules of an analysed program into :class:`RulePlan` objects."""
+
+    def __init__(self, analysis: ProgramAnalysis) -> None:
+        self.analysis = analysis
+
+    def plan_program(self) -> ProgramPlan:
+        rule_plans: dict[Rule, RulePlan] = {}
+        for stratum in self.analysis.strata:
+            for rule in stratum.rules:
+                rule_plans[rule] = self.plan_rule(rule)
+        return ProgramPlan(analysis=self.analysis, rule_plans=rule_plans)
+
+    def plan_rule(self, rule: Rule) -> RulePlan:
+        if not rule.body:
+            raise PlanningError(f"rule {rule} has no body atoms; facts are loaded, not planned")
+        recursive_atoms = self.analysis.recursive_atoms(rule)
+        versions: list[RuleVersion] = []
+        if recursive_atoms:
+            for atom_index in recursive_atoms:
+                versions.append(self._plan_version(rule, delta_atom_index=atom_index))
+        else:
+            versions.append(self._plan_version(rule, delta_atom_index=None))
+
+        required: set[tuple[str, tuple[int, ...]]] = set()
+        for version in versions:
+            for step in version.joins:
+                required.add((step.relation, step.join_columns))
+        return RulePlan(rule=rule, versions=tuple(versions), required_indexes=tuple(sorted(required)))
+
+    # ------------------------------------------------------------------
+    def _plan_version(self, rule: Rule, delta_atom_index: int | None) -> RuleVersion:
+        body = list(rule.body)
+        outer_index = delta_atom_index if delta_atom_index is not None else 0
+        ordered = self._order_atoms(body, outer_index, rule)
+
+        pending_comparisons = list(rule.comparisons)
+        outer_atom = body[outer_index]
+        initial, schema = self._plan_initial(
+            outer_atom,
+            DELTA if delta_atom_index is not None else FULL,
+            pending_comparisons,
+        )
+
+        joins: list[JoinStep] = []
+        for atom in ordered[1:]:
+            step, schema = self._plan_join(atom, schema, pending_comparisons)
+            joins.append(step)
+
+        final_filters = tuple(
+            self._comparison_to_schema(comparison, schema)
+            for comparison in pending_comparisons
+        )
+
+        head = self._plan_head(rule.head, schema, rule)
+        return RuleVersion(
+            rule=rule,
+            head_relation=rule.head.relation,
+            delta_atom_index=delta_atom_index,
+            initial=initial,
+            joins=tuple(joins),
+            final_filters=final_filters,
+            head=head,
+        )
+
+    def _order_atoms(self, body: list[Atom], outer_index: int, rule: Rule) -> list[Atom]:
+        """Greedy left-to-right ordering starting from the outer atom.
+
+        Each subsequent atom must share at least one variable with the
+        variables bound so far (no cross products).
+        """
+        ordered = [body[outer_index]]
+        remaining = [atom for index, atom in enumerate(body) if index != outer_index]
+        bound = set(body[outer_index].variable_names())
+        while remaining:
+            for position, atom in enumerate(remaining):
+                if atom.variable_names() & bound:
+                    ordered.append(atom)
+                    bound |= atom.variable_names()
+                    remaining.pop(position)
+                    break
+            else:
+                raise PlanningError(
+                    f"rule {rule} requires a cross product (atom shares no variable with the "
+                    f"atoms already joined); cross products are not supported"
+                )
+        return ordered
+
+    # ------------------------------------------------------------------
+    def _plan_initial(
+        self,
+        atom: Atom,
+        version: str,
+        pending_comparisons: list[Comparison],
+    ) -> tuple[InitialScan, tuple[str, ...]]:
+        filters: list[ColumnComparison] = []
+        first_occurrence: dict[str, int] = {}
+        for column, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                filters.append(ColumnComparison("==", column, constant=_constant_value(term)))
+            else:
+                if term.name in first_occurrence:
+                    filters.append(ColumnComparison("==", column, right_column=first_occurrence[term.name]))
+                else:
+                    first_occurrence[term.name] = column
+
+        schema = tuple(sorted(first_occurrence, key=first_occurrence.get))
+        projection = tuple(first_occurrence[name] for name in schema)
+
+        # Comparisons fully bound by this atom are applied on the atom's
+        # natural layout before projection.
+        for comparison in list(pending_comparisons):
+            mapped = self._try_map_comparison(comparison, first_occurrence)
+            if mapped is not None:
+                filters.append(mapped)
+                pending_comparisons.remove(comparison)
+
+        initial = InitialScan(
+            relation=atom.relation,
+            version=version,
+            filters=tuple(filters),
+            projection=projection,
+            schema=schema,
+        )
+        return initial, schema
+
+    def _plan_join(
+        self,
+        atom: Atom,
+        schema: tuple[str, ...],
+        pending_comparisons: list[Comparison],
+    ) -> tuple[JoinStep, tuple[str, ...]]:
+        schema_positions = {name: position for position, name in enumerate(schema)}
+
+        first_occurrence: dict[str, int] = {}
+        constant_columns: list[tuple[int, int | str]] = []
+        repeated_columns: list[tuple[int, int]] = []
+        for column, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                constant_columns.append((column, _constant_value(term)))
+            else:
+                if term.name in first_occurrence:
+                    repeated_columns.append((column, first_occurrence[term.name]))
+                else:
+                    first_occurrence[term.name] = column
+
+        shared = [name for name in first_occurrence if name in schema_positions]
+        if not shared:
+            raise PlanningError(f"atom {atom} shares no variable with the current pipeline schema")
+        # Key order: by inner column index, for a deterministic index signature.
+        shared.sort(key=lambda name: first_occurrence[name])
+        join_columns = tuple(first_occurrence[name] for name in shared)
+        outer_key_positions = tuple(schema_positions[name] for name in shared)
+
+        # Output: every existing schema variable, then the new variables of the atom.
+        output: list[JoinOutput] = [JoinOutput("outer", position) for position in range(len(schema))]
+        new_schema = list(schema)
+        for name, column in first_occurrence.items():
+            if name in schema_positions:
+                continue
+            output.append(JoinOutput("inner", column))
+            new_schema.append(name)
+
+        # Temporary columns needed only to evaluate constant / repeated-variable
+        # constraints inside the join kernel; projected away afterwards.
+        filters: list[ColumnComparison] = []
+        temp_columns = 0
+        for column, value in constant_columns:
+            output.append(JoinOutput("inner", column))
+            filters.append(ColumnComparison("==", len(output) - 1, constant=value))
+            temp_columns += 1
+        for column, first_column in repeated_columns:
+            first_name = atom.terms[first_column].name  # type: ignore[union-attr]
+            anchor = (
+                schema_positions[first_name]
+                if first_name in schema_positions
+                else new_schema.index(first_name)
+            )
+            output.append(JoinOutput("inner", column))
+            filters.append(ColumnComparison("==", len(output) - 1, right_column=anchor))
+            temp_columns += 1
+
+        post_projection: tuple[int, ...] | None = None
+        if temp_columns:
+            post_projection = tuple(range(len(output) - temp_columns))
+
+        # Comparisons that become fully bound after this join.
+        bound_positions = {name: position for position, name in enumerate(new_schema)}
+        for comparison in list(pending_comparisons):
+            mapped = self._try_map_comparison(comparison, bound_positions)
+            if mapped is not None:
+                filters.append(mapped)
+                pending_comparisons.remove(comparison)
+
+        step = JoinStep(
+            relation=atom.relation,
+            join_columns=join_columns,
+            outer_key_positions=outer_key_positions,
+            output=tuple(output),
+            filters=tuple(filters),
+            post_projection=post_projection,
+            schema=tuple(new_schema),
+        )
+        return step, tuple(new_schema)
+
+    def _plan_head(self, head: Atom, schema: tuple[str, ...], rule: Rule) -> tuple[HeadColumn, ...]:
+        positions = {name: position for position, name in enumerate(schema)}
+        columns: list[HeadColumn] = []
+        for term in head.terms:
+            if isinstance(term, Constant):
+                columns.append(HeadColumn(kind="const", value=_constant_value(term)))
+            else:
+                if term.name not in positions:
+                    raise PlanningError(
+                        f"rule {rule}: head variable {term.name!r} is not bound by the body"
+                    )
+                columns.append(HeadColumn(kind="var", position=positions[term.name]))
+        return tuple(columns)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _try_map_comparison(
+        comparison: Comparison, positions: dict[str, int]
+    ) -> ColumnComparison | None:
+        """Map an AST comparison onto column positions if all variables are bound."""
+        left, right = comparison.left, comparison.right
+        if isinstance(left, Variable) and left.name not in positions:
+            return None
+        if isinstance(right, Variable) and right.name not in positions:
+            return None
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            raise PlanningError(f"comparison {comparison} has no variables")
+        if isinstance(left, Constant):
+            # Normalise to variable-on-the-left by flipping the operator.
+            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "==": "==", "!=": "!="}[comparison.op]
+            return ColumnComparison(flipped, positions[right.name], constant=_constant_value(left))
+        if isinstance(right, Constant):
+            return ColumnComparison(comparison.op, positions[left.name], constant=_constant_value(right))
+        return ColumnComparison(comparison.op, positions[left.name], right_column=positions[right.name])
+
+    @staticmethod
+    def _comparison_to_schema(comparison: Comparison, schema: tuple[str, ...]) -> ColumnComparison:
+        positions = {name: position for position, name in enumerate(schema)}
+        mapped = Planner._try_map_comparison(comparison, positions)
+        if mapped is None:
+            raise PlanningError(f"comparison {comparison} involves variables not bound by the rule body")
+        return mapped
+
+
+def plan_program(analysis: ProgramAnalysis) -> ProgramPlan:
+    """Convenience wrapper: plan every rule of an analysed program."""
+    return Planner(analysis).plan_program()

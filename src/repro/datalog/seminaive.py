@@ -1,0 +1,240 @@
+"""Semi-naïve fixpoint evaluation (Figure 3 of the paper).
+
+The evaluator executes a compiled :class:`~repro.datalog.planner.ProgramPlan`
+stratum by stratum.  Within a recursive stratum it repeats:
+
+1. **Join phase** — every recursive rule version joins the *delta* version of
+   its chosen atom against the *full* indexes of the other atoms and appends
+   the results to the head relation's *new* version.
+2. **Populate delta / index delta / merge / clear new** — handled per relation
+   by :class:`~repro.relational.relation.Relation.end_iteration`.
+
+The loop terminates when every relation of the stratum produced an empty
+delta.  All kernels are charged to the engine's device, tagged with the
+fixpoint iteration and phase so that Table 1 and Figure 6 can be regenerated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device.device import Device
+from ..device.profiler import PHASE_JOIN
+from ..errors import EvaluationError
+from ..relational.operators import fused_nway_join, hash_join, project, select
+from ..relational.relation import Relation
+from .planner import DELTA, HeadColumn, ProgramPlan, RuleVersion
+
+
+@dataclass
+class StratumResult:
+    """Evaluation statistics for one stratum."""
+
+    index: int
+    relations: tuple[str, ...]
+    recursive: bool
+    iterations: int
+
+
+@dataclass
+class EvaluationStats:
+    """Aggregate statistics produced by :class:`SemiNaiveEvaluator.evaluate`."""
+
+    strata: list[StratumResult] = field(default_factory=list)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(result.iterations for result in self.strata)
+
+
+class SemiNaiveEvaluator:
+    """Executes a compiled program plan over a set of relations."""
+
+    def __init__(
+        self,
+        device: Device,
+        plan: ProgramPlan,
+        relations: dict[str, Relation],
+        *,
+        materialize_nway: bool = True,
+        max_iterations: int = 1_000_000,
+    ) -> None:
+        self.device = device
+        self.plan = plan
+        self.relations = relations
+        self.materialize_nway = bool(materialize_nway)
+        self.max_iterations = int(max_iterations)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, idb_facts: dict[str, np.ndarray] | None = None) -> EvaluationStats:
+        """Run every stratum to its fixpoint.
+
+        ``idb_facts`` optionally supplies ground facts for IDB relations
+        (loaded together with the non-recursive rule results when the
+        relation's stratum starts).
+        """
+        idb_facts = dict(idb_facts or {})
+        stats = EvaluationStats()
+        analysis = self.plan.analysis
+
+        for stratum in analysis.strata:
+            non_recursive, recursive = self.plan.versions_for_stratum(stratum.index)
+            idb_in_stratum = sorted(stratum.relations & set(analysis.idb_relations))
+
+            # ----------------------------------------------------------
+            # Initialise the stratum: facts + non-recursive rule results.
+            # ----------------------------------------------------------
+            initial_rows: dict[str, list[np.ndarray]] = defaultdict(list)
+            for name in idb_in_stratum:
+                if name in idb_facts:
+                    initial_rows[name].append(idb_facts.pop(name))
+            for version in non_recursive:
+                rows = self._execute_version(version)
+                if rows.shape[0]:
+                    initial_rows[version.head_relation].append(rows)
+            for name in idb_in_stratum:
+                relation = self.relations[name]
+                parts = initial_rows.get(name, [])
+                if parts:
+                    rows = np.concatenate(parts, axis=0)
+                else:
+                    rows = np.empty((0, relation.arity), dtype=np.int64)
+                relation.initialize(rows)
+
+            iterations = 0
+            if recursive:
+                iterations = self._run_fixpoint(stratum.index, idb_in_stratum, recursive)
+            else:
+                # Nothing recursive: clear deltas so later strata see stable fulls.
+                for name in idb_in_stratum:
+                    self.relations[name].clear_delta()
+
+            stats.strata.append(
+                StratumResult(
+                    index=stratum.index,
+                    relations=tuple(idb_in_stratum),
+                    recursive=stratum.recursive,
+                    iterations=iterations,
+                )
+            )
+        return stats
+
+    # ------------------------------------------------------------------
+    def _run_fixpoint(self, stratum_index: int, idb_in_stratum: list[str], recursive: list[RuleVersion]) -> int:
+        iteration = 0
+        while True:
+            iteration += 1
+            if iteration > self.max_iterations:
+                raise EvaluationError(
+                    f"stratum {stratum_index} exceeded {self.max_iterations} iterations without reaching a fixpoint"
+                )
+            with self.device.profiler.iteration(iteration):
+                for version in recursive:
+                    delta_relation = self.relations[version.initial.relation]
+                    if delta_relation.delta_count == 0:
+                        continue
+                    rows = self._execute_version(version)
+                    if rows.shape[0]:
+                        self.relations[version.head_relation].add_new(rows)
+                total_delta = 0
+                for name in idb_in_stratum:
+                    result = self.relations[name].end_iteration()
+                    total_delta += result.delta_count
+            if total_delta == 0:
+                break
+        return iteration
+
+    # ------------------------------------------------------------------
+    # Rule-version execution
+    # ------------------------------------------------------------------
+    def _execute_version(self, version: RuleVersion) -> np.ndarray:
+        with self.device.profiler.phase(PHASE_JOIN):
+            rows = self._initial_rows(version)
+            if rows.shape[0] == 0:
+                return np.empty((0, len(version.head)), dtype=np.int64)
+            if self.materialize_nway or len(version.joins) <= 1 or not self._fusable(version):
+                rows = self._execute_materialized(version, rows)
+            else:
+                rows = self._execute_fused(version, rows)
+            if rows.shape[0] and version.final_filters:
+                rows = select(self.device, rows, version.final_filters, label=f"{version.head_relation}.filter")
+            return self._project_head(version, rows)
+
+    def _initial_rows(self, version: RuleVersion) -> np.ndarray:
+        initial = version.initial
+        relation = self.relations[initial.relation]
+        if initial.version == DELTA:
+            rows = relation.delta_rows
+        else:
+            rows = relation.full_rows()
+        if rows.shape[0] == 0:
+            return np.empty((0, len(initial.schema)), dtype=np.int64)
+        if initial.filters:
+            rows = select(self.device, rows, initial.filters, label=f"{initial.relation}.scan_filter")
+        identity = tuple(initial.projection) == tuple(range(rows.shape[1]))
+        if not identity:
+            rows = project(self.device, rows, initial.projection, label=f"{initial.relation}.scan_project")
+        return rows
+
+    def _execute_materialized(self, version: RuleVersion, rows: np.ndarray) -> np.ndarray:
+        """Temporarily-materialized join chain (Section 5.2): one kernel per step."""
+        for step in version.joins:
+            if rows.shape[0] == 0:
+                return np.empty((0, len(step.schema)), dtype=np.int64)
+            inner = self.relations[step.relation].index_for(step.join_columns)
+            rows = hash_join(
+                self.device,
+                rows,
+                step.outer_key_positions,
+                inner,
+                step.output,
+                comparisons=step.filters,
+                label=f"{version.head_relation}<-{step.relation}",
+            )
+            if step.post_projection is not None and rows.shape[0]:
+                rows = project(self.device, rows, step.post_projection, label=f"{version.head_relation}.trim")
+        return rows
+
+    def _execute_fused(self, version: RuleVersion, rows: np.ndarray) -> np.ndarray:
+        """Non-materialized nested n-way join (ablation baseline of Section 5.2)."""
+        stages = []
+        comparisons = []
+        for step in version.joins:
+            inner = self.relations[step.relation].index_for(step.join_columns)
+            stages.append((step.outer_key_positions, inner, step.output))
+        comparisons.extend(version.joins[-1].filters)
+        return fused_nway_join(
+            self.device,
+            rows,
+            stages,
+            comparisons=comparisons,
+            label=f"{version.head_relation}.fused",
+        )
+
+    def _fusable(self, version: RuleVersion) -> bool:
+        """A version can run fused only if intermediate steps carry no filters."""
+        for step in version.joins[:-1]:
+            if step.filters or step.post_projection is not None:
+                return False
+        return version.joins[-1].post_projection is None
+
+    def _project_head(self, version: RuleVersion, rows: np.ndarray) -> np.ndarray:
+        if rows.shape[0] == 0:
+            return np.empty((0, len(version.head)), dtype=np.int64)
+        columns = []
+        for head_column in version.head:
+            if head_column.kind == "var":
+                columns.append(rows[:, head_column.position])
+            else:
+                columns.append(np.full(rows.shape[0], int(head_column.value), dtype=np.int64))
+        result = np.column_stack(columns).astype(np.int64)
+        self.device.kernels.transform(
+            rows.shape[0],
+            bytes_per_item=8.0 * len(version.head),
+            ops_per_item=len(version.head),
+            label=f"{version.head_relation}.project_head",
+        )
+        return result

@@ -1,0 +1,42 @@
+"""Synthetic benchmark datasets standing in for the paper's graphs and CSPA inputs."""
+
+from .cspa import CSPADataset, generate_cspa_dataset
+from .graphs import (
+    GraphDataset,
+    chained_communities,
+    finite_element_mesh,
+    p2p_graph,
+    random_dag,
+    road_network,
+    scale_free_graph,
+)
+from .registry import (
+    PROFILE_BENCH,
+    PROFILE_TEST,
+    PROFILES,
+    DatasetSpec,
+    PaperReference,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+
+__all__ = [
+    "CSPADataset",
+    "DatasetSpec",
+    "GraphDataset",
+    "PROFILES",
+    "PROFILE_BENCH",
+    "PROFILE_TEST",
+    "PaperReference",
+    "chained_communities",
+    "dataset_names",
+    "dataset_spec",
+    "finite_element_mesh",
+    "generate_cspa_dataset",
+    "load_dataset",
+    "p2p_graph",
+    "random_dag",
+    "road_network",
+    "scale_free_graph",
+]

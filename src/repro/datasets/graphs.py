@@ -1,0 +1,277 @@
+"""Synthetic graph generators standing in for the paper's benchmark graphs.
+
+The paper evaluates REACH and SG on graphs from SNAP, SuiteSparse and the
+road-network collection (Section 6.2).  Those graphs are too large to evaluate
+inside this simulator (transitive closures up to 1.9 billion tuples), so each
+is replaced by a synthetic graph of the *same structural family*, at a
+documented scale factor.  What matters for the paper's qualitative results is
+the graph shape:
+
+* **road networks** (usroads, SF.cedge) — near-planar, low degree, very large
+  diameter: hundreds of semi-naïve iterations with a long low-delta tail
+  (this is what makes eager buffer management shine in Table 1);
+* **finite-element meshes** (fe_ocean, fe_body, fe_sphere) — regular local
+  connectivity, moderate diameter;
+* **social / collaboration networks** (com-dblp, CA-HepTH, ego-Facebook,
+  loc-Brightkite) — heavy-tailed degrees, tiny diameter: few iterations, huge
+  join fan-out, heavy warp divergence;
+* **P2P overlays** (Gnutella31) — roughly regular out-degree, small diameter;
+* **optimisation matrices** (vsp_finan) — long chain-like structure with
+  sparse cross links, hundreds of iterations.
+
+All generators emit directed acyclic edge sets (edges point from lower to
+higher node id) so that transitive closures stay finite and controllable; the
+real graphs are also evaluated as directed graphs in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class GraphDataset:
+    """A generated benchmark graph."""
+
+    name: str
+    category: str
+    edges: np.ndarray
+    n_nodes: int
+    seed: int
+    description: str = ""
+
+    @property
+    def edge_count(self) -> int:
+        return int(self.edges.shape[0])
+
+    def facts(self, relation: str = "edge") -> dict[str, np.ndarray]:
+        """The EDB dictionary expected by every engine."""
+        return {relation: self.edges}
+
+
+def _finalize(name: str, category: str, edges: list[tuple[int, int]], n_nodes: int, seed: int, description: str) -> GraphDataset:
+    if not edges:
+        raise DatasetError(f"dataset {name!r} generated no edges")
+    array = np.unique(np.asarray(edges, dtype=np.int64), axis=0)
+    # Remove self loops: the paper's graphs are simple directed graphs.
+    array = array[array[:, 0] != array[:, 1]]
+    return GraphDataset(
+        name=name,
+        category=category,
+        edges=array,
+        n_nodes=n_nodes,
+        seed=seed,
+        description=description,
+    )
+
+
+# ----------------------------------------------------------------------
+# Road networks: long, thin, huge diameter
+# ----------------------------------------------------------------------
+
+def road_network(
+    length: int,
+    width: int,
+    *,
+    shortcut_probability: float = 0.02,
+    seed: int = 0,
+    name: str = "road",
+) -> GraphDataset:
+    """A directed grid ``length x width`` with sparse shortcut edges.
+
+    Edges point "east" and "north" (towards higher node ids), so the longest
+    path — and therefore the REACH iteration count — is roughly
+    ``length + width``.
+    """
+    if length < 2 or width < 1:
+        raise DatasetError("road_network needs length >= 2 and width >= 1")
+    rng = np.random.default_rng(seed)
+    def node(i: int, j: int) -> int:
+        return i * width + j
+
+    edges: list[tuple[int, int]] = []
+    for i in range(length):
+        for j in range(width):
+            if i + 1 < length:
+                edges.append((node(i, j), node(i + 1, j)))
+            if j + 1 < width:
+                edges.append((node(i, j), node(i, j + 1)))
+            if shortcut_probability and i + 2 < length and rng.random() < shortcut_probability:
+                edges.append((node(i, j), node(i + 2, j)))
+    return _finalize(name, "road", edges, length * width, seed, f"directed {length}x{width} road grid")
+
+
+# ----------------------------------------------------------------------
+# Finite-element meshes: regular local stencils
+# ----------------------------------------------------------------------
+
+def finite_element_mesh(
+    length: int,
+    width: int,
+    *,
+    diagonal_probability: float = 0.6,
+    seed: int = 0,
+    name: str = "mesh",
+) -> GraphDataset:
+    """A triangulated grid: grid edges plus forward diagonals (FE stencil)."""
+    if length < 2 or width < 2:
+        raise DatasetError("finite_element_mesh needs length >= 2 and width >= 2")
+    rng = np.random.default_rng(seed)
+
+    def node(i: int, j: int) -> int:
+        return i * width + j
+
+    edges: list[tuple[int, int]] = []
+    for i in range(length):
+        for j in range(width):
+            if i + 1 < length:
+                edges.append((node(i, j), node(i + 1, j)))
+            if j + 1 < width:
+                edges.append((node(i, j), node(i, j + 1)))
+            if i + 1 < length and j + 1 < width and rng.random() < diagonal_probability:
+                edges.append((node(i, j), node(i + 1, j + 1)))
+            if i + 1 < length and j >= 1 and rng.random() < diagonal_probability / 2:
+                edges.append((node(i, j), node(i + 1, j - 1)))
+    return _finalize(name, "mesh", edges, length * width, seed, f"triangulated {length}x{width} FE mesh")
+
+
+# ----------------------------------------------------------------------
+# Social / collaboration networks: preferential attachment
+# ----------------------------------------------------------------------
+
+def scale_free_graph(
+    n_nodes: int,
+    attachment: int,
+    *,
+    seed: int = 0,
+    name: str = "social",
+) -> GraphDataset:
+    """Barabási–Albert style preferential attachment, edges old <- new reversed.
+
+    Every new node attaches to ``attachment`` existing nodes chosen with
+    probability proportional to their degree; edges point from the *older*
+    node to the newer one so the graph is a DAG with heavy-degree hubs near
+    the roots (hub fan-out is what stresses warp divergence).
+    """
+    if n_nodes < attachment + 1 or attachment < 1:
+        raise DatasetError("scale_free_graph needs n_nodes > attachment >= 1")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    targets = list(range(attachment))
+    repeated: list[int] = list(range(attachment))
+    for new_node in range(attachment, n_nodes):
+        chosen = rng.choice(repeated, size=attachment, replace=True)
+        for old_node in np.unique(chosen):
+            edges.append((int(old_node), new_node))
+            repeated.append(int(old_node))
+        repeated.extend([new_node] * attachment)
+    return _finalize(name, "social", edges, n_nodes, seed, f"scale-free graph n={n_nodes}, m={attachment}")
+
+
+# ----------------------------------------------------------------------
+# Peer-to-peer overlays: bounded out-degree, local window
+# ----------------------------------------------------------------------
+
+def p2p_graph(
+    n_nodes: int,
+    out_degree: int,
+    window: int,
+    *,
+    seed: int = 0,
+    name: str = "p2p",
+) -> GraphDataset:
+    """Random out-degree graph with forward edges inside a bounded window."""
+    if n_nodes < 2 or out_degree < 1 or window < 1:
+        raise DatasetError("p2p_graph needs n_nodes >= 2, out_degree >= 1, window >= 1")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    for node in range(n_nodes - 1):
+        limit = min(n_nodes - node - 1, window)
+        count = min(out_degree, limit)
+        offsets = rng.choice(np.arange(1, limit + 1), size=count, replace=False)
+        for offset in offsets:
+            edges.append((node, node + int(offset)))
+    return _finalize(name, "p2p", edges, n_nodes, seed, f"P2P overlay n={n_nodes}, d={out_degree}, w={window}")
+
+
+# ----------------------------------------------------------------------
+# Optimisation-matrix graphs: chained communities
+# ----------------------------------------------------------------------
+
+def chained_communities(
+    n_communities: int,
+    layers_per_community: int,
+    layer_width: int,
+    *,
+    inter_layer_probability: float = 0.6,
+    bridges: int = 2,
+    seed: int = 0,
+    name: str = "finance",
+) -> GraphDataset:
+    """Layered communities connected in a long chain (vsp_finan-like structure).
+
+    Each community is a small layered DAG (``layers_per_community`` layers of
+    ``layer_width`` nodes, edges only between consecutive layers); consecutive
+    communities are linked by a few bridge edges from the last layer of one to
+    the first layer of the next.  The longest path — and hence the REACH
+    iteration count — is therefore about ``n_communities x layers_per_community``,
+    giving the very long, thin dependency structure of optimisation matrices.
+    """
+    if n_communities < 2 or layers_per_community < 2 or layer_width < 1:
+        raise DatasetError("chained_communities needs >= 2 communities, >= 2 layers, width >= 1")
+    rng = np.random.default_rng(seed)
+    community_size = layers_per_community * layer_width
+    edges: list[tuple[int, int]] = []
+
+    def node(community: int, layer: int, position: int) -> int:
+        return community * community_size + layer * layer_width + position
+
+    for community in range(n_communities):
+        for layer in range(layers_per_community - 1):
+            for src in range(layer_width):
+                linked = False
+                for dst in range(layer_width):
+                    if rng.random() < inter_layer_probability:
+                        edges.append((node(community, layer, src), node(community, layer + 1, dst)))
+                        linked = True
+                if not linked:
+                    edges.append((node(community, layer, src), node(community, layer + 1, src % layer_width)))
+        if community + 1 < n_communities:
+            for _ in range(bridges):
+                src = int(rng.integers(0, layer_width))
+                dst = int(rng.integers(0, layer_width))
+                edges.append(
+                    (
+                        node(community, layers_per_community - 1, src),
+                        node(community + 1, 0, dst),
+                    )
+                )
+    return _finalize(
+        name,
+        "finance",
+        edges,
+        n_communities * community_size,
+        seed,
+        f"chain of {n_communities} layered communities ({layers_per_community}x{layer_width})",
+    )
+
+
+def random_dag(
+    n_nodes: int,
+    edge_probability: float,
+    *,
+    seed: int = 0,
+    name: str = "random",
+) -> GraphDataset:
+    """Erdős–Rényi style DAG (edges only from lower to higher ids)."""
+    if n_nodes < 2 or not 0 < edge_probability <= 1:
+        raise DatasetError("random_dag needs n_nodes >= 2 and probability in (0, 1]")
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.random((n_nodes, n_nodes)) < edge_probability, k=1)
+    sources, destinations = np.nonzero(upper)
+    edges = list(zip(sources.tolist(), destinations.tolist()))
+    return _finalize(name, "random", edges, n_nodes, seed, f"random DAG n={n_nodes}, p={edge_probability}")

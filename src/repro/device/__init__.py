@@ -1,0 +1,80 @@
+"""Simulated SIMT device substrate.
+
+This package replaces the CUDA/HIP hardware the paper runs on with a faithful
+software model: real NumPy execution of every bulk primitive, plus an analytic
+cost model (bandwidth, compute, launch latency, allocation latency, warp
+divergence) parameterised by data-center GPU and CPU specifications.
+"""
+
+from .cost import CostModel, KernelCost
+from .device import Device, DeviceSnapshot
+from .kernels import DeviceKernels, TUPLE_DTYPE, as_rows, pack_rows, rows_nbytes
+from .memory import Buffer, MemoryPool, MemoryStats
+from .profiler import (
+    FIGURE6_PHASES,
+    PHASE_DEDUPLICATION,
+    PHASE_INDEX_DELTA,
+    PHASE_INDEX_FULL,
+    PHASE_JOIN,
+    PHASE_LOAD,
+    PHASE_MERGE,
+    PHASE_OTHER,
+    PHASE_POPULATE_DELTA,
+    PhaseSummary,
+    ProfileEvent,
+    Profiler,
+)
+from .simt import stride_count, stride_slices, warp_divergence_factor, warp_occupancy
+from .spec import (
+    AMD_EPYC_7543P,
+    AMD_EPYC_7713,
+    AMD_MI250,
+    AMD_MI50,
+    INTEL_XEON_6338,
+    NVIDIA_A100,
+    NVIDIA_H100,
+    DeviceSpec,
+    device_preset,
+    list_device_presets,
+)
+
+__all__ = [
+    "AMD_EPYC_7543P",
+    "AMD_EPYC_7713",
+    "AMD_MI250",
+    "AMD_MI50",
+    "Buffer",
+    "CostModel",
+    "Device",
+    "DeviceKernels",
+    "DeviceSnapshot",
+    "DeviceSpec",
+    "FIGURE6_PHASES",
+    "INTEL_XEON_6338",
+    "KernelCost",
+    "MemoryPool",
+    "MemoryStats",
+    "NVIDIA_A100",
+    "NVIDIA_H100",
+    "PHASE_DEDUPLICATION",
+    "PHASE_INDEX_DELTA",
+    "PHASE_INDEX_FULL",
+    "PHASE_JOIN",
+    "PHASE_LOAD",
+    "PHASE_MERGE",
+    "PHASE_OTHER",
+    "PHASE_POPULATE_DELTA",
+    "PhaseSummary",
+    "ProfileEvent",
+    "Profiler",
+    "TUPLE_DTYPE",
+    "as_rows",
+    "device_preset",
+    "list_device_presets",
+    "pack_rows",
+    "rows_nbytes",
+    "stride_count",
+    "stride_slices",
+    "warp_divergence_factor",
+    "warp_occupancy",
+]

@@ -1,0 +1,135 @@
+"""The simulated execution device: spec + cost model + memory pool + profiler.
+
+A :class:`Device` is the single object the rest of the library talks to when
+it wants to "run on the GPU" (or on a CPU for the baseline engines).  It owns
+
+* a :class:`~repro.device.spec.DeviceSpec` (the hardware description),
+* a :class:`~repro.device.cost.CostModel` converting kernel work into seconds,
+* a :class:`~repro.device.memory.MemoryPool` enforcing the VRAM capacity, and
+* a :class:`~repro.device.profiler.Profiler` accumulating the phase breakdown.
+
+Simulated time only advances through :meth:`Device.charge`, so every second of
+every experiment is attributable to a specific kernel in a specific phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost import CostModel, KernelCost
+from .kernels import DeviceKernels
+from .memory import Buffer, MemoryPool, MemoryStats
+from .profiler import Profiler
+from .spec import DeviceSpec, device_preset
+
+
+@dataclass(frozen=True)
+class DeviceSnapshot:
+    """Summary of a device's state after a run (used in experiment reports)."""
+
+    spec_name: str
+    elapsed_seconds: float
+    peak_memory_bytes: int
+    in_use_bytes: int
+    allocation_count: int
+    oom_count: int
+
+
+class Device:
+    """A simulated SIMT (or multicore CPU) execution device."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec | str,
+        *,
+        memory_capacity_bytes: int | None = None,
+        oom_enabled: bool = True,
+        profiler: Profiler | None = None,
+    ) -> None:
+        if isinstance(spec, str):
+            spec = device_preset(spec)
+        self.spec = spec
+        self.cost_model = CostModel(spec)
+        self.profiler = profiler if profiler is not None else Profiler()
+        capacity = memory_capacity_bytes if memory_capacity_bytes is not None else spec.memory_capacity_bytes
+        self.pool = MemoryPool(capacity, oom_enabled=oom_enabled)
+        self.kernels = DeviceKernels(self)
+
+    # ------------------------------------------------------------------
+    # Time accounting
+    # ------------------------------------------------------------------
+    def charge(self, cost: KernelCost, phase: str | None = None) -> float:
+        """Convert ``cost`` into simulated seconds and record it.
+
+        Returns the simulated duration so bespoke kernels can report it.
+        """
+        seconds = self.cost_model.seconds(cost)
+        fixed = self.cost_model.launch_seconds(cost) + cost.allocations * self.spec.alloc_latency_us * 1e-6
+        self.profiler.record(cost, seconds, phase=phase, fixed_seconds=min(seconds, fixed))
+        return seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total simulated time charged to this device so far."""
+        return self.profiler.total_seconds
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int, label: str = "", *, charge_cost: bool = True) -> Buffer:
+        """Allocate simulated device memory, charging allocation latency.
+
+        The charge mirrors ``cudaMalloc`` + first touch; the eager buffer
+        manager exists precisely to avoid paying it every iteration.
+        """
+        buffer = self.pool.allocate(nbytes, label=label)
+        if charge_cost:
+            self.charge(
+                KernelCost(
+                    kernel="device_malloc",
+                    alloc_bytes=float(nbytes),
+                    allocations=1,
+                    launches=0,
+                )
+            )
+        return buffer
+
+    def free(self, buffer: Buffer, *, charge_cost: bool = True) -> None:
+        """Free a simulated allocation (cheap, but not entirely free)."""
+        self.pool.free(buffer)
+        if charge_cost:
+            self.charge(KernelCost(kernel="device_free", ops=1.0, launches=0))
+
+    @property
+    def memory_stats(self) -> MemoryStats:
+        return self.pool.stats
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self.pool.peak_bytes
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def snapshot(self) -> DeviceSnapshot:
+        """Return an immutable summary of elapsed time and memory usage."""
+        stats = self.pool.stats
+        return DeviceSnapshot(
+            spec_name=self.spec.name,
+            elapsed_seconds=self.elapsed_seconds,
+            peak_memory_bytes=stats.peak_bytes,
+            in_use_bytes=stats.in_use_bytes,
+            allocation_count=stats.allocation_count,
+            oom_count=stats.oom_count,
+        )
+
+    def reset(self) -> None:
+        """Clear profiling data and the peak-memory watermark (keep live buffers)."""
+        self.profiler.reset()
+        self.pool.reset_peak()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Device(spec={self.spec.name!r}, elapsed={self.elapsed_seconds:.6f}s, "
+            f"peak_mem={self.peak_memory_bytes} B)"
+        )

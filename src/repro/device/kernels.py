@@ -1,0 +1,387 @@
+"""Data-parallel primitive kernels of the simulated device.
+
+These are the Thrust-style bulk primitives GPUlog is built from: gather,
+stable (radix-like) sort of tuple rows, exclusive scan, adjacent-difference
+deduplication, stream compaction, path merge, and raw memory movement.  Each
+primitive
+
+1. executes the real algorithm on host NumPy arrays (results are exact), and
+2. charges a :class:`~repro.device.cost.KernelCost` to the owning
+   :class:`~repro.device.device.Device`, which converts it into simulated
+   seconds via the device's cost model and records it in the profiler.
+
+Higher layers (HISA, the relational operators, the baseline engines) only
+touch the device through these primitives plus :meth:`Device.charge` for
+bespoke kernels such as the hash-probe join of Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .cost import KernelCost
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .device import Device
+
+TUPLE_DTYPE = np.int64
+TUPLE_ITEMSIZE = np.dtype(TUPLE_DTYPE).itemsize
+INDEX_DTYPE = np.int64
+INDEX_ITEMSIZE = np.dtype(INDEX_DTYPE).itemsize
+
+
+def as_rows(data: np.ndarray) -> np.ndarray:
+    """Coerce ``data`` to a C-contiguous 2-D int64 row array."""
+    rows = np.asarray(data, dtype=TUPLE_DTYPE)
+    if rows.ndim == 1:
+        rows = rows.reshape(-1, 1)
+    if rows.ndim != 2:
+        raise ValueError(f"expected a 2-D tuple array, got shape {rows.shape}")
+    return np.ascontiguousarray(rows)
+
+
+def rows_nbytes(n_rows: int, arity: int) -> int:
+    """Bytes occupied by ``n_rows`` tuples of the given arity."""
+    return int(n_rows) * int(arity) * TUPLE_ITEMSIZE
+
+
+class DeviceKernels:
+    """Bulk primitives bound to one simulated :class:`Device`."""
+
+    def __init__(self, device: "Device") -> None:
+        self._device = device
+
+    # ------------------------------------------------------------------
+    # Raw memory movement
+    # ------------------------------------------------------------------
+    def copy(self, data: np.ndarray, label: str = "copy") -> np.ndarray:
+        """Device-to-device copy (one read + one write of the payload)."""
+        rows = np.array(data, dtype=data.dtype if hasattr(data, "dtype") else TUPLE_DTYPE, copy=True)
+        nbytes = rows.nbytes
+        self._device.charge(KernelCost(kernel=label, sequential_bytes=2.0 * nbytes, ops=rows.size))
+        return rows
+
+    def concatenate_rows(self, parts: list[np.ndarray], label: str = "concatenate") -> np.ndarray:
+        """Concatenate tuple arrays; charged as a streaming copy of the output."""
+        parts = [as_rows(part) for part in parts if part is not None and len(part)]
+        if not parts:
+            return np.empty((0, 0), dtype=TUPLE_DTYPE)
+        out = np.concatenate(parts, axis=0)
+        self._device.charge(KernelCost(kernel=label, sequential_bytes=2.0 * out.nbytes, ops=out.shape[0]))
+        return out
+
+    def gather_rows(self, rows: np.ndarray, indices: np.ndarray, label: str = "gather") -> np.ndarray:
+        """Gather ``rows[indices]``; reads are random, writes are streaming."""
+        rows = as_rows(rows)
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        out = rows[indices]
+        row_bytes = rows.shape[1] * TUPLE_ITEMSIZE if rows.size else TUPLE_ITEMSIZE
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                random_bytes=float(indices.size) * row_bytes,
+                sequential_bytes=float(indices.size) * (row_bytes + INDEX_ITEMSIZE),
+                ops=float(indices.size),
+            )
+        )
+        return out
+
+    def gather_values(self, values: np.ndarray, indices: np.ndarray, label: str = "gather_values") -> np.ndarray:
+        """Gather scalar values; reads are random, writes streaming."""
+        values = np.asarray(values)
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        out = values[indices]
+        itemsize = values.dtype.itemsize
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                random_bytes=float(indices.size) * itemsize,
+                sequential_bytes=float(indices.size) * (itemsize + INDEX_ITEMSIZE),
+                ops=float(indices.size),
+            )
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    # Transform / map
+    # ------------------------------------------------------------------
+    def transform(
+        self,
+        n_items: int,
+        bytes_per_item: float,
+        ops_per_item: float = 1.0,
+        label: str = "transform",
+    ) -> None:
+        """Charge an elementwise transform without a concrete payload.
+
+        Used for column permutation (Algorithm 1 lines 1-5), selection
+        predicates, and hash computation where the NumPy work happens inline
+        in the caller.
+        """
+        n_items = max(0, int(n_items))
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=float(n_items) * float(bytes_per_item),
+                ops=float(n_items) * float(ops_per_item),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Sorting and order maintenance
+    # ------------------------------------------------------------------
+    def lexsort_rows(self, rows: np.ndarray, label: str = "stable_sort") -> np.ndarray:
+        """Stable lexicographic argsort of tuple rows.
+
+        Mirrors Algorithm 1: one stable sort pass per column from least to
+        most significant.  Each pass streams the permutation indices and the
+        key column through memory.
+        """
+        rows = as_rows(rows)
+        n, arity = rows.shape
+        if n == 0:
+            order = np.empty(0, dtype=INDEX_DTYPE)
+        else:
+            # np.lexsort sorts by the last key first, so pass columns reversed:
+            # primary key = column 0, matching the HISA ordering.
+            order = np.lexsort(tuple(rows[:, col] for col in reversed(range(arity)))).astype(INDEX_DTYPE)
+        pass_bytes = float(n) * (TUPLE_ITEMSIZE + 2 * INDEX_ITEMSIZE)
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=max(1, arity) * 2.0 * pass_bytes,
+                ops=float(n) * max(1, arity) * 4.0,
+                launches=max(1, arity),
+            )
+        )
+        return order
+
+    def sort_rows(self, rows: np.ndarray, label: str = "sort_rows") -> np.ndarray:
+        """Return the rows physically reordered into lexicographic order."""
+        rows = as_rows(rows)
+        order = self.lexsort_rows(rows, label=f"{label}.argsort")
+        return self.gather_rows(rows, order, label=f"{label}.gather")
+
+    def is_sorted_rows(self, rows: np.ndarray) -> bool:
+        """Host-side check (no cost) that rows are lexicographically sorted."""
+        rows = as_rows(rows)
+        if rows.shape[0] < 2:
+            return True
+        prev, curr = rows[:-1], rows[1:]
+        return bool(np.all(_lex_less_equal(prev, curr)))
+
+    def merge_sorted_rows(self, left: np.ndarray, right: np.ndarray, label: str = "merge_path") -> np.ndarray:
+        """Merge two lexicographically sorted tuple arrays (GPU merge path).
+
+        Charged as a single streaming pass over both inputs plus the output,
+        the behaviour of the path-merge algorithm the paper takes from Thrust.
+        """
+        left, right = as_rows(left), as_rows(right)
+        if left.size == 0:
+            merged = right.copy()
+        elif right.size == 0:
+            merged = left.copy()
+        else:
+            if left.shape[1] != right.shape[1]:
+                raise ValueError("cannot merge tuple arrays with different arity")
+            merged = np.concatenate([left, right], axis=0)
+            order = np.lexsort(tuple(merged[:, col] for col in reversed(range(merged.shape[1]))))
+            merged = merged[order]
+        total_bytes = float(left.nbytes + right.nbytes + merged.nbytes)
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=total_bytes,
+                ops=float(merged.shape[0]) * max(1, merged.shape[1] if merged.ndim == 2 else 1),
+            )
+        )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Scan / reduction / compaction
+    # ------------------------------------------------------------------
+    def exclusive_scan(self, values: np.ndarray, label: str = "exclusive_scan") -> np.ndarray:
+        """Exclusive prefix sum (used for output-offset computation in joins)."""
+        values = np.asarray(values, dtype=INDEX_DTYPE)
+        out = np.zeros_like(values)
+        if values.size:
+            np.cumsum(values[:-1], out=out[1:])
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=2.0 * float(values.nbytes),
+                ops=float(values.size) * 2.0,
+            )
+        )
+        return out
+
+    def reduce_sum(self, values: np.ndarray, label: str = "reduce") -> int:
+        """Sum reduction (streaming read of the input)."""
+        values = np.asarray(values)
+        total = int(values.sum()) if values.size else 0
+        self._device.charge(
+            KernelCost(kernel=label, sequential_bytes=float(values.nbytes), ops=float(values.size))
+        )
+        return total
+
+    def adjacent_unique_mask(self, sorted_rows: np.ndarray, label: str = "adjacent_unique") -> np.ndarray:
+        """Mask of rows that differ from their predecessor in a sorted array.
+
+        This is the HISA deduplication primitive (Section 4.2): after sorting
+        all columns lexicographically, duplicates are adjacent and removed by
+        comparing each tuple to its neighbour in a parallel scan.
+        """
+        rows = as_rows(sorted_rows)
+        n = rows.shape[0]
+        if n == 0:
+            mask = np.empty(0, dtype=bool)
+        else:
+            mask = np.empty(n, dtype=bool)
+            mask[0] = True
+            if n > 1:
+                mask[1:] = np.any(rows[1:] != rows[:-1], axis=1)
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=2.0 * float(rows.nbytes) + float(n),
+                ops=float(n) * max(1, rows.shape[1] if rows.ndim == 2 else 1),
+            )
+        )
+        return mask
+
+    def stream_compact(self, rows: np.ndarray, mask: np.ndarray, label: str = "stream_compact") -> np.ndarray:
+        """Keep rows where ``mask`` is true (scan + scatter)."""
+        rows = as_rows(rows)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != rows.shape[0]:
+            raise ValueError("mask length must equal the number of rows")
+        out = rows[mask]
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=float(rows.nbytes) + float(out.nbytes) + float(mask.size),
+                ops=float(rows.shape[0]),
+            )
+        )
+        return out
+
+    def unique_rows(self, rows: np.ndarray, label: str = "unique_rows") -> np.ndarray:
+        """Sort + adjacent-compare + compact: fully deduplicate a tuple array."""
+        rows = as_rows(rows)
+        if rows.shape[0] == 0:
+            return rows
+        sorted_rows = self.sort_rows(rows, label=f"{label}.sort")
+        mask = self.adjacent_unique_mask(sorted_rows, label=f"{label}.mask")
+        return self.stream_compact(sorted_rows, mask, label=f"{label}.compact")
+
+    # ------------------------------------------------------------------
+    # Random access charging helpers (hash table build / probe)
+    # ------------------------------------------------------------------
+    def random_access(
+        self,
+        n_accesses: int,
+        bytes_per_access: float,
+        ops_per_access: float = 1.0,
+        divergence: float = 1.0,
+        label: str = "random_access",
+    ) -> None:
+        """Charge ``n_accesses`` data-dependent memory accesses."""
+        n_accesses = max(0, int(n_accesses))
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                random_bytes=float(n_accesses) * float(bytes_per_access),
+                ops=float(n_accesses) * float(ops_per_access),
+                divergence=float(divergence),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+    def searchsorted_rows(
+        self,
+        haystack_sorted: np.ndarray,
+        needles: np.ndarray,
+        label: str = "binary_search",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper bound search of ``needles`` in sorted ``haystack``.
+
+        Returns ``(lower, upper)`` index arrays.  Charged as ``log2(n)``
+        random reads per needle — the cost a tree/binary-search range lookup
+        would pay, used by the CPU baseline and by HISA's sorted-array
+        fallback when the hash index is disabled.
+        """
+        haystack = as_rows(haystack_sorted)
+        needles = as_rows(needles)
+        lower, upper = row_search_bounds(haystack, needles)
+        n = needles.shape[0]
+        depth = max(1.0, np.log2(max(2, haystack.shape[0])))
+        row_bytes = max(TUPLE_ITEMSIZE, haystack.shape[1] * TUPLE_ITEMSIZE)
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                random_bytes=float(n) * depth * row_bytes,
+                sequential_bytes=float(needles.nbytes) + 2.0 * float(n) * INDEX_ITEMSIZE,
+                ops=float(n) * depth * 2.0,
+            )
+        )
+        return lower, upper
+
+
+# ----------------------------------------------------------------------
+# Host-side helpers (pure functions, no device cost)
+# ----------------------------------------------------------------------
+
+def pack_rows(rows: np.ndarray) -> np.ndarray:
+    """View each row as one opaque void scalar for exact set operations."""
+    rows = as_rows(rows)
+    if rows.shape[0] == 0:
+        return np.empty(0, dtype=np.dtype((np.void, max(1, rows.shape[1]) * TUPLE_ITEMSIZE)))
+    return np.ascontiguousarray(rows).view(np.dtype((np.void, rows.shape[1] * TUPLE_ITEMSIZE))).ravel()
+
+
+def _lex_less_equal(prev: np.ndarray, curr: np.ndarray) -> np.ndarray:
+    """Vectorised row-wise ``prev <= curr`` under lexicographic order."""
+    n, arity = prev.shape
+    result = np.zeros(n, dtype=bool)
+    undecided = np.ones(n, dtype=bool)
+    for col in range(arity):
+        less = prev[:, col] < curr[:, col]
+        greater = prev[:, col] > curr[:, col]
+        result |= undecided & less
+        undecided &= ~(less | greater)
+    result |= undecided  # fully equal rows compare as <=
+    return result
+
+
+def row_search_bounds(haystack: np.ndarray, needles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Lower/upper bounds of each needle row within a lexicographically sorted haystack."""
+    if haystack.shape[0] == 0 or needles.shape[0] == 0:
+        zeros = np.zeros(needles.shape[0], dtype=INDEX_DTYPE)
+        return zeros, zeros.copy()
+    if haystack.shape[1] != needles.shape[1]:
+        raise ValueError("haystack and needles must have the same arity")
+    hay_packed = lex_rank_keys(haystack)
+    needle_packed = lex_rank_keys(needles, reference=haystack)
+    lower = np.searchsorted(hay_packed, needle_packed, side="left").astype(INDEX_DTYPE)
+    upper = np.searchsorted(hay_packed, needle_packed, side="right").astype(INDEX_DTYPE)
+    return lower, upper
+
+
+def lex_rank_keys(rows: np.ndarray, reference: np.ndarray | None = None) -> np.ndarray:
+    """Map rows to sortable void keys preserving lexicographic order.
+
+    int64 columns are converted to big-endian unsigned (offset by 2**63) so the
+    raw byte comparison of the void view matches signed lexicographic order.
+    ``reference`` is accepted for interface symmetry; keys are absolute.
+    """
+    rows = as_rows(rows)
+    # Flip the sign bit so unsigned byte comparison matches signed order.
+    unsigned = rows.view(np.uint64) ^ np.uint64(1 << 63)
+    big_endian = unsigned.astype(">u8")
+    return np.ascontiguousarray(big_endian).view(
+        np.dtype((np.void, rows.shape[1] * 8))
+    ).ravel()

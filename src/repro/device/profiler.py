@@ -1,0 +1,209 @@
+"""Phase-aware profiler for the simulated device.
+
+The paper's Figure 6 breaks CSPA runtime into five phases (deduplication,
+indexing delta, indexing full, merge delta/full, join).  The profiler collects
+per-kernel simulated times, attributes them to the phase active at launch
+time, and exposes aggregation helpers used by the experiment drivers and the
+figure-regeneration benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .cost import KernelCost
+
+# Canonical phase names used by the engines; free-form names are also allowed.
+PHASE_JOIN = "join"
+PHASE_DEDUPLICATION = "deduplication"
+PHASE_INDEX_DELTA = "indexing_delta"
+PHASE_INDEX_FULL = "indexing_full"
+PHASE_MERGE = "merge_delta_full"
+PHASE_POPULATE_DELTA = "populate_delta"
+PHASE_LOAD = "load"
+PHASE_OTHER = "other"
+
+FIGURE6_PHASES = (
+    PHASE_DEDUPLICATION,
+    PHASE_INDEX_DELTA,
+    PHASE_INDEX_FULL,
+    PHASE_MERGE,
+    PHASE_JOIN,
+)
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    """One recorded kernel launch with its simulated duration.
+
+    ``fixed_seconds`` is the data-independent part (kernel-launch latency and
+    allocation latency); the remainder scales with the data volume.  The
+    experiment harness uses the split to project scaled-dataset runs back to
+    the paper's full-size workloads.
+    """
+
+    phase: str
+    kernel: str
+    seconds: float
+    cost: KernelCost
+    iteration: int | None = None
+    fixed_seconds: float = 0.0
+
+    @property
+    def variable_seconds(self) -> float:
+        return max(0.0, self.seconds - self.fixed_seconds)
+
+
+@dataclass
+class PhaseSummary:
+    """Aggregated statistics for one phase."""
+
+    phase: str
+    seconds: float = 0.0
+    launches: int = 0
+    sequential_bytes: float = 0.0
+    random_bytes: float = 0.0
+    ops: float = 0.0
+    alloc_bytes: float = 0.0
+    allocations: int = 0
+
+    def add(self, event: ProfileEvent) -> None:
+        self.seconds += event.seconds
+        self.launches += event.cost.launches
+        self.sequential_bytes += event.cost.sequential_bytes
+        self.random_bytes += event.cost.random_bytes
+        self.ops += event.cost.ops
+        self.alloc_bytes += event.cost.alloc_bytes
+        self.allocations += event.cost.allocations
+
+
+class Profiler:
+    """Records kernel events grouped by phase and fixpoint iteration."""
+
+    def __init__(self) -> None:
+        self._events: list[ProfileEvent] = []
+        self._phase_stack: list[str] = []
+        self._iteration: int | None = None
+
+    # ------------------------------------------------------------------
+    # Phase / iteration context management
+    # ------------------------------------------------------------------
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else PHASE_OTHER
+
+    @property
+    def current_iteration(self) -> int | None:
+        return self._iteration
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all kernels launched inside the block to phase ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    @contextmanager
+    def iteration(self, index: int) -> Iterator[None]:
+        """Tag kernels launched inside the block with fixpoint iteration ``index``."""
+        previous = self._iteration
+        self._iteration = index
+        try:
+            yield
+        finally:
+            self._iteration = previous
+
+    # ------------------------------------------------------------------
+    # Recording and aggregation
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        cost: KernelCost,
+        seconds: float,
+        phase: str | None = None,
+        fixed_seconds: float = 0.0,
+    ) -> ProfileEvent:
+        """Record one kernel launch; returns the stored event."""
+        event = ProfileEvent(
+            phase=phase or self.current_phase,
+            kernel=cost.kernel,
+            seconds=float(seconds),
+            cost=cost,
+            iteration=self._iteration,
+            fixed_seconds=float(fixed_seconds),
+        )
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[ProfileEvent]:
+        return list(self._events)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(event.seconds for event in self._events)
+
+    @property
+    def fixed_seconds(self) -> float:
+        """Total data-independent overhead (launch + allocation latency)."""
+        return sum(event.fixed_seconds for event in self._events)
+
+    @property
+    def variable_seconds(self) -> float:
+        """Total data-proportional time (bandwidth, compute, first touch)."""
+        return sum(event.variable_seconds for event in self._events)
+
+    def phase_summaries(self) -> dict[str, PhaseSummary]:
+        """Aggregate recorded events by phase."""
+        summaries: dict[str, PhaseSummary] = {}
+        for event in self._events:
+            summary = summaries.setdefault(event.phase, PhaseSummary(phase=event.phase))
+            summary.add(event)
+        return summaries
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Simulated seconds per phase."""
+        return {name: summary.seconds for name, summary in self.phase_summaries().items()}
+
+    def phase_fractions(self, phases: tuple[str, ...] = FIGURE6_PHASES) -> dict[str, float]:
+        """Fraction of total runtime spent in each of ``phases``.
+
+        Phases not listed are folded into ``"other"``; fractions sum to 1.0
+        when any time has been recorded at all.
+        """
+        seconds = self.phase_seconds()
+        total = sum(seconds.values())
+        if total <= 0:
+            return {name: 0.0 for name in phases}
+        fractions = {name: seconds.get(name, 0.0) / total for name in phases}
+        accounted = sum(seconds.get(name, 0.0) for name in phases)
+        fractions[PHASE_OTHER] = (total - accounted) / total
+        return fractions
+
+    def iteration_seconds(self) -> dict[int, float]:
+        """Simulated seconds per fixpoint iteration (untagged events excluded)."""
+        seconds: dict[int, float] = defaultdict(float)
+        for event in self._events:
+            if event.iteration is not None:
+                seconds[event.iteration] += event.seconds
+        return dict(seconds)
+
+    def kernel_seconds(self) -> dict[str, float]:
+        """Simulated seconds per kernel name."""
+        seconds: dict[str, float] = defaultdict(float)
+        for event in self._events:
+            seconds[event.kernel] += event.seconds
+        return dict(seconds)
+
+    def reset(self) -> None:
+        """Discard all recorded events (phase/iteration context is kept)."""
+        self._events.clear()
+
+    def merge_from(self, other: "Profiler") -> None:
+        """Append every event recorded by ``other`` into this profiler."""
+        self._events.extend(other._events)

@@ -1,0 +1,73 @@
+"""SIMT execution model helpers: warp divergence and stride iteration.
+
+Section 5.2 of the paper motivates temporarily materialized n-way joins with
+warp divergence: when one lane of a warp finds many matches and its neighbours
+find none, the idle lanes wait for the busy one.  We model this exactly as the
+hardware does — a warp's execution time is the *maximum* lane time within the
+warp — and express it as a multiplicative divergence factor applied to the
+kernel's scalar-operation count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def warp_divergence_factor(work_per_item: np.ndarray, warp_size: int) -> float:
+    """Return the SIMT divergence factor for a kernel with per-lane work.
+
+    ``work_per_item[i]`` is the number of scalar operations lane ``i`` must
+    execute (for a join kernel: the number of inner matches for outer tuple
+    ``i``).  Lanes are assigned to warps in launch order, exactly as the
+    stride-based iteration of Section 5.1 does.  The factor is::
+
+        sum over warps of (warp_size * max lane work in warp)
+        ----------------------------------------------------
+                      sum of all lane work
+
+    i.e. the ratio between the work the hardware actually charges (every lane
+    occupies a slot until the slowest lane finishes) and the useful work.  A
+    perfectly balanced kernel has factor 1.0; the factor grows with skew.
+    """
+    if warp_size <= 0:
+        raise ValueError("warp_size must be positive")
+    work = np.asarray(work_per_item, dtype=np.float64).ravel()
+    if work.size == 0:
+        return 1.0
+    total = float(work.sum())
+    if total <= 0:
+        return 1.0
+    pad = (-work.size) % warp_size
+    if pad:
+        work = np.concatenate([work, np.zeros(pad, dtype=np.float64)])
+    per_warp_max = work.reshape(-1, warp_size).max(axis=1)
+    charged = float(per_warp_max.sum() * warp_size)
+    return max(1.0, charged / total)
+
+
+def warp_occupancy(work_per_item: np.ndarray, warp_size: int) -> float:
+    """Fraction of warp-lane slots doing useful work (inverse of divergence)."""
+    factor = warp_divergence_factor(work_per_item, warp_size)
+    return 1.0 / factor
+
+
+def stride_count(n_items: int, resident_threads: int) -> int:
+    """Number of strides needed to cover ``n_items`` with ``resident_threads``.
+
+    Section 5.1: the outer relation's data array is accessed in stride units
+    whose size equals the number of resident threads; each thread handles the
+    tuple at its offset within the stride.
+    """
+    if resident_threads <= 0:
+        raise ValueError("resident_threads must be positive")
+    if n_items <= 0:
+        return 0
+    return (n_items + resident_threads - 1) // resident_threads
+
+
+def stride_slices(n_items: int, resident_threads: int) -> list[slice]:
+    """Return the slice covered by each stride, in launch order."""
+    slices = []
+    for start in range(0, max(0, n_items), max(1, resident_threads)):
+        slices.append(slice(start, min(n_items, start + resident_threads)))
+    return slices

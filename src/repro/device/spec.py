@@ -1,0 +1,321 @@
+"""Hardware specifications for the simulated SIMT devices.
+
+The paper evaluates GPUlog on NVIDIA H100/A100 and AMD MI250/MI50 data-center
+GPUs and compares against CPU engines on AMD EPYC (Milan / Zen 3) hosts.  We
+cannot run CUDA here, so every experiment runs on a *device simulator* whose
+performance model is parameterised by a :class:`DeviceSpec`.
+
+The model deliberately captures only the two levers the paper identifies as
+decisive for Datalog workloads:
+
+* **memory bandwidth** — the paper attributes the 35-45x CSPA speedup to HBM
+  bandwidth (3.35 TB/s on H100 vs 0.19 TB/s on EPYC Milan);
+* **SIMT occupancy / divergence** — the motivation for temporarily
+  materialized n-way joins (Section 5.2).
+
+Compute throughput, kernel-launch latency and allocation latency are also
+modelled because they shape the eager-buffer-management results (Table 1) and
+the tail-iteration behaviour of REACH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+GIB = 1024**3
+GB = 10**9
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a (simulated) execution device.
+
+    Attributes
+    ----------
+    name:
+        Human readable device name, e.g. ``"NVIDIA H100"``.
+    kind:
+        Either ``"gpu"`` or ``"cpu"``; used by engines to select cost models
+        and by the SIMT model to pick the lane width.
+    sm_count:
+        Number of streaming multiprocessors (GPUs) or physical cores (CPUs)
+        available to a single-device run.  The MI250 preset already halves
+        its compute units because GPUlog is a single-GPU system and can only
+        drive one of the two chiplets (Section 6.6).
+    cores_per_sm:
+        FP32 cores per SM (GPUs) or SIMD lanes per core (CPUs).
+    clock_ghz:
+        Sustained clock in GHz.
+    memory_bandwidth_gbps:
+        Peak memory bandwidth in GB/s (HBM for GPUs, DDR for CPUs).
+    memory_capacity_bytes:
+        VRAM (GPU) or RAM (CPU) capacity in bytes.  Experiments scale this
+        down by the dataset scale factor so that OOM behaviour matches the
+        paper despite the smaller synthetic inputs.
+    warp_size:
+        SIMT execution width; threads in a warp finish only when the slowest
+        lane finishes, which is what the divergence model charges for.
+    kernel_launch_us:
+        Fixed per-kernel launch (GPU) or parallel-region fork/join (CPU)
+        latency in microseconds.
+    alloc_latency_us:
+        Fixed latency of a device memory allocation (``cudaMalloc`` is ~100x
+        more expensive than ``malloc``); the eager buffer manager exists to
+        amortise exactly this cost plus the first-touch cost below.
+    alloc_bandwidth_gbps:
+        Bandwidth at which freshly allocated buffers are initialised /
+        first-touched.
+    sequential_efficiency:
+        Fraction of peak bandwidth achieved by coalesced / streaming access.
+    random_efficiency:
+        Fraction of peak bandwidth achieved by random (hash-probe) access.
+    compute_efficiency:
+        Fraction of peak FLOP/integer throughput achievable by the irregular
+        relational kernels in this workload.
+    launch_threads:
+        Number of hardware threads a kernel launch can keep resident; used
+        for the stride-iteration model of Section 5.1.
+    notes:
+        Free-form provenance notes.
+    """
+
+    name: str
+    kind: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    memory_bandwidth_gbps: float
+    memory_capacity_bytes: int
+    warp_size: int = 32
+    kernel_launch_us: float = 5.0
+    alloc_latency_us: float = 100.0
+    alloc_bandwidth_gbps: float | None = None
+    sequential_efficiency: float = 0.75
+    random_efficiency: float = 0.12
+    compute_efficiency: float = 0.35
+    launch_threads: int | None = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError(f"device kind must be 'gpu' or 'cpu', got {self.kind!r}")
+        if self.sm_count <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("sm_count and cores_per_sm must be positive")
+        if self.memory_bandwidth_gbps <= 0:
+            raise ValueError("memory_bandwidth_gbps must be positive")
+        if self.memory_capacity_bytes <= 0:
+            raise ValueError("memory_capacity_bytes must be positive")
+        if not 0 < self.sequential_efficiency <= 1:
+            raise ValueError("sequential_efficiency must be in (0, 1]")
+        if not 0 < self.random_efficiency <= 1:
+            raise ValueError("random_efficiency must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        """Total parallel lanes (SMs x cores per SM)."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        """Peak simple-integer-operation throughput in ops/s."""
+        return self.total_cores * self.clock_ghz * 1e9
+
+    @property
+    def effective_ops_per_second(self) -> float:
+        """Sustained throughput for the irregular kernels in this workload."""
+        return self.peak_ops_per_second * self.compute_efficiency
+
+    @property
+    def sequential_bandwidth_bytes(self) -> float:
+        """Achievable streaming bandwidth in bytes/s."""
+        return self.memory_bandwidth_gbps * GB * self.sequential_efficiency
+
+    @property
+    def random_bandwidth_bytes(self) -> float:
+        """Achievable random-access bandwidth in bytes/s."""
+        return self.memory_bandwidth_gbps * GB * self.random_efficiency
+
+    @property
+    def allocation_bandwidth_bytes(self) -> float:
+        """Bandwidth used when initialising freshly allocated buffers."""
+        gbps = self.alloc_bandwidth_gbps
+        if gbps is None:
+            gbps = self.memory_bandwidth_gbps * 0.5
+        return gbps * GB
+
+    @property
+    def resident_threads(self) -> int:
+        """Threads a single kernel launch keeps resident (stride width)."""
+        if self.launch_threads is not None:
+            return self.launch_threads
+        # The paper recommends a stride of 32x the number of stream processors.
+        return self.sm_count * self.warp_size * 32
+
+    def with_memory_capacity(self, capacity_bytes: int) -> "DeviceSpec":
+        """Return a copy of this spec with a different memory capacity.
+
+        Experiments use this to scale VRAM by the dataset scale factor.
+        """
+        return replace(self, memory_capacity_bytes=int(capacity_bytes))
+
+    def scaled(self, scale: float) -> "DeviceSpec":
+        """Return a copy with memory capacity divided by ``scale``."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return self.with_memory_capacity(max(1, int(self.memory_capacity_bytes / scale)))
+
+
+# ----------------------------------------------------------------------
+# Presets used throughout the paper's evaluation (Section 6.1 and 6.6)
+# ----------------------------------------------------------------------
+
+NVIDIA_H100 = DeviceSpec(
+    name="NVIDIA H100 80GB",
+    kind="gpu",
+    sm_count=114,
+    cores_per_sm=128,
+    clock_ghz=1.76,
+    memory_bandwidth_gbps=3350.0,
+    memory_capacity_bytes=80 * GIB,
+    kernel_launch_us=5.0,
+    alloc_latency_us=120.0,
+    sequential_efficiency=0.78,
+    random_efficiency=0.14,
+    compute_efficiency=0.35,
+    notes="Primary evaluation GPU; HBM3, 3.35 TB/s (Section 6.5).",
+)
+
+NVIDIA_A100 = DeviceSpec(
+    name="NVIDIA A100 80GB",
+    kind="gpu",
+    sm_count=108,
+    cores_per_sm=64,
+    clock_ghz=1.41,
+    memory_bandwidth_gbps=1555.0,
+    memory_capacity_bytes=80 * GIB,
+    kernel_launch_us=5.0,
+    alloc_latency_us=120.0,
+    sequential_efficiency=0.75,
+    random_efficiency=0.13,
+    compute_efficiency=0.35,
+    notes="Secondary NVIDIA GPU; ~1.5 TB/s HBM2e (Table 5, Table 6, Figure 6).",
+)
+
+AMD_MI250 = DeviceSpec(
+    name="AMD Instinct MI250 (single chiplet)",
+    kind="gpu",
+    sm_count=52,
+    cores_per_sm=64,
+    clock_ghz=1.70,
+    memory_bandwidth_gbps=1638.0,
+    memory_capacity_bytes=64 * GIB,
+    kernel_launch_us=8.0,
+    alloc_latency_us=400.0,
+    sequential_efficiency=0.42,
+    random_efficiency=0.07,
+    compute_efficiency=0.25,
+    notes=(
+        "Dual-chiplet card; GPUlog is single-GPU so only one chiplet (52 of 104 CUs, "
+        "half the bandwidth/VRAM) is usable.  ROCm lacks RMM so allocation relies on a "
+        "manual pool, modelled as higher allocation latency and lower efficiency (Section 6.6)."
+    ),
+)
+
+AMD_MI50 = DeviceSpec(
+    name="AMD Instinct MI50 32GB",
+    kind="gpu",
+    sm_count=60,
+    cores_per_sm=64,
+    clock_ghz=1.53,
+    memory_bandwidth_gbps=1024.0,
+    memory_capacity_bytes=32 * GIB,
+    kernel_launch_us=10.0,
+    alloc_latency_us=400.0,
+    sequential_efficiency=0.30,
+    random_efficiency=0.05,
+    compute_efficiency=0.18,
+    notes="Half the capacity and roughly half the observed throughput of the MI250 (Table 5).",
+)
+
+AMD_EPYC_7543P = DeviceSpec(
+    name="AMD EPYC 7543P (32-core Zen 3)",
+    kind="cpu",
+    sm_count=32,
+    cores_per_sm=8,
+    clock_ghz=2.8,
+    memory_bandwidth_gbps=190.0,
+    memory_capacity_bytes=512 * GIB,
+    warp_size=8,
+    kernel_launch_us=15.0,
+    alloc_latency_us=4.0,
+    sequential_efficiency=0.65,
+    random_efficiency=0.08,
+    compute_efficiency=0.30,
+    notes="Soufflé baseline host (Section 6.1) and CPU side of Table 6.",
+)
+
+AMD_EPYC_7713 = DeviceSpec(
+    name="AMD EPYC 7713 (64-core Milan)",
+    kind="cpu",
+    sm_count=64,
+    cores_per_sm=8,
+    clock_ghz=2.45,
+    memory_bandwidth_gbps=204.0,
+    memory_capacity_bytes=512 * GIB,
+    warp_size=8,
+    kernel_launch_us=15.0,
+    alloc_latency_us=4.0,
+    sequential_efficiency=0.65,
+    random_efficiency=0.08,
+    compute_efficiency=0.30,
+    notes="CUDA server host CPU (Section 6.1).",
+)
+
+INTEL_XEON_6338 = DeviceSpec(
+    name="Intel Xeon Gold 6338 (32-core Ice Lake)",
+    kind="cpu",
+    sm_count=32,
+    cores_per_sm=8,
+    clock_ghz=2.6,
+    memory_bandwidth_gbps=170.0,
+    memory_capacity_bytes=512 * GIB,
+    warp_size=8,
+    kernel_launch_us=15.0,
+    alloc_latency_us=4.0,
+    sequential_efficiency=0.65,
+    random_efficiency=0.08,
+    compute_efficiency=0.30,
+    notes="Host CPU of the A100 testbed (Section 6.1).",
+)
+
+
+_PRESETS: dict[str, DeviceSpec] = {
+    "h100": NVIDIA_H100,
+    "a100": NVIDIA_A100,
+    "mi250": AMD_MI250,
+    "mi50": AMD_MI50,
+    "epyc-7543p": AMD_EPYC_7543P,
+    "epyc-7713": AMD_EPYC_7713,
+    "xeon-6338": INTEL_XEON_6338,
+}
+
+
+def device_preset(name: str) -> DeviceSpec:
+    """Return a preset :class:`DeviceSpec` by short name.
+
+    Accepted names (case insensitive): ``h100``, ``a100``, ``mi250``, ``mi50``,
+    ``epyc-7543p``, ``epyc-7713``, ``xeon-6338``.
+    """
+    key = name.strip().lower()
+    if key not in _PRESETS:
+        known = ", ".join(sorted(_PRESETS))
+        raise KeyError(f"unknown device preset {name!r}; known presets: {known}")
+    return _PRESETS[key]
+
+
+def list_device_presets() -> list[str]:
+    """Return the short names of all built-in device presets."""
+    return sorted(_PRESETS)

@@ -1,0 +1,93 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Keeping all exceptions in one module lets callers catch coarse categories
+(``ReproError``) or precise conditions (``DeviceOutOfMemoryError``) without
+importing implementation modules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class DeviceError(ReproError):
+    """Base class for errors raised by the simulated device."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """Raised when an allocation exceeds the simulated device memory capacity.
+
+    Mirrors a CUDA ``cudaErrorMemoryAllocation``; the comparison engines use
+    it to reproduce the paper's OOM entries in Tables 2 and 3.
+    """
+
+    def __init__(self, requested_bytes: int, in_use_bytes: int, capacity_bytes: int):
+        self.requested_bytes = int(requested_bytes)
+        self.in_use_bytes = int(in_use_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        super().__init__(
+            f"device out of memory: requested {requested_bytes} B with "
+            f"{in_use_bytes} B in use of {capacity_bytes} B capacity"
+        )
+
+
+class BufferError_(DeviceError):
+    """Raised on invalid buffer operations (double free, use after free)."""
+
+
+class RelationError(ReproError):
+    """Base class for errors in the relational substrate."""
+
+
+class SchemaError(RelationError):
+    """Raised when tuples do not match a relation's declared schema."""
+
+
+class HisaStateError(RelationError):
+    """Raised when a HISA is used before its index layers are built."""
+
+
+class DatalogError(ReproError):
+    """Base class for Datalog front-end errors."""
+
+
+class ParseError(DatalogError):
+    """Raised on malformed Datalog source text."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+
+
+class SafetyError(DatalogError):
+    """Raised when a rule is unsafe (head variable not bound in a positive body atom)."""
+
+
+class StratificationError(DatalogError):
+    """Raised when a program cannot be stratified (negation inside a recursive cycle)."""
+
+
+class PlanningError(DatalogError):
+    """Raised when a rule cannot be compiled into a relational-algebra plan."""
+
+
+class EvaluationError(DatalogError):
+    """Raised when fixpoint evaluation fails for a reason other than OOM."""
+
+
+class EngineError(ReproError):
+    """Base class for comparison-engine errors."""
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or invalid generator parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver is misconfigured."""

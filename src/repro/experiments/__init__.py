@@ -1,0 +1,79 @@
+"""Experiment drivers: one per table and figure of the paper's evaluation."""
+
+from .ablations import run_load_factor_ablation, run_materialization_ablation
+from .figure1_sg_trace import FIGURE1_EDGES, FIGURE1_SG, run_figure1
+from .figure6_breakdown import phase_fractions, run_figure6
+from .runner import (
+    ResultTable,
+    clear_caches,
+    get_dataset,
+    get_trace,
+    output_size,
+    paper_output_size,
+    project_seconds,
+    query_program,
+    reprice_events,
+    reprice_phase_seconds,
+    run_gpulog,
+    scale_factor,
+)
+from .table1_ebm import PAPER_TABLE1, TABLE1_DATASETS, run_table1
+from .table2_reach import PAPER_TABLE2, TABLE2_DATASETS, run_table2
+from .table3_sg import PAPER_TABLE3, TABLE3_DATASETS, run_table3
+from .table4_cspa import PAPER_TABLE4, TABLE4_DATASETS, run_table4
+from .table5_hardware import PAPER_TABLE5, TABLE5_DEVICES, TABLE5_ROWS, run_table5
+from .table6_microbench import PAPER_TABLE6, run_table6
+
+ALL_EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "figure1": lambda: run_figure1()[0],
+    "figure6": run_figure6,
+    "ablation-materialization": run_materialization_ablation,
+    "ablation-load-factor": run_load_factor_ablation,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "FIGURE1_EDGES",
+    "FIGURE1_SG",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE6",
+    "ResultTable",
+    "TABLE1_DATASETS",
+    "TABLE2_DATASETS",
+    "TABLE3_DATASETS",
+    "TABLE4_DATASETS",
+    "TABLE5_DEVICES",
+    "TABLE5_ROWS",
+    "clear_caches",
+    "get_dataset",
+    "get_trace",
+    "output_size",
+    "paper_output_size",
+    "phase_fractions",
+    "project_seconds",
+    "query_program",
+    "reprice_events",
+    "reprice_phase_seconds",
+    "run_figure1",
+    "run_figure6",
+    "run_gpulog",
+    "run_load_factor_ablation",
+    "run_materialization_ablation",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "scale_factor",
+]

@@ -1,0 +1,60 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table2
+    python -m repro.experiments table4 figure6
+    python -m repro.experiments all
+    repro-experiments table1 --profile test
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Optimizing Datalog for the GPU'.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment names (e.g. table1 ... table6, figure1, figure6, "
+        "ablation-materialization, ablation-load-factor), 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    requested = list(args.experiments)
+    if not requested or requested == ["list"]:
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    if requested == ["all"]:
+        requested = list(ALL_EXPERIMENTS)
+
+    unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for name in requested:
+        start = time.time()
+        table = ALL_EXPERIMENTS[name]()
+        elapsed = time.time() - start
+        print(table.format())
+        print(f"(regenerated {name} in {elapsed:.1f}s wall time)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

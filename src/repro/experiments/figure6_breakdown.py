@@ -1,0 +1,59 @@
+"""Figure 6 — phase breakdown of CSPA on the NVIDIA A100.
+
+The paper splits GPUlog's CSPA runtime into five phases — deduplication,
+indexing delta, indexing full, merging delta into full, and the join itself —
+and observes that join (~39 %) and merge (~42 %) dominate.  This driver
+re-prices the kernel events of the cached CSPA runs under the A100
+specification and aggregates them per phase.
+"""
+
+from __future__ import annotations
+
+from ..device.profiler import (
+    FIGURE6_PHASES,
+    PHASE_DEDUPLICATION,
+    PHASE_INDEX_DELTA,
+    PHASE_INDEX_FULL,
+    PHASE_JOIN,
+    PHASE_MERGE,
+)
+from .runner import ResultTable, reprice_phase_seconds, run_gpulog
+
+FIGURE6_DATASETS = ("httpd", "linux", "postgresql")
+
+#: Approximate fractions reported in the paper's text (join 39 %, merge 42 %).
+PAPER_DOMINANT_PHASES = (PHASE_JOIN, PHASE_MERGE)
+
+
+def phase_fractions(dataset: str, device: str = "a100", profile: str = "bench") -> dict[str, float]:
+    """Phase-time fractions of one CSPA run re-priced for ``device``."""
+    _, events = run_gpulog(dataset, "cspa", profile)
+    seconds = reprice_phase_seconds(events, device)
+    relevant = {phase: seconds.get(phase, 0.0) for phase in FIGURE6_PHASES}
+    other = sum(seconds.values()) - sum(relevant.values())
+    relevant["other"] = max(0.0, other)
+    total = sum(relevant.values())
+    if total <= 0:
+        return {phase: 0.0 for phase in relevant}
+    return {phase: value / total for phase, value in relevant.items()}
+
+
+def run_figure6(datasets=FIGURE6_DATASETS, device: str = "a100", profile: str = "bench") -> ResultTable:
+    """Regenerate the Figure 6 phase breakdown."""
+    table = ResultTable(
+        title="Figure 6: GPUlog CSPA phase breakdown on the NVIDIA A100 (% of runtime)",
+        headers=["Dataset", "Dedup", "Index delta", "Index full", "Merge", "Join", "Other"],
+    )
+    for name in datasets:
+        fractions = phase_fractions(name, device, profile)
+        table.add_row(
+            name,
+            f"{100 * fractions[PHASE_DEDUPLICATION]:.1f}%",
+            f"{100 * fractions[PHASE_INDEX_DELTA]:.1f}%",
+            f"{100 * fractions[PHASE_INDEX_FULL]:.1f}%",
+            f"{100 * fractions[PHASE_MERGE]:.1f}%",
+            f"{100 * fractions[PHASE_JOIN]:.1f}%",
+            f"{100 * fractions['other']:.1f}%",
+        )
+    table.add_note("Paper: join ~39% and merge ~42% dominate; the claim under test is that these two are the largest phases.")
+    return table

@@ -1,0 +1,78 @@
+"""Table 3 — Same Generation (SG): GPUlog vs GPUlog-HIP vs Soufflé vs cuDF.
+
+GPUJoin is absent from the paper's Table 3 because it does not support the
+n-way join of SG; the same is true here.  The "HIP" column is GPUlog's kernel
+schedule re-priced under the AMD MI250 device specification (the algorithm is
+identical; only the cost model changes), mirroring the paper's GPUlog-HIP
+port, which is slower mainly because of the single usable chiplet and the
+missing RMM memory pool.
+
+Expected shape (paper): GPUlog fastest, HIP roughly 2.5-4x slower, Soufflé
+about an order of magnitude slower, cuDF OOM on the four large graphs and
+slower than GPUlog where it completes.
+"""
+
+from __future__ import annotations
+
+from ..device.spec import NVIDIA_H100
+from ..engines import CudfLikeEngine, SouffleCPUEngine
+from .runner import (
+    ResultTable,
+    format_seconds,
+    get_dataset,
+    get_trace,
+    output_size,
+    project_seconds,
+    query_program,
+    reprice_events,
+    run_gpulog,
+    scale_factor,
+)
+
+TABLE3_DATASETS = ("fe_body", "loc-Brightkite", "fe_sphere", "SF.cedge", "CA-HepTH", "ego-Facebook")
+
+#: Paper Table 3 runtimes in seconds ("OOM" where cuDF ran out of memory).
+PAPER_TABLE3 = {
+    "fe_body": {"gpulog": 5.05, "hip": 19.57, "souffle": 74.26, "cudf": "OOM"},
+    "loc-Brightkite": {"gpulog": 3.42, "hip": 14.00, "souffle": 48.18, "cudf": "OOM"},
+    "fe_sphere": {"gpulog": 2.36, "hip": 8.48, "souffle": 48.12, "cudf": "OOM"},
+    "SF.cedge": {"gpulog": 5.54, "hip": 20.57, "souffle": 68.88, "cudf": "OOM"},
+    "CA-HepTH": {"gpulog": 2.79, "hip": 5.92, "souffle": 20.12, "cudf": 21.24},
+    "ego-Facebook": {"gpulog": 1.23, "hip": 2.81, "souffle": 17.01, "cudf": 19.07},
+}
+
+
+def run_table3(datasets=TABLE3_DATASETS, profile: str = "bench") -> ResultTable:
+    """Regenerate Table 3 on the synthetic datasets."""
+    table = ResultTable(
+        title="Table 3: SG runtime, GPUlog (H100) vs GPUlog-HIP (MI250) vs Soufflé vs cuDF (projected seconds)",
+        headers=["Dataset", "SG size", "GPUlog", "HIP", "Souffle", "cuDF", "Souffle/GPUlog"],
+    )
+    program = query_program("sg")
+    for name in datasets:
+        dataset = get_dataset(name, profile)
+        trace = get_trace(name, "sg", profile)
+        measured = output_size(trace, "sg")
+        scale = scale_factor(name, "sg", measured)
+        capacity = int(NVIDIA_H100.memory_capacity_bytes / scale)
+
+        gpulog_result, events = run_gpulog(name, "sg", profile)
+        gpulog_projected = project_seconds(gpulog_result.fixed_seconds, gpulog_result.variable_seconds, scale)
+        _, hip_fixed, hip_variable = reprice_events(events, "mi250")
+        hip_projected = project_seconds(hip_fixed, hip_variable, scale)
+
+        souffle = SouffleCPUEngine().run(program, dataset.facts(), trace=trace)
+        cudf = CudfLikeEngine(memory_capacity_bytes=capacity).run(program, dataset.facts(), trace=trace)
+        souffle_projected = souffle.projected_seconds(scale)
+
+        table.add_row(
+            name,
+            measured,
+            format_seconds(gpulog_projected),
+            format_seconds(hip_projected),
+            format_seconds(souffle_projected),
+            format_seconds(cudf.projected_seconds(scale)) if cudf.ok else cudf.display_time(),
+            f"{souffle_projected / max(gpulog_projected, 1e-12):.1f}x",
+        )
+    table.add_note("GPUJoin does not support SG (n-way join), matching its absence from the paper's table.")
+    return table

@@ -1,0 +1,97 @@
+"""Table 6 — sort / merge / allocation micro-benchmarks: A100 GPU vs Zen 3 CPU.
+
+The paper ports GPUlog's two most expensive primitives (stable sort of tuple
+rows and sorted merge) to oneTBB and compares them against the GPU versions on
+randomly generated 2-ary tuples, together with the buffer allocation and
+initialisation time.  Here the same primitives run on the simulated A100 and
+EPYC 7543P devices; the sizes are scaled down by SIZE_SCALE and the reported
+times are projected back up (the primitives are bandwidth-bound and scale
+linearly, which is exactly the paper's point).
+
+Expected shape (paper): the GPU is roughly 10-20x faster on every operation
+and size, mirroring the memory-bandwidth ratio of the two devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.cost import KernelCost
+from ..device.device import Device
+from .runner import ResultTable, format_seconds
+
+PAPER_SIZES = (1_000_000, 10_000_000, 50_000_000, 100_000_000, 500_000_000)
+SIZE_SCALE = 1000  # synthetic arrays are 1/1000th of the paper's tuple counts
+
+#: Paper Table 6 (seconds): size -> (sort A100, sort Zen3, merge A100, merge Zen3, mem A100, mem Zen3)
+PAPER_TABLE6 = {
+    1_000_000: (0.12, 1.09, 0.03, 0.06, 0.03, 0.02),
+    10_000_000: (0.39, 7.5, 0.08, 0.64, 0.17, 0.05),
+    50_000_000: (1.63, 30.09, 0.18, 1.96, 0.11, 0.88),
+    100_000_000: (2.9, 64.02, 0.3, 3.56, 0.18, 1.7),
+    500_000_000: (15.66, 351.4, 1.21, 15.68, 0.82, 8.59),
+}
+
+
+def _microbench(device: Device, n_tuples: int, seed: int = 7) -> tuple[float, float, float]:
+    """Run sort, merge and allocation primitives; return their simulated seconds."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, 1 << 30, size=(n_tuples, 2), dtype=np.int64)
+    other = rng.integers(0, 1 << 30, size=(n_tuples, 2), dtype=np.int64)
+
+    before = device.elapsed_seconds
+    sorted_rows = device.kernels.sort_rows(rows, label="microbench.sort")
+    sort_seconds = device.elapsed_seconds - before
+
+    other_sorted = other[np.lexsort((other[:, 1], other[:, 0]))]
+    before = device.elapsed_seconds
+    device.kernels.merge_sorted_rows(sorted_rows, other_sorted, label="microbench.merge")
+    merge_seconds = device.elapsed_seconds - before
+
+    before = device.elapsed_seconds
+    device.charge(
+        KernelCost(
+            kernel="microbench.alloc",
+            alloc_bytes=float(rows.nbytes),
+            allocations=1,
+            launches=0,
+        )
+    )
+    alloc_seconds = device.elapsed_seconds - before
+    return sort_seconds, merge_seconds, alloc_seconds
+
+
+def run_table6(paper_sizes=PAPER_SIZES, size_scale: int = SIZE_SCALE) -> ResultTable:
+    """Regenerate Table 6 by running the primitives on both simulated devices."""
+    table = ResultTable(
+        title="Table 6: sort / merge / allocation on A100 vs EPYC 7543P (projected seconds)",
+        headers=[
+            "# Tuples",
+            "Sort A100", "Sort Zen3", "Sort ratio",
+            "Merge A100", "Merge Zen3", "Merge ratio",
+            "Alloc A100", "Alloc Zen3",
+        ],
+    )
+    for paper_size in paper_sizes:
+        n = max(1000, int(paper_size / size_scale))
+        gpu = Device("a100", oom_enabled=False)
+        cpu = Device("epyc-7543p", oom_enabled=False)
+        gpu_sort, gpu_merge, gpu_alloc = _microbench(gpu, n)
+        cpu_sort, cpu_merge, cpu_alloc = _microbench(cpu, n)
+        factor = size_scale
+        table.add_row(
+            f"{paper_size:,}",
+            format_seconds(gpu_sort * factor),
+            format_seconds(cpu_sort * factor),
+            f"{cpu_sort / max(gpu_sort, 1e-12):.1f}x",
+            format_seconds(gpu_merge * factor),
+            format_seconds(cpu_merge * factor),
+            f"{cpu_merge / max(gpu_merge, 1e-12):.1f}x",
+            format_seconds(gpu_alloc * factor),
+            format_seconds(cpu_alloc * factor),
+        )
+    table.add_note(
+        "Arrays are generated at 1/1000th of the paper's sizes and times are projected linearly; "
+        "the claim under test is the ~10-20x GPU advantage on every primitive and size."
+    )
+    return table

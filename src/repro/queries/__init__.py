@@ -1,0 +1,14 @@
+"""The three benchmark Datalog programs of the paper's evaluation."""
+
+from .cspa import CSPA_SOURCE, cspa_program
+from .reach import REACH_SOURCE, reach_program
+from .sg import SG_SOURCE, sg_program
+
+__all__ = [
+    "CSPA_SOURCE",
+    "REACH_SOURCE",
+    "SG_SOURCE",
+    "cspa_program",
+    "reach_program",
+    "sg_program",
+]

@@ -1,0 +1,28 @@
+"""REACH: transitive closure (Section 1 of the paper).
+
+The common baseline query of the evaluation: it stresses iterated binary
+joins without any need for temporary materialization.  The recursive rule is
+written with the recursive atom in the right-linear position, matching the
+join plan discussed in Section 5.1 (iterate the delta of ``reach``, probe the
+``edge`` relation's HISA index).
+"""
+
+from __future__ import annotations
+
+from ..datalog.ast import Program
+
+REACH_SOURCE = """
+// Transitive closure of a directed edge relation.
+reach(x, y) :- edge(x, y).
+reach(x, y) :- edge(x, z), reach(z, y).
+"""
+
+#: EDB relation expected by the program.
+INPUT_RELATION = "edge"
+#: IDB relation holding the answer.
+OUTPUT_RELATION = "reach"
+
+
+def reach_program() -> Program:
+    """The REACH program as a parsed :class:`~repro.datalog.ast.Program`."""
+    return Program.parse(REACH_SOURCE, name="reach")

@@ -1,0 +1,29 @@
+"""SG: the Same Generation query (Section 2 of the paper).
+
+Two nodes are in the same generation if they share a parent, or if they have
+parents that are themselves in the same generation.  The recursive rule is a
+three-way join (``edge x sg x edge``), which is what motivates the paper's
+temporarily-materialized n-way join strategy (Section 5.2): GPUlog splits it
+into two materialized binary joins so that every kernel launch has a balanced
+per-thread workload.
+"""
+
+from __future__ import annotations
+
+from ..datalog.ast import Program
+
+SG_SOURCE = """
+// Same Generation: nodes sharing a topological level.
+sg(x, y) :- edge(p, x), edge(p, y), x != y.
+sg(x, y) :- edge(a, x), sg(a, b), edge(b, y), x != y.
+"""
+
+#: EDB relation expected by the program.
+INPUT_RELATION = "edge"
+#: IDB relation holding the answer.
+OUTPUT_RELATION = "sg"
+
+
+def sg_program() -> Program:
+    """The SG program as a parsed :class:`~repro.datalog.ast.Program`."""
+    return Program.parse(SG_SOURCE, name="sg")

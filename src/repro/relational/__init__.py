@@ -1,0 +1,52 @@
+"""Relational substrate: HISA, hash tables, relational-algebra kernels, buffers."""
+
+from .buffers import (
+    BufferManagerStats,
+    EagerBufferManager,
+    MergeBufferManager,
+    SimpleBufferManager,
+    make_buffer_manager,
+)
+from .hashing import EMPTY_KEY, hash_rows, hash_single, next_power_of_two
+from .hashtable import DEFAULT_LOAD_FACTOR, HashTableStats, OpenAddressingHashTable
+from .hisa import HISA, HisaMemoryBreakdown
+from .operators import (
+    ColumnComparison,
+    JoinOutput,
+    deduplicate,
+    difference,
+    fused_nway_join,
+    hash_join,
+    project,
+    select,
+    union,
+)
+from .relation import IterationStats, Relation
+
+__all__ = [
+    "BufferManagerStats",
+    "ColumnComparison",
+    "DEFAULT_LOAD_FACTOR",
+    "EMPTY_KEY",
+    "EagerBufferManager",
+    "HISA",
+    "HashTableStats",
+    "HisaMemoryBreakdown",
+    "IterationStats",
+    "JoinOutput",
+    "MergeBufferManager",
+    "OpenAddressingHashTable",
+    "Relation",
+    "SimpleBufferManager",
+    "deduplicate",
+    "difference",
+    "fused_nway_join",
+    "hash_join",
+    "hash_rows",
+    "hash_single",
+    "make_buffer_manager",
+    "next_power_of_two",
+    "project",
+    "select",
+    "union",
+]

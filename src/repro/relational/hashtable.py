@@ -1,0 +1,200 @@
+"""Open-addressing hash table over join-key hashes (HISA tier 3).
+
+The table maps the 64-bit hash of a join key to the position, within the
+sorted index array, of the *first* tuple carrying that key (Algorithm 2).  We
+additionally keep the run length next to each entry: the paper discovers the
+run length by scanning the sorted index array until the join columns change,
+and the join kernel charges exactly that scan; storing the length lets the
+simulator expand matches with vectorised NumPy instead of a Python loop,
+without changing what is charged.
+
+Construction emulates the massively parallel atomic-CAS insertion loop with
+rounds of vectorised linear probing: in round ``o`` every still-pending key
+attempts slot ``(hash + o) mod capacity``; at most one key can claim an empty
+slot per round (the "CAS winner"), everyone else retries in the next round.
+The number of rounds therefore equals the longest probe sequence, exactly as
+it would on the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.cost import KernelCost
+from ..device.device import Device
+from .hashing import EMPTY_KEY, next_power_of_two
+
+_SLOT_BYTES = 16  # 8-byte key + 8-byte value, the paper's (K, V) pair
+DEFAULT_LOAD_FACTOR = 0.8
+
+
+@dataclass(frozen=True)
+class HashTableStats:
+    """Construction statistics (used by the load-factor ablation)."""
+
+    capacity: int
+    n_keys: int
+    build_rounds: int
+    total_probes: int
+
+    @property
+    def load(self) -> float:
+        return self.n_keys / self.capacity if self.capacity else 0.0
+
+    @property
+    def average_probes(self) -> float:
+        return self.total_probes / self.n_keys if self.n_keys else 0.0
+
+
+class OpenAddressingHashTable:
+    """GPU-style open-addressing table keyed by uint64 join-key hashes."""
+
+    def __init__(
+        self,
+        device: Device,
+        key_hashes: np.ndarray,
+        values: np.ndarray,
+        run_lengths: np.ndarray | None = None,
+        *,
+        load_factor: float = DEFAULT_LOAD_FACTOR,
+        label: str = "hash_table",
+        charge: bool = True,
+    ) -> None:
+        if not 0 < load_factor <= 1.0:
+            raise ValueError("load_factor must be in (0, 1]")
+        key_hashes = np.asarray(key_hashes, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.int64)
+        if key_hashes.shape != values.shape:
+            raise ValueError("key_hashes and values must have the same length")
+        if run_lengths is None:
+            run_lengths = np.ones_like(values)
+        run_lengths = np.asarray(run_lengths, dtype=np.int64)
+
+        self.device = device
+        self.load_factor = float(load_factor)
+        self.label = label
+        self.n_keys = int(key_hashes.size)
+        self.capacity = next_power_of_two(int(np.ceil(max(1, self.n_keys) / self.load_factor)))
+        self._mask = np.uint64(self.capacity - 1)
+
+        self._keys = np.full(self.capacity, EMPTY_KEY, dtype=np.uint64)
+        self._values = np.full(self.capacity, -1, dtype=np.int64)
+        self._lengths = np.zeros(self.capacity, dtype=np.int64)
+
+        rounds, probes = self._build(key_hashes, values, run_lengths)
+        self.stats = HashTableStats(
+            capacity=self.capacity,
+            n_keys=self.n_keys,
+            build_rounds=rounds,
+            total_probes=probes,
+        )
+        if charge:
+            self.device.charge(
+                KernelCost(
+                    kernel=f"{label}.build",
+                    random_bytes=float(probes) * _SLOT_BYTES,
+                    sequential_bytes=float(self.n_keys) * 24.0,
+                    ops=float(probes) * 4.0,
+                    alloc_bytes=float(self.nbytes),
+                    allocations=1,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, key_hashes: np.ndarray, values: np.ndarray, lengths: np.ndarray) -> tuple[int, int]:
+        pending = np.arange(key_hashes.size, dtype=np.int64)
+        offset = np.uint64(0)
+        rounds = 0
+        probes = 0
+        while pending.size:
+            rounds += 1
+            probes += int(pending.size)
+            slots = ((key_hashes[pending] + offset) & self._mask).astype(np.int64)
+            empty = self._keys[slots] == EMPTY_KEY
+            candidates = pending[empty]
+            candidate_slots = slots[empty]
+            if candidates.size:
+                # Emulate the CAS race: every candidate writes its key to its
+                # slot; with duplicate targets NumPy keeps one write per slot
+                # (exactly one CAS wins).  Reading the slot back tells each
+                # candidate whether it was the winner.
+                self._keys[candidate_slots] = key_hashes[candidates]
+                won = self._keys[candidate_slots] == key_hashes[candidates]
+                winners = candidates[won]
+                winner_slots = candidate_slots[won]
+                self._values[winner_slots] = values[winners]
+                self._lengths[winner_slots] = lengths[winners]
+                inserted = np.zeros(key_hashes.size, dtype=bool)
+                inserted[winners] = True
+                pending = pending[~inserted[pending]]
+            offset += np.uint64(1)
+            if int(offset) > self.capacity:
+                raise RuntimeError("hash table build did not converge; table is over-full")
+        return rounds, probes
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, query_hashes: np.ndarray, *, charge: bool = True, label: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Look up a batch of join-key hashes.
+
+        Returns ``(positions, lengths)``: the sorted-index position of the
+        first tuple of each matched run and the run length; misses yield
+        ``(-1, 0)``.
+        """
+        query = np.asarray(query_hashes, dtype=np.uint64)
+        n = query.size
+        positions = np.full(n, -1, dtype=np.int64)
+        lengths = np.zeros(n, dtype=np.int64)
+        if n == 0 or self.n_keys == 0:
+            if charge and n:
+                self.device.charge(
+                    KernelCost(kernel=label or f"{self.label}.probe", random_bytes=float(n) * _SLOT_BYTES, ops=float(n))
+                )
+            return positions, lengths
+
+        unresolved = np.arange(n, dtype=np.int64)
+        offset = np.uint64(0)
+        probes = 0
+        while unresolved.size:
+            probes += int(unresolved.size)
+            slots = ((query[unresolved] + offset) & self._mask).astype(np.int64)
+            slot_keys = self._keys[slots]
+            hit = slot_keys == query[unresolved]
+            miss = slot_keys == EMPTY_KEY
+            if hit.any():
+                hit_idx = unresolved[hit]
+                hit_slots = slots[hit]
+                positions[hit_idx] = self._values[hit_slots]
+                lengths[hit_idx] = self._lengths[hit_slots]
+            unresolved = unresolved[~(hit | miss)]
+            offset += np.uint64(1)
+            if int(offset) > self.capacity:
+                break
+        if charge:
+            self.device.charge(
+                KernelCost(
+                    kernel=label or f"{self.label}.probe",
+                    random_bytes=float(probes) * _SLOT_BYTES,
+                    ops=float(probes) * 2.0,
+                )
+            )
+        return positions, lengths
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Device bytes occupied by the table (keys, values, run lengths)."""
+        return self.capacity * (_SLOT_BYTES + 8)
+
+    def occupancy(self) -> float:
+        return self.n_keys / self.capacity if self.capacity else 0.0
+
+    def __len__(self) -> int:
+        return self.n_keys

@@ -1,0 +1,511 @@
+"""The Hash-Indexed Sorted Array (HISA) — Section 4 of the paper.
+
+A HISA stores one relation (or one index of a relation) in three tiers:
+
+1. **data array** — the dense ``n x k`` tuple buffer, stored with the join
+   columns permuted to the front (Algorithm 1 lines 1-5).  Dense storage is
+   what gives parallel iteration [R2] and coalesced access.
+2. **sorted index array** — the positions of the tuples, ordered
+   lexicographically (join columns first).  Sorting groups equal join keys
+   into contiguous runs, enabling range queries [R1] and adjacent-compare
+   deduplication [R4].
+3. **open-addressing hash table** — maps the 64-bit hash of a join key to the
+   first sorted-index position of that key's run [R1, R3]
+   (:class:`~repro.relational.hashtable.OpenAddressingHashTable`).
+
+All algorithms run for real on NumPy arrays; every step charges the owning
+simulated device so the profiler sees the same phases the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..device.cost import KernelCost
+from ..device.device import Device
+from ..device.kernels import INDEX_ITEMSIZE, TUPLE_ITEMSIZE, as_rows, lex_rank_keys
+from ..device.memory import Buffer
+from ..errors import HisaStateError, SchemaError
+from .buffers import MergeBufferManager, SimpleBufferManager
+from .hashing import hash_rows
+from .hashtable import DEFAULT_LOAD_FACTOR, OpenAddressingHashTable
+
+
+@dataclass(frozen=True)
+class HisaMemoryBreakdown:
+    """Bytes used by each HISA tier (for the memory columns of Tables 1-3)."""
+
+    data_bytes: int
+    index_bytes: int
+    table_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.index_bytes + self.table_bytes
+
+
+class HISA:
+    """Hash-indexed sorted array over a single relation's tuples."""
+
+    def __init__(
+        self,
+        device: Device,
+        rows: np.ndarray,
+        join_columns: Sequence[int],
+        *,
+        load_factor: float = DEFAULT_LOAD_FACTOR,
+        label: str = "relation",
+        charge_build: bool = True,
+        build_hash_index: bool = True,
+    ) -> None:
+        rows = as_rows(rows)
+        self.device = device
+        self.label = label
+        self.load_factor = float(load_factor)
+        self.natural_arity = int(rows.shape[1]) if rows.size else int(rows.shape[1])
+        self._freed = False
+
+        join_columns = tuple(int(c) for c in join_columns)
+        if rows.shape[1] and any(c < 0 or c >= rows.shape[1] for c in join_columns):
+            raise SchemaError(
+                f"join columns {join_columns} out of range for arity {rows.shape[1]}"
+            )
+        if len(set(join_columns)) != len(join_columns):
+            raise SchemaError(f"join columns must be distinct, got {join_columns}")
+        if not join_columns and rows.shape[1]:
+            raise SchemaError("at least one join column is required")
+        self.join_columns = join_columns
+        self.n_join = len(join_columns)
+
+        rest = tuple(c for c in range(rows.shape[1]) if c not in join_columns)
+        self.column_order = join_columns + rest
+        self._inverse_order = _invert_permutation(self.column_order)
+
+        # --- Tier 1: data array (join columns permuted to the front) ---------
+        if rows.shape[0]:
+            reordered = np.ascontiguousarray(rows[:, list(self.column_order)])
+        else:
+            reordered = rows.reshape(0, rows.shape[1])
+        self.data = reordered
+        if charge_build and rows.shape[0]:
+            self.device.kernels.transform(
+                rows.shape[0],
+                bytes_per_item=2.0 * rows.shape[1] * TUPLE_ITEMSIZE,
+                ops_per_item=rows.shape[1],
+                label=f"{label}.reorder_columns",
+            )
+
+        # --- Tier 2: sorted index array --------------------------------------
+        if charge_build:
+            self.sorted_index = self.device.kernels.lexsort_rows(self.data, label=f"{label}.sort_index")
+        else:
+            self.sorted_index = _host_lexsort(self.data)
+
+        # --- Join-key runs -----------------------------------------------------
+        self.run_starts, self.run_lengths, key_rows = self._compute_runs(charge=charge_build)
+
+        # --- Tier 3: open-addressing hash table --------------------------------
+        self.table: OpenAddressingHashTable | None = None
+        if build_hash_index and self.n_join:
+            hashes = hash_rows(key_rows) if key_rows.size else np.empty(0, dtype=np.uint64)
+            if charge_build and key_rows.size:
+                self.device.kernels.transform(
+                    key_rows.shape[0],
+                    bytes_per_item=self.n_join * TUPLE_ITEMSIZE,
+                    ops_per_item=4.0 * self.n_join,
+                    label=f"{label}.hash_keys",
+                )
+            self.table = OpenAddressingHashTable(
+                device,
+                hashes,
+                self.run_starts,
+                self.run_lengths,
+                load_factor=self.load_factor,
+                label=f"{label}.table",
+                charge=charge_build,
+            )
+
+        # --- Device memory accounting ------------------------------------------
+        self._data_buffer: Buffer | None = device.allocate(
+            max(0, self.data.nbytes), label=f"{label}.data", charge_cost=False
+        )
+        self._index_buffer: Buffer | None = device.allocate(
+            max(0, self.sorted_index.nbytes), label=f"{label}.index", charge_cost=False
+        )
+        self._table_buffer: Buffer | None = None
+        if self.table is not None:
+            self._table_buffer = device.allocate(
+                self.table.nbytes, label=f"{label}.table", charge_cost=False
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tuple_count(self) -> int:
+        return int(self.data.shape[0])
+
+    def __len__(self) -> int:
+        return self.tuple_count
+
+    @property
+    def arity(self) -> int:
+        return self.natural_arity
+
+    @property
+    def distinct_key_count(self) -> int:
+        return int(self.run_starts.size)
+
+    def memory_breakdown(self) -> HisaMemoryBreakdown:
+        return HisaMemoryBreakdown(
+            data_bytes=int(self.data.nbytes),
+            index_bytes=int(self.sorted_index.nbytes),
+            table_bytes=int(self.table.nbytes) if self.table is not None else 0,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.memory_breakdown().total_bytes
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def natural_rows(self) -> np.ndarray:
+        """All tuples in their original (schema) column order, insertion order."""
+        self._check_live()
+        if self.data.shape[0] == 0:
+            return self.data.reshape(0, self.natural_arity)
+        return self.data[:, list(self._inverse_order)]
+
+    def sorted_natural_rows(self) -> np.ndarray:
+        """All tuples in schema order, sorted by (join columns, rest)."""
+        self._check_live()
+        if self.data.shape[0] == 0:
+            return self.data.reshape(0, self.natural_arity)
+        return self.data[self.sorted_index][:, list(self._inverse_order)]
+
+    def stored_rows(self) -> np.ndarray:
+        """All tuples in index column order (join columns first), insertion order."""
+        self._check_live()
+        return self.data
+
+    def rows_at_sorted_positions(self, positions: np.ndarray) -> np.ndarray:
+        """Tuples (schema order) at the given positions of the sorted index array."""
+        self._check_live()
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return np.empty((0, self.natural_arity), dtype=np.int64)
+        gathered = self.data[self.sorted_index[positions]]
+        return gathered[:, list(self._inverse_order)]
+
+    # ------------------------------------------------------------------
+    # Range queries (Algorithm 3 support)
+    # ------------------------------------------------------------------
+    def lookup(self, keys: np.ndarray, *, charge: bool = True, verify: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        """Range-query a batch of join keys.
+
+        ``keys`` has shape ``(m, n_join)`` and column ``j`` holds the value of
+        ``join_columns[j]``.  Returns ``(starts, lengths)`` in sorted-index
+        space; misses are ``(-1, 0)``.
+        """
+        self._check_live()
+        keys = as_rows(keys)
+        if keys.shape[0] == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        if keys.shape[1] != self.n_join:
+            raise SchemaError(f"expected keys of width {self.n_join}, got {keys.shape[1]}")
+        if self.table is None:
+            raise HisaStateError("this HISA was built without a hash index")
+        if charge:
+            self.device.kernels.transform(
+                keys.shape[0],
+                bytes_per_item=self.n_join * TUPLE_ITEMSIZE,
+                ops_per_item=4.0 * self.n_join,
+                label=f"{self.label}.hash_keys",
+            )
+        hashes = hash_rows(keys)
+        starts, lengths = self.table.probe(hashes, charge=charge, label=f"{self.label}.probe")
+        if verify and starts.size:
+            hits = starts >= 0
+            if hits.any():
+                first_rows = self.data[self.sorted_index[starts[hits]]][:, : self.n_join]
+                matches = np.all(first_rows == keys[hits], axis=1)
+                if charge:
+                    self.device.kernels.random_access(
+                        int(hits.sum()),
+                        bytes_per_access=self.n_join * TUPLE_ITEMSIZE,
+                        label=f"{self.label}.verify_key",
+                    )
+                bad = np.flatnonzero(hits)[~matches]
+                starts[bad] = -1
+                lengths[bad] = 0
+        return starts, lengths
+
+    def expand_matches(self, starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expand ``(starts, lengths)`` into flat (probe index, data position) pairs.
+
+        Returns ``(probe_indices, data_positions)`` where ``data_positions``
+        index directly into the data array (already translated through the
+        sorted index array).
+        """
+        self._check_live()
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        probe_indices = np.repeat(np.arange(starts.size, dtype=np.int64), lengths)
+        offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        within_run = np.arange(total, dtype=np.int64) - offsets
+        sorted_positions = np.repeat(starts, lengths) + within_run
+        data_positions = self.sorted_index[sorted_positions]
+        return probe_indices, data_positions
+
+    def contains(self, rows: np.ndarray, *, charge: bool = True) -> np.ndarray:
+        """Exact membership test for whole tuples (schema column order).
+
+        Requires the HISA to be indexed on *all* columns (as the ``full``
+        version used for deduplication is).
+        """
+        self._check_live()
+        rows = as_rows(rows)
+        if rows.shape[0] == 0:
+            return np.empty(0, dtype=bool)
+        if self.n_join != self.natural_arity:
+            raise HisaStateError("contains() requires an all-column index")
+        keys = rows[:, list(self.column_order)]
+        starts, _lengths = self.lookup(keys, charge=charge, verify=True)
+        return starts >= 0
+
+    # ------------------------------------------------------------------
+    # Merge (full <- full U delta), Section 4.2 / 5.1
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        delta: "HISA",
+        buffer_manager: MergeBufferManager | None = None,
+        *,
+        charge: bool = True,
+    ) -> "HISA":
+        """Return a new HISA containing this relation's tuples plus ``delta``'s.
+
+        ``delta`` must already be disjoint from ``self`` (the populate-delta
+        phase guarantees it), so no deduplication is performed — the data
+        arrays are concatenated and the sorted index arrays are path-merged.
+        Both input HISAs are consumed: their device buffers are retired/freed
+        and they must not be used afterwards.
+        """
+        self._check_live()
+        delta._check_live()
+        if delta.natural_arity != self.natural_arity:
+            raise SchemaError("cannot merge HISAs with different arity")
+        if delta.join_columns != self.join_columns:
+            raise SchemaError("cannot merge HISAs indexed on different join columns")
+        manager = buffer_manager if buffer_manager is not None else SimpleBufferManager(self.device, label=f"{self.label}.merge")
+
+        full_rows = self.data
+        delta_rows = delta.data
+        required_bytes = int(full_rows.nbytes + delta_rows.nbytes)
+
+        # Destination buffer for the out-of-place path merge.
+        dest_buffer = manager.acquire(required_bytes, delta_rows.nbytes)
+
+        merged_data = np.concatenate([full_rows, delta_rows], axis=0) if required_bytes else full_rows
+        if charge:
+            self.device.charge(
+                KernelCost(
+                    kernel=f"{self.label}.merge_copy",
+                    sequential_bytes=2.0 * float(required_bytes),
+                    ops=float(merged_data.shape[0]),
+                )
+            )
+
+        # Path-merge the two sorted index arrays (Green et al. merge path).
+        merged_index = _merge_sorted_indices(full_rows, self.sorted_index, delta_rows, delta.sorted_index)
+        if charge:
+            self.device.charge(
+                KernelCost(
+                    kernel=f"{self.label}.merge_path",
+                    sequential_bytes=float(required_bytes) + 2.0 * float(merged_index.nbytes),
+                    ops=float(merged_index.size) * max(1, self.natural_arity),
+                )
+            )
+
+        merged = HISA.__new__(HISA)
+        merged.device = self.device
+        merged.label = self.label
+        merged.load_factor = self.load_factor
+        merged.natural_arity = self.natural_arity
+        merged.join_columns = self.join_columns
+        merged.n_join = self.n_join
+        merged.column_order = self.column_order
+        merged._inverse_order = self._inverse_order
+        merged._freed = False
+        merged.data = merged_data
+        merged.sorted_index = merged_index
+        merged.run_starts, merged.run_lengths, key_rows = merged._compute_runs(charge=False)
+
+        # Hash index: insert delta's keys into the full table, growing if needed.
+        merged.table = None
+        if self.table is not None or delta.table is not None:
+            hashes = hash_rows(key_rows) if key_rows.size else np.empty(0, dtype=np.uint64)
+            merged.table = OpenAddressingHashTable(
+                self.device,
+                hashes,
+                merged.run_starts,
+                merged.run_lengths,
+                load_factor=self.load_factor,
+                label=f"{self.label}.table",
+                charge=False,
+            )
+            if charge:
+                old_capacity = self.table.capacity if self.table is not None else 0
+                needs_rebuild = merged.table.capacity != old_capacity
+                if needs_rebuild:
+                    rehash_keys = merged.run_starts.size
+                    alloc_bytes = float(merged.table.nbytes)
+                    allocations = 1
+                else:
+                    rehash_keys = max(0, merged.run_starts.size - (self.run_starts.size if self.run_starts is not None else 0))
+                    alloc_bytes = 0.0
+                    allocations = 0
+                self.device.charge(
+                    KernelCost(
+                        kernel=f"{self.label}.table_merge",
+                        random_bytes=float(rehash_keys) * 16.0 * 2.0,
+                        ops=float(rehash_keys) * 4.0,
+                        alloc_bytes=alloc_bytes,
+                        allocations=allocations,
+                    )
+                )
+
+        # ------------------------------------------------------------------
+        # Device-memory bookkeeping: the merged HISA takes over the destination
+        # buffer; old buffers are retired (data) or freed (index, table).
+        # ------------------------------------------------------------------
+        merged._data_buffer = dest_buffer
+        merged._index_buffer = self.device.allocate(
+            merged.sorted_index.nbytes, label=f"{self.label}.index", charge_cost=False
+        )
+        merged._table_buffer = None
+        if merged.table is not None:
+            merged._table_buffer = self.device.allocate(
+                merged.table.nbytes, label=f"{self.label}.table", charge_cost=False
+            )
+
+        self._release_buffers(retire_data_to=manager)
+        self._freed = True
+        delta._release_buffers(retire_data_to=None)
+        delta._freed = True
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def free(self) -> None:
+        """Release all simulated device memory held by this HISA."""
+        if self._freed:
+            return
+        self._release_buffers(retire_data_to=None)
+        self._freed = True
+
+    @property
+    def is_freed(self) -> bool:
+        return self._freed
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_live(self) -> None:
+        if self._freed:
+            raise HisaStateError(f"HISA {self.label!r} has been freed")
+
+    def _compute_runs(self, *, charge: bool) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compute join-key run starts/lengths over the sorted index array."""
+        n = self.data.shape[0]
+        if n == 0 or self.n_join == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty((0, max(1, self.n_join)), dtype=np.int64)
+        sorted_join = self.data[self.sorted_index][:, : self.n_join]
+        new_run = np.ones(n, dtype=bool)
+        if n > 1:
+            new_run[1:] = np.any(sorted_join[1:] != sorted_join[:-1], axis=1)
+        run_starts = np.flatnonzero(new_run).astype(np.int64)
+        run_lengths = np.diff(np.append(run_starts, n)).astype(np.int64)
+        key_rows = sorted_join[run_starts]
+        if charge:
+            self.device.kernels.transform(
+                n,
+                bytes_per_item=2.0 * self.n_join * TUPLE_ITEMSIZE,
+                ops_per_item=self.n_join,
+                label=f"{self.label}.find_runs",
+            )
+        return run_starts, run_lengths, key_rows
+
+    def _release_buffers(self, retire_data_to: MergeBufferManager | None) -> None:
+        if self._data_buffer is not None:
+            if retire_data_to is not None:
+                retire_data_to.retire(self._data_buffer)
+            else:
+                self.device.free(self._data_buffer, charge_cost=False)
+            self._data_buffer = None
+        if self._index_buffer is not None:
+            self.device.free(self._index_buffer, charge_cost=False)
+            self._index_buffer = None
+        if self._table_buffer is not None:
+            self.device.free(self._table_buffer, charge_cost=False)
+            self._table_buffer = None
+
+
+# ----------------------------------------------------------------------
+# Module-level helpers
+# ----------------------------------------------------------------------
+
+def _invert_permutation(order: tuple[int, ...]) -> tuple[int, ...]:
+    inverse = [0] * len(order)
+    for position, column in enumerate(order):
+        inverse[column] = position
+    return tuple(inverse)
+
+
+def _host_lexsort(rows: np.ndarray) -> np.ndarray:
+    if rows.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    keys = tuple(rows[:, col] for col in reversed(range(rows.shape[1])))
+    return np.lexsort(keys).astype(np.int64)
+
+
+def _merge_sorted_indices(
+    left_rows: np.ndarray,
+    left_index: np.ndarray,
+    right_rows: np.ndarray,
+    right_index: np.ndarray,
+) -> np.ndarray:
+    """Merge two sorted index arrays into one over the concatenated data array.
+
+    The result indexes into ``concatenate([left_rows, right_rows])``.  The
+    simulated cost of the path merge is charged by the caller; here we only
+    compute the exact answer.
+    """
+    n_left = left_rows.shape[0]
+    n_right = right_rows.shape[0]
+    if n_left == 0:
+        return (right_index + n_left).astype(np.int64)
+    if n_right == 0:
+        return left_index.astype(np.int64)
+    # Linear two-way merge: compare the two already-sorted sequences via packed
+    # row keys and compute each element's final rank directly (the CPU-side
+    # equivalent of the GPU merge-path algorithm).
+    left_sorted_keys = lex_rank_keys(left_rows[left_index])
+    right_sorted_keys = lex_rank_keys(right_rows[right_index])
+    right_before_left = np.searchsorted(right_sorted_keys, left_sorted_keys, side="left")
+    left_before_right = np.searchsorted(left_sorted_keys, right_sorted_keys, side="right")
+    merged = np.empty(n_left + n_right, dtype=np.int64)
+    left_positions = np.arange(n_left, dtype=np.int64) + right_before_left
+    right_positions = np.arange(n_right, dtype=np.int64) + left_before_right
+    merged[left_positions] = left_index
+    merged[right_positions] = right_index + n_left
+    return merged

@@ -1,0 +1,387 @@
+"""Relational-algebra kernels over HISA relations (Section 5.1).
+
+These are the compute kernels the fixpoint loop of Figure 3 executes:
+
+* :func:`hash_join` — Algorithm 3: iterate the outer relation's data array in
+  strides, hash each tuple's join columns, probe the inner HISA's hash table,
+  scan the matched run of the sorted index array, and emit result tuples.
+* :func:`fused_nway_join` — the *non*-materialized nested n-way join used as
+  the baseline of the Section 5.2 ablation: one kernel performs both joins,
+  so warp divergence is charged on the combined per-thread workload.
+* :func:`select`, :func:`project`, :func:`deduplicate`, :func:`difference` —
+  the remaining operators of the evaluation pipeline.
+
+All functions return plain NumPy tuple arrays in the schema (natural) column
+order; the caller decides when to wrap results into HISAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..device.cost import KernelCost
+from ..device.device import Device
+from ..device.kernels import TUPLE_ITEMSIZE, as_rows
+from ..device.simt import warp_divergence_factor
+from ..errors import SchemaError
+from .hisa import HISA
+
+OUTER = "outer"
+INNER = "inner"
+
+
+@dataclass(frozen=True)
+class JoinOutput:
+    """One output column of a join: copy ``column`` from ``source``.
+
+    ``source`` is ``"outer"`` or ``"inner"``; ``column`` is the natural
+    (schema-order) column index within that relation.
+    """
+
+    source: str
+    column: int
+
+    def __post_init__(self) -> None:
+        if self.source not in (OUTER, INNER):
+            raise SchemaError(f"join output source must be 'outer' or 'inner', got {self.source!r}")
+        if self.column < 0:
+            raise SchemaError("join output column must be non-negative")
+
+
+@dataclass(frozen=True)
+class ColumnComparison:
+    """A comparison predicate applied to result tuples (e.g. ``x != y``)."""
+
+    op: str
+    left_column: int
+    right_column: int | None = None
+    constant: int | None = None
+
+    _OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise SchemaError(f"unsupported comparison operator {self.op!r}")
+        if (self.right_column is None) == (self.constant is None):
+            raise SchemaError("exactly one of right_column or constant must be given")
+
+    def evaluate(self, rows: np.ndarray) -> np.ndarray:
+        left = rows[:, self.left_column]
+        right = rows[:, self.right_column] if self.right_column is not None else self.constant
+        if self.op == "==":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        return left >= right
+
+
+# ----------------------------------------------------------------------
+# Binary hash join (Algorithm 3)
+# ----------------------------------------------------------------------
+
+def hash_join(
+    device: Device,
+    outer_rows: np.ndarray,
+    outer_join_columns: Sequence[int],
+    inner: HISA,
+    output: Sequence[JoinOutput],
+    *,
+    comparisons: Sequence[ColumnComparison] = (),
+    label: str = "join",
+    charge: bool = True,
+) -> np.ndarray:
+    """Join an outer tuple array against an inner HISA.
+
+    ``outer_join_columns[j]`` is the outer column matched against the inner's
+    ``join_columns[j]``.  ``output`` lists the columns of the result tuple;
+    ``comparisons`` (evaluated on the result layout) filter the output, which
+    is how guards such as ``x != y`` in SG are applied inside the join kernel.
+    """
+    outer_rows = as_rows(outer_rows)
+    outer_join_columns = [int(c) for c in outer_join_columns]
+    if len(outer_join_columns) != inner.n_join:
+        raise SchemaError(
+            f"outer join columns {outer_join_columns} do not match inner key width {inner.n_join}"
+        )
+    out_arity = len(output)
+    if outer_rows.shape[0] == 0 or inner.tuple_count == 0:
+        if charge and outer_rows.shape[0]:
+            device.charge(KernelCost(kernel=f"{label}.scan_outer", sequential_bytes=float(outer_rows.nbytes)))
+        return np.empty((0, out_arity), dtype=np.int64)
+
+    # 1. Stride over the outer relation's data array (coalesced reads).
+    if charge:
+        device.charge(
+            KernelCost(
+                kernel=f"{label}.scan_outer",
+                sequential_bytes=float(outer_rows.nbytes),
+                ops=float(outer_rows.shape[0]),
+            )
+        )
+
+    # 2. Hash the outer join columns and probe the inner hash table.
+    keys = outer_rows[:, outer_join_columns]
+    starts, lengths = inner.lookup(keys, charge=charge)
+
+    # 3. Scan the matched runs of the sorted index array.
+    total_matches = int(lengths.sum())
+    divergence = warp_divergence_factor(lengths, device.spec.warp_size)
+    inner_row_bytes = max(1, inner.natural_arity) * TUPLE_ITEMSIZE
+    if charge:
+        device.charge(
+            KernelCost(
+                kernel=f"{label}.scan_inner",
+                random_bytes=float(total_matches) * (inner_row_bytes + 8.0),
+                ops=float(total_matches) * max(1, inner.natural_arity),
+                divergence=divergence,
+            )
+        )
+    if total_matches == 0:
+        return np.empty((0, out_arity), dtype=np.int64)
+
+    probe_idx, data_positions = inner.expand_matches(starts, lengths)
+    inner_stored = inner.stored_rows()
+
+    # 4. Materialise the output columns.
+    columns = []
+    for spec in output:
+        if spec.source == OUTER:
+            if spec.column >= outer_rows.shape[1]:
+                raise SchemaError(f"outer column {spec.column} out of range")
+            columns.append(outer_rows[probe_idx, spec.column])
+        else:
+            if spec.column >= inner.natural_arity:
+                raise SchemaError(f"inner column {spec.column} out of range")
+            stored_col = inner.column_order.index(spec.column)
+            columns.append(inner_stored[data_positions, stored_col])
+    result = np.column_stack(columns).astype(np.int64) if columns else np.empty((total_matches, 0), dtype=np.int64)
+
+    # 5. Apply in-kernel comparison guards.
+    if comparisons:
+        mask = np.ones(result.shape[0], dtype=bool)
+        for comparison in comparisons:
+            mask &= comparison.evaluate(result)
+        result = result[mask]
+
+    if charge:
+        device.charge(
+            KernelCost(
+                kernel=f"{label}.write_output",
+                sequential_bytes=float(result.nbytes),
+                ops=float(result.shape[0]) * max(1, out_arity),
+                divergence=divergence,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fused (non-materialized) n-way join — the Section 5.2 ablation baseline
+# ----------------------------------------------------------------------
+
+def fused_nway_join(
+    device: Device,
+    outer_rows: np.ndarray,
+    stages: Sequence[tuple[Sequence[int], HISA, Sequence[JoinOutput]]],
+    *,
+    comparisons: Sequence[ColumnComparison] = (),
+    label: str = "fused_join",
+    charge: bool = True,
+) -> np.ndarray:
+    """Evaluate a chain of joins inside a single simulated kernel.
+
+    ``stages`` is a list of ``(outer_join_columns, inner_hisa, output)``
+    entries; the output of stage *i* becomes the outer relation of stage
+    *i + 1*.  Results are identical to running :func:`hash_join` per stage,
+    but the cost is charged as one kernel whose per-thread workload is the
+    *entire* downstream match count of each original outer tuple — threads
+    whose tuple finds no matches idle until the busiest warp lane finishes
+    every nested loop (Figure 5).
+    """
+    outer_rows = as_rows(outer_rows)
+    if not stages:
+        raise SchemaError("fused_nway_join requires at least one stage")
+
+    current = outer_rows
+    # Track, for every original outer tuple, how much nested work it generates.
+    origin = np.arange(outer_rows.shape[0], dtype=np.int64)
+    per_origin_work = np.zeros(outer_rows.shape[0], dtype=np.int64)
+    total_random_bytes = 0.0
+    total_ops = 0.0
+
+    for stage_index, (join_cols, inner, output) in enumerate(stages):
+        if current.shape[0] == 0:
+            current = np.empty((0, len(output)), dtype=np.int64)
+            origin = np.empty(0, dtype=np.int64)
+            break
+        keys = current[:, [int(c) for c in join_cols]]
+        starts, lengths = inner.lookup(keys, charge=False)
+        np.add.at(per_origin_work, origin, lengths)
+        inner_row_bytes = max(1, inner.natural_arity) * TUPLE_ITEMSIZE
+        total_matches = int(lengths.sum())
+        total_random_bytes += float(total_matches) * (inner_row_bytes + 8.0)
+        total_random_bytes += float(current.shape[0]) * 16.0  # hash-table probes
+        total_ops += float(total_matches) * max(1, inner.natural_arity) + float(current.shape[0]) * 4.0
+
+        probe_idx, data_positions = inner.expand_matches(starts, lengths)
+        inner_stored = inner.stored_rows()
+        columns = []
+        for spec in output:
+            if spec.source == OUTER:
+                columns.append(current[probe_idx, spec.column])
+            else:
+                stored_col = inner.column_order.index(spec.column)
+                columns.append(inner_stored[data_positions, stored_col])
+        current = (
+            np.column_stack(columns).astype(np.int64)
+            if columns
+            else np.empty((probe_idx.size, 0), dtype=np.int64)
+        )
+        origin = origin[probe_idx]
+
+    if comparisons and current.shape[0]:
+        mask = np.ones(current.shape[0], dtype=bool)
+        for comparison in comparisons:
+            mask &= comparison.evaluate(current)
+        current = current[mask]
+
+    if charge:
+        divergence = warp_divergence_factor(per_origin_work, device.spec.warp_size)
+        # Idle lanes issue no memory requests, so the whole warp's effective
+        # bandwidth drops with divergence too — this is exactly the thread
+        # starvation of Figure 5 that temporary materialization removes.
+        device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=float(outer_rows.nbytes) + float(current.nbytes),
+                random_bytes=total_random_bytes * divergence,
+                ops=max(total_ops, float(outer_rows.shape[0])),
+                divergence=divergence,
+                launches=1,
+            )
+        )
+    return current
+
+
+# ----------------------------------------------------------------------
+# Remaining relational operators
+# ----------------------------------------------------------------------
+
+def select(
+    device: Device,
+    rows: np.ndarray,
+    comparisons: Sequence[ColumnComparison],
+    *,
+    label: str = "select",
+    charge: bool = True,
+) -> np.ndarray:
+    """Filter ``rows`` by conjunction of comparison predicates."""
+    rows = as_rows(rows)
+    if rows.shape[0] == 0 or not comparisons:
+        return rows
+    mask = np.ones(rows.shape[0], dtype=bool)
+    for comparison in comparisons:
+        mask &= comparison.evaluate(rows)
+    result = rows[mask]
+    if charge:
+        device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=float(rows.nbytes) + float(result.nbytes),
+                ops=float(rows.shape[0]) * len(comparisons),
+            )
+        )
+    return result
+
+
+def project(
+    device: Device,
+    rows: np.ndarray,
+    columns: Sequence[int],
+    *,
+    label: str = "project",
+    charge: bool = True,
+) -> np.ndarray:
+    """Project ``rows`` onto the given natural column indices (with reorder/repeat)."""
+    rows = as_rows(rows)
+    columns = [int(c) for c in columns]
+    if rows.shape[0] == 0:
+        return np.empty((0, len(columns)), dtype=np.int64)
+    result = rows[:, columns]
+    if charge:
+        device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=float(rows.nbytes) + float(result.nbytes),
+                ops=float(rows.shape[0]) * max(1, len(columns)),
+            )
+        )
+    return np.ascontiguousarray(result)
+
+
+def deduplicate(device: Device, rows: np.ndarray, *, label: str = "deduplicate", charge: bool = True) -> np.ndarray:
+    """Sort + adjacent-compare + compact deduplication of a tuple array [R4]."""
+    rows = as_rows(rows)
+    if rows.shape[0] <= 1:
+        return rows
+    if charge:
+        return device.kernels.unique_rows(rows, label=label)
+    packed_order = np.lexsort(tuple(rows[:, c] for c in reversed(range(rows.shape[1]))))
+    sorted_rows = rows[packed_order]
+    keep = np.ones(sorted_rows.shape[0], dtype=bool)
+    keep[1:] = np.any(sorted_rows[1:] != sorted_rows[:-1], axis=1)
+    return sorted_rows[keep]
+
+
+def difference(
+    device: Device,
+    rows: np.ndarray,
+    existing: HISA,
+    *,
+    label: str = "difference",
+    charge: bool = True,
+) -> np.ndarray:
+    """Return the tuples of ``rows`` not present in ``existing`` (populate-delta).
+
+    ``existing`` must be indexed on all of its columns (the canonical ``full``
+    index) so that membership can be answered by one range probe per tuple.
+    """
+    rows = as_rows(rows)
+    if rows.shape[0] == 0:
+        return rows
+    if existing.tuple_count == 0:
+        return rows
+    present = existing.contains(rows, charge=charge)
+    result = rows[~present]
+    if charge:
+        device.charge(
+            KernelCost(
+                kernel=f"{label}.compact",
+                sequential_bytes=float(rows.nbytes) + float(result.nbytes),
+                ops=float(rows.shape[0]),
+            )
+        )
+    return result
+
+
+def union(device: Device, parts: Sequence[np.ndarray], *, label: str = "union", charge: bool = True) -> np.ndarray:
+    """Concatenate tuple arrays (no deduplication)."""
+    arrays = [as_rows(part) for part in parts if part is not None and len(part)]
+    if not arrays:
+        return np.empty((0, 0), dtype=np.int64)
+    arity = arrays[0].shape[1]
+    for array in arrays:
+        if array.shape[1] != arity:
+            raise SchemaError("cannot union tuple arrays with different arity")
+    if charge:
+        return device.kernels.concatenate_rows(arrays, label=label)
+    return np.concatenate(arrays, axis=0)

@@ -1,0 +1,273 @@
+"""Semi-naïve relation storage: full / delta / new versions backed by HISA.
+
+Figure 3 of the paper shows the per-iteration lifecycle of every IDB relation:
+relational-algebra kernels append tuples to *new*; *delta* is populated by
+removing from new everything already in *full*; delta is indexed and merged
+into full; new is cleared.  :class:`Relation` implements exactly that
+lifecycle, maintaining one HISA index of the full version per join-column set
+requested by the query plan (Datalog engines index for every query), plus one
+canonical all-column index used for deduplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device.device import Device
+from ..device.kernels import as_rows
+from ..device.memory import Buffer
+from ..device.profiler import (
+    PHASE_DEDUPLICATION,
+    PHASE_INDEX_DELTA,
+    PHASE_INDEX_FULL,
+    PHASE_MERGE,
+    PHASE_POPULATE_DELTA,
+)
+from ..errors import SchemaError
+from .buffers import MergeBufferManager, make_buffer_manager
+from .hashtable import DEFAULT_LOAD_FACTOR
+from .hisa import HISA
+from .operators import deduplicate, difference, union
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration bookkeeping returned by :meth:`Relation.end_iteration`."""
+
+    iteration: int
+    new_count: int
+    delta_count: int
+    full_count: int
+
+
+class Relation:
+    """One Datalog relation with full/delta/new versions on a simulated device."""
+
+    def __init__(
+        self,
+        device: Device,
+        name: str,
+        arity: int,
+        *,
+        load_factor: float = DEFAULT_LOAD_FACTOR,
+        eager_buffers: bool = True,
+        buffer_growth_factor: float = 8.0,
+    ) -> None:
+        if arity <= 0:
+            raise SchemaError(f"relation {name!r} must have positive arity, got {arity}")
+        self.device = device
+        self.name = name
+        self.arity = int(arity)
+        self.load_factor = float(load_factor)
+        self.eager_buffers = bool(eager_buffers)
+        self.buffer_growth_factor = float(buffer_growth_factor)
+
+        self._all_columns = tuple(range(self.arity))
+        self._index_column_sets: set[tuple[int, ...]] = {self._all_columns}
+        self.full_indexes: dict[tuple[int, ...], HISA] = {}
+        self._buffer_managers: dict[tuple[int, ...], MergeBufferManager] = {}
+        self.delta_rows: np.ndarray = np.empty((0, self.arity), dtype=np.int64)
+        self._new_parts: list[np.ndarray] = []
+        self._new_buffers: list[Buffer] = []
+        self._delta_buffer: Buffer | None = None
+        self._iteration = 0
+        self.history: list[IterationStats] = []
+
+    # ------------------------------------------------------------------
+    # Index registration
+    # ------------------------------------------------------------------
+    def require_index(self, join_columns: tuple[int, ...]) -> None:
+        """Declare that the query plan range-queries this relation on ``join_columns``."""
+        join_columns = tuple(int(c) for c in join_columns)
+        if not join_columns:
+            raise SchemaError("an index needs at least one join column")
+        if any(c < 0 or c >= self.arity for c in join_columns):
+            raise SchemaError(f"index columns {join_columns} out of range for {self.name!r}")
+        self._index_column_sets.add(join_columns)
+
+    @property
+    def index_column_sets(self) -> set[tuple[int, ...]]:
+        return set(self._index_column_sets)
+
+    def index_for(self, join_columns: tuple[int, ...]) -> HISA:
+        """Return the full-version HISA indexed on ``join_columns``."""
+        join_columns = tuple(int(c) for c in join_columns)
+        if join_columns not in self.full_indexes:
+            raise SchemaError(
+                f"relation {self.name!r} has no index on columns {join_columns}; "
+                f"call require_index() before initialize()"
+            )
+        return self.full_indexes[join_columns]
+
+    @property
+    def canonical_index(self) -> HISA:
+        """The all-column index used for deduplication / membership tests."""
+        return self.index_for(self._all_columns)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, rows: np.ndarray) -> None:
+        """Load the initial facts: full = delta = deduplicated ``rows``."""
+        rows = self._coerce(rows)
+        with self.device.profiler.phase(PHASE_DEDUPLICATION):
+            rows = deduplicate(self.device, rows, label=f"{self.name}.init_dedup")
+        self.delta_rows = rows
+        with self.device.profiler.phase(PHASE_INDEX_FULL):
+            for columns in sorted(self._index_column_sets):
+                self.full_indexes[columns] = HISA(
+                    self.device,
+                    rows,
+                    columns,
+                    load_factor=self.load_factor,
+                    label=f"{self.name}[{','.join(map(str, columns))}]",
+                )
+                self._buffer_managers[columns] = make_buffer_manager(
+                    self.device,
+                    eager=self.eager_buffers,
+                    growth_factor=self.buffer_growth_factor,
+                    label=f"{self.name}.merge_buffer",
+                )
+
+    def add_new(self, rows: np.ndarray) -> None:
+        """Append freshly derived tuples to the *new* version."""
+        rows = self._coerce(rows)
+        if rows.shape[0] == 0:
+            return
+        buffer = self.device.allocate(rows.nbytes, label=f"{self.name}.new", charge_cost=False)
+        self._new_parts.append(rows)
+        self._new_buffers.append(buffer)
+
+    def end_iteration(self) -> IterationStats:
+        """Run the populate-delta / merge / clear-new steps of Figure 3."""
+        self._iteration += 1
+        profiler = self.device.profiler
+
+        with profiler.phase(PHASE_DEDUPLICATION):
+            if self._new_parts:
+                new_rows = union(self.device, self._new_parts, label=f"{self.name}.gather_new")
+                new_rows = deduplicate(self.device, new_rows, label=f"{self.name}.dedup_new")
+            else:
+                new_rows = np.empty((0, self.arity), dtype=np.int64)
+        new_count = int(new_rows.shape[0])
+
+        with profiler.phase(PHASE_POPULATE_DELTA):
+            if new_count and self.full_count:
+                delta = difference(self.device, new_rows, self.canonical_index, label=f"{self.name}.populate_delta")
+            else:
+                delta = new_rows
+        delta_count = int(delta.shape[0])
+
+        # Retire the previous delta buffer and the accumulated new buffers.
+        self._release_new_buffers()
+        if self._delta_buffer is not None:
+            self.device.free(self._delta_buffer, charge_cost=False)
+            self._delta_buffer = None
+        self.delta_rows = delta
+        if delta_count:
+            self._delta_buffer = self.device.allocate(delta.nbytes, label=f"{self.name}.delta", charge_cost=False)
+
+        if delta_count:
+            delta_indexes: dict[tuple[int, ...], HISA] = {}
+            with profiler.phase(PHASE_INDEX_DELTA):
+                for columns in sorted(self._index_column_sets):
+                    delta_indexes[columns] = HISA(
+                        self.device,
+                        delta,
+                        columns,
+                        load_factor=self.load_factor,
+                        label=f"{self.name}.delta[{','.join(map(str, columns))}]",
+                    )
+            with profiler.phase(PHASE_MERGE):
+                for columns in sorted(self._index_column_sets):
+                    manager = self._buffer_managers[columns]
+                    self.full_indexes[columns] = self.full_indexes[columns].merge(
+                        delta_indexes[columns], manager
+                    )
+
+        stats = IterationStats(
+            iteration=self._iteration,
+            new_count=new_count,
+            delta_count=delta_count,
+            full_count=self.full_count,
+        )
+        self.history.append(stats)
+        return stats
+
+    def clear_delta(self) -> None:
+        """Drop the delta version (used when a stratum reaches its fixpoint)."""
+        self.delta_rows = np.empty((0, self.arity), dtype=np.int64)
+        if self._delta_buffer is not None:
+            self.device.free(self._delta_buffer, charge_cost=False)
+            self._delta_buffer = None
+
+    def free(self) -> None:
+        """Release every simulated device buffer held by this relation."""
+        for hisa in self.full_indexes.values():
+            hisa.free()
+        self.full_indexes.clear()
+        for manager in self._buffer_managers.values():
+            manager.release()
+        self._buffer_managers.clear()
+        self._release_new_buffers()
+        self.clear_delta()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def full_count(self) -> int:
+        if self._all_columns in self.full_indexes:
+            return self.full_indexes[self._all_columns].tuple_count
+        return 0
+
+    @property
+    def delta_count(self) -> int:
+        return int(self.delta_rows.shape[0])
+
+    @property
+    def new_count(self) -> int:
+        return sum(int(part.shape[0]) for part in self._new_parts)
+
+    def full_rows(self) -> np.ndarray:
+        """All tuples of the full version in schema column order."""
+        if self._all_columns in self.full_indexes:
+            return self.full_indexes[self._all_columns].natural_rows()
+        return np.empty((0, self.arity), dtype=np.int64)
+
+    def as_set(self) -> set[tuple[int, ...]]:
+        """The full version as a Python set of tuples (for tests)."""
+        return {tuple(int(v) for v in row) for row in self.full_rows()}
+
+    def memory_bytes(self) -> int:
+        """Simulated device bytes currently attributable to this relation."""
+        total = sum(hisa.nbytes for hisa in self.full_indexes.values())
+        total += int(self.delta_rows.nbytes)
+        total += sum(int(part.nbytes) for part in self._new_parts)
+        return total
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _coerce(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.empty((0, self.arity), dtype=np.int64)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        if rows.ndim != 2 or rows.shape[1] != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} has arity {self.arity}, got tuples of shape {rows.shape}"
+            )
+        return as_rows(rows)
+
+    def _release_new_buffers(self) -> None:
+        for buffer in self._new_buffers:
+            self.device.free(buffer, charge_cost=False)
+        self._new_buffers.clear()
+        self._new_parts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, arity={self.arity}, full={self.full_count}, delta={self.delta_count})"

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.device import Device
+
+
+@pytest.fixture
+def device() -> Device:
+    """A fresh simulated H100 with OOM enforcement disabled (most tests ignore memory)."""
+    return Device("h100", oom_enabled=False)
+
+
+@pytest.fixture
+def cpu_device() -> Device:
+    return Device("epyc-7543p", oom_enabled=False)
+
+
+@pytest.fixture
+def paper_edges() -> np.ndarray:
+    """The 9-node example graph of Figures 1 and 2 of the paper."""
+    return np.array(
+        [(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5), (3, 6), (4, 7), (4, 8), (5, 8)],
+        dtype=np.int64,
+    )
+
+
+@pytest.fixture
+def random_dag_edges() -> np.ndarray:
+    rng = np.random.default_rng(1234)
+    upper = np.triu(rng.random((40, 40)) < 0.12, k=1)
+    src, dst = np.nonzero(upper)
+    return np.column_stack([src, dst]).astype(np.int64)
+
+
+def transitive_closure(edges: np.ndarray) -> set[tuple[int, int]]:
+    """Reference transitive closure (paths of length >= 1, cycles included)."""
+    graph = nx.DiGraph([tuple(map(int, edge)) for edge in edges])
+    closure: set[tuple[int, int]] = set()
+    for source in graph.nodes:
+        reachable: set[int] = set()
+        for successor in graph.successors(source):
+            reachable.add(successor)
+            reachable |= nx.descendants(graph, successor)
+        closure.update((source, target) for target in reachable)
+    return closure
+
+
+def same_generation(edges: np.ndarray) -> set[tuple[int, int]]:
+    """Reference SG relation via naive fixpoint iteration."""
+    edge_set = {tuple(map(int, edge)) for edge in edges}
+    by_source: dict[int, set[int]] = {}
+    for parent, child in edge_set:
+        by_source.setdefault(parent, set()).add(child)
+
+    sg: set[tuple[int, int]] = set()
+    for children in by_source.values():
+        for x in children:
+            for y in children:
+                if x != y:
+                    sg.add((x, y))
+    while True:
+        new = set()
+        for a, b in sg:
+            for x in by_source.get(a, ()):
+                for y in by_source.get(b, ()):
+                    if x != y and (x, y) not in sg:
+                        new.add((x, y))
+        if not new:
+            return sg
+        sg |= new

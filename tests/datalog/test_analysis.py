@@ -1,0 +1,60 @@
+"""Tests for program analysis: dependency graph, strata, recursion detection."""
+
+from repro.datalog import analyze_program, dependency_graph, parse_program
+from repro.queries import cspa_program, reach_program, sg_program
+
+
+def test_reach_analysis():
+    analysis = analyze_program(reach_program())
+    assert analysis.edb_relations == {"edge"}
+    assert analysis.idb_relations == {"reach"}
+    assert len(analysis.strata) == 1
+    stratum = analysis.strata[0]
+    assert stratum.recursive
+    assert "reach" in stratum.relations
+    recursive_rule = analysis.program.rules_for("reach")[1]
+    assert analysis.recursive_atoms(recursive_rule) == [1]
+    assert analysis.is_recursive_rule(recursive_rule)
+
+
+def test_nonrecursive_program_stratum():
+    program = parse_program("adult(x) :- person(x, a), a >= 18.")
+    analysis = analyze_program(program)
+    assert len(analysis.strata) == 1
+    assert not analysis.strata[0].recursive
+    assert analysis.recursive_atoms(program.proper_rules()[0]) == []
+
+
+def test_multi_strata_ordering():
+    program = parse_program(
+        """
+        reach(x, y) :- edge(x, y).
+        reach(x, y) :- edge(x, z), reach(z, y).
+        popular(x) :- reach(y, x), reach(z, x), y != z.
+        """
+    )
+    analysis = analyze_program(program)
+    assert len(analysis.strata) == 2
+    assert "reach" in analysis.strata[0].relations
+    assert "popular" in analysis.strata[1].relations
+    assert not analysis.strata[1].recursive
+
+
+def test_cspa_relations_share_one_recursive_stratum():
+    analysis = analyze_program(cspa_program())
+    recursive = [s for s in analysis.strata if s.recursive]
+    assert len(recursive) == 1
+    assert {"valueflow", "valuealias", "memalias"} <= recursive[0].relations
+
+
+def test_sg_recursive_atom_indices():
+    analysis = analyze_program(sg_program())
+    recursive_rule = analysis.program.rules_for("sg")[1]
+    # Only the sg atom (index 1 in the body) is recursive.
+    assert analysis.recursive_atoms(recursive_rule) == [1]
+
+
+def test_dependency_graph_edges():
+    graph = dependency_graph(reach_program())
+    assert graph.has_edge("edge", "reach")
+    assert graph.has_edge("reach", "reach")

@@ -1,0 +1,90 @@
+"""Tests for the Datalog AST and its validation rules."""
+
+import pytest
+
+from repro.datalog import Atom, Comparison, Constant, Program, Rule, Variable, make_term
+from repro.errors import DatalogError, SafetyError
+
+
+def test_make_term_coercion():
+    assert make_term(5) == Constant(5)
+    assert make_term("hello") == Constant("hello")
+    variable = Variable("x")
+    assert make_term(variable) is variable
+    with pytest.raises(DatalogError):
+        make_term(True)
+    with pytest.raises(DatalogError):
+        make_term(3.14)
+
+
+def test_atom_validation_and_helpers():
+    atom = Atom("edge", (Variable("x"), Constant(3)))
+    assert atom.arity == 2
+    assert atom.variable_names() == {"x"}
+    assert not atom.is_ground()
+    assert str(atom) == "edge(x, 3)"
+    with pytest.raises(DatalogError):
+        Atom("", (Variable("x"),))
+    with pytest.raises(DatalogError):
+        Atom("empty", ())
+
+
+def test_rule_safety_head_variable_must_be_bound():
+    with pytest.raises(SafetyError):
+        Rule(
+            head=Atom("out", (Variable("x"), Variable("y"))),
+            body=(Atom("edge", (Variable("x"), Variable("z"))),),
+        )
+
+
+def test_rule_safety_comparison_variable_must_be_bound():
+    with pytest.raises(SafetyError):
+        Rule(
+            head=Atom("out", (Variable("x"),)),
+            body=(Atom("edge", (Variable("x"), Variable("y"))),),
+            comparisons=(Comparison("<", Variable("q"), Constant(3)),),
+        )
+
+
+def test_facts_must_be_ground():
+    with pytest.raises(SafetyError):
+        Rule(head=Atom("edge", (Variable("x"), Constant(1))))
+    fact = Rule(head=Atom("edge", (Constant(1), Constant(2))))
+    assert fact.is_fact
+
+
+def test_comparison_operator_validation():
+    with pytest.raises(DatalogError):
+        Comparison("~=", Variable("x"), Variable("y"))
+    comparison = Comparison("!=", Variable("x"), Constant(1))
+    assert comparison.variable_names() == {"x"}
+
+
+def test_program_relation_classification():
+    program = Program.parse(
+        """
+        edge(1, 2).
+        reach(x, y) :- edge(x, y).
+        reach(x, y) :- edge(x, z), reach(z, y).
+        """
+    )
+    assert program.idb_relations() == {"reach"}
+    assert program.edb_relations() == {"edge"}
+    assert program.relation_arities() == {"edge": 2, "reach": 2}
+    assert len(program.facts()) == 1
+    assert len(program.proper_rules()) == 2
+    assert len(program.rules_for("reach")) == 2
+    assert "reach(x, y)" in str(program)
+
+
+def test_program_rejects_inconsistent_arity():
+    with pytest.raises(DatalogError):
+        Program.parse("p(x) :- q(x). p(x, y) :- q(x), q(y).")
+
+
+def test_rule_str_roundtrip_through_parser():
+    from repro.datalog import parse_rule
+
+    source = "sg(x, y) :- edge(p, x), edge(p, y), x != y."
+    rule = parse_rule(source)
+    assert parse_rule(str(rule)) == rule

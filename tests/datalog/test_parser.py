@@ -1,0 +1,89 @@
+"""Tests for the Datalog parser."""
+
+import pytest
+
+from repro.datalog import Constant, Variable, parse_program, parse_rule
+from repro.errors import ParseError
+
+
+def test_parse_reach_program():
+    program = parse_program(
+        """
+        reach(x, y) :- edge(x, y).
+        reach(x, y) :- edge(x, z), reach(z, y).
+        """
+    )
+    assert len(program.rules) == 2
+    assert program.rules[1].body[1].relation == "reach"
+
+
+def test_parse_comments_and_whitespace():
+    program = parse_program(
+        """
+        // line comment
+        % another comment style
+        # and another
+        reach(x, y) :- edge(x, y).   // trailing comment
+        """
+    )
+    assert len(program.rules) == 1
+
+
+def test_parse_facts_with_integers_and_strings():
+    program = parse_program('edge(1, 2).  parent("alice", "bob").')
+    assert program.rules[0].head.terms == (Constant(1), Constant(2))
+    assert program.rules[1].head.terms == (Constant("alice"), Constant("bob"))
+
+
+def test_parse_negative_integers():
+    rule = parse_rule("p(x) :- q(x), x > -5.")
+    assert rule.comparisons[0].right == Constant(-5)
+
+
+def test_parse_comparisons_all_operators():
+    rule = parse_rule("p(x, y) :- q(x, y), x != y, x < 10, y >= 0, x <= y, x = x, y > 1.")
+    ops = [c.op for c in rule.comparisons]
+    assert ops == ["!=", "<", ">=", "<=", "==", ">"]
+
+
+def test_parse_dotted_relation_names():
+    rule = parse_rule("value_reg(ea, reg) :- def_used.for_address(ea, reg, w), w != 0.")
+    assert rule.body[0].relation == "def_used.for_address"
+
+
+def test_parse_anonymous_variables_are_fresh():
+    rule = parse_rule("p(x) :- q(x, _), r(_, x).")
+    anon = [t for atom in rule.body for t in atom.terms if isinstance(t, Variable) and t.name.startswith("_anon")]
+    assert len(anon) == 2
+    assert anon[0].name != anon[1].name
+
+
+def test_parse_alternative_implication_arrow():
+    rule = parse_rule("p(x) <- q(x).")
+    assert rule.body[0].relation == "q"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "p(x) :- q(x)",          # missing final dot
+        "p(x :- q(x).",           # unbalanced parenthesis
+        "p() :- q(x).",           # empty argument list
+        'p(x) :- q("unterminated).',
+        "p(x) :- q(x), ? .",
+    ],
+)
+def test_parse_errors(source):
+    with pytest.raises(ParseError):
+        parse_program(source)
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as info:
+        parse_program("p(x) :-\n q(x) ?")
+    assert "line 2" in str(info.value)
+
+
+def test_parse_rule_rejects_trailing_input():
+    with pytest.raises(ParseError):
+        parse_rule("p(x) :- q(x). q(1).")

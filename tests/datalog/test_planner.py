@@ -1,0 +1,94 @@
+"""Tests for rule compilation into relational-algebra plans."""
+
+import pytest
+
+from repro.datalog import analyze_program, parse_program, plan_program
+from repro.errors import PlanningError
+from repro.queries import cspa_program, reach_program, sg_program
+
+
+def plan_for(program):
+    return plan_program(analyze_program(program))
+
+
+def test_reach_plan_shape():
+    plan = plan_for(reach_program())
+    non_recursive, recursive = plan.versions_for_stratum(0)
+    assert len(non_recursive) == 1
+    assert len(recursive) == 1
+    version = recursive[0]
+    assert version.initial.relation == "reach"
+    assert version.initial.version == "delta"
+    assert len(version.joins) == 1
+    step = version.joins[0]
+    assert step.relation == "edge"
+    assert step.join_columns == (1,)  # edge joined on its destination column
+    assert ("edge", (1,)) in plan.required_indexes()
+
+
+def test_sg_plan_uses_two_materialized_joins():
+    plan = plan_for(sg_program())
+    _, recursive = plan.versions_for_stratum(0)
+    assert len(recursive) == 1
+    version = recursive[0]
+    assert version.initial.relation == "sg"
+    assert [step.relation for step in version.joins] == ["edge", "edge"]
+    # x != y is applied once both are bound: in the last join or as final filter.
+    assert version.joins[-1].filters or version.final_filters
+
+
+def test_cspa_plan_generates_versions_per_recursive_atom():
+    plan = plan_for(cspa_program())
+    analysis = plan.analysis
+    tc_rule = next(
+        rule for rule in analysis.program.rules_for("valueflow") if len(rule.body) == 2
+        and all(atom.relation == "valueflow" for atom in rule.body)
+    )
+    assert len(plan.rule_plans[tc_rule].versions) == 2  # delta at either atom
+
+
+def test_constants_in_body_become_filters():
+    program = parse_program("p(x) :- q(x, 3).")
+    plan = plan_for(program)
+    version = plan.rule_plans[program.proper_rules()[0]].versions[0]
+    assert version.initial.filters
+    assert version.initial.filters[0].constant == 3
+
+
+def test_repeated_variables_in_body_become_filters():
+    program = parse_program("loop(x) :- edge(x, x).")
+    plan = plan_for(program)
+    version = plan.rule_plans[program.proper_rules()[0]].versions[0]
+    assert any(f.right_column is not None for f in version.initial.filters)
+
+
+def test_repeated_variable_in_join_atom():
+    program = parse_program("p(x) :- q(x, y), r(y, y).")
+    plan = plan_for(program)
+    version = plan.rule_plans[program.proper_rules()[0]].versions[0]
+    step = version.joins[0]
+    assert step.filters  # equality between the two r columns
+    assert step.post_projection is not None
+
+
+def test_constant_in_head():
+    program = parse_program("tagged(x, 7) :- q(x, y).")
+    plan = plan_for(program)
+    version = plan.rule_plans[program.proper_rules()[0]].versions[0]
+    assert version.head[1].kind == "const"
+    assert version.head[1].value == 7
+
+
+def test_cross_product_rejected():
+    program = parse_program("p(x, y) :- q(x), r(y).")
+    with pytest.raises(PlanningError):
+        plan_for(program)
+
+
+def test_required_indexes_cover_all_join_steps():
+    plan = plan_for(cspa_program())
+    indexes = plan.required_indexes()
+    relations = {relation for relation, _ in indexes}
+    assert {"assign", "dereference", "valueflow", "memalias", "valuealias"} & relations
+    for _, columns in indexes:
+        assert columns  # never an empty key

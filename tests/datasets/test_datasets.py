@@ -1,0 +1,115 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PROFILE_TEST,
+    chained_communities,
+    dataset_names,
+    dataset_spec,
+    finite_element_mesh,
+    generate_cspa_dataset,
+    load_dataset,
+    p2p_graph,
+    random_dag,
+    road_network,
+    scale_free_graph,
+)
+from repro.errors import DatasetError
+
+
+GRAPH_GENERATORS = [
+    lambda: road_network(20, 4, seed=1),
+    lambda: finite_element_mesh(10, 5, seed=2),
+    lambda: scale_free_graph(80, 3, seed=3),
+    lambda: p2p_graph(100, 3, 20, seed=4),
+    lambda: chained_communities(5, 3, 3, seed=5),
+    lambda: random_dag(30, 0.1, seed=6),
+]
+
+
+@pytest.mark.parametrize("generator", GRAPH_GENERATORS)
+def test_generated_graphs_are_simple_dags(generator):
+    dataset = generator()
+    edges = dataset.edges
+    assert edges.shape[1] == 2
+    assert edges.shape[0] == dataset.edge_count > 0
+    # no self loops, no duplicate edges
+    assert np.all(edges[:, 0] != edges[:, 1])
+    assert np.unique(edges, axis=0).shape[0] == edges.shape[0]
+    graph = nx.DiGraph([tuple(map(int, e)) for e in edges])
+    assert nx.is_directed_acyclic_graph(graph)
+    assert max(int(edges.max()), 0) < dataset.n_nodes
+    assert dataset.facts()["edge"] is edges
+
+
+def test_generators_are_deterministic_per_seed():
+    a = scale_free_graph(100, 3, seed=7)
+    b = scale_free_graph(100, 3, seed=7)
+    c = scale_free_graph(100, 3, seed=8)
+    assert np.array_equal(a.edges, b.edges)
+    assert not np.array_equal(a.edges, c.edges)
+
+
+def test_road_network_diameter_exceeds_mesh():
+    road = road_network(60, 3, seed=1)
+    mesh = finite_element_mesh(14, 13, seed=1)
+    road_graph = nx.DiGraph([tuple(map(int, e)) for e in road.edges])
+    mesh_graph = nx.DiGraph([tuple(map(int, e)) for e in mesh.edges])
+    assert nx.dag_longest_path_length(road_graph) > nx.dag_longest_path_length(mesh_graph)
+
+
+def test_generator_parameter_validation():
+    with pytest.raises(DatasetError):
+        road_network(1, 1)
+    with pytest.raises(DatasetError):
+        scale_free_graph(3, 5)
+    with pytest.raises(DatasetError):
+        p2p_graph(1, 1, 1)
+    with pytest.raises(DatasetError):
+        random_dag(10, 0.0)
+    with pytest.raises(DatasetError):
+        generate_cspa_dataset(2, 2)
+
+
+def test_cspa_generator_shapes_and_determinism():
+    a = generate_cspa_dataset(4, 16, chain_length=3, seed=9)
+    b = generate_cspa_dataset(4, 16, chain_length=3, seed=9)
+    assert np.array_equal(a.assign, b.assign)
+    assert np.array_equal(a.dereference, b.dereference)
+    assert a.assign.shape[1] == 2 and a.dereference.shape[1] == 2
+    assert a.assign_count > 0 and a.dereference_count > 0
+    assert set(a.facts()) == {"assign", "dereference"}
+    # All variable ids stay in range.
+    assert a.assign.max() < a.n_variables and a.dereference.max() < a.n_variables
+
+
+def test_registry_contains_all_paper_datasets():
+    names = dataset_names()
+    expected = {
+        "usroads", "SF.cedge", "fe_ocean", "fe_body", "fe_sphere",
+        "com-dblp", "loc-Brightkite", "CA-HepTH", "ego-Facebook",
+        "Gnutella31", "vsp_finan", "httpd", "linux", "postgresql",
+    }
+    assert expected <= set(names)
+    assert set(dataset_names(kind="cspa")) == {"httpd", "linux", "postgresql"}
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_every_dataset_loads_in_test_profile(name):
+    dataset = load_dataset(name, PROFILE_TEST)
+    facts = dataset.facts()
+    assert facts
+    for rows in facts.values():
+        assert rows.dtype == np.int64 and rows.ndim == 2 and rows.shape[0] > 0
+
+
+def test_registry_errors_and_paper_metadata():
+    with pytest.raises(DatasetError):
+        load_dataset("not-a-dataset")
+    with pytest.raises(DatasetError):
+        dataset_spec("usroads").load("gigantic")
+    spec = dataset_spec("com-dblp")
+    assert spec.paper.output_sizes["reach"] == 1_910_000_000

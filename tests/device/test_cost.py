@@ -1,0 +1,63 @@
+"""Tests for the kernel cost model."""
+
+import pytest
+
+from repro.device import CostModel, KernelCost, device_preset
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel(device_preset("h100"))
+
+
+def test_launch_only_cost(model):
+    cost = KernelCost(kernel="noop")
+    assert model.seconds(cost) == pytest.approx(model.spec.kernel_launch_us * 1e-6)
+
+
+def test_memory_bound_kernel_scales_with_bytes(model):
+    small = KernelCost(kernel="k", sequential_bytes=1e6)
+    large = KernelCost(kernel="k", sequential_bytes=1e8)
+    assert model.memory_seconds(large) == pytest.approx(100 * model.memory_seconds(small))
+
+
+def test_random_access_slower_than_sequential(model):
+    sequential = KernelCost(kernel="k", sequential_bytes=1e7)
+    random = KernelCost(kernel="k", random_bytes=1e7)
+    assert model.memory_seconds(random) > model.memory_seconds(sequential)
+
+
+def test_roofline_takes_maximum(model):
+    cost = KernelCost(kernel="k", sequential_bytes=1e6, ops=1e12)
+    assert model.seconds(cost) >= model.compute_seconds(cost)
+    assert model.seconds(cost) >= model.memory_seconds(cost)
+
+
+def test_divergence_inflates_compute(model):
+    balanced = KernelCost(kernel="k", ops=1e9, divergence=1.0)
+    skewed = KernelCost(kernel="k", ops=1e9, divergence=4.0)
+    assert model.compute_seconds(skewed) == pytest.approx(4 * model.compute_seconds(balanced))
+
+
+def test_allocation_cost_has_fixed_and_per_byte_parts(model):
+    fixed_only = KernelCost(kernel="k", allocations=1, launches=0)
+    with_bytes = KernelCost(kernel="k", allocations=1, alloc_bytes=1e9, launches=0)
+    assert model.allocation_seconds(with_bytes) > model.allocation_seconds(fixed_only) > 0
+
+
+def test_gpu_faster_than_cpu_on_streaming():
+    gpu = CostModel(device_preset("h100"))
+    cpu = CostModel(device_preset("epyc-7543p"))
+    cost = KernelCost(kernel="stream", sequential_bytes=1e9, launches=0)
+    assert cpu.seconds(cost) / gpu.seconds(cost) > 10
+
+
+def test_combined_with_accumulates():
+    a = KernelCost(kernel="a", sequential_bytes=10, ops=5, launches=1, allocations=1, alloc_bytes=4)
+    b = KernelCost(kernel="b", random_bytes=7, ops=3, launches=2, divergence=2.0)
+    c = a.combined_with(b)
+    assert c.kernel == "a"
+    assert c.sequential_bytes == 10 and c.random_bytes == 7
+    assert c.ops == 8 and c.launches == 3
+    assert c.divergence == 2.0
+    assert c.allocations == 1 and c.alloc_bytes == 4

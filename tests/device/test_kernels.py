@@ -1,0 +1,122 @@
+"""Tests for the bulk device kernels, including Hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import Device
+from repro.device.kernels import lex_rank_keys, pack_rows, row_search_bounds
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50), st.integers(-5, 5)),
+    min_size=0,
+    max_size=80,
+).map(lambda rows: np.asarray(rows, dtype=np.int64).reshape(-1, 3))
+
+
+@pytest.fixture
+def kernels(device):
+    return device.kernels
+
+
+def test_lexsort_rows_matches_python_sort(kernels):
+    rows = np.array([[2, 1, 5], [2, 5, 9], [2, 1, 2], [1, 0, 0]], dtype=np.int64)
+    order = kernels.lexsort_rows(rows)
+    sorted_rows = rows[order]
+    assert [tuple(r) for r in sorted_rows] == sorted(map(tuple, rows.tolist()))
+
+
+def test_sort_rows_charges_time(device):
+    rows = np.arange(60, dtype=np.int64).reshape(-1, 3)[::-1].copy()
+    before = device.elapsed_seconds
+    result = device.kernels.sort_rows(rows)
+    assert device.elapsed_seconds > before
+    assert device.kernels.is_sorted_rows(result)
+
+
+def test_unique_rows_removes_duplicates(kernels):
+    rows = np.array([[1, 2], [1, 2], [3, 4], [0, 0], [3, 4]], dtype=np.int64)
+    unique = kernels.unique_rows(rows)
+    assert {tuple(r) for r in unique.tolist()} == {(1, 2), (3, 4), (0, 0)}
+    assert unique.shape[0] == 3
+
+
+def test_adjacent_unique_mask_requires_sorted_input(kernels):
+    rows = np.array([[1, 1], [1, 1], [2, 2]], dtype=np.int64)
+    mask = kernels.adjacent_unique_mask(rows)
+    assert mask.tolist() == [True, False, True]
+
+
+def test_stream_compact_checks_length(kernels):
+    rows = np.array([[1, 2], [3, 4]], dtype=np.int64)
+    with pytest.raises(ValueError):
+        kernels.stream_compact(rows, np.array([True]))
+
+
+def test_exclusive_scan_and_reduce(kernels):
+    values = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+    scan = kernels.exclusive_scan(values)
+    assert scan.tolist() == [0, 3, 4, 8, 9]
+    assert kernels.reduce_sum(values) == 14
+
+
+def test_merge_sorted_rows(kernels):
+    left = np.array([[1, 1], [3, 3]], dtype=np.int64)
+    right = np.array([[2, 2], [4, 4]], dtype=np.int64)
+    merged = kernels.merge_sorted_rows(left, right)
+    assert [tuple(r) for r in merged.tolist()] == [(1, 1), (2, 2), (3, 3), (4, 4)]
+
+
+def test_merge_arity_mismatch_rejected(kernels):
+    with pytest.raises(ValueError):
+        kernels.merge_sorted_rows(np.zeros((2, 2), dtype=np.int64), np.zeros((2, 3), dtype=np.int64))
+
+
+def test_gather_rows_and_values(kernels):
+    rows = np.array([[10, 11], [20, 21], [30, 31]], dtype=np.int64)
+    assert kernels.gather_rows(rows, np.array([2, 0])).tolist() == [[30, 31], [10, 11]]
+    assert kernels.gather_values(np.array([5, 6, 7]), np.array([1, 1])).tolist() == [6, 6]
+
+
+def test_searchsorted_rows_bounds(kernels):
+    haystack = np.array([[1, 1], [1, 1], [2, 5], [3, 0]], dtype=np.int64)
+    lower, upper = kernels.searchsorted_rows(haystack, np.array([[1, 1], [2, 5], [9, 9]], dtype=np.int64))
+    assert lower.tolist() == [0, 2, 4]
+    assert upper.tolist() == [2, 3, 4]
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_lex_rank_keys_preserve_order(rows):
+    keys = lex_rank_keys(rows)
+    python_order = sorted(range(rows.shape[0]), key=lambda i: tuple(rows[i]))
+    key_order = np.argsort(keys, kind="stable")
+    assert [tuple(rows[i]) for i in key_order] == [tuple(rows[i]) for i in python_order]
+
+
+@given(rows=rows_strategy, needles=rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_row_search_bounds_match_membership(rows, needles):
+    if rows.shape[0]:
+        rows = rows[np.lexsort(tuple(rows[:, c] for c in reversed(range(rows.shape[1]))))]
+    lower, upper = row_search_bounds(rows, needles)
+    haystack = {tuple(r) for r in rows.tolist()}
+    for index, needle in enumerate(map(tuple, needles.tolist())):
+        assert (upper[index] > lower[index]) == (needle in haystack)
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_unique_rows_is_exact_set(rows):
+    device = Device("h100", oom_enabled=False)
+    unique = device.kernels.unique_rows(rows)
+    assert {tuple(r) for r in unique.tolist()} == {tuple(r) for r in rows.tolist()}
+    assert unique.shape[0] == len({tuple(r) for r in rows.tolist()})
+
+
+def test_pack_rows_distinguishes_rows():
+    rows = np.array([[1, 2], [2, 1], [1, 2]], dtype=np.int64)
+    packed = pack_rows(rows)
+    assert packed[0] == packed[2]
+    assert packed[0] != packed[1]

@@ -1,0 +1,74 @@
+"""Tests for the simulated device memory pool."""
+
+import pytest
+
+from repro.device import MemoryPool
+from repro.errors import BufferError_, DeviceOutOfMemoryError
+
+
+def test_allocate_and_free_track_usage():
+    pool = MemoryPool(1000)
+    buffer = pool.allocate(400, label="x")
+    assert pool.in_use_bytes == 400
+    assert pool.peak_bytes == 400
+    assert pool.free_bytes == 600
+    pool.free(buffer)
+    assert pool.in_use_bytes == 0
+    assert pool.peak_bytes == 400  # peak is a watermark
+
+
+def test_oom_raised_and_counted():
+    pool = MemoryPool(1000)
+    pool.allocate(800)
+    with pytest.raises(DeviceOutOfMemoryError) as info:
+        pool.allocate(300)
+    assert pool.stats.oom_count == 1
+    assert info.value.requested_bytes == 300
+    assert info.value.capacity_bytes == 1000
+
+
+def test_oom_can_be_disabled():
+    pool = MemoryPool(100, oom_enabled=False)
+    pool.allocate(1_000_000)
+    assert pool.in_use_bytes == 1_000_000
+
+
+def test_double_free_rejected():
+    pool = MemoryPool(100)
+    buffer = pool.allocate(10)
+    pool.free(buffer)
+    with pytest.raises(BufferError_):
+        pool.free(buffer)
+
+
+def test_resize_replaces_allocation():
+    pool = MemoryPool(1000)
+    buffer = pool.allocate(100, label="grow-me")
+    replacement = pool.resize(buffer, 250)
+    assert replacement.nbytes == 250
+    assert replacement.label == "grow-me"
+    assert pool.in_use_bytes == 250
+
+
+def test_would_fit_and_live_buffers():
+    pool = MemoryPool(100)
+    assert pool.would_fit(100)
+    kept = pool.allocate(60)
+    assert not pool.would_fit(50)
+    assert [buffer.buffer_id for buffer in pool.live_buffers()] == [kept.buffer_id]
+
+
+def test_reset_peak():
+    pool = MemoryPool(1000)
+    buffer = pool.allocate(500)
+    pool.free(buffer)
+    pool.reset_peak()
+    assert pool.peak_bytes == 0
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        MemoryPool(0)
+    pool = MemoryPool(10)
+    with pytest.raises(ValueError):
+        pool.allocate(-1)

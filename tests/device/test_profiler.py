@@ -1,0 +1,83 @@
+"""Tests for the phase-aware profiler and the device facade."""
+
+import pytest
+
+from repro.device import (
+    Device,
+    KernelCost,
+    PHASE_JOIN,
+    PHASE_MERGE,
+    Profiler,
+)
+
+
+def test_phase_attribution_and_nesting():
+    profiler = Profiler()
+    profiler.record(KernelCost(kernel="a"), 1.0)
+    with profiler.phase(PHASE_JOIN):
+        profiler.record(KernelCost(kernel="b"), 2.0)
+        with profiler.phase(PHASE_MERGE):
+            profiler.record(KernelCost(kernel="c"), 3.0)
+        profiler.record(KernelCost(kernel="d"), 4.0)
+    seconds = profiler.phase_seconds()
+    assert seconds["other"] == 1.0
+    assert seconds[PHASE_JOIN] == 6.0
+    assert seconds[PHASE_MERGE] == 3.0
+    assert profiler.total_seconds == 10.0
+
+
+def test_phase_fractions_sum_to_one():
+    profiler = Profiler()
+    with profiler.phase(PHASE_JOIN):
+        profiler.record(KernelCost(kernel="j"), 3.0)
+    with profiler.phase(PHASE_MERGE):
+        profiler.record(KernelCost(kernel="m"), 1.0)
+    fractions = profiler.phase_fractions()
+    assert fractions[PHASE_JOIN] == pytest.approx(0.75)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_iteration_tagging():
+    profiler = Profiler()
+    with profiler.iteration(1):
+        profiler.record(KernelCost(kernel="a"), 1.0)
+    with profiler.iteration(2):
+        profiler.record(KernelCost(kernel="b"), 2.0)
+    assert profiler.iteration_seconds() == {1: 1.0, 2: 2.0}
+
+
+def test_kernel_seconds_and_reset():
+    profiler = Profiler()
+    profiler.record(KernelCost(kernel="a"), 1.5)
+    profiler.record(KernelCost(kernel="a"), 0.5)
+    assert profiler.kernel_seconds() == {"a": 2.0}
+    profiler.reset()
+    assert profiler.total_seconds == 0.0
+
+
+def test_device_charge_records_fixed_and_variable():
+    device = Device("h100", oom_enabled=False)
+    device.charge(KernelCost(kernel="k", sequential_bytes=1e9, launches=1))
+    assert device.profiler.fixed_seconds > 0
+    assert device.profiler.variable_seconds > 0
+    assert device.elapsed_seconds == pytest.approx(
+        device.profiler.fixed_seconds + device.profiler.variable_seconds
+    )
+
+
+def test_device_allocate_free_and_snapshot():
+    device = Device("h100", memory_capacity_bytes=1 << 20)
+    buffer = device.allocate(1024, label="x")
+    snapshot = device.snapshot()
+    assert snapshot.peak_memory_bytes >= 1024
+    assert snapshot.allocation_count == 1
+    device.free(buffer)
+    assert device.pool.in_use_bytes == 0
+
+
+def test_merge_from_combines_profilers():
+    a, b = Profiler(), Profiler()
+    a.record(KernelCost(kernel="x"), 1.0)
+    b.record(KernelCost(kernel="y"), 2.0)
+    a.merge_from(b)
+    assert a.total_seconds == 3.0

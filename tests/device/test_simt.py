@@ -1,0 +1,51 @@
+"""Tests for the SIMT divergence and stride-iteration model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import stride_count, stride_slices, warp_divergence_factor, warp_occupancy
+
+
+def test_balanced_work_has_no_divergence():
+    assert warp_divergence_factor(np.full(64, 5), warp_size=32) == pytest.approx(1.0)
+
+
+def test_single_busy_lane_dominates_warp():
+    work = np.zeros(32)
+    work[0] = 10
+    # 32 lanes wait for one busy lane: factor = 32 * 10 / 10 = 32.
+    assert warp_divergence_factor(work, warp_size=32) == pytest.approx(32.0)
+
+
+def test_empty_and_zero_work():
+    assert warp_divergence_factor(np.array([]), 32) == 1.0
+    assert warp_divergence_factor(np.zeros(100), 32) == 1.0
+
+
+def test_warp_size_validation():
+    with pytest.raises(ValueError):
+        warp_divergence_factor(np.ones(4), 0)
+
+
+@given(
+    work=st.lists(st.integers(0, 50), min_size=1, max_size=200),
+    warp_size=st.sampled_from([4, 8, 32]),
+)
+@settings(max_examples=100, deadline=None)
+def test_divergence_factor_bounds(work, warp_size):
+    factor = warp_divergence_factor(np.array(work, dtype=float), warp_size)
+    assert 1.0 <= factor <= warp_size + 1e-9
+    assert warp_occupancy(np.array(work, dtype=float), warp_size) == pytest.approx(1.0 / factor)
+
+
+def test_stride_count_and_slices():
+    assert stride_count(0, 128) == 0
+    assert stride_count(100, 128) == 1
+    assert stride_count(300, 128) == 3
+    slices = stride_slices(300, 128)
+    assert len(slices) == 3
+    assert slices[0] == slice(0, 128)
+    assert slices[-1] == slice(256, 300)
+    with pytest.raises(ValueError):
+        stride_count(10, 0)

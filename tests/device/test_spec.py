@@ -1,0 +1,78 @@
+"""Tests for device specifications and presets."""
+
+import pytest
+
+from repro.device import DeviceSpec, device_preset, list_device_presets
+from repro.device.spec import AMD_EPYC_7543P, AMD_MI250, NVIDIA_A100, NVIDIA_H100
+
+
+def test_presets_exist_and_resolve():
+    names = list_device_presets()
+    assert {"h100", "a100", "mi250", "mi50", "epyc-7543p", "epyc-7713", "xeon-6338"} <= set(names)
+    for name in names:
+        spec = device_preset(name)
+        assert isinstance(spec, DeviceSpec)
+        assert spec.memory_capacity_bytes > 0
+
+
+def test_preset_lookup_is_case_insensitive():
+    assert device_preset("H100") is NVIDIA_H100
+    assert device_preset(" a100 ") is NVIDIA_A100
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(KeyError):
+        device_preset("tpu-v5")
+
+
+def test_h100_outclasses_cpu_on_bandwidth():
+    assert NVIDIA_H100.memory_bandwidth_gbps / AMD_EPYC_7543P.memory_bandwidth_gbps > 15
+
+
+def test_mi250_models_single_chiplet():
+    # Only one of the two chiplets is usable by a single-GPU engine.
+    assert AMD_MI250.sm_count == 52
+    assert AMD_MI250.memory_capacity_bytes == 64 * 1024**3
+
+
+def test_derived_quantities():
+    spec = NVIDIA_H100
+    assert spec.total_cores == spec.sm_count * spec.cores_per_sm
+    assert spec.peak_ops_per_second > spec.effective_ops_per_second
+    assert spec.sequential_bandwidth_bytes > spec.random_bandwidth_bytes
+    assert spec.resident_threads > 0
+
+
+def test_with_memory_capacity_and_scaled():
+    spec = NVIDIA_H100.with_memory_capacity(1234)
+    assert spec.memory_capacity_bytes == 1234
+    scaled = NVIDIA_H100.scaled(1000)
+    assert scaled.memory_capacity_bytes == NVIDIA_H100.memory_capacity_bytes // 1000
+    with pytest.raises(ValueError):
+        NVIDIA_H100.scaled(0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kind": "fpga"},
+        {"sm_count": 0},
+        {"memory_bandwidth_gbps": -1.0},
+        {"memory_capacity_bytes": 0},
+        {"sequential_efficiency": 0.0},
+        {"random_efficiency": 2.0},
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    base = dict(
+        name="bad",
+        kind="gpu",
+        sm_count=10,
+        cores_per_sm=32,
+        clock_ghz=1.0,
+        memory_bandwidth_gbps=100.0,
+        memory_capacity_bytes=1 << 30,
+    )
+    base.update(kwargs)
+    with pytest.raises(ValueError):
+        DeviceSpec(**base)

@@ -1,0 +1,60 @@
+"""Tests for the instrumented host evaluator and its workload trace."""
+
+import numpy as np
+import pytest
+
+from repro.engines import InstrumentedEvaluator, evaluate_program
+from repro.queries import REACH_SOURCE, SG_SOURCE
+
+from ..conftest import same_generation, transitive_closure
+
+
+def test_trace_relations_match_reference(paper_edges):
+    trace = evaluate_program(REACH_SOURCE, {"edge": paper_edges})
+    reach = {tuple(r) for r in trace.relations["reach"].tolist()}
+    assert reach == transitive_closure(paper_edges)
+    assert trace.relation_counts["reach"] == len(reach)
+    assert trace.edb_relations == {"edge"}
+    assert trace.relation_arities == {"edge": 2, "reach": 2}
+
+
+def test_trace_iteration_counters_are_consistent(paper_edges):
+    trace = evaluate_program(REACH_SOURCE, {"edge": paper_edges})
+    assert trace.iterations[0].iteration == 0  # initialisation pass
+    assert trace.iteration_count == sum(1 for t in trace.iterations if t.iteration > 0)
+    # Full sizes never decrease and end at the final relation size.
+    fulls = [t.full_tuples_after for t in trace.iterations if t.iteration > 0]
+    assert all(a <= b for a, b in zip(fulls, fulls[1:]))
+    assert fulls[-1] == trace.relation_counts["reach"]
+    # Deltas sum to the final size (every tuple enters the delta exactly once).
+    assert trace.total_delta_tuples == trace.relation_counts["reach"]
+    # Matches are at least as many as the deduplicated new tuples, which are at
+    # least as many as the delta tuples of the fixpoint iterations (the
+    # initialisation pass seeds the delta without producing "new" tuples).
+    fixpoint_deltas = sum(t.delta_tuples for t in trace.iterations if t.iteration > 0)
+    assert trace.total_match_tuples >= trace.total_new_tuples >= fixpoint_deltas
+
+
+def test_trace_bytes_fields(paper_edges):
+    trace = evaluate_program(SG_SOURCE, {"edge": paper_edges})
+    sg = {tuple(r) for r in trace.relations["sg"].tolist()}
+    assert sg == same_generation(paper_edges)
+    last = trace.iterations[-1]
+    assert last.full_bytes_after == trace.final_full_bytes
+    assert trace.edb_bytes == paper_edges.nbytes
+    for item in trace.iterations:
+        assert item.match_bytes >= item.largest_join_output_bytes
+
+
+def test_idb_facts_are_staged():
+    trace = evaluate_program(
+        REACH_SOURCE,
+        {"edge": np.array([[0, 1]], dtype=np.int64), "reach": np.array([[5, 6]], dtype=np.int64)},
+    )
+    reach = {tuple(r) for r in trace.relations["reach"].tolist()}
+    assert (5, 6) in reach and (0, 1) in reach
+
+
+def test_invalid_fact_shape_rejected():
+    with pytest.raises(Exception):
+        InstrumentedEvaluator(REACH_SOURCE, {"edge": np.array([1, 2, 3])}).evaluate()

@@ -1,0 +1,83 @@
+"""Tests for merge-buffer management (Section 5.3)."""
+
+import pytest
+
+from repro.device import Device
+from repro.relational import EagerBufferManager, SimpleBufferManager, make_buffer_manager
+
+
+@pytest.fixture
+def small_device():
+    return Device("h100", memory_capacity_bytes=1 << 20)
+
+
+def test_simple_manager_allocates_exact_and_frees(small_device):
+    manager = SimpleBufferManager(small_device)
+    buffer = manager.acquire(1000, 100)
+    assert buffer.nbytes == 1000
+    manager.retire(buffer)
+    assert small_device.pool.in_use_bytes == 0
+    assert manager.stats.allocations == 1
+    assert manager.stats.reuses == 0
+
+
+def test_eager_manager_overallocates_with_growth_factor(small_device):
+    manager = EagerBufferManager(small_device, growth_factor=4.0)
+    buffer = manager.acquire(1000, delta_bytes=100)
+    # full + k * delta = 1000 + 3 * 100
+    assert buffer.nbytes == 1300
+
+
+def test_eager_manager_reuses_retired_buffer(small_device):
+    manager = EagerBufferManager(small_device, growth_factor=8.0)
+    first = manager.acquire(1000, 100)
+    manager.retire(first)
+    second = manager.acquire(1200, 50)
+    assert second is first
+    assert manager.stats.reuses == 1
+    assert manager.stats.allocations == 1
+
+
+def test_eager_manager_allocates_when_spare_too_small(small_device):
+    manager = EagerBufferManager(small_device, growth_factor=2.0)
+    first = manager.acquire(500, 100)
+    manager.retire(first)
+    second = manager.acquire(5000, 100)
+    assert second is not first
+    assert manager.stats.allocations == 2
+
+
+def test_eager_manager_keeps_larger_spare(small_device):
+    manager = EagerBufferManager(small_device, growth_factor=1.0)
+    big = manager.acquire(4000, 0)
+    small = manager.acquire(100, 0)
+    manager.retire(small)
+    manager.retire(big)
+    assert manager.spare_bytes == 4000
+    manager.release()
+    assert small_device.pool.in_use_bytes == 0
+
+
+def test_eager_manager_falls_back_when_growth_would_oom(small_device):
+    manager = EagerBufferManager(small_device, growth_factor=1000.0)
+    buffer = manager.acquire(1000, delta_bytes=10_000)
+    assert buffer.nbytes == 1000  # falls back to the exact size instead of OOMing
+
+
+def test_eager_allocation_charges_less_time_when_reusing(small_device):
+    manager = EagerBufferManager(small_device, growth_factor=8.0)
+    first = manager.acquire(1000, 100)
+    manager.retire(first)
+    before = small_device.elapsed_seconds
+    manager.acquire(1100, 100)
+    assert small_device.elapsed_seconds == before  # reuse: no allocation charge
+
+
+def test_growth_factor_validation(small_device):
+    with pytest.raises(ValueError):
+        EagerBufferManager(small_device, growth_factor=0.5)
+
+
+def test_factory(small_device):
+    assert isinstance(make_buffer_manager(small_device, eager=True), EagerBufferManager)
+    assert isinstance(make_buffer_manager(small_device, eager=False), SimpleBufferManager)

@@ -1,0 +1,53 @@
+"""Tests for join-key hashing."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import EMPTY_KEY, hash_rows, hash_single, next_power_of_two
+
+
+def test_hash_is_deterministic():
+    rows = np.array([[1, 2], [3, 4]], dtype=np.int64)
+    assert np.array_equal(hash_rows(rows), hash_rows(rows.copy()))
+
+
+def test_hash_depends_on_column_order():
+    assert hash_single((1, 2)) != hash_single((2, 1))
+
+
+def test_hash_depends_on_arity():
+    assert hash_single((1,)) != hash_single((1, 0))
+
+
+def test_hash_never_produces_empty_sentinel():
+    rng = np.random.default_rng(0)
+    rows = rng.integers(-(1 << 40), 1 << 40, size=(50_000, 3), dtype=np.int64)
+    hashes = hash_rows(rows)
+    assert not np.any(hashes == EMPTY_KEY)
+
+
+def test_collision_rate_is_negligible():
+    rng = np.random.default_rng(1)
+    rows = rng.integers(0, 1 << 62, size=(100_000, 2), dtype=np.int64)
+    rows = np.unique(rows, axis=0)
+    hashes = hash_rows(rows)
+    assert np.unique(hashes).size == rows.shape[0]
+
+
+def test_one_dimensional_input_accepted():
+    values = np.array([1, 2, 3], dtype=np.int64)
+    assert hash_rows(values).shape == (3,)
+
+
+@given(st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_hash_single_matches_hash_rows(values):
+    row = np.asarray([values], dtype=np.int64)
+    assert hash_single(tuple(values)) == int(hash_rows(row)[0])
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(0) == 2
+    assert next_power_of_two(2) == 2
+    assert next_power_of_two(3) == 4
+    assert next_power_of_two(1025) == 2048

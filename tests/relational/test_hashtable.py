@@ -1,0 +1,76 @@
+"""Tests for the open-addressing hash table (HISA tier 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import Device
+from repro.relational import OpenAddressingHashTable, hash_rows
+
+
+def build_table(device, n_keys=1000, load_factor=0.8, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.unique(rng.integers(0, 1 << 40, size=(n_keys, 2), dtype=np.int64), axis=0)
+    hashes = hash_rows(keys)
+    values = np.arange(hashes.size, dtype=np.int64)
+    lengths = rng.integers(1, 5, size=hashes.size)
+    table = OpenAddressingHashTable(device, hashes, values, lengths, load_factor=load_factor)
+    return table, hashes, values, lengths
+
+
+def test_probe_finds_every_inserted_key(device):
+    table, hashes, values, lengths = build_table(device)
+    found_values, found_lengths = table.probe(hashes)
+    assert np.array_equal(found_values, values)
+    assert np.array_equal(found_lengths, lengths)
+
+
+def test_probe_misses_unknown_keys(device):
+    table, hashes, _, _ = build_table(device, n_keys=100)
+    unknown = hash_rows(np.array([[999_999_999, 123]], dtype=np.int64))
+    positions, lengths = table.probe(unknown)
+    assert positions.tolist() == [-1]
+    assert lengths.tolist() == [0]
+
+
+def test_capacity_respects_load_factor(device):
+    table, *_ = build_table(device, n_keys=1000, load_factor=0.8)
+    assert table.occupancy() <= 0.8
+    assert table.capacity >= table.n_keys / 0.8
+
+
+def test_low_load_factor_uses_more_memory(device):
+    dense, *_ = build_table(device, n_keys=2000, load_factor=0.9)
+    sparse, *_ = build_table(device, n_keys=2000, load_factor=0.4)
+    assert sparse.nbytes > dense.nbytes
+    assert sparse.stats.average_probes <= dense.stats.average_probes
+
+
+def test_empty_table(device):
+    table = OpenAddressingHashTable(device, np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64))
+    positions, lengths = table.probe(np.array([1, 2, 3], dtype=np.uint64))
+    assert positions.tolist() == [-1, -1, -1]
+    assert len(table) == 0
+
+
+def test_mismatched_inputs_rejected(device):
+    with pytest.raises(ValueError):
+        OpenAddressingHashTable(device, np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.int64))
+    with pytest.raises(ValueError):
+        OpenAddressingHashTable(device, np.zeros(2, dtype=np.uint64), np.zeros(2, dtype=np.int64), load_factor=0.0)
+
+
+def test_build_charges_device_time(device):
+    before = device.elapsed_seconds
+    build_table(device, n_keys=500)
+    assert device.elapsed_seconds > before
+
+
+@given(seed=st.integers(0, 1000), n_keys=st.integers(1, 400), load_factor=st.sampled_from([0.5, 0.8, 0.95]))
+@settings(max_examples=40, deadline=None)
+def test_probe_roundtrip_property(seed, n_keys, load_factor):
+    device = Device("h100", oom_enabled=False)
+    table, hashes, values, lengths = build_table(device, n_keys=n_keys, load_factor=load_factor, seed=seed)
+    found_values, found_lengths = table.probe(hashes, charge=False)
+    assert np.array_equal(found_values, values)
+    assert np.array_equal(found_lengths, lengths)

@@ -1,0 +1,139 @@
+"""Tests for the Hash-Indexed Sorted Array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import Device
+from repro.errors import HisaStateError, SchemaError
+from repro.relational import HISA, SimpleBufferManager
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15), st.integers(0, 3)),
+    min_size=1,
+    max_size=120,
+).map(lambda rows: np.asarray(rows, dtype=np.int64))
+
+
+@pytest.fixture
+def edge_hisa(device, paper_edges):
+    return HISA(device, paper_edges, join_columns=(0,), label="edge")
+
+
+def test_data_array_preserves_tuples(device, paper_edges):
+    hisa = HISA(device, paper_edges, join_columns=(1,), label="edge")
+    assert {tuple(r) for r in hisa.natural_rows().tolist()} == {tuple(r) for r in paper_edges.tolist()}
+    assert hisa.tuple_count == paper_edges.shape[0]
+    assert hisa.arity == 2
+
+
+def test_sorted_index_orders_join_columns_first(device):
+    rows = np.array([[2, 1, 5], [2, 5, 9], [2, 1, 2]], dtype=np.int64)
+    # Join on the middle column, as in the Section 4.2 example: the sorted
+    # order should be (1,2,2) < (1,2,5) < (5,2,9) in reordered space.
+    hisa = HISA(device, rows, join_columns=(1,), label="example")
+    sorted_rows = hisa.data[hisa.sorted_index]
+    assert sorted_rows[:, 0].tolist() == [1, 1, 5]
+    assert hisa.sorted_index.tolist() == [2, 0, 1]
+
+
+def test_lookup_returns_runs(edge_hisa):
+    starts, lengths = edge_hisa.lookup(np.array([[0], [4], [9]], dtype=np.int64))
+    assert lengths.tolist() == [2, 2, 0]
+    assert starts[2] == -1
+    rows = edge_hisa.rows_at_sorted_positions(np.arange(starts[1], starts[1] + lengths[1]))
+    assert {tuple(r) for r in rows.tolist()} == {(4, 7), (4, 8)}
+
+
+def test_lookup_wrong_key_width_rejected(edge_hisa):
+    with pytest.raises(SchemaError):
+        edge_hisa.lookup(np.array([[1, 2]], dtype=np.int64))
+
+
+def test_expand_matches(edge_hisa):
+    starts, lengths = edge_hisa.lookup(np.array([[1], [4]], dtype=np.int64))
+    probe_idx, data_positions = edge_hisa.expand_matches(starts, lengths)
+    assert probe_idx.tolist() == [0, 0, 1, 1]
+    matched = edge_hisa.stored_rows()[data_positions]
+    assert {tuple(r) for r in matched.tolist()} == {(1, 3), (1, 4), (4, 7), (4, 8)}
+
+
+def test_contains_requires_all_column_index(device, paper_edges):
+    partial = HISA(device, paper_edges, join_columns=(0,))
+    with pytest.raises(HisaStateError):
+        partial.contains(paper_edges[:2])
+    full = HISA(device, paper_edges, join_columns=(0, 1))
+    mask = full.contains(np.array([[0, 1], [0, 9]], dtype=np.int64))
+    assert mask.tolist() == [True, False]
+
+
+def test_duplicate_or_invalid_join_columns_rejected(device, paper_edges):
+    with pytest.raises(SchemaError):
+        HISA(device, paper_edges, join_columns=(0, 0))
+    with pytest.raises(SchemaError):
+        HISA(device, paper_edges, join_columns=(5,))
+
+
+def test_memory_accounting_and_free(device, paper_edges):
+    before = device.pool.in_use_bytes
+    hisa = HISA(device, paper_edges, join_columns=(0,))
+    assert device.pool.in_use_bytes > before
+    breakdown = hisa.memory_breakdown()
+    assert breakdown.total_bytes == hisa.nbytes > 0
+    hisa.free()
+    assert device.pool.in_use_bytes == before
+    with pytest.raises(HisaStateError):
+        hisa.lookup(np.array([[1]], dtype=np.int64))
+    hisa.free()  # double free is a no-op
+
+
+def test_merge_combines_disjoint_relations(device):
+    full_rows = np.array([[0, 1], [1, 2]], dtype=np.int64)
+    delta_rows = np.array([[0, 2], [2, 3]], dtype=np.int64)
+    full = HISA(device, full_rows, join_columns=(0,), label="r")
+    delta = HISA(device, delta_rows, join_columns=(0,), label="r.delta")
+    merged = full.merge(delta, SimpleBufferManager(device))
+    assert merged.tuple_count == 4
+    assert {tuple(r) for r in merged.natural_rows().tolist()} == {(0, 1), (1, 2), (0, 2), (2, 3)}
+    starts, lengths = merged.lookup(np.array([[0]], dtype=np.int64))
+    assert lengths.tolist() == [2]
+    assert full.is_freed
+
+
+def test_merge_schema_mismatch_rejected(device, paper_edges):
+    a = HISA(device, paper_edges, join_columns=(0,))
+    b = HISA(device, paper_edges, join_columns=(1,))
+    with pytest.raises(SchemaError):
+        a.merge(b)
+
+
+@given(rows=rows_strategy, join_col=st.sampled_from([0, 1, 2]))
+@settings(max_examples=50, deadline=None)
+def test_lookup_matches_bruteforce(rows, join_col):
+    device = Device("h100", oom_enabled=False)
+    hisa = HISA(device, rows, join_columns=(join_col,))
+    keys = np.unique(rows[:, join_col])
+    starts, lengths = hisa.lookup(keys.reshape(-1, 1), charge=False)
+    for key, start, length in zip(keys.tolist(), starts.tolist(), lengths.tolist()):
+        expected = int((rows[:, join_col] == key).sum())
+        assert length == expected
+        found = hisa.rows_at_sorted_positions(np.arange(start, start + length))
+        assert all(row[join_col] == key for row in found.tolist())
+
+
+@given(rows=rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_merge_equals_union_property(rows):
+    device = Device("h100", oom_enabled=False)
+    unique = np.unique(rows, axis=0)
+    if unique.shape[0] < 2:
+        return
+    split = unique.shape[0] // 2
+    full = HISA(device, unique[:split], join_columns=(0,))
+    delta = HISA(device, unique[split:], join_columns=(0,))
+    merged = full.merge(delta)
+    assert {tuple(r) for r in merged.natural_rows().tolist()} == {tuple(r) for r in unique.tolist()}
+    # The merged sorted index must be a valid permutation in sorted order.
+    sorted_rows = merged.data[merged.sorted_index]
+    assert device.kernels.is_sorted_rows(sorted_rows)

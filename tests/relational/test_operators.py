@@ -1,0 +1,173 @@
+"""Tests for the relational-algebra kernels (join, select, project, difference)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import Device
+from repro.errors import SchemaError
+from repro.relational import (
+    HISA,
+    ColumnComparison,
+    JoinOutput,
+    deduplicate,
+    difference,
+    fused_nway_join,
+    hash_join,
+    project,
+    select,
+    union,
+)
+
+
+def brute_force_join(outer, inner, outer_cols, inner_cols, output):
+    result = []
+    for orow in map(tuple, outer.tolist()):
+        for irow in map(tuple, inner.tolist()):
+            if all(orow[a] == irow[b] for a, b in zip(outer_cols, inner_cols)):
+                tup = []
+                for source, col in output:
+                    tup.append(orow[col] if source == "outer" else irow[col])
+                result.append(tuple(tup))
+    return result
+
+
+def test_join_matches_bruteforce_on_example(device, paper_edges):
+    inner = HISA(device, paper_edges, join_columns=(0,), label="edge")
+    output = [JoinOutput("outer", 1), JoinOutput("inner", 1)]
+    result = hash_join(device, paper_edges, [1], inner, output)
+    expected = brute_force_join(paper_edges, paper_edges, [1], [0], [("outer", 1), ("inner", 1)])
+    assert sorted(map(tuple, result.tolist())) == sorted(expected)
+
+
+def test_join_with_comparison_filter(device, paper_edges):
+    inner = HISA(device, paper_edges, join_columns=(0,), label="edge")
+    output = [JoinOutput("outer", 1), JoinOutput("inner", 1)]
+    result = hash_join(
+        device, paper_edges, [0], inner, output,
+        comparisons=[ColumnComparison("!=", 0, right_column=1)],
+    )
+    assert all(a != b for a, b in result.tolist())
+
+
+def test_join_empty_inputs(device, paper_edges):
+    inner = HISA(device, paper_edges, join_columns=(0,))
+    empty = np.empty((0, 2), dtype=np.int64)
+    assert hash_join(device, empty, [0], inner, [JoinOutput("outer", 0)]).shape == (0, 1)
+    empty_inner = HISA(device, empty, join_columns=(0,))
+    assert hash_join(device, paper_edges, [0], empty_inner, [JoinOutput("outer", 0)]).shape == (0, 1)
+
+
+def test_join_key_width_mismatch_rejected(device, paper_edges):
+    inner = HISA(device, paper_edges, join_columns=(0, 1))
+    with pytest.raises(SchemaError):
+        hash_join(device, paper_edges, [0], inner, [JoinOutput("outer", 0)])
+
+
+def test_join_output_validation():
+    with pytest.raises(SchemaError):
+        JoinOutput("sideways", 0)
+    with pytest.raises(SchemaError):
+        JoinOutput("outer", -1)
+
+
+def test_column_comparison_validation():
+    with pytest.raises(SchemaError):
+        ColumnComparison("~", 0, constant=1)
+    with pytest.raises(SchemaError):
+        ColumnComparison("==", 0)
+    with pytest.raises(SchemaError):
+        ColumnComparison("==", 0, right_column=1, constant=2)
+
+
+def test_select_and_project(device):
+    rows = np.array([[1, 2, 3], [4, 4, 6], [7, 8, 7]], dtype=np.int64)
+    selected = select(device, rows, [ColumnComparison("==", 0, right_column=1)])
+    assert selected.tolist() == [[4, 4, 6]]
+    lt = select(device, rows, [ColumnComparison("<", 0, constant=5)])
+    assert len(lt) == 2
+    projected = project(device, rows, [2, 0])
+    assert projected.tolist() == [[3, 1], [6, 4], [7, 7]]
+
+
+def test_deduplicate_and_union(device):
+    rows = np.array([[1, 1], [2, 2], [1, 1]], dtype=np.int64)
+    assert deduplicate(device, rows).shape[0] == 2
+    combined = union(device, [rows, np.array([[3, 3]], dtype=np.int64)])
+    assert combined.shape[0] == 4
+    with pytest.raises(SchemaError):
+        union(device, [rows, np.array([[1, 2, 3]], dtype=np.int64)])
+
+
+def test_difference_removes_existing(device, paper_edges):
+    existing = HISA(device, paper_edges, join_columns=(0, 1))
+    candidate = np.array([[0, 1], [9, 9], [4, 8], [7, 7]], dtype=np.int64)
+    fresh = difference(device, candidate, existing)
+    assert {tuple(r) for r in fresh.tolist()} == {(9, 9), (7, 7)}
+
+
+def test_fused_join_equals_materialized(device, paper_edges):
+    """The fused n-way join must produce the same tuples as two binary joins."""
+    edge_by_src = HISA(device, paper_edges, join_columns=(0,), label="edge")
+    sg_seed = hash_join(
+        device, paper_edges, [0], edge_by_src,
+        [JoinOutput("outer", 1), JoinOutput("inner", 1)],
+        comparisons=[ColumnComparison("!=", 0, right_column=1)],
+    )
+    # Rule: sg(x, y) :- edge(a, x), sg(a, b), edge(b, y), x != y  (one round).
+    step1 = hash_join(
+        device, sg_seed, [0], edge_by_src,
+        [JoinOutput("outer", 0), JoinOutput("outer", 1), JoinOutput("inner", 1)],
+    )
+    materialized = hash_join(
+        device, step1, [1], edge_by_src,
+        [JoinOutput("outer", 2), JoinOutput("inner", 1)],
+        comparisons=[ColumnComparison("!=", 0, right_column=1)],
+    )
+    fused = fused_nway_join(
+        device,
+        sg_seed,
+        stages=[
+            ([0], edge_by_src, [JoinOutput("outer", 0), JoinOutput("outer", 1), JoinOutput("inner", 1)]),
+            ([1], edge_by_src, [JoinOutput("outer", 2), JoinOutput("inner", 1)]),
+        ],
+        comparisons=[ColumnComparison("!=", 0, right_column=1)],
+    )
+    assert sorted(map(tuple, fused.tolist())) == sorted(map(tuple, materialized.tolist()))
+
+
+def test_fused_join_charges_more_divergence_on_skewed_data(device):
+    """A hub-heavy inner relation makes the fused plan pay for idle lanes."""
+    rng = np.random.default_rng(0)
+    hub_edges = np.array([[0, i] for i in range(1, 200)] + [[i, 200 + i] for i in range(1, 50)], dtype=np.int64)
+    inner = HISA(device, hub_edges, join_columns=(0,), label="hub")
+    outer = hub_edges
+
+    fused_device = Device("h100", oom_enabled=False)
+    fused_inner = HISA(fused_device, hub_edges, join_columns=(0,), label="hub")
+    fused_nway_join(
+        fused_device,
+        outer,
+        stages=[
+            ([1], fused_inner, [JoinOutput("outer", 0), JoinOutput("inner", 1)]),
+            ([1], fused_inner, [JoinOutput("outer", 0), JoinOutput("inner", 1)]),
+        ],
+    )
+    fused_events = [e for e in fused_device.profiler.events if e.kernel == "fused_join"]
+    assert fused_events and fused_events[0].cost.divergence > 1.0
+
+
+hypothesis_rows = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=1, max_size=60
+).map(lambda rows: np.asarray(rows, dtype=np.int64))
+
+
+@given(outer=hypothesis_rows, inner=hypothesis_rows)
+@settings(max_examples=60, deadline=None)
+def test_hash_join_matches_bruteforce_property(outer, inner):
+    device = Device("h100", oom_enabled=False)
+    inner_hisa = HISA(device, inner, join_columns=(0,))
+    output = [JoinOutput("outer", 0), JoinOutput("outer", 1), JoinOutput("inner", 1)]
+    result = hash_join(device, outer, [1], inner_hisa, output)
+    expected = brute_force_join(outer, inner, [1], [0], [("outer", 0), ("outer", 1), ("inner", 1)])
+    assert sorted(map(tuple, result.tolist())) == sorted(expected)

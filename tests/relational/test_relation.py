@@ -1,0 +1,99 @@
+"""Tests for the semi-naive Relation storage (full/delta/new lifecycle)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Relation
+
+
+def test_initialize_sets_full_and_delta(device, paper_edges):
+    relation = Relation(device, "edge", 2)
+    relation.require_index((0,))
+    relation.initialize(paper_edges)
+    assert relation.full_count == paper_edges.shape[0]
+    assert relation.delta_count == paper_edges.shape[0]
+    assert relation.index_for((0,)).tuple_count == paper_edges.shape[0]
+    assert relation.canonical_index.n_join == 2
+
+
+def test_initialize_deduplicates(device):
+    relation = Relation(device, "r", 2)
+    relation.initialize(np.array([[1, 2], [1, 2], [3, 4]], dtype=np.int64))
+    assert relation.full_count == 2
+
+
+def test_end_iteration_populates_delta_and_merges(device, paper_edges):
+    relation = Relation(device, "reach", 2)
+    relation.initialize(paper_edges)
+    # New tuples: one duplicate of full, one new, one internal duplicate.
+    relation.add_new(np.array([[0, 1], [0, 9], [0, 9]], dtype=np.int64))
+    stats = relation.end_iteration()
+    assert stats.new_count == 2  # after in-batch dedup
+    assert stats.delta_count == 1
+    assert relation.full_count == paper_edges.shape[0] + 1
+    assert {tuple(r) for r in relation.delta_rows.tolist()} == {(0, 9)}
+
+    # Second iteration with nothing new reaches the empty-delta fixpoint.
+    stats = relation.end_iteration()
+    assert stats.delta_count == 0
+    assert relation.delta_count == 0
+
+
+def test_history_records_iterations(device, paper_edges):
+    relation = Relation(device, "reach", 2)
+    relation.initialize(paper_edges)
+    relation.add_new(np.array([[0, 9]], dtype=np.int64))
+    relation.end_iteration()
+    relation.end_iteration()
+    assert [item.iteration for item in relation.history] == [1, 2]
+    assert relation.history[0].delta_count == 1
+    assert relation.history[1].delta_count == 0
+
+
+def test_indexes_stay_consistent_after_merge(device, paper_edges):
+    relation = Relation(device, "edge", 2)
+    relation.require_index((1,))
+    relation.initialize(paper_edges)
+    relation.add_new(np.array([[7, 8]], dtype=np.int64))
+    relation.end_iteration()
+    index = relation.index_for((1,))
+    starts, lengths = index.lookup(np.array([[8]], dtype=np.int64))
+    assert lengths.tolist() == [3]  # (4,8), (5,8), (7,8)
+
+
+def test_require_index_validation(device):
+    relation = Relation(device, "r", 2)
+    with pytest.raises(SchemaError):
+        relation.require_index(())
+    with pytest.raises(SchemaError):
+        relation.require_index((3,))
+    with pytest.raises(SchemaError):
+        relation.index_for((1,))
+    with pytest.raises(SchemaError):
+        Relation(device, "bad", 0)
+
+
+def test_arity_mismatch_rejected(device):
+    relation = Relation(device, "r", 2)
+    with pytest.raises(SchemaError):
+        relation.initialize(np.array([[1, 2, 3]], dtype=np.int64))
+
+
+def test_free_releases_device_memory(device, paper_edges):
+    before = device.pool.in_use_bytes
+    relation = Relation(device, "edge", 2)
+    relation.require_index((0,))
+    relation.initialize(paper_edges)
+    relation.add_new(np.array([[9, 9]], dtype=np.int64))
+    relation.end_iteration()
+    assert device.pool.in_use_bytes > before
+    relation.free()
+    assert device.pool.in_use_bytes == before
+
+
+def test_as_set_and_memory_bytes(device, paper_edges):
+    relation = Relation(device, "edge", 2)
+    relation.initialize(paper_edges)
+    assert relation.as_set() == {tuple(r) for r in paper_edges.tolist()}
+    assert relation.memory_bytes() > 0
