@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Record a relational-layer performance baseline to ``BENCH_relational.json``.
+
+Run from the repository root::
+
+    python benchmarks/record_baseline.py           # full baseline (~1-2 min)
+    python benchmarks/record_baseline.py --quick   # CI smoke variant
+
+The artifact captures host wall-clock numbers for the structures this repo's
+performance work keeps iterating on, so future PRs have a trajectory to
+compare against:
+
+* per-merge cost of ``HISA.merge`` (incremental vs legacy scratch rebuild)
+  across growing ``|full|`` with a fixed small delta;
+* end-to-end transitive-closure fixpoints whose full relation grows large
+  while late deltas stay small (chain graph + a registry graph), with
+  per-iteration merge-phase timings for the incremental engine.
+
+Numbers are host seconds (``time.perf_counter``), not simulated device time:
+the incremental-merge work eliminated real Python/NumPy host work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import GPULogEngine  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.device import Device  # noqa: E402
+from repro.queries import REACH_SOURCE  # noqa: E402
+from repro.relational import HISA, EagerBufferManager, Relation  # noqa: E402
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_relational.json"
+
+
+def time_single_merge(n_full: int, delta_size: int, *, incremental: bool, repeats: int = 3) -> float:
+    rng = np.random.default_rng(12345)
+    rows = np.unique(rng.integers(0, 10**9, size=(int((n_full + delta_size) * 1.1), 2), dtype=np.int64), axis=0)
+    full_rows, delta_rows = rows[:n_full], rows[n_full : n_full + delta_size]
+    best = float("inf")
+    for _ in range(repeats):
+        device = Device("h100", oom_enabled=False)
+        full = HISA(device, full_rows, (0,), label="baseline")
+        delta = HISA(device, delta_rows, (0,), label="baseline.delta")
+        start = time.perf_counter()
+        full.merge(delta, EagerBufferManager(device), incremental=incremental)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def tc_fixpoint_with_merge_timings(edges: np.ndarray, *, incremental: bool) -> dict:
+    """Manual semi-naïve TC over ``edges``, timing each iteration's merges."""
+    device = Device("h100", oom_enabled=False)
+    relation = Relation(device, "reach", 2, incremental_merge=incremental)
+    relation.require_index((1,))
+    edge_map: dict[int, np.ndarray] = {}
+    order = np.argsort(edges[:, 0], kind="stable")
+    sorted_edges = edges[order]
+    starts = np.searchsorted(sorted_edges[:, 0], np.unique(sorted_edges[:, 0]))
+    uniques = np.unique(sorted_edges[:, 0])
+    bounds = np.append(starts, sorted_edges.shape[0])
+    for i, key in enumerate(uniques.tolist()):
+        edge_map[key] = sorted_edges[bounds[i] : bounds[i + 1], 1]
+
+    total_start = time.perf_counter()
+    relation.initialize(edges)
+    per_iteration_merge_seconds: list[float] = []
+    full_counts: list[int] = []
+    while True:
+        delta = relation.delta_rows
+        if delta.shape[0]:
+            sources = delta[:, 0]
+            targets = delta[:, 1]
+            parts = []
+            for i in range(targets.shape[0]):
+                successors = edge_map.get(int(targets[i]))
+                if successors is not None and successors.size:
+                    parts.append(
+                        np.column_stack(
+                            [np.full(successors.size, sources[i], dtype=np.int64), successors]
+                        )
+                    )
+            if parts:
+                relation.add_new(np.concatenate(parts, axis=0))
+        merge_start = time.perf_counter()
+        stats = relation.end_iteration()
+        per_iteration_merge_seconds.append(time.perf_counter() - merge_start)
+        full_counts.append(stats.full_count)
+        if stats.delta_count == 0:
+            break
+    total_seconds = time.perf_counter() - total_start
+    result = {
+        "iterations": len(per_iteration_merge_seconds),
+        "final_full_count": full_counts[-1] if full_counts else 0,
+        "total_seconds": round(total_seconds, 4),
+        "total_end_iteration_seconds": round(sum(per_iteration_merge_seconds), 4),
+        "mean_end_iteration_seconds": round(
+            sum(per_iteration_merge_seconds) / max(1, len(per_iteration_merge_seconds)), 6
+        ),
+        "max_end_iteration_seconds": round(max(per_iteration_merge_seconds or [0.0]), 6),
+        "in_place_merges": sum(s.in_place_merges for s in relation.history),
+        "rebuild_merges": sum(s.rebuild_merges for s in relation.history),
+    }
+    relation.free()
+    return result
+
+
+def engine_tc(edges: np.ndarray, *, incremental: bool) -> dict:
+    engine = GPULogEngine(
+        device="h100", oom_enabled=False, incremental_merge=incremental, collect_relations=False
+    )
+    engine.add_fact_array("edge", edges)
+    start = time.perf_counter()
+    result = engine.run(REACH_SOURCE)
+    elapsed = time.perf_counter() - start
+    summary = {
+        "host_seconds": round(elapsed, 4),
+        "simulated_seconds": round(result.elapsed_seconds, 6),
+        "iterations": result.total_iterations,
+        "reach_count": result.count("reach"),
+        "in_place_merges": result.stats.in_place_merges,
+        "rebuild_merges": result.stats.rebuild_merges,
+    }
+    engine.close()
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
+    parser.add_argument("--output", type=Path, default=ARTIFACT)
+    args = parser.parse_args()
+
+    if args.quick:
+        merge_sizes = (10_000, 40_000)
+        chain_length = 120
+        graph_profile = None
+    else:
+        merge_sizes = (20_000, 40_000, 80_000, 160_000)
+        chain_length = 450
+        graph_profile = "test"
+
+    baseline: dict = {
+        "schema_version": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": bool(args.quick),
+        "single_merge": [],
+        "tc_chain": {},
+        "registry_graphs": {},
+    }
+
+    delta_size = 512
+    for n_full in merge_sizes:
+        incremental = time_single_merge(n_full, delta_size, incremental=True)
+        rebuild = time_single_merge(n_full, delta_size, incremental=False)
+        baseline["single_merge"].append(
+            {
+                "n_full": n_full,
+                "delta": delta_size,
+                "incremental_seconds": round(incremental, 6),
+                "rebuild_seconds": round(rebuild, 6),
+                "speedup": round(rebuild / incremental, 2),
+            }
+        )
+        print(
+            f"merge |full|={n_full:>7}: incremental {incremental * 1e3:7.2f}ms  "
+            f"rebuild {rebuild * 1e3:7.2f}ms  ({rebuild / incremental:.1f}x)"
+        )
+
+    edges = np.array([[i, i + 1] for i in range(chain_length)], dtype=np.int64)
+    chain: dict = {"chain_length": chain_length}
+    chain["incremental"] = tc_fixpoint_with_merge_timings(edges, incremental=True)
+    chain["rebuild"] = tc_fixpoint_with_merge_timings(edges, incremental=False)
+    chain["speedup"] = round(
+        chain["rebuild"]["total_seconds"] / max(1e-12, chain["incremental"]["total_seconds"]), 2
+    )
+    baseline["tc_chain"] = chain
+    print(
+        f"TC chain={chain_length}: incremental {chain['incremental']['total_seconds']}s  "
+        f"rebuild {chain['rebuild']['total_seconds']}s  ({chain['speedup']}x), "
+        f"|reach|={chain['incremental']['final_full_count']}"
+    )
+
+    if graph_profile is not None:
+        for name in ("usroads", "Gnutella31"):
+            facts = load_dataset(name, profile=graph_profile).facts()
+            graph_edges = np.asarray(facts["edge"], dtype=np.int64)
+            entry = {
+                "profile": graph_profile,
+                "incremental": engine_tc(graph_edges, incremental=True),
+                "rebuild": engine_tc(graph_edges, incremental=False),
+            }
+            entry["speedup"] = round(
+                entry["rebuild"]["host_seconds"] / max(1e-12, entry["incremental"]["host_seconds"]), 2
+            )
+            baseline["registry_graphs"][name] = entry
+            print(
+                f"{name} ({graph_profile}): incremental {entry['incremental']['host_seconds']}s  "
+                f"rebuild {entry['rebuild']['host_seconds']}s  ({entry['speedup']}x)"
+            )
+
+    args.output.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -127,6 +127,7 @@ class GPULogEngine:
         oom_enabled: bool = True,
         eager_buffers: bool = True,
         buffer_growth_factor: float = 8.0,
+        incremental_merge: bool = True,
         load_factor: float = DEFAULT_LOAD_FACTOR,
         materialize_nway: bool = True,
         max_iterations: int = 1_000_000,
@@ -139,6 +140,7 @@ class GPULogEngine:
         self.collect_relations = bool(collect_relations)
         self.eager_buffers = bool(eager_buffers)
         self.buffer_growth_factor = float(buffer_growth_factor)
+        self.incremental_merge = bool(incremental_merge)
         self.load_factor = float(load_factor)
         self.materialize_nway = bool(materialize_nway)
         self.max_iterations = int(max_iterations)
@@ -210,6 +212,7 @@ class GPULogEngine:
                 load_factor=self.load_factor,
                 eager_buffers=self.eager_buffers,
                 buffer_growth_factor=self.buffer_growth_factor,
+                incremental_merge=self.incremental_merge,
             )
         for relation_name, columns in plan.required_indexes():
             self.relations[relation_name].require_index(columns)

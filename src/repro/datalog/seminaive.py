@@ -37,6 +37,10 @@ class StratumResult:
     relations: tuple[str, ...]
     recursive: bool
     iterations: int
+    #: index merges (across relations and iterations) absorbed in place
+    in_place_merges: int = 0
+    #: index merges that fell back to the legacy scratch rebuild
+    rebuild_merges: int = 0
 
 
 @dataclass
@@ -48,6 +52,16 @@ class EvaluationStats:
     @property
     def total_iterations(self) -> int:
         return sum(result.iterations for result in self.strata)
+
+    @property
+    def in_place_merges(self) -> int:
+        """Merges the incremental path absorbed without acquiring a buffer."""
+        return sum(result.in_place_merges for result in self.strata)
+
+    @property
+    def rebuild_merges(self) -> int:
+        """Merges that paid the full O(|full|) scratch rebuild."""
+        return sum(result.rebuild_merges for result in self.strata)
 
 
 class SemiNaiveEvaluator:
@@ -105,8 +119,12 @@ class SemiNaiveEvaluator:
                 relation.initialize(rows)
 
             iterations = 0
+            in_place_merges = 0
+            rebuild_merges = 0
             if recursive:
-                iterations = self._run_fixpoint(stratum.index, idb_in_stratum, recursive)
+                iterations, in_place_merges, rebuild_merges = self._run_fixpoint(
+                    stratum.index, idb_in_stratum, recursive
+                )
             else:
                 # Nothing recursive: clear deltas so later strata see stable fulls.
                 for name in idb_in_stratum:
@@ -118,13 +136,19 @@ class SemiNaiveEvaluator:
                     relations=tuple(idb_in_stratum),
                     recursive=stratum.recursive,
                     iterations=iterations,
+                    in_place_merges=in_place_merges,
+                    rebuild_merges=rebuild_merges,
                 )
             )
         return stats
 
     # ------------------------------------------------------------------
-    def _run_fixpoint(self, stratum_index: int, idb_in_stratum: list[str], recursive: list[RuleVersion]) -> int:
+    def _run_fixpoint(
+        self, stratum_index: int, idb_in_stratum: list[str], recursive: list[RuleVersion]
+    ) -> tuple[int, int, int]:
         iteration = 0
+        in_place_merges = 0
+        rebuild_merges = 0
         while True:
             iteration += 1
             if iteration > self.max_iterations:
@@ -143,9 +167,11 @@ class SemiNaiveEvaluator:
                 for name in idb_in_stratum:
                     result = self.relations[name].end_iteration()
                     total_delta += result.delta_count
+                    in_place_merges += result.in_place_merges
+                    rebuild_merges += result.rebuild_merges
             if total_delta == 0:
                 break
-        return iteration
+        return iteration, in_place_merges, rebuild_merges
 
     # ------------------------------------------------------------------
     # Rule-version execution

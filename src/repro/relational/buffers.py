@@ -42,6 +42,9 @@ class BufferManagerStats:
     retirements: int = 0
     bytes_requested: int = 0
     bytes_allocated: int = 0
+    #: merges absorbed by reserved headroom: no buffer was acquired at all.
+    in_place_appends: int = 0
+    bytes_appended_in_place: int = 0
 
     @property
     def reuse_fraction(self) -> float:
@@ -61,6 +64,17 @@ class MergeBufferManager(ABC):
     @abstractmethod
     def acquire(self, required_bytes: int, delta_bytes: int) -> Buffer:
         """Return a destination buffer with capacity >= ``required_bytes``."""
+
+    def note_in_place(self, delta_bytes: int) -> None:
+        """Record a merge that fit the delta into the full buffer's headroom.
+
+        With eager over-allocation most tail iterations never reach
+        :meth:`acquire` at all — the delta is appended in place.  Tracking the
+        event here keeps the EBM statistics (Table 1) honest about how much
+        allocator traffic the policy eliminated.
+        """
+        self.stats.in_place_appends += 1
+        self.stats.bytes_appended_in_place += max(0, int(delta_bytes))
 
     @abstractmethod
     def retire(self, buffer: Buffer) -> None:

@@ -14,6 +14,25 @@ attempts slot ``(hash + o) mod capacity``; at most one key can claim an empty
 slot per round (the "CAS winner"), everyone else retries in the next round.
 The number of rounds therefore equals the longest probe sequence, exactly as
 it would on the GPU.
+
+Incremental maintenance (Section 5.1, semi-naïve merge).  A persistent
+``full`` index gains only the *delta*'s new join keys every fixpoint
+iteration, so rebuilding the whole table each merge is O(|full|) wasted work.
+The table therefore supports
+
+* :meth:`insert_batch` — insert a batch of previously-absent keys with the
+  same CAS-race emulation, growing the backing arrays *geometrically* (the
+  capacity at least doubles on overflow) so the amortised per-key rehash cost
+  is O(1) over a fixpoint;
+* :meth:`find_slots` — resolve keys to their physical slot index (used by the
+  owning HISA to remember where each run's entry lives after a growth rehash);
+* :meth:`update_slots` — bulk-refresh the (value, run length) payload of
+  existing entries in place.  Merging a delta shifts every run's start
+  position, so the owning HISA scatters the new positions into the already
+  known slots — a streaming pass, not a rebuild.
+
+Existing keys keep their slot until a growth rehash, which is what makes the
+slot-handle scheme sound.
 """
 
 from __future__ import annotations
@@ -83,7 +102,10 @@ class OpenAddressingHashTable:
         self._values = np.full(self.capacity, -1, dtype=np.int64)
         self._lengths = np.zeros(self.capacity, dtype=np.int64)
 
-        rounds, probes = self._build(key_hashes, values, run_lengths)
+        rounds, probes, slots = self._build(key_hashes, values, run_lengths)
+        #: physical slot claimed by each constructor key, in input order
+        #: (valid until the first growth rehash) — saves callers a probe pass.
+        self.built_slots = slots
         self.stats = HashTableStats(
             capacity=self.capacity,
             n_keys=self.n_keys,
@@ -105,8 +127,12 @@ class OpenAddressingHashTable:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build(self, key_hashes: np.ndarray, values: np.ndarray, lengths: np.ndarray) -> tuple[int, int]:
+    def _build(
+        self, key_hashes: np.ndarray, values: np.ndarray, lengths: np.ndarray
+    ) -> tuple[int, int, np.ndarray]:
+        """CAS-race insertion rounds; returns (rounds, probes, winning slots)."""
         pending = np.arange(key_hashes.size, dtype=np.int64)
+        slot_of = np.full(key_hashes.size, -1, dtype=np.int64)
         offset = np.uint64(0)
         rounds = 0
         probes = 0
@@ -128,13 +154,147 @@ class OpenAddressingHashTable:
                 winner_slots = candidate_slots[won]
                 self._values[winner_slots] = values[winners]
                 self._lengths[winner_slots] = lengths[winners]
+                slot_of[winners] = winner_slots
                 inserted = np.zeros(key_hashes.size, dtype=bool)
                 inserted[winners] = True
                 pending = pending[~inserted[pending]]
             offset += np.uint64(1)
             if int(offset) > self.capacity:
                 raise RuntimeError("hash table build did not converge; table is over-full")
-        return rounds, probes
+        return rounds, probes, slot_of
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def insert_batch(
+        self,
+        key_hashes: np.ndarray,
+        values: np.ndarray,
+        run_lengths: np.ndarray | None = None,
+        *,
+        charge: bool = True,
+        label: str | None = None,
+    ) -> tuple[np.ndarray, bool]:
+        """Insert previously-absent keys; returns ``(slots, grew)``.
+
+        ``slots[i]`` is the physical slot claimed by ``key_hashes[i]``; the
+        slot stays valid until the next growth rehash (signalled by ``grew``).
+        Growth is geometric — the capacity at least doubles — so a fixpoint
+        inserting many small deltas pays amortised O(1) rehash work per key.
+        Only the *new* keys' probe work (plus the occasional rehash) is
+        charged, which is the whole point of the incremental merge path.
+        """
+        key_hashes = np.asarray(key_hashes, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.int64)
+        if key_hashes.shape != values.shape:
+            raise ValueError("key_hashes and values must have the same length")
+        if run_lengths is None:
+            run_lengths = np.ones_like(values)
+        run_lengths = np.asarray(run_lengths, dtype=np.int64)
+        m = int(key_hashes.size)
+
+        grew = False
+        rebuild_probes = 0
+        if self.n_keys + m > self.load_factor * self.capacity:
+            target = self.capacity
+            while self.n_keys + m > self.load_factor * target:
+                target *= 2
+            rebuild_probes = self._grow(next_power_of_two(target))
+            grew = True
+
+        rounds, probes, slots = self._build(key_hashes, values, run_lengths) if m else (0, 0, np.empty(0, dtype=np.int64))
+        self.n_keys += m
+        self.stats = HashTableStats(
+            capacity=self.capacity,
+            n_keys=self.n_keys,
+            build_rounds=self.stats.build_rounds + rounds,
+            total_probes=self.stats.total_probes + probes + rebuild_probes,
+        )
+        if charge:
+            self.device.charge(
+                KernelCost(
+                    kernel=label or f"{self.label}.insert_batch",
+                    random_bytes=float(probes + rebuild_probes) * _SLOT_BYTES,
+                    sequential_bytes=float(m) * 24.0,
+                    ops=float(probes + rebuild_probes) * 4.0,
+                    alloc_bytes=float(self.nbytes) if grew else 0.0,
+                    allocations=1 if grew else 0,
+                )
+            )
+        return slots, grew
+
+    def _grow(self, new_capacity: int) -> int:
+        """Rehash every live entry into a larger table; returns probe count."""
+        live = self._keys != EMPTY_KEY
+        old_keys = self._keys[live]
+        old_values = self._values[live]
+        old_lengths = self._lengths[live]
+
+        self.capacity = int(new_capacity)
+        self._mask = np.uint64(self.capacity - 1)
+        self._keys = np.full(self.capacity, EMPTY_KEY, dtype=np.uint64)
+        self._values = np.full(self.capacity, -1, dtype=np.int64)
+        self._lengths = np.zeros(self.capacity, dtype=np.int64)
+        _rounds, probes, _slots = self._build(old_keys, old_values, old_lengths)
+        return probes
+
+    def find_slots(self, query_hashes: np.ndarray, *, charge: bool = False, label: str | None = None) -> np.ndarray:
+        """Resolve keys to their physical slot index (misses yield ``-1``)."""
+        query = np.asarray(query_hashes, dtype=np.uint64)
+        n = query.size
+        slots_out = np.full(n, -1, dtype=np.int64)
+        if n == 0 or self.n_keys == 0:
+            return slots_out
+        unresolved = np.arange(n, dtype=np.int64)
+        offset = np.uint64(0)
+        probes = 0
+        while unresolved.size:
+            probes += int(unresolved.size)
+            slots = ((query[unresolved] + offset) & self._mask).astype(np.int64)
+            slot_keys = self._keys[slots]
+            hit = slot_keys == query[unresolved]
+            miss = slot_keys == EMPTY_KEY
+            slots_out[unresolved[hit]] = slots[hit]
+            unresolved = unresolved[~(hit | miss)]
+            offset += np.uint64(1)
+            if int(offset) > self.capacity:
+                break
+        if charge:
+            self.device.charge(
+                KernelCost(
+                    kernel=label or f"{self.label}.find_slots",
+                    random_bytes=float(probes) * _SLOT_BYTES,
+                    ops=float(probes) * 2.0,
+                )
+            )
+        return slots_out
+
+    def update_slots(
+        self,
+        slots: np.ndarray,
+        values: np.ndarray,
+        run_lengths: np.ndarray,
+        *,
+        charge: bool = True,
+        label: str | None = None,
+    ) -> None:
+        """Overwrite the payload of existing entries (one streaming pass).
+
+        The keys in the given slots are untouched — this refreshes the run
+        start/length of entries whose sorted-index positions shifted during a
+        merge.  Charged as a bandwidth-bound scatter, not per-key probing.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        self._values[slots] = np.asarray(values, dtype=np.int64)
+        self._lengths[slots] = np.asarray(run_lengths, dtype=np.int64)
+        if charge and slots.size:
+            self.device.charge(
+                KernelCost(
+                    kernel=label or f"{self.label}.update_slots",
+                    sequential_bytes=float(slots.size) * 24.0,
+                    ops=float(slots.size),
+                )
+            )
 
     # ------------------------------------------------------------------
     # Probing

@@ -4,7 +4,10 @@ A HISA stores one relation (or one index of a relation) in three tiers:
 
 1. **data array** — the dense ``n x k`` tuple buffer, stored with the join
    columns permuted to the front (Algorithm 1 lines 1-5).  Dense storage is
-   what gives parallel iteration [R2] and coalesced access.
+   what gives parallel iteration [R2] and coalesced access.  The buffer is
+   *capacity-backed*: it can carry reserved headroom (Eager Buffer
+   Management, Section 5.3) so that a fixpoint iteration appends its delta
+   in place instead of copying the whole relation.
 2. **sorted index array** — the positions of the tuples, ordered
    lexicographically (join columns first).  Sorting groups equal join keys
    into contiguous runs, enabling range queries [R1] and adjacent-compare
@@ -12,6 +15,35 @@ A HISA stores one relation (or one index of a relation) in three tiers:
 3. **open-addressing hash table** — maps the 64-bit hash of a join key to the
    first sorted-index position of that key's run [R1, R3]
    (:class:`~repro.relational.hashtable.OpenAddressingHashTable`).
+
+Incremental maintenance across fixpoint iterations
+--------------------------------------------------
+
+The semi-naïve loop merges a (small) ``delta`` into the persistent ``full``
+index every iteration.  A scratch rebuild — re-sorting, re-packing sort keys,
+re-hashing and re-inserting every key — costs O(|full|) per iteration and
+O(n²) over a long fixpoint.  :meth:`HISA.merge` is therefore *incremental*:
+
+* the packed lexicographic sort keys of the sorted tuples are **cached** on
+  the HISA (``_sorted_keys`` for all columns, ``_sorted_join_keys`` for the
+  join-column prefix) and path-merged with the delta's cached keys via one
+  O(|Δ| log |full|) binary-search batch plus streaming scatter passes —
+  nothing is re-derived from the data array;
+* the data array grows by an **in-place append** of the delta whenever the
+  backing device buffer has headroom (the eager buffer manager's
+  over-allocation), falling back to an amortised copy into a larger buffer
+  otherwise;
+* the hash table is maintained **persistently**: each distinct join key owns
+  a stable *ordinal*; the table entry of an existing key stays in its slot
+  and only its (run start, run length) payload is refreshed with a streaming
+  scatter, while the delta's genuinely new keys are inserted via
+  :meth:`~repro.relational.hashtable.OpenAddressingHashTable.insert_batch`
+  with geometric growth.
+
+``merge(delta)`` mutates ``self`` (the full index) and returns it; ``delta``
+is consumed.  Passing ``incremental=False`` forces the legacy scratch
+rebuild, which exists as the cost baseline for the merge ablation and the
+equivalence tests (the incremental result is tuple-identical to it).
 
 All algorithms run for real on NumPy arrays; every step charges the owning
 simulated device so the profiler sees the same phases the paper measures.
@@ -26,7 +58,7 @@ import numpy as np
 
 from ..device.cost import KernelCost
 from ..device.device import Device
-from ..device.kernels import INDEX_ITEMSIZE, TUPLE_ITEMSIZE, as_rows, lex_rank_keys
+from ..device.kernels import INDEX_ITEMSIZE, TUPLE_DTYPE, TUPLE_ITEMSIZE, as_rows, lex_rank_keys
 from ..device.memory import Buffer
 from ..errors import HisaStateError, SchemaError
 from .buffers import MergeBufferManager, SimpleBufferManager
@@ -60,13 +92,16 @@ class HISA:
         label: str = "relation",
         charge_build: bool = True,
         build_hash_index: bool = True,
+        assume_sorted: bool = False,
     ) -> None:
         rows = as_rows(rows)
         self.device = device
         self.label = label
         self.load_factor = float(load_factor)
-        self.natural_arity = int(rows.shape[1]) if rows.size else int(rows.shape[1])
+        self.natural_arity = int(rows.shape[1])
         self._freed = False
+        self.last_merge_in_place = False
+        self.last_merge_incremental = False
 
         join_columns = tuple(int(c) for c in join_columns)
         if rows.shape[1] and any(c < 0 or c >= rows.shape[1] for c in join_columns):
@@ -85,30 +120,58 @@ class HISA:
         self._inverse_order = _invert_permutation(self.column_order)
 
         # --- Tier 1: data array (join columns permuted to the front) ---------
-        if rows.shape[0]:
+        n = int(rows.shape[0])
+        if n:
             reordered = np.ascontiguousarray(rows[:, list(self.column_order)])
         else:
             reordered = rows.reshape(0, rows.shape[1])
-        self.data = reordered
-        if charge_build and rows.shape[0]:
+        self._storage = reordered
+        self.data = self._storage[:n]
+        if charge_build and n:
             self.device.kernels.transform(
-                rows.shape[0],
+                n,
                 bytes_per_item=2.0 * rows.shape[1] * TUPLE_ITEMSIZE,
                 ops_per_item=rows.shape[1],
                 label=f"{label}.reorder_columns",
             )
 
         # --- Tier 2: sorted index array --------------------------------------
-        if charge_build:
+        # ``assume_sorted`` signals that ``rows`` are already in natural
+        # lexicographic order (the deduplication kernel sorts them).  When the
+        # index column order is the identity permutation — the canonical
+        # all-column index and every prefix index — the producer's sort *is*
+        # this index's sort, so the per-iteration delta is sorted once and
+        # shared instead of re-sorted per index (callers guarantee the
+        # precondition; it is not re-checked tuple by tuple).
+        if assume_sorted and self.column_order == tuple(range(self.natural_arity)):
+            self.sorted_index = np.arange(n, dtype=np.int64)
+            if charge_build and n:
+                self.device.kernels.transform(
+                    n,
+                    bytes_per_item=float(self.natural_arity) * TUPLE_ITEMSIZE,
+                    ops_per_item=self.natural_arity,
+                    label=f"{label}.adopt_sorted",
+                )
+        elif charge_build:
             self.sorted_index = self.device.kernels.lexsort_rows(self.data, label=f"{label}.sort_index")
         else:
             self.sorted_index = _host_lexsort(self.data)
 
-        # --- Join-key runs -----------------------------------------------------
-        self.run_starts, self.run_lengths, key_rows = self._compute_runs(charge=charge_build)
+        # --- Cached packed sort keys + join-key runs ---------------------------
+        sorted_data = self.data[self.sorted_index] if n else self.data
+        key_rows = self._recompute_sorted_state(sorted_data)
+        if charge_build and n and self.n_join:
+            self.device.kernels.transform(
+                n,
+                bytes_per_item=2.0 * self.n_join * TUPLE_ITEMSIZE,
+                ops_per_item=self.n_join,
+                label=f"{label}.find_runs",
+            )
 
         # --- Tier 3: open-addressing hash table --------------------------------
         self.table: OpenAddressingHashTable | None = None
+        self._hash_by_ordinal = np.empty(0, dtype=np.uint64)
+        self._slot_by_ordinal = np.empty(0, dtype=np.int64)
         if build_hash_index and self.n_join:
             hashes = hash_rows(key_rows) if key_rows.size else np.empty(0, dtype=np.uint64)
             if charge_build and key_rows.size:
@@ -127,13 +190,20 @@ class HISA:
                 label=f"{label}.table",
                 charge=charge_build,
             )
+            self._hash_by_ordinal = hashes
+            self._slot_by_ordinal = self.table.built_slots
 
         # --- Device memory accounting ------------------------------------------
+        # The index tier covers both the sorted index array and the cached
+        # packed sort keys (which persist across merges in the incremental
+        # design and are as large as the data array).
         self._data_buffer: Buffer | None = device.allocate(
-            max(0, self.data.nbytes), label=f"{label}.data", charge_cost=False
+            max(0, self._storage.nbytes), label=f"{label}.data", charge_cost=False
         )
         self._index_buffer: Buffer | None = device.allocate(
-            max(0, self.sorted_index.nbytes), label=f"{label}.index", charge_cost=False
+            max(0, self.sorted_index.nbytes + self._cached_keys_nbytes()),
+            label=f"{label}.index",
+            charge_cost=False,
         )
         self._table_buffer: Buffer | None = None
         if self.table is not None:
@@ -159,10 +229,21 @@ class HISA:
     def distinct_key_count(self) -> int:
         return int(self.run_starts.size)
 
+    @property
+    def capacity_rows(self) -> int:
+        """Rows the backing storage can hold without reallocating."""
+        return int(self._storage.shape[0])
+
     def memory_breakdown(self) -> HisaMemoryBreakdown:
+        data_bytes = self._data_buffer.nbytes if self._data_buffer is not None else int(self.data.nbytes)
+        index_bytes = (
+            self._index_buffer.nbytes
+            if self._index_buffer is not None
+            else int(self.sorted_index.nbytes) + self._cached_keys_nbytes()
+        )
         return HisaMemoryBreakdown(
-            data_bytes=int(self.data.nbytes),
-            index_bytes=int(self.sorted_index.nbytes),
+            data_bytes=int(data_bytes),
+            index_bytes=int(index_bytes),
             table_bytes=int(self.table.nbytes) if self.table is not None else 0,
         )
 
@@ -289,14 +370,18 @@ class HISA:
         buffer_manager: MergeBufferManager | None = None,
         *,
         charge: bool = True,
+        incremental: bool = True,
     ) -> "HISA":
-        """Return a new HISA containing this relation's tuples plus ``delta``'s.
+        """Absorb ``delta``'s tuples into this HISA and return ``self``.
 
         ``delta`` must already be disjoint from ``self`` (the populate-delta
-        phase guarantees it), so no deduplication is performed — the data
-        arrays are concatenated and the sorted index arrays are path-merged.
-        Both input HISAs are consumed: their device buffers are retired/freed
-        and they must not be used afterwards.
+        phase guarantees it), so no deduplication is performed.  ``delta`` is
+        consumed: its device buffers are freed and it must not be used
+        afterwards.  The default incremental path does O(|Δ| log |full|)
+        key-merge work plus streaming scatter passes and never re-derives the
+        sort keys, runs, or hash entries of the pre-existing tuples;
+        ``incremental=False`` forces the legacy scratch rebuild (the cost
+        baseline the ablation and the equivalence tests compare against).
         """
         self._check_live()
         delta._check_live()
@@ -306,70 +391,343 @@ class HISA:
             raise SchemaError("cannot merge HISAs indexed on different join columns")
         manager = buffer_manager if buffer_manager is not None else SimpleBufferManager(self.device, label=f"{self.label}.merge")
 
-        full_rows = self.data
-        delta_rows = delta.data
-        required_bytes = int(full_rows.nbytes + delta_rows.nbytes)
+        if delta.tuple_count == 0:
+            delta._consume()
+            self.last_merge_in_place = True
+            self.last_merge_incremental = True
+            return self
 
-        # Destination buffer for the out-of-place path merge.
-        dest_buffer = manager.acquire(required_bytes, delta_rows.nbytes)
+        use_incremental = (
+            incremental
+            and self.n_join > 0
+            and self.natural_arity > 0
+            and self._sorted_keys is not None
+            and delta._sorted_keys is not None
+            and not (self.table is None and delta.table is not None)
+        )
+        if use_incremental:
+            return self._merge_incremental(delta, manager, charge=charge)
+        return self._merge_rebuild(delta, manager, charge=charge)
 
-        merged_data = np.concatenate([full_rows, delta_rows], axis=0) if required_bytes else full_rows
+    # -- data-tier helper ------------------------------------------------
+    def _append_data(
+        self, delta: "HISA", manager: MergeBufferManager, *, charge: bool, allow_in_place: bool = True
+    ) -> bool:
+        """Append ``delta``'s rows to the data array; returns True if in place.
+
+        In place requires the backing device buffer (and host storage) to have
+        enough reserved headroom — exactly what the eager buffer manager's
+        over-allocation provides.  Otherwise a destination buffer is acquired
+        from the manager and the whole relation is copied (amortised by the
+        manager's growth policy).  ``allow_in_place=False`` forces the copy
+        branch (the legacy rebuild always pays it).
+        """
+        n, d = self.tuple_count, delta.tuple_count
+        arity = self.natural_arity
+        row_bytes = arity * TUPLE_ITEMSIZE
+        required = (n + d) * row_bytes
+
+        in_place = (
+            allow_in_place
+            and self._data_buffer is not None
+            and self._data_buffer.nbytes >= required
+            and self._storage.shape[0] >= n + d
+        )
+        if in_place:
+            self._storage[n : n + d] = delta.data
+            if charge:
+                self.device.charge(
+                    KernelCost(
+                        kernel=f"{self.label}.merge_append",
+                        sequential_bytes=2.0 * d * row_bytes,
+                        ops=float(d),
+                    )
+                )
+            manager.note_in_place(d * row_bytes)
+        else:
+            dest = manager.acquire(required, d * row_bytes)
+            capacity = max(n + d, dest.nbytes // row_bytes if row_bytes else n + d)
+            storage = np.empty((capacity, arity), dtype=TUPLE_DTYPE)
+            storage[:n] = self.data
+            storage[n : n + d] = delta.data
+            if charge:
+                self.device.charge(
+                    KernelCost(
+                        kernel=f"{self.label}.merge_copy",
+                        sequential_bytes=2.0 * float(required),
+                        ops=float(n + d),
+                    )
+                )
+            self._storage = storage
+            old_buffer = self._data_buffer
+            self._data_buffer = dest
+            if old_buffer is not None:
+                manager.retire(old_buffer)
+        self.data = self._storage[: n + d]
+        self.last_merge_in_place = in_place
+        return in_place
+
+    def _cached_keys_nbytes(self) -> int:
+        """Bytes held by the persistent packed-key caches."""
+        total = 0
+        if self._sorted_keys is not None:
+            total += int(self._sorted_keys.nbytes)
+        if self._sorted_join_keys is not None and self._sorted_join_keys is not self._sorted_keys:
+            total += int(self._sorted_join_keys.nbytes)
+        return total
+
+    def _recompute_sorted_state(self, sorted_data: np.ndarray) -> np.ndarray:
+        """(Re)derive the cached keys, runs, and ordinals from sorted tuples.
+
+        Shared by the constructor and the legacy rebuild merge so the two
+        stay byte-identical (the rebuild path is the equivalence oracle).
+        Returns the distinct join-key rows for hashing.
+        """
+        if self.natural_arity:
+            self._sorted_keys = lex_rank_keys(sorted_data)
+        else:
+            self._sorted_keys = None
+        if self.n_join:
+            if self.n_join == self.natural_arity:
+                # Join key == whole tuple: alias the full-key array instead of
+                # packing the same bytes a second time.
+                self._sorted_join_keys = self._sorted_keys
+            else:
+                self._sorted_join_keys = lex_rank_keys(np.ascontiguousarray(sorted_data[:, : self.n_join]))
+            self.run_starts, self.run_lengths = _runs_from_keys(self._sorted_join_keys)
+            key_rows = sorted_data[self.run_starts][:, : self.n_join]
+        else:
+            self._sorted_join_keys = None
+            self.run_starts = np.empty(0, dtype=np.int64)
+            self.run_lengths = np.empty(0, dtype=np.int64)
+            key_rows = np.empty((0, max(1, self.n_join)), dtype=np.int64)
+        self._run_ordinals = np.arange(self.run_starts.size, dtype=np.int64)
+        return key_rows
+
+    def _replace_index_buffer(self) -> None:
+        if self._index_buffer is not None:
+            self.device.free(self._index_buffer, charge_cost=False)
+        self._index_buffer = self.device.allocate(
+            self.sorted_index.nbytes + self._cached_keys_nbytes(),
+            label=f"{self.label}.index",
+            charge_cost=False,
+        )
+
+    def _sync_table_buffer(self) -> None:
+        if self.table is None:
+            return
+        if self._table_buffer is not None and self._table_buffer.nbytes == self.table.nbytes:
+            return
+        if self._table_buffer is not None:
+            self.device.free(self._table_buffer, charge_cost=False)
+        self._table_buffer = self.device.allocate(
+            self.table.nbytes, label=f"{self.label}.table", charge_cost=False
+        )
+
+    # -- incremental path -------------------------------------------------
+    def _merge_incremental(self, delta: "HISA", manager: MergeBufferManager, *, charge: bool) -> "HISA":
+        n, d = self.tuple_count, delta.tuple_count
+        m = n + d
+
+        # 1. Data tier: in-place append into reserved headroom when possible.
+        self._append_data(delta, manager, charge=charge)
+
+        # 2. Sorted index + cached keys: binary-search the delta's cached keys
+        #    into the full's cached keys (O(d log n)), then scatter both runs
+        #    of keys/indices into the merged arrays (streaming passes).
+        insert_at = np.searchsorted(self._sorted_keys, delta._sorted_keys, side="left")
+        delta_pos = insert_at + np.arange(d, dtype=np.int64)
+        old_pos_mask = np.ones(m, dtype=bool)
+        old_pos_mask[delta_pos] = False
+
+        merged_index = np.empty(m, dtype=np.int64)
+        merged_index[delta_pos] = delta.sorted_index + n
+        merged_index[old_pos_mask] = self.sorted_index
+
+        merged_keys = np.empty(m, dtype=self._sorted_keys.dtype)
+        merged_keys[delta_pos] = delta._sorted_keys
+        merged_keys[old_pos_mask] = self._sorted_keys
+
+        join_keys_aliased = self._sorted_join_keys is self._sorted_keys
+        if join_keys_aliased:
+            merged_join_keys = merged_keys
+        else:
+            merged_join_keys = np.empty(m, dtype=self._sorted_join_keys.dtype)
+            merged_join_keys[delta_pos] = delta._sorted_join_keys
+            merged_join_keys[old_pos_mask] = self._sorted_join_keys
+
         if charge:
+            self.device.kernels.binary_search_keys(
+                d,
+                haystack_size=n,
+                key_bytes=self.natural_arity * TUPLE_ITEMSIZE,
+                label=f"{self.label}.merge_path",
+            )
+            # One bandwidth-bound pass rewrites the sorted index and every
+            # cached key array (read + write); this is the honest O(m)
+            # residual of keeping dense sorted arrays.
+            scatter_bytes = 2.0 * m * INDEX_ITEMSIZE + 2.0 * m * self._sorted_keys.dtype.itemsize
+            if not join_keys_aliased:
+                scatter_bytes += 2.0 * m * self._sorted_join_keys.dtype.itemsize
             self.device.charge(
                 KernelCost(
-                    kernel=f"{self.label}.merge_copy",
-                    sequential_bytes=2.0 * float(required_bytes),
-                    ops=float(merged_data.shape[0]),
+                    kernel=f"{self.label}.merge_scatter",
+                    sequential_bytes=scatter_bytes,
+                    ops=float(m),
                 )
             )
 
-        # Path-merge the two sorted index arrays (Green et al. merge path).
-        merged_index = _merge_sorted_indices(full_rows, self.sorted_index, delta_rows, delta.sorted_index)
+        # 3. Runs.  Fast path: an all-column index over duplicate-free inputs
+        #    has singleton runs by construction (delta is disjoint from full),
+        #    so the run structure is positional and needs no key comparisons.
+        unique_runs = (
+            join_keys_aliased
+            and self.run_starts.size == n
+            and delta.run_starts.size == d
+        )
+        if unique_runs:
+            run_starts = np.arange(m, dtype=np.int64)
+            run_lengths = np.ones(m, dtype=np.int64)
+            is_new_run = ~old_pos_mask
+        else:
+            # Adjacent-compare over the cached join keys (no gather); a run is
+            # pre-existing iff it contains at least one pre-existing element.
+            run_starts, run_lengths = _runs_from_keys(merged_join_keys)
+            old_counts = np.add.reduceat(old_pos_mask.astype(np.int64), run_starts)
+            is_new_run = old_counts == 0
+            if charge:
+                # The run scan reads every cached join key once plus the
+                # origin bitmap — another bandwidth-bound O(m) pass.
+                self.device.charge(
+                    KernelCost(
+                        kernel=f"{self.label}.run_scan",
+                        sequential_bytes=float(m) * (merged_join_keys.dtype.itemsize + 1.0),
+                        ops=float(m),
+                    )
+                )
+        n_new = int(is_new_run.sum())
+        merged_ordinals = np.empty(run_starts.size, dtype=np.int64)
+        # Pre-existing runs never split or reorder (equal join keys stay
+        # contiguous under the lexicographic sort), so their ordinals carry
+        # over positionally; new keys get fresh append-order ordinals.
+        merged_ordinals[~is_new_run] = self._run_ordinals
+        ordinal_base = int(self._hash_by_ordinal.size) if self.table is not None else int(self._run_ordinals.size)
+        merged_ordinals[is_new_run] = ordinal_base + np.arange(n_new, dtype=np.int64)
+        if charge:
+            self.device.kernels.transform(
+                d,
+                bytes_per_item=2.0 * self.n_join * TUPLE_ITEMSIZE,
+                ops_per_item=self.n_join,
+                label=f"{self.label}.find_runs_delta",
+            )
+
+        # 4. Hash table: insert only the delta's new keys; refresh the shifted
+        #    run starts of existing keys through their remembered slots.
+        if self.table is not None:
+            new_starts = run_starts[is_new_run]
+            new_lengths = run_lengths[is_new_run]
+            if n_new:
+                key_rows = self.data[merged_index[new_starts]][:, : self.n_join]
+                new_hashes = hash_rows(key_rows)
+                if charge:
+                    self.device.kernels.transform(
+                        n_new,
+                        bytes_per_item=self.n_join * TUPLE_ITEMSIZE,
+                        ops_per_item=4.0 * self.n_join,
+                        label=f"{self.label}.hash_keys",
+                    )
+            else:
+                new_hashes = np.empty(0, dtype=np.uint64)
+            new_slots, grew = self.table.insert_batch(
+                new_hashes, new_starts, new_lengths, charge=charge, label=f"{self.label}.table_insert"
+            )
+            self._hash_by_ordinal = np.concatenate([self._hash_by_ordinal, new_hashes])
+            if grew:
+                self._slot_by_ordinal = self.table.find_slots(self._hash_by_ordinal)
+            else:
+                self._slot_by_ordinal = np.concatenate([self._slot_by_ordinal, new_slots])
+            existing = ~is_new_run
+            self.table.update_slots(
+                self._slot_by_ordinal[self._run_ordinals],
+                run_starts[existing],
+                run_lengths[existing],
+                charge=charge,
+                label=f"{self.label}.table_refresh",
+            )
+            self._sync_table_buffer()
+
+        # 5. Adopt the merged state and consume the delta.
+        self.sorted_index = merged_index
+        self._sorted_keys = merged_keys
+        self._sorted_join_keys = merged_join_keys
+        self.run_starts = run_starts
+        self.run_lengths = run_lengths
+        self._run_ordinals = merged_ordinals
+        self._replace_index_buffer()
+        delta._consume()
+        self.last_merge_incremental = True
+        return self
+
+    # -- legacy scratch rebuild -------------------------------------------
+    def _merge_rebuild(self, delta: "HISA", manager: MergeBufferManager, *, charge: bool) -> "HISA":
+        """Rebuild-from-scratch merge: O(|full|) per call, the pre-incremental
+        behaviour kept as the ablation baseline and equivalence oracle."""
+        n, d = self.tuple_count, delta.tuple_count
+        old_data = self.data
+        old_index = self.sorted_index
+        old_key_count = self.run_starts.size
+
+        self._append_data(delta, manager, charge=charge, allow_in_place=False)
+        merged_index = _merge_sorted_indices(old_data, old_index, delta.data, delta.sorted_index)
         if charge:
             self.device.charge(
                 KernelCost(
                     kernel=f"{self.label}.merge_path",
-                    sequential_bytes=float(required_bytes) + 2.0 * float(merged_index.nbytes),
+                    sequential_bytes=float((n + d) * self.natural_arity * TUPLE_ITEMSIZE)
+                    + 2.0 * float(merged_index.nbytes),
                     ops=float(merged_index.size) * max(1, self.natural_arity),
                 )
             )
+        self.sorted_index = merged_index
 
-        merged = HISA.__new__(HISA)
-        merged.device = self.device
-        merged.label = self.label
-        merged.load_factor = self.load_factor
-        merged.natural_arity = self.natural_arity
-        merged.join_columns = self.join_columns
-        merged.n_join = self.n_join
-        merged.column_order = self.column_order
-        merged._inverse_order = self._inverse_order
-        merged._freed = False
-        merged.data = merged_data
-        merged.sorted_index = merged_index
-        merged.run_starts, merged.run_lengths, key_rows = merged._compute_runs(charge=False)
+        # Re-derive every cached structure from scratch (the whole point of
+        # the incremental path is to avoid this O(|full|) block).
+        sorted_data = self.data[self.sorted_index] if n + d else self.data
+        key_rows = self._recompute_sorted_state(sorted_data)
+        if charge and self.n_join:
+            self.device.kernels.transform(
+                n + d,
+                bytes_per_item=2.0 * self.n_join * TUPLE_ITEMSIZE,
+                ops_per_item=self.n_join,
+                label=f"{self.label}.find_runs",
+            )
 
-        # Hash index: insert delta's keys into the full table, growing if needed.
-        merged.table = None
-        if self.table is not None or delta.table is not None:
+        rebuild_table = self.table is not None or delta.table is not None
+        old_capacity = self.table.capacity if self.table is not None else 0
+        self.table = None
+        self._hash_by_ordinal = np.empty(0, dtype=np.uint64)
+        self._slot_by_ordinal = np.empty(0, dtype=np.int64)
+        if rebuild_table and self.n_join:
             hashes = hash_rows(key_rows) if key_rows.size else np.empty(0, dtype=np.uint64)
-            merged.table = OpenAddressingHashTable(
+            self.table = OpenAddressingHashTable(
                 self.device,
                 hashes,
-                merged.run_starts,
-                merged.run_lengths,
+                self.run_starts,
+                self.run_lengths,
                 load_factor=self.load_factor,
                 label=f"{self.label}.table",
                 charge=False,
             )
+            self._hash_by_ordinal = hashes
+            self._slot_by_ordinal = self.table.built_slots
             if charge:
-                old_capacity = self.table.capacity if self.table is not None else 0
-                needs_rebuild = merged.table.capacity != old_capacity
+                needs_rebuild = self.table.capacity != old_capacity
                 if needs_rebuild:
-                    rehash_keys = merged.run_starts.size
-                    alloc_bytes = float(merged.table.nbytes)
+                    rehash_keys = self.run_starts.size
+                    alloc_bytes = float(self.table.nbytes)
                     allocations = 1
                 else:
-                    rehash_keys = max(0, merged.run_starts.size - (self.run_starts.size if self.run_starts is not None else 0))
+                    rehash_keys = max(0, self.run_starts.size - old_key_count)
                     alloc_bytes = 0.0
                     allocations = 0
                 self.device.charge(
@@ -381,26 +739,11 @@ class HISA:
                         allocations=allocations,
                     )
                 )
-
-        # ------------------------------------------------------------------
-        # Device-memory bookkeeping: the merged HISA takes over the destination
-        # buffer; old buffers are retired (data) or freed (index, table).
-        # ------------------------------------------------------------------
-        merged._data_buffer = dest_buffer
-        merged._index_buffer = self.device.allocate(
-            merged.sorted_index.nbytes, label=f"{self.label}.index", charge_cost=False
-        )
-        merged._table_buffer = None
-        if merged.table is not None:
-            merged._table_buffer = self.device.allocate(
-                merged.table.nbytes, label=f"{self.label}.table", charge_cost=False
-            )
-
-        self._release_buffers(retire_data_to=manager)
-        self._freed = True
-        delta._release_buffers(retire_data_to=None)
-        delta._freed = True
-        return merged
+        self._sync_table_buffer()
+        self._replace_index_buffer()
+        delta._consume()
+        self.last_merge_incremental = False
+        return self
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -423,27 +766,10 @@ class HISA:
         if self._freed:
             raise HisaStateError(f"HISA {self.label!r} has been freed")
 
-    def _compute_runs(self, *, charge: bool) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Compute join-key run starts/lengths over the sorted index array."""
-        n = self.data.shape[0]
-        if n == 0 or self.n_join == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty.copy(), np.empty((0, max(1, self.n_join)), dtype=np.int64)
-        sorted_join = self.data[self.sorted_index][:, : self.n_join]
-        new_run = np.ones(n, dtype=bool)
-        if n > 1:
-            new_run[1:] = np.any(sorted_join[1:] != sorted_join[:-1], axis=1)
-        run_starts = np.flatnonzero(new_run).astype(np.int64)
-        run_lengths = np.diff(np.append(run_starts, n)).astype(np.int64)
-        key_rows = sorted_join[run_starts]
-        if charge:
-            self.device.kernels.transform(
-                n,
-                bytes_per_item=2.0 * self.n_join * TUPLE_ITEMSIZE,
-                ops_per_item=self.n_join,
-                label=f"{self.label}.find_runs",
-            )
-        return run_starts, run_lengths, key_rows
+    def _consume(self) -> None:
+        """Free buffers and mark this HISA as merged away."""
+        self._release_buffers(retire_data_to=None)
+        self._freed = True
 
     def _release_buffers(self, retire_data_to: MergeBufferManager | None) -> None:
         if self._data_buffer is not None:
@@ -478,6 +804,21 @@ def _host_lexsort(rows: np.ndarray) -> np.ndarray:
     return np.lexsort(keys).astype(np.int64)
 
 
+def _runs_from_keys(sorted_join_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run starts/lengths from packed join keys in sorted order."""
+    n = sorted_join_keys.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    if n > 1:
+        new_run[1:] = sorted_join_keys[1:] != sorted_join_keys[:-1]
+    run_starts = np.flatnonzero(new_run).astype(np.int64)
+    run_lengths = np.diff(np.append(run_starts, n)).astype(np.int64)
+    return run_starts, run_lengths
+
+
 def _merge_sorted_indices(
     left_rows: np.ndarray,
     left_index: np.ndarray,
@@ -486,9 +827,11 @@ def _merge_sorted_indices(
 ) -> np.ndarray:
     """Merge two sorted index arrays into one over the concatenated data array.
 
-    The result indexes into ``concatenate([left_rows, right_rows])``.  The
-    simulated cost of the path merge is charged by the caller; here we only
-    compute the exact answer.
+    The result indexes into ``concatenate([left_rows, right_rows])``.  This is
+    the legacy scratch-merge helper: it re-packs both sides' sort keys from
+    the data arrays (O(left + right) work), which the incremental merge path
+    avoids by caching the packed keys.  The simulated cost is charged by the
+    caller; here we only compute the exact answer.
     """
     n_left = left_rows.shape[0]
     n_right = right_rows.shape[0]
@@ -496,9 +839,6 @@ def _merge_sorted_indices(
         return (right_index + n_left).astype(np.int64)
     if n_right == 0:
         return left_index.astype(np.int64)
-    # Linear two-way merge: compare the two already-sorted sequences via packed
-    # row keys and compute each element's final rank directly (the CPU-side
-    # equivalent of the GPU merge-path algorithm).
     left_sorted_keys = lex_rank_keys(left_rows[left_index])
     right_sorted_keys = lex_rank_keys(right_rows[right_index])
     right_before_left = np.searchsorted(right_sorted_keys, left_sorted_keys, side="left")

@@ -40,6 +40,10 @@ class IterationStats:
     new_count: int
     delta_count: int
     full_count: int
+    #: per-index merges absorbed in place (delta fit the data buffer headroom)
+    in_place_merges: int = 0
+    #: per-index merges that fell back to the legacy scratch rebuild
+    rebuild_merges: int = 0
 
 
 class Relation:
@@ -54,6 +58,7 @@ class Relation:
         load_factor: float = DEFAULT_LOAD_FACTOR,
         eager_buffers: bool = True,
         buffer_growth_factor: float = 8.0,
+        incremental_merge: bool = True,
     ) -> None:
         if arity <= 0:
             raise SchemaError(f"relation {name!r} must have positive arity, got {arity}")
@@ -63,6 +68,7 @@ class Relation:
         self.load_factor = float(load_factor)
         self.eager_buffers = bool(eager_buffers)
         self.buffer_growth_factor = float(buffer_growth_factor)
+        self.incremental_merge = bool(incremental_merge)
 
         self._all_columns = tuple(range(self.arity))
         self._index_column_sets: set[tuple[int, ...]] = {self._all_columns}
@@ -116,6 +122,10 @@ class Relation:
             rows = deduplicate(self.device, rows, label=f"{self.name}.init_dedup")
         self.delta_rows = rows
         with self.device.profiler.phase(PHASE_INDEX_FULL):
+            # ``deduplicate`` left ``rows`` in natural lexicographic order, so
+            # every index whose column order is the identity permutation (the
+            # canonical all-column index and all prefix indexes) adopts that
+            # one shared sort instead of re-sorting.
             for columns in sorted(self._index_column_sets):
                 self.full_indexes[columns] = HISA(
                     self.device,
@@ -123,6 +133,7 @@ class Relation:
                     columns,
                     load_factor=self.load_factor,
                     label=f"{self.name}[{','.join(map(str, columns))}]",
+                    assume_sorted=True,
                 )
                 self._buffer_managers[columns] = make_buffer_manager(
                     self.device,
@@ -169,9 +180,16 @@ class Relation:
         if delta_count:
             self._delta_buffer = self.device.allocate(delta.nbytes, label=f"{self.name}.delta", charge_cost=False)
 
+        in_place_merges = 0
+        rebuild_merges = 0
         if delta_count:
             delta_indexes: dict[tuple[int, ...], HISA] = {}
             with profiler.phase(PHASE_INDEX_DELTA):
+                # ``delta`` is a subset of the deduplicated (sorted) new rows
+                # with order preserved, so the per-iteration delta sort is
+                # performed once and shared by every identity-order index.
+                # No hash table: the merge consumes only the delta's sorted
+                # data and cached keys, and nothing ever probes a delta index.
                 for columns in sorted(self._index_column_sets):
                     delta_indexes[columns] = HISA(
                         self.device,
@@ -179,19 +197,28 @@ class Relation:
                         columns,
                         load_factor=self.load_factor,
                         label=f"{self.name}.delta[{','.join(map(str, columns))}]",
+                        assume_sorted=True,
+                        build_hash_index=False,
                     )
             with profiler.phase(PHASE_MERGE):
                 for columns in sorted(self._index_column_sets):
                     manager = self._buffer_managers[columns]
-                    self.full_indexes[columns] = self.full_indexes[columns].merge(
-                        delta_indexes[columns], manager
+                    merged = self.full_indexes[columns].merge(
+                        delta_indexes[columns], manager, incremental=self.incremental_merge
                     )
+                    self.full_indexes[columns] = merged
+                    if merged.last_merge_in_place:
+                        in_place_merges += 1
+                    if not merged.last_merge_incremental:
+                        rebuild_merges += 1
 
         stats = IterationStats(
             iteration=self._iteration,
             new_count=new_count,
             delta_count=delta_count,
             full_count=self.full_count,
+            in_place_merges=in_place_merges,
+            rebuild_merges=rebuild_merges,
         )
         self.history.append(stats)
         return stats

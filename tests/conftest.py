@@ -1,12 +1,18 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The reference implementations (``transitive_closure``, ``same_generation``)
+live in :mod:`tests.helpers` so test modules can import them with a normal
+absolute import; they are re-exported here for backwards compatibility.
+"""
 
 from __future__ import annotations
 
-import networkx as nx
 import numpy as np
 import pytest
 
 from repro.device import Device
+
+from tests.helpers import same_generation, transitive_closure  # noqa: F401
 
 
 @pytest.fixture
@@ -35,41 +41,3 @@ def random_dag_edges() -> np.ndarray:
     upper = np.triu(rng.random((40, 40)) < 0.12, k=1)
     src, dst = np.nonzero(upper)
     return np.column_stack([src, dst]).astype(np.int64)
-
-
-def transitive_closure(edges: np.ndarray) -> set[tuple[int, int]]:
-    """Reference transitive closure (paths of length >= 1, cycles included)."""
-    graph = nx.DiGraph([tuple(map(int, edge)) for edge in edges])
-    closure: set[tuple[int, int]] = set()
-    for source in graph.nodes:
-        reachable: set[int] = set()
-        for successor in graph.successors(source):
-            reachable.add(successor)
-            reachable |= nx.descendants(graph, successor)
-        closure.update((source, target) for target in reachable)
-    return closure
-
-
-def same_generation(edges: np.ndarray) -> set[tuple[int, int]]:
-    """Reference SG relation via naive fixpoint iteration."""
-    edge_set = {tuple(map(int, edge)) for edge in edges}
-    by_source: dict[int, set[int]] = {}
-    for parent, child in edge_set:
-        by_source.setdefault(parent, set()).add(child)
-
-    sg: set[tuple[int, int]] = set()
-    for children in by_source.values():
-        for x in children:
-            for y in children:
-                if x != y:
-                    sg.add((x, y))
-    while True:
-        new = set()
-        for a, b in sg:
-            for x in by_source.get(a, ()):
-                for y in by_source.get(b, ()):
-                    if x != y and (x, y) not in sg:
-                        new.add((x, y))
-        if not new:
-            return sg
-        sg |= new

@@ -9,7 +9,7 @@ from repro.device import Device
 from repro.queries import CSPA_SOURCE, REACH_SOURCE, SG_SOURCE
 from repro.errors import DeviceOutOfMemoryError, SchemaError
 
-from ..conftest import same_generation, transitive_closure
+from tests.helpers import same_generation, transitive_closure
 
 
 def run_reach(edges, **kwargs) -> set:

@@ -16,7 +16,7 @@ from repro.engines import (
 from repro.queries import CSPA_SOURCE, REACH_SOURCE, SG_SOURCE
 from repro.datasets import load_dataset
 
-from ..conftest import same_generation, transitive_closure
+from tests.helpers import same_generation, transitive_closure
 
 
 ALL_ENGINES = [GPULogAdapter, SouffleCPUEngine, GPUJoinEngine, CudfLikeEngine]

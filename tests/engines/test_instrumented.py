@@ -6,7 +6,7 @@ import pytest
 from repro.engines import InstrumentedEvaluator, evaluate_program
 from repro.queries import REACH_SOURCE, SG_SOURCE
 
-from ..conftest import same_generation, transitive_closure
+from tests.helpers import same_generation, transitive_closure
 
 
 def test_trace_relations_match_reference(paper_edges):

@@ -1,0 +1,1 @@
+"""Test package (enables absolute imports of tests.helpers)."""

@@ -94,11 +94,12 @@ def test_merge_combines_disjoint_relations(device):
     full = HISA(device, full_rows, join_columns=(0,), label="r")
     delta = HISA(device, delta_rows, join_columns=(0,), label="r.delta")
     merged = full.merge(delta, SimpleBufferManager(device))
+    assert merged is full  # merge mutates the full index in place
     assert merged.tuple_count == 4
     assert {tuple(r) for r in merged.natural_rows().tolist()} == {(0, 1), (1, 2), (0, 2), (2, 3)}
     starts, lengths = merged.lookup(np.array([[0]], dtype=np.int64))
     assert lengths.tolist() == [2]
-    assert full.is_freed
+    assert delta.is_freed  # the delta is consumed
 
 
 def test_merge_schema_mismatch_rejected(device, paper_edges):

@@ -1,0 +1,224 @@
+"""Equivalence tests for the incremental HISA merge path.
+
+The contract under test: merging N delta batches incrementally into a
+persistent full index yields a HISA that is *tuple-identical* to one built
+from scratch over the union — same sorted rows, same run starts/lengths, the
+same ``lookup``/``contains`` answers — while the hash table gains only the
+new keys (with geometric growth) and the device-memory bookkeeping stays
+leak-free.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.device import Device
+from repro.relational import (
+    HISA,
+    EagerBufferManager,
+    OpenAddressingHashTable,
+    Relation,
+    SimpleBufferManager,
+    hash_rows,
+)
+
+
+def _fresh_device():
+    return Device("h100", oom_enabled=False)
+
+
+def _random_unique_rows(rng, n, arity=3, lo=0, hi=60):
+    return np.unique(rng.integers(lo, hi, size=(n, arity), dtype=np.int64), axis=0)
+
+
+def _split_batches(rows, n_batches, rng):
+    """Partition unique rows into one initial chunk plus disjoint delta batches."""
+    order = rng.permutation(rows.shape[0])
+    chunks = np.array_split(order, n_batches + 1)
+    return [rows[c] for c in chunks if True]
+
+
+def _assert_hisa_equivalent(incremental: HISA, scratch: HISA, join_col_values: np.ndarray):
+    assert incremental.tuple_count == scratch.tuple_count
+    np.testing.assert_array_equal(
+        incremental.data[incremental.sorted_index], scratch.data[scratch.sorted_index]
+    )
+    np.testing.assert_array_equal(incremental.run_starts, scratch.run_starts)
+    np.testing.assert_array_equal(incremental.run_lengths, scratch.run_lengths)
+    keys = join_col_values.reshape(-1, incremental.n_join)
+    s_inc, l_inc = incremental.lookup(keys, charge=False)
+    s_ref, l_ref = scratch.lookup(keys, charge=False)
+    np.testing.assert_array_equal(s_inc, s_ref)
+    np.testing.assert_array_equal(l_inc, l_ref)
+
+
+@pytest.mark.parametrize("manager_cls", [SimpleBufferManager, EagerBufferManager])
+@pytest.mark.parametrize("join_columns", [(0,), (1,), (0, 1), (2, 0)])
+def test_incremental_merge_matches_scratch_build(manager_cls, join_columns):
+    rng = np.random.default_rng(7)
+    rows = _random_unique_rows(rng, 900)
+    batches = _split_batches(rows, 6, rng)
+
+    device = _fresh_device()
+    manager = manager_cls(device)
+    full = HISA(device, batches[0], join_columns, label="inc")
+    for batch in batches[1:]:
+        if batch.shape[0] == 0:
+            continue
+        delta = HISA(device, batch, join_columns, label="inc.delta")
+        full = full.merge(delta, manager)
+
+    scratch = HISA(_fresh_device(), rows, join_columns, label="ref")
+    probe_keys = np.unique(rows[:, list(join_columns)], axis=0)
+    _assert_hisa_equivalent(full, scratch, probe_keys)
+
+
+def test_incremental_equals_forced_rebuild():
+    """incremental=True and incremental=False must be indistinguishable."""
+    rng = np.random.default_rng(21)
+    rows = _random_unique_rows(rng, 600)
+    batches = _split_batches(rows, 4, rng)
+
+    results = {}
+    for incremental in (True, False):
+        device = _fresh_device()
+        full = HISA(device, batches[0], (0,), label="r")
+        for batch in batches[1:]:
+            delta = HISA(device, batch, (0,), label="r.delta")
+            full = full.merge(delta, EagerBufferManager(device), incremental=incremental)
+        results[incremental] = full
+
+    keys = np.unique(rows[:, 0]).reshape(-1, 1)
+    _assert_hisa_equivalent(results[True], results[False], keys)
+    assert results[True].last_merge_incremental
+    assert not results[False].last_merge_incremental
+
+
+def test_contains_after_incremental_merges():
+    rng = np.random.default_rng(3)
+    rows = _random_unique_rows(rng, 500, arity=2)
+    batches = _split_batches(rows, 5, rng)
+    device = _fresh_device()
+    full = HISA(device, batches[0], (0, 1), label="full")
+    for batch in batches[1:]:
+        full = full.merge(HISA(device, batch, (0, 1), label="d"), EagerBufferManager(device))
+    assert full.contains(rows, charge=False).all()
+    absent = np.array([[999, 999], [-5, 3]], dtype=np.int64)
+    assert not full.contains(absent, charge=False).any()
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_rows=st.integers(2, 250),
+    n_batches=st.integers(1, 6),
+    join_col=st.sampled_from([0, 1, 2]),
+)
+@settings(max_examples=40, deadline=None)
+def test_incremental_merge_equivalence_property(seed, n_rows, n_batches, join_col):
+    rng = np.random.default_rng(seed)
+    rows = _random_unique_rows(rng, n_rows, lo=0, hi=12)
+    if rows.shape[0] < 2:
+        return
+    batches = _split_batches(rows, n_batches, rng)
+
+    device = _fresh_device()
+    full = HISA(device, batches[0], (join_col,), label="p")
+    for batch in batches[1:]:
+        if batch.shape[0] == 0:
+            continue
+        full = full.merge(HISA(device, batch, (join_col,), label="p.d"), EagerBufferManager(device))
+
+    scratch = HISA(_fresh_device(), rows, (join_col,), label="p.ref")
+    keys = np.unique(rows[:, join_col]).reshape(-1, 1)
+    _assert_hisa_equivalent(full, scratch, keys)
+
+
+def test_hash_table_growth_preserves_entries():
+    device = _fresh_device()
+    rng = np.random.default_rng(11)
+    all_keys = np.unique(rng.integers(0, 1 << 40, size=(3000, 2), dtype=np.int64), axis=0)
+    all_hashes = hash_rows(all_keys)
+
+    table = OpenAddressingHashTable(
+        device, all_hashes[:16], np.arange(16, dtype=np.int64), load_factor=0.8
+    )
+    inserted = 16
+    grew_at_least_once = False
+    while inserted < all_hashes.size:
+        batch = min(128, all_hashes.size - inserted)
+        hashes = all_hashes[inserted : inserted + batch]
+        values = np.arange(inserted, inserted + batch, dtype=np.int64)
+        slots, grew = table.insert_batch(hashes, values)
+        grew_at_least_once = grew_at_least_once or grew
+        assert (slots >= 0).all()
+        inserted += batch
+
+    assert grew_at_least_once
+    assert len(table) == all_hashes.size
+    assert table.occupancy() <= table.load_factor + 1e-9
+    found_values, _ = table.probe(all_hashes, charge=False)
+    np.testing.assert_array_equal(found_values, np.arange(all_hashes.size, dtype=np.int64))
+
+
+def test_insert_batch_slots_stay_valid_until_growth():
+    device = _fresh_device()
+    keys = np.unique(np.random.default_rng(5).integers(0, 1 << 40, size=(64, 2), dtype=np.int64), axis=0)
+    hashes = hash_rows(keys)
+    table = OpenAddressingHashTable(
+        device, hashes[:32], np.arange(32, dtype=np.int64), load_factor=0.5
+    )
+    slots = table.find_slots(hashes[:32])
+    assert (slots >= 0).all()
+    table.update_slots(slots, np.arange(32, dtype=np.int64) * 10, np.ones(32, dtype=np.int64))
+    values, lengths = table.probe(hashes[:32], charge=False)
+    np.testing.assert_array_equal(values, np.arange(32, dtype=np.int64) * 10)
+    np.testing.assert_array_equal(lengths, np.ones(32, dtype=np.int64))
+
+
+def test_fixpoint_memory_accounting_leak_free():
+    """A long fixpoint of in-place merges must not leak simulated memory."""
+    device = _fresh_device()
+    before = device.pool.in_use_bytes
+    relation = Relation(device, "reach", 2)
+    relation.require_index((1,))
+    edges = np.array([[i, i + 1] for i in range(60)], dtype=np.int64)
+    edge_map: dict[int, list[int]] = {}
+    for a, b in edges.tolist():
+        edge_map.setdefault(a, []).append(b)
+    relation.initialize(edges)
+    while True:
+        new = [
+            (a, c)
+            for a, b in relation.delta_rows.tolist()
+            for c in edge_map.get(b, ())
+        ]
+        if new:
+            relation.add_new(np.array(new, dtype=np.int64))
+        if relation.end_iteration().delta_count == 0:
+            break
+    assert sum(stats.in_place_merges for stats in relation.history) > 0
+    expected = {(i, j) for i in range(61) for j in range(i + 1, 61)}
+    assert relation.as_set() == expected
+    relation.free()
+    assert device.pool.in_use_bytes == before
+
+
+def test_empty_delta_merge_is_noop():
+    device = _fresh_device()
+    rows = np.array([[1, 2], [3, 4]], dtype=np.int64)
+    full = HISA(device, rows, (0,), label="r")
+    empty = HISA(device, np.empty((0, 2), dtype=np.int64), (0,), label="r.d")
+    merged = full.merge(empty, SimpleBufferManager(device))
+    assert merged is full
+    assert merged.tuple_count == 2
+    assert empty.is_freed
+
+
+def test_merge_into_empty_full():
+    device = _fresh_device()
+    full = HISA(device, np.empty((0, 2), dtype=np.int64), (0,), label="r")
+    delta = HISA(device, np.array([[5, 6], [1, 2]], dtype=np.int64), (0,), label="r.d")
+    merged = full.merge(delta, EagerBufferManager(device))
+    assert merged.tuple_count == 2
+    starts, lengths = merged.lookup(np.array([[5]], dtype=np.int64), charge=False)
+    assert lengths.tolist() == [1]
