@@ -37,10 +37,18 @@ import numpy as np  # noqa: E402
 from repro import GPULogEngine  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 from repro.device import Device  # noqa: E402
-from repro.queries import REACH_SOURCE  # noqa: E402
-from repro.relational import HISA, EagerBufferManager, Relation  # noqa: E402
+from repro.queries import REACH_SOURCE, SG_SOURCE  # noqa: E402
+from repro.relational import (  # noqa: E402
+    HISA,
+    ColumnBatch,
+    EagerBufferManager,
+    JoinOutput,
+    Relation,
+    hash_join,
+)
 
 ARTIFACT = Path(__file__).resolve().parent / "BENCH_relational.json"
+COLUMNAR_ARTIFACT = Path(__file__).resolve().parent / "BENCH_columnar.json"
 
 
 def time_single_merge(n_full: int, delta_size: int, *, incremental: bool, repeats: int = 3) -> float:
@@ -135,11 +143,149 @@ def engine_tc(edges: np.ndarray, *, incremental: bool) -> dict:
     return summary
 
 
+# ----------------------------------------------------------------------
+# Columnar (SoA, late-materialization) pipeline vs legacy row pipeline
+# ----------------------------------------------------------------------
+
+def sg_tree_edges(depth: int, fan: int) -> np.ndarray:
+    """Balanced tree edges — the SG workload shape (many same-level pairs)."""
+    edges: list[tuple[int, int]] = []
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        grown: list[int] = []
+        for parent in frontier:
+            for _ in range(fan):
+                edges.append((parent, next_id))
+                grown.append(next_id)
+                next_id += 1
+        frontier = grown
+    return np.array(edges, dtype=np.int64)
+
+
+def time_sg_fixpoint(edges: np.ndarray, *, columnar: bool, repeats: int = 5) -> dict:
+    """End-to-end SG semi-naïve fixpoint (two-join recursive rule)."""
+    times: list[float] = []
+    sg_count = 0
+    iterations = 0
+    for _ in range(repeats):
+        engine = GPULogEngine(
+            device="h100", oom_enabled=False, columnar=columnar, collect_relations=False
+        )
+        engine.add_fact_array("edge", edges)
+        start = time.perf_counter()
+        result = engine.run(SG_SOURCE)
+        times.append(time.perf_counter() - start)
+        sg_count = result.count("sg")
+        iterations = result.total_iterations
+        engine.close()
+    times.sort()
+    return {
+        "sg_count": sg_count,
+        "iterations": iterations,
+        "median_seconds": round(times[len(times) // 2], 4),
+        "best_seconds": round(times[0], 4),
+    }
+
+
+def time_wide_join_chain(n_rows: int, arity: int, *, columnar: bool, repeats: int = 3) -> dict:
+    """Two chained hash joins over wide tuples, consuming only one column.
+
+    This isolates the late-materialization lever: the row pipeline copies all
+    ``arity + 1`` output columns at every step, the columnar pipeline gathers
+    only the join keys and the single consumed column.
+    """
+    rng = np.random.default_rng(12345)
+    rows = rng.integers(0, max(2, n_rows // 4), size=(n_rows, arity), dtype=np.int64)
+    device = Device("h100", oom_enabled=False)
+    inner = HISA(device, rows, join_columns=(0,), label="wide", charge_build=False)
+    output = [JoinOutput("outer", column) for column in range(arity)] + [JoinOutput("inner", 1)]
+    best = float("inf")
+    checksum = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = ColumnBatch.from_rows(device, rows) if columnar else rows
+        for _ in range(2):
+            out = hash_join(device, out, [1], inner, output, charge=False)
+        if columnar:
+            checksum = int(out.column(out.arity - 1, charge=False).sum())
+        else:
+            checksum = int(out[:, -1].sum())
+        best = min(best, time.perf_counter() - start)
+    return {"best_seconds": round(best, 4), "checksum": checksum}
+
+
+def record_columnar(quick: bool) -> dict:
+    if quick:
+        depth, fan = 5, 3
+        wide_rows, repeats = 30_000, 2
+    else:
+        depth, fan = 6, 3
+        wide_rows, repeats = 200_000, 5
+
+    edges = sg_tree_edges(depth, fan)
+    artifact: dict = {
+        "schema_version": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": bool(quick),
+        "sg_two_join_fixpoint": {"edges": int(edges.shape[0]), "tree_depth": depth, "tree_fan": fan},
+        "wide_two_join_chain": {"rows": wide_rows, "arity": 8},
+    }
+
+    sg = artifact["sg_two_join_fixpoint"]
+    sg["columnar"] = time_sg_fixpoint(edges, columnar=True, repeats=repeats)
+    sg["row"] = time_sg_fixpoint(edges, columnar=False, repeats=repeats)
+    sg["speedup"] = round(
+        sg["row"]["median_seconds"] / max(1e-12, sg["columnar"]["median_seconds"]), 2
+    )
+    print(
+        f"SG fixpoint (|sg|={sg['columnar']['sg_count']}): columnar "
+        f"{sg['columnar']['median_seconds']}s  row {sg['row']['median_seconds']}s  "
+        f"({sg['speedup']}x)"
+    )
+
+    wide = artifact["wide_two_join_chain"]
+    wide["columnar"] = time_wide_join_chain(wide_rows, 8, columnar=True)
+    wide["row"] = time_wide_join_chain(wide_rows, 8, columnar=False)
+    assert wide["columnar"]["checksum"] == wide["row"]["checksum"]
+    wide["speedup"] = round(
+        wide["row"]["best_seconds"] / max(1e-12, wide["columnar"]["best_seconds"]), 2
+    )
+    print(
+        f"wide 2-join chain ({wide_rows} rows, arity 8): columnar "
+        f"{wide['columnar']['best_seconds']}s  row {wide['row']['best_seconds']}s  "
+        f"({wide['speedup']}x)"
+    )
+    return artifact
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
     parser.add_argument("--output", type=Path, default=ARTIFACT)
+    parser.add_argument("--columnar-output", type=Path, default=COLUMNAR_ARTIFACT)
+    parser.add_argument(
+        "--columnar-only",
+        action="store_true",
+        help="record only the columnar-vs-row artifact (skips the merge baseline)",
+    )
+    parser.add_argument(
+        "--merge-only",
+        action="store_true",
+        help="record only the merge baseline (leaves BENCH_columnar.json untouched)",
+    )
     args = parser.parse_args()
+    if args.columnar_only and args.merge_only:
+        parser.error("--columnar-only and --merge-only are mutually exclusive")
+
+    if not args.merge_only:
+        columnar_artifact = record_columnar(args.quick)
+        args.columnar_output.write_text(json.dumps(columnar_artifact, indent=2) + "\n")
+        print(f"wrote {args.columnar_output}")
+    if args.columnar_only:
+        return
 
     if args.quick:
         merge_sizes = (10_000, 40_000)

@@ -8,7 +8,6 @@ comparison.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import (
     run_table1,

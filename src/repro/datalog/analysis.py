@@ -13,7 +13,7 @@ planner generates one semi-naïve rule version per recursive atom (Section 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

@@ -10,7 +10,7 @@ aggregation as future work).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Union
 
 from ..errors import DatalogError, SafetyError

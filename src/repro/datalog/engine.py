@@ -18,8 +18,8 @@ String constants in facts or rules are interned into integers transparently
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence, Union
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from ..errors import DatalogError, SchemaError
 from ..relational.hashtable import DEFAULT_LOAD_FACTOR
 from ..relational.relation import IterationStats, Relation
 from .analysis import analyze_program
-from .ast import Atom, Comparison, Constant, Program, Rule, Variable
+from .ast import Atom, Comparison, Constant, Program, Rule
 from .planner import plan_program
 from .seminaive import EvaluationStats, SemiNaiveEvaluator
 
@@ -130,6 +130,7 @@ class GPULogEngine:
         incremental_merge: bool = True,
         load_factor: float = DEFAULT_LOAD_FACTOR,
         materialize_nway: bool = True,
+        columnar: bool = True,
         max_iterations: int = 1_000_000,
         collect_relations: bool = True,
     ) -> None:
@@ -143,6 +144,9 @@ class GPULogEngine:
         self.incremental_merge = bool(incremental_merge)
         self.load_factor = float(load_factor)
         self.materialize_nway = bool(materialize_nway)
+        #: SoA late-materialization pipeline (default); ``False`` restores the
+        #: legacy row-array pipeline as the ablation baseline.
+        self.columnar = bool(columnar)
         self.max_iterations = int(max_iterations)
         self.symbols = SymbolTable()
         self._facts: dict[str, list[tuple[int, ...]]] = {}
@@ -233,6 +237,7 @@ class GPULogEngine:
             plan,
             self.relations,
             materialize_nway=self.materialize_nway,
+            columnar=self.columnar,
             max_iterations=self.max_iterations,
         )
         stats = evaluator.evaluate(idb_facts)

@@ -16,13 +16,12 @@ Datalog engines index for every query (Section 3, [R1]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from ..errors import PlanningError
 from ..relational.operators import ColumnComparison, JoinOutput
 from .analysis import ProgramAnalysis
-from .ast import Atom, Comparison, Constant, Program, Rule, Variable
+from .ast import Atom, Comparison, Constant, Rule, Variable
 
 DELTA = "delta"
 FULL = "full"
@@ -207,7 +206,7 @@ class Planner:
             else:
                 raise PlanningError(
                     f"rule {rule} requires a cross product (atom shares no variable with the "
-                    f"atoms already joined); cross products are not supported"
+                    "atoms already joined); cross products are not supported"
                 )
         return ordered
 

@@ -24,9 +24,10 @@ import numpy as np
 from ..device.device import Device
 from ..device.profiler import PHASE_JOIN
 from ..errors import EvaluationError
-from ..relational.operators import fused_nway_join, hash_join, project, select
+from ..relational.columnbatch import ColumnBatch
+from ..relational.operators import RowsLike, fused_nway_join, hash_join, project, select
 from ..relational.relation import Relation
-from .planner import DELTA, HeadColumn, ProgramPlan, RuleVersion
+from .planner import DELTA, ProgramPlan, RuleVersion
 
 
 @dataclass
@@ -74,12 +75,16 @@ class SemiNaiveEvaluator:
         relations: dict[str, Relation],
         *,
         materialize_nway: bool = True,
+        columnar: bool = True,
         max_iterations: int = 1_000_000,
     ) -> None:
         self.device = device
         self.plan = plan
         self.relations = relations
         self.materialize_nway = bool(materialize_nway)
+        #: columnar (SoA) late-materialization pipeline; ``False`` runs the
+        #: legacy row-array pipeline (the ablation baseline).
+        self.columnar = bool(columnar)
         self.max_iterations = int(max_iterations)
 
     # ------------------------------------------------------------------
@@ -106,9 +111,16 @@ class SemiNaiveEvaluator:
                 if name in idb_facts:
                     initial_rows[name].append(idb_facts.pop(name))
             for version in non_recursive:
-                rows = self._execute_version(version)
-                if rows.shape[0]:
-                    initial_rows[version.head_relation].append(rows)
+                result = self._execute_version(version)
+                if len(result):
+                    if isinstance(result, ColumnBatch):
+                        # Stratum initialization is a materialization edge:
+                        # the rows feed fact loading, which indexes them all.
+                        # Charged as join output (the row pipeline writes the
+                        # equivalent tuples inside the join phase).
+                        with self.device.profiler.phase(PHASE_JOIN):
+                            result = result.as_rows(label=f"{version.head_relation}.materialize_init")
+                    initial_rows[version.head_relation].append(result)
             for name in idb_in_stratum:
                 relation = self.relations[name]
                 parts = initial_rows.get(name, [])
@@ -160,9 +172,14 @@ class SemiNaiveEvaluator:
                     delta_relation = self.relations[version.initial.relation]
                     if delta_relation.delta_count == 0:
                         continue
-                    rows = self._execute_version(version)
-                    if rows.shape[0]:
-                        self.relations[version.head_relation].add_new(rows)
+                    result = self._execute_version(version)
+                    if len(result):
+                        # add_new materializes a columnar result's head
+                        # columns; that is the join's output write, so it is
+                        # attributed to the join phase like the row
+                        # pipeline's in-kernel head projection.
+                        with self.device.profiler.phase(PHASE_JOIN):
+                            self.relations[version.head_relation].add_new(result)
                 total_delta = 0
                 for name in idb_in_stratum:
                     result = self.relations[name].end_iteration()
@@ -176,39 +193,50 @@ class SemiNaiveEvaluator:
     # ------------------------------------------------------------------
     # Rule-version execution
     # ------------------------------------------------------------------
-    def _execute_version(self, version: RuleVersion) -> np.ndarray:
+    def _execute_version(self, version: RuleVersion) -> RowsLike:
         with self.device.profiler.phase(PHASE_JOIN):
             rows = self._initial_rows(version)
-            if rows.shape[0] == 0:
+            if len(rows) == 0:
                 return np.empty((0, len(version.head)), dtype=np.int64)
             if self.materialize_nway or len(version.joins) <= 1 or not self._fusable(version):
                 rows = self._execute_materialized(version, rows)
             else:
                 rows = self._execute_fused(version, rows)
-            if rows.shape[0] and version.final_filters:
+            if len(rows) and version.final_filters:
                 rows = select(self.device, rows, version.final_filters, label=f"{version.head_relation}.filter")
             return self._project_head(version, rows)
 
-    def _initial_rows(self, version: RuleVersion) -> np.ndarray:
+    def _initial_rows(self, version: RuleVersion) -> RowsLike:
         initial = version.initial
         relation = self.relations[initial.relation]
-        if initial.version == DELTA:
-            rows = relation.delta_rows
+        if self.columnar:
+            # Zero-copy columnar scan over the relation's stored columns.
+            rows: RowsLike = (
+                relation.delta_batch if initial.version == DELTA else relation.full_batch()
+            )
+            arity = rows.arity
         else:
-            rows = relation.full_rows()
-        if rows.shape[0] == 0:
+            rows = relation.delta_rows if initial.version == DELTA else relation.full_rows()
+            arity = rows.shape[1]
+        if len(rows) == 0:
             return np.empty((0, len(initial.schema)), dtype=np.int64)
         if initial.filters:
             rows = select(self.device, rows, initial.filters, label=f"{initial.relation}.scan_filter")
-        identity = tuple(initial.projection) == tuple(range(rows.shape[1]))
+        identity = tuple(initial.projection) == tuple(range(arity))
         if not identity:
             rows = project(self.device, rows, initial.projection, label=f"{initial.relation}.scan_project")
         return rows
 
-    def _execute_materialized(self, version: RuleVersion, rows: np.ndarray) -> np.ndarray:
-        """Temporarily-materialized join chain (Section 5.2): one kernel per step."""
+    def _execute_materialized(self, version: RuleVersion, rows: RowsLike) -> RowsLike:
+        """Temporarily-materialized join chain (Section 5.2): one kernel per step.
+
+        In columnar mode each step's "materialization" is a lazy batch —
+        balanced per-thread workloads are preserved (one binary join per
+        kernel), but only the columns the next step or the head actually
+        reads are ever gathered.
+        """
         for step in version.joins:
-            if rows.shape[0] == 0:
+            if len(rows) == 0:
                 return np.empty((0, len(step.schema)), dtype=np.int64)
             inner = self.relations[step.relation].index_for(step.join_columns)
             rows = hash_join(
@@ -220,11 +248,11 @@ class SemiNaiveEvaluator:
                 comparisons=step.filters,
                 label=f"{version.head_relation}<-{step.relation}",
             )
-            if step.post_projection is not None and rows.shape[0]:
+            if step.post_projection is not None and len(rows):
                 rows = project(self.device, rows, step.post_projection, label=f"{version.head_relation}.trim")
         return rows
 
-    def _execute_fused(self, version: RuleVersion, rows: np.ndarray) -> np.ndarray:
+    def _execute_fused(self, version: RuleVersion, rows: RowsLike) -> np.ndarray:
         """Non-materialized nested n-way join (ablation baseline of Section 5.2)."""
         stages = []
         comparisons = []
@@ -247,9 +275,19 @@ class SemiNaiveEvaluator:
                 return False
         return version.joins[-1].post_projection is None
 
-    def _project_head(self, version: RuleVersion, rows: np.ndarray) -> np.ndarray:
-        if rows.shape[0] == 0:
+    def _project_head(self, version: RuleVersion, rows: RowsLike) -> RowsLike:
+        if len(rows) == 0:
             return np.empty((0, len(version.head)), dtype=np.int64)
+        if isinstance(rows, ColumnBatch):
+            # Head variables are routed lazily (no copy); only constant
+            # columns are written here.
+            entries = [
+                ("column", head_column.position)
+                if head_column.kind == "var"
+                else ("constant", int(head_column.value))
+                for head_column in version.head
+            ]
+            return rows.assemble(entries, label=f"{version.head_relation}.project_head")
         columns = []
         for head_column in version.head:
             if head_column.kind == "var":

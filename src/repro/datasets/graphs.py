@@ -26,7 +26,7 @@ real graphs are also evaluated as directed graphs in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -161,7 +161,6 @@ def scale_free_graph(
         raise DatasetError("scale_free_graph needs n_nodes > attachment >= 1")
     rng = np.random.default_rng(seed)
     edges: list[tuple[int, int]] = []
-    targets = list(range(attachment))
     repeated: list[int] = list(range(attachment))
     for new_node in range(attachment, n_nodes):
         chosen = rng.choice(repeated, size=attachment, replace=True)

@@ -16,7 +16,7 @@ the model keeps that story front and centre while remaining auditable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .spec import DeviceSpec
 

@@ -42,6 +42,55 @@ def as_rows(data: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(rows)
 
 
+def is_monotone(indices: np.ndarray) -> bool:
+    """True if ``indices`` is non-decreasing (forward-only, coalescable reads)."""
+    if indices.size < 2:
+        return True
+    return bool((indices[1:] >= indices[:-1]).all())
+
+
+def host_lexsort_columns(
+    columns: "list[np.ndarray] | tuple[np.ndarray, ...]", n_rows: int | None = None
+) -> np.ndarray:
+    """Stable lexicographic argsort over per-column arrays (column 0 primary).
+
+    This is the one host implementation of the tuple sort; the row-array
+    entry points build their column views and delegate here so the columnar
+    and row pipelines sort identically.  ``n_rows`` covers the zero-arity
+    edge: with no sort keys every order is (stably) sorted, so the identity
+    permutation is returned.
+    """
+    if not columns:
+        return np.arange(int(n_rows or 0), dtype=INDEX_DTYPE)
+    n = int(columns[0].shape[0])
+    if n == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    # np.lexsort sorts by the last key first, so pass columns reversed.
+    return np.lexsort(tuple(reversed(columns))).astype(INDEX_DTYPE)
+
+
+def host_adjacent_unique_mask(
+    columns: "list[np.ndarray] | tuple[np.ndarray, ...]", n_rows: int | None = None
+) -> np.ndarray:
+    """Mask of sorted tuples that differ from their predecessor, per column.
+
+    Shared by the row-array and columnar deduplication paths (and by the
+    uncharged oracle in :func:`repro.relational.operators.deduplicate`) so the
+    adjacent-compare step exists exactly once.  ``n_rows`` covers the
+    zero-arity edge: with no columns every tuple equals its predecessor.
+    """
+    n = int(columns[0].shape[0]) if columns else int(n_rows or 0)
+    mask = np.empty(n, dtype=bool)
+    if n == 0:
+        return mask
+    mask[0] = True
+    if n > 1:
+        mask[1:] = False
+        for column in columns:
+            mask[1:] |= column[1:] != column[:-1]
+    return mask
+
+
 def rows_nbytes(n_rows: int, arity: int) -> int:
     """Bytes occupied by ``n_rows`` tuples of the given arity."""
     return int(n_rows) * int(arity) * TUPLE_ITEMSIZE
@@ -105,6 +154,145 @@ class DeviceKernels:
         return out
 
     # ------------------------------------------------------------------
+    # Columnar (SoA) primitives — the late-materialization datapath
+    # ------------------------------------------------------------------
+    def gather_column(
+        self,
+        base: np.ndarray,
+        indices: np.ndarray,
+        label: str = "gather_column",
+        coalesced: bool | None = None,
+    ) -> np.ndarray:
+        """Materialise one column of a lazy batch: ``base[indices]``.
+
+        Cost is charged *per column* and only for columns a downstream
+        operator actually touches.  A monotone (non-decreasing) selection —
+        the shape produced by match expansion and stream compaction — reads
+        the base forward-only, which a GPU coalesces; only genuinely
+        unordered selections pay the random-access rate.
+        """
+        base = np.asarray(base)
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        out = base[indices]
+        itemsize = base.dtype.itemsize
+        value_bytes = float(indices.size) * itemsize
+        if coalesced is None:
+            coalesced = is_monotone(indices)
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                random_bytes=0.0 if coalesced else value_bytes,
+                sequential_bytes=float(indices.size) * (itemsize + INDEX_ITEMSIZE)
+                + (value_bytes if coalesced else 0.0),
+                ops=float(indices.size),
+            )
+        )
+        return out
+
+    def compose_selection(
+        self,
+        selection: np.ndarray,
+        indices: np.ndarray,
+        label: str = "compose_selection",
+        coalesced: bool | None = None,
+    ) -> np.ndarray:
+        """Compose two gather index vectors: ``selection[indices]``.
+
+        Late materialization replaces per-operator tuple copies with this
+        int64 index gather, performed once per *source* (not per column).
+        Monotone ``indices`` (compaction / match-expansion shapes) coalesce.
+        """
+        selection = np.asarray(selection, dtype=INDEX_DTYPE)
+        indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        out = selection[indices]
+        index_bytes = float(indices.size) * INDEX_ITEMSIZE
+        if coalesced is None:
+            coalesced = is_monotone(indices)
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                random_bytes=0.0 if coalesced else index_bytes,
+                sequential_bytes=index_bytes * (3.0 if coalesced else 2.0),
+                ops=float(indices.size),
+            )
+        )
+        return out
+
+    def concatenate_columns(
+        self, parts: list[list[np.ndarray]], label: str = "concatenate_columns"
+    ) -> list[np.ndarray]:
+        """Concatenate per-column arrays of several batches (one pass per column)."""
+        if not parts:
+            return []
+        arity = len(parts[0])
+        out: list[np.ndarray] = []
+        total_bytes = 0.0
+        total_rows = 0
+        for column_index in range(arity):
+            column = np.concatenate([part[column_index] for part in parts])
+            total_bytes += 2.0 * column.nbytes
+            total_rows = column.shape[0]
+            out.append(column)
+        self._device.charge(
+            KernelCost(kernel=label, sequential_bytes=total_bytes, ops=float(total_rows) * max(1, arity))
+        )
+        return out
+
+    def adjacent_unique_mask_columns(
+        self, sorted_columns: list[np.ndarray], n_rows: int, label: str = "adjacent_unique"
+    ) -> np.ndarray:
+        """Columnar adjacent-compare deduplication mask (one pass per column)."""
+        mask = host_adjacent_unique_mask(sorted_columns, n_rows=n_rows)
+        column_bytes = sum(float(column.nbytes) for column in sorted_columns)
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=2.0 * column_bytes + float(n_rows),
+                ops=float(n_rows) * max(1, len(sorted_columns)),
+            )
+        )
+        return mask
+
+    def compact_columns(
+        self, columns: list[np.ndarray], mask: np.ndarray, label: str = "compact_columns"
+    ) -> list[np.ndarray]:
+        """Stream-compact each column by a shared boolean mask.
+
+        Charged as coalesced streaming (scan + scatter) per column — unlike a
+        gather, compaction reads every element in order.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        out = [column[mask] for column in columns]
+        in_bytes = sum(float(column.nbytes) for column in columns)
+        out_bytes = sum(float(column.nbytes) for column in out)
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                sequential_bytes=in_bytes + out_bytes + float(mask.size),
+                ops=float(mask.size) * max(1, len(columns)),
+            )
+        )
+        return out
+
+    def unique_columns(self, columns: list[np.ndarray], label: str = "unique_columns") -> list[np.ndarray]:
+        """Columnar deduplication: per-column lexsort + adjacent-compare + compact.
+
+        The columnar replacement for :meth:`unique_rows` — no packed row keys
+        are ever built; every pass streams contiguous single columns.
+        """
+        if not columns or columns[0].shape[0] == 0:
+            return list(columns)
+        order = self.lexsort_columns(columns, label=f"{label}.sort")
+        # The sort permutation is shared by every column: test coalescing once.
+        order_coalesced = is_monotone(order)
+        sorted_columns = [
+            self.gather_column(column, order, label=f"{label}.gather", coalesced=order_coalesced)
+            for column in columns
+        ]
+        mask = self.adjacent_unique_mask_columns(sorted_columns, order.size, label=f"{label}.mask")
+        return self.compact_columns(sorted_columns, mask, label=f"{label}.compact")
+
+    # ------------------------------------------------------------------
     # Transform / map
     # ------------------------------------------------------------------
     def transform(
@@ -141,12 +329,26 @@ class DeviceKernels:
         """
         rows = as_rows(rows)
         n, arity = rows.shape
-        if n == 0:
-            order = np.empty(0, dtype=INDEX_DTYPE)
-        else:
-            # np.lexsort sorts by the last key first, so pass columns reversed:
-            # primary key = column 0, matching the HISA ordering.
-            order = np.lexsort(tuple(rows[:, col] for col in reversed(range(arity)))).astype(INDEX_DTYPE)
+        order = host_lexsort_columns([rows[:, col] for col in range(arity)], n_rows=n)
+        self._charge_lexsort(n, arity, label)
+        return order
+
+    def lexsort_columns(
+        self, columns: list[np.ndarray], label: str = "stable_sort", n_rows: int | None = None
+    ) -> np.ndarray:
+        """Stable lexicographic argsort over per-column arrays (SoA layout).
+
+        Same algorithm and cost as :meth:`lexsort_rows` — one stable pass per
+        column — but each pass streams a contiguous column instead of a
+        strided slice of a row array.  ``n_rows`` covers the zero-arity edge
+        (identity permutation), mirroring :func:`host_lexsort_columns`.
+        """
+        n = int(columns[0].shape[0]) if columns else int(n_rows or 0)
+        order = host_lexsort_columns(columns, n_rows=n)
+        self._charge_lexsort(n, len(columns), label)
+        return order
+
+    def _charge_lexsort(self, n: int, arity: int, label: str) -> None:
         pass_bytes = float(n) * (TUPLE_ITEMSIZE + 2 * INDEX_ITEMSIZE)
         self._device.charge(
             KernelCost(
@@ -156,7 +358,6 @@ class DeviceKernels:
                 launches=max(1, arity),
             )
         )
-        return order
 
     def sort_rows(self, rows: np.ndarray, label: str = "sort_rows") -> np.ndarray:
         """Return the rows physically reordered into lexicographic order."""
@@ -235,13 +436,7 @@ class DeviceKernels:
         """
         rows = as_rows(sorted_rows)
         n = rows.shape[0]
-        if n == 0:
-            mask = np.empty(0, dtype=bool)
-        else:
-            mask = np.empty(n, dtype=bool)
-            mask[0] = True
-            if n > 1:
-                mask[1:] = np.any(rows[1:] != rows[:-1], axis=1)
+        mask = host_adjacent_unique_mask([rows[:, col] for col in range(rows.shape[1])], n_rows=n)
         self._device.charge(
             KernelCost(
                 kernel=label,
@@ -410,3 +605,18 @@ def lex_rank_keys(rows: np.ndarray, reference: np.ndarray | None = None) -> np.n
     return np.ascontiguousarray(big_endian).view(
         np.dtype((np.void, rows.shape[1] * 8))
     ).ravel()
+
+
+def lex_rank_keys_columns(columns: "list[np.ndarray] | tuple[np.ndarray, ...]") -> np.ndarray:
+    """Columnar :func:`lex_rank_keys`: pack per-column arrays into sort keys.
+
+    Produces byte-identical keys to the row-array version, so the SoA and
+    row pipelines share cached-key state interchangeably.
+    """
+    arity = len(columns)
+    n = int(columns[0].shape[0]) if arity else 0
+    big_endian = np.empty((n, arity), dtype=">u8")
+    for position, column in enumerate(columns):
+        column = np.asarray(column, dtype=TUPLE_DTYPE)
+        big_endian[:, position] = column.view(np.uint64) ^ np.uint64(1 << 63)
+    return big_endian.view(np.dtype((np.void, max(1, arity) * 8))).ravel()

@@ -15,7 +15,7 @@ keeps the simulator cheap while preserving the accounting the paper relies on.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import BufferError_, DeviceOutOfMemoryError
 

@@ -20,7 +20,7 @@ the tail-iteration behaviour of REACH.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 GIB = 1024**3
 GB = 10**9

@@ -25,7 +25,6 @@ from typing import Mapping, Union
 
 import numpy as np
 
-from ..datalog.analysis import analyze_program
 from ..datalog.ast import Program
 from ..device.spec import NVIDIA_H100, DeviceSpec
 from .base import STATUS_OK, STATUS_OOM, STATUS_UNSUPPORTED, BaselineEngine, EngineRunResult

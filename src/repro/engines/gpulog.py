@@ -36,6 +36,7 @@ class GPULogAdapter(BaselineEngine):
         buffer_growth_factor: float = 8.0,
         load_factor: float = 0.8,
         materialize_nway: bool = True,
+        columnar: bool = True,
     ) -> None:
         self.spec = device_preset(device) if isinstance(device, str) else device
         self.memory_capacity_bytes = memory_capacity_bytes
@@ -43,6 +44,7 @@ class GPULogAdapter(BaselineEngine):
         self.buffer_growth_factor = buffer_growth_factor
         self.load_factor = load_factor
         self.materialize_nway = materialize_nway
+        self.columnar = columnar
         self.last_result = None
 
     def run(
@@ -60,6 +62,7 @@ class GPULogAdapter(BaselineEngine):
             buffer_growth_factor=self.buffer_growth_factor,
             load_factor=self.load_factor,
             materialize_nway=self.materialize_nway,
+            columnar=self.columnar,
             collect_relations=collect_relations,
         )
         for name, rows in facts.items():

@@ -21,7 +21,7 @@ from ..device.device import Device
 from ..device.profiler import PHASE_JOIN
 from ..relational.hashing import hash_rows
 from ..relational.hashtable import OpenAddressingHashTable
-from .runner import ResultTable, format_seconds, get_dataset, query_program, run_gpulog
+from .runner import ResultTable, format_seconds, run_gpulog
 
 
 # ----------------------------------------------------------------------

@@ -17,9 +17,7 @@ Provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
-
-import numpy as np
+from typing import Iterable
 
 from ..datalog.ast import Program
 from ..datalog.engine import EvaluationResult, GPULogEngine

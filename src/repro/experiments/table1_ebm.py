@@ -18,7 +18,6 @@ from .runner import (
     format_gib,
     format_seconds,
     output_size,
-    project_seconds,
     run_gpulog,
     scale_factor,
 )

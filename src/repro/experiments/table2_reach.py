@@ -21,7 +21,6 @@ from .runner import (
     get_dataset,
     get_trace,
     output_size,
-    paper_output_size,
     project_seconds,
     query_program,
     run_gpulog,

@@ -12,7 +12,6 @@ the EPYC host.
 from __future__ import annotations
 
 from .runner import (
-    CSPA_OUTPUT_RELATIONS,
     ResultTable,
     format_seconds,
     get_dataset,

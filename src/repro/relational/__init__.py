@@ -7,7 +7,8 @@ from .buffers import (
     SimpleBufferManager,
     make_buffer_manager,
 )
-from .hashing import EMPTY_KEY, hash_rows, hash_single, next_power_of_two
+from .columnbatch import ColumnBatch
+from .hashing import EMPTY_KEY, hash_columns, hash_rows, hash_single, next_power_of_two
 from .hashtable import DEFAULT_LOAD_FACTOR, HashTableStats, OpenAddressingHashTable
 from .hisa import HISA, HisaMemoryBreakdown
 from .operators import (
@@ -25,6 +26,7 @@ from .relation import IterationStats, Relation
 
 __all__ = [
     "BufferManagerStats",
+    "ColumnBatch",
     "ColumnComparison",
     "DEFAULT_LOAD_FACTOR",
     "EMPTY_KEY",
@@ -41,6 +43,7 @@ __all__ = [
     "deduplicate",
     "difference",
     "fused_nway_join",
+    "hash_columns",
     "hash_join",
     "hash_rows",
     "hash_single",

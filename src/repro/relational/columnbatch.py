@@ -1,0 +1,406 @@
+"""Columnar (SoA) tuple batches with late materialization.
+
+The seed pipeline moved row-major ``(n, arity)`` tuple arrays between every
+operator, so each join / project / dedup step re-materialized full tuples even
+when downstream steps only needed a subset of columns.  :class:`ColumnBatch`
+is the column-oriented replacement: a set of named per-column ``int64`` arrays
+plus an optional *lazy gather* — each column is either
+
+* **materialized** — a 1-D array of length ``num_rows``, or
+* **lazy** — a pair ``(base, selection chain)`` where ``base`` is a (usually
+  larger) backing column (e.g. a HISA's stored column) and the selection
+  chain is a sequence of index vectors shared by every column drawn from the
+  same *source*.
+
+The late-materialization contract
+---------------------------------
+
+1. Operators that only *route* tuples — ``project``, join output wiring,
+   comparison filtering, ``take`` — never copy column values.  They append
+   index vectors to the per-source selection chains and rewire column
+   metadata; nothing is charged to the device.
+2. Column values are gathered exactly once, at first access
+   (:meth:`column` / :meth:`as_rows`).  Resolving a source's selection chain
+   composes its index vectors right-to-left, so every composition runs at
+   the *final* (smallest, post-filter) batch length, and the simulated
+   device is charged per column and per composition actually performed.
+   Columns no downstream operator reads — join attributes dropped by a later
+   projection, variables absent from a rule head — are **never** gathered,
+   and sources no live column references are never composed.
+3. Base arrays are append-only: producers (HISA merges) may grow their
+   storage or swap in larger buffers, but never mutate the prefix a live
+   selection can reference, so a lazy batch stays valid across fixpoint
+   bookkeeping until it is materialized.
+
+Row arrays remain the interop format at the edges (:meth:`from_rows` /
+:meth:`as_rows`), which is what keeps the legacy row pipeline available as an
+ablation baseline behind ``columnar=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..device.device import Device
+from ..device.kernels import INDEX_DTYPE, TUPLE_DTYPE, TUPLE_ITEMSIZE, as_rows, is_monotone
+from ..errors import SchemaError
+
+__all__ = ["ColumnBatch"]
+
+
+class ColumnBatch:
+    """A batch of tuples stored column-wise, with optional lazy gathers."""
+
+    __slots__ = ("device", "_length", "_selections", "_sources", "_bases", "_cache", "_monotone", "names")
+
+    def __init__(
+        self,
+        device: Device,
+        *,
+        length: int,
+        bases: list[np.ndarray],
+        sources: list[int],
+        selections: list["list[np.ndarray] | None"],
+        names: tuple[str, ...] | None = None,
+    ) -> None:
+        self.device = device
+        self._length = int(length)
+        self._bases = bases
+        self._sources = sources
+        self._selections = selections
+        self._cache: dict[int, np.ndarray] = {}
+        #: per-source coalescing flag of the resolved selection, computed once
+        #: and shared by every column gathered from that source
+        self._monotone: dict[int, bool] = {}
+        if names is not None and len(names) != len(bases):
+            raise SchemaError(f"{len(names)} column names for {len(bases)} columns")
+        self.names = names
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        device: Device,
+        columns: Sequence[np.ndarray],
+        *,
+        length: int | None = None,
+        names: tuple[str, ...] | None = None,
+    ) -> "ColumnBatch":
+        """Wrap already-materialized per-column arrays (no copy)."""
+        cols = [np.asarray(column, dtype=TUPLE_DTYPE).reshape(-1) for column in columns]
+        if length is None:
+            length = int(cols[0].shape[0]) if cols else 0
+        for column in cols:
+            if column.shape[0] != length:
+                raise SchemaError("all columns of a batch must have the same length")
+        return cls(
+            device,
+            length=int(length),
+            bases=cols,
+            sources=[0] * len(cols),
+            selections=[None],
+            names=names,
+        )
+
+    @classmethod
+    def from_rows(
+        cls, device: Device, rows: np.ndarray, *, names: tuple[str, ...] | None = None
+    ) -> "ColumnBatch":
+        """Wrap a row-major tuple array as column views (no copy)."""
+        rows = as_rows(rows)
+        return cls.from_columns(
+            device,
+            [rows[:, position] for position in range(rows.shape[1])],
+            length=int(rows.shape[0]),
+            names=names,
+        )
+
+    @classmethod
+    def empty(cls, device: Device, arity: int, *, names: tuple[str, ...] | None = None) -> "ColumnBatch":
+        return cls.from_columns(
+            device, [np.empty(0, dtype=TUPLE_DTYPE) for _ in range(arity)], length=0, names=names
+        )
+
+    @classmethod
+    def wrap(cls, device: Device, data: "ColumnBatch | np.ndarray") -> "ColumnBatch":
+        """Coerce rows-or-batch input to a batch (rows are wrapped, not copied)."""
+        if isinstance(data, ColumnBatch):
+            return data
+        return cls.from_rows(device, data)
+
+    @classmethod
+    def concatenate(
+        cls,
+        device: Device,
+        parts: Sequence["ColumnBatch"],
+        *,
+        arity: int,
+        label: str = "concatenate_columns",
+        charge: bool = True,
+    ) -> "ColumnBatch":
+        """Concatenate batches column-wise; empty input keeps ``arity``."""
+        parts = [part for part in parts if part is not None and len(part)]
+        if not parts:
+            return cls.empty(device, arity)
+        for part in parts:
+            if part.arity != arity:
+                raise SchemaError(f"cannot concatenate batches of arity {part.arity} into arity {arity}")
+        materialized = [
+            [part.column(position, charge=charge, label=label) for position in range(arity)]
+            for part in parts
+        ]
+        if charge:
+            columns = device.kernels.concatenate_columns(materialized, label=label)
+        else:
+            columns = [
+                np.concatenate([cols[position] for cols in materialized]) for position in range(arity)
+            ]
+        # Pass the row count explicitly so zero-arity batches keep their length.
+        total = sum(len(part) for part in parts)
+        return cls.from_columns(device, columns, length=total, names=parts[0].names)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def arity(self) -> int:
+        return len(self._bases)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical payload size: the bytes a full materialization would occupy."""
+        return self._length * self.arity * TUPLE_ITEMSIZE
+
+    def is_materialized(self, position: int) -> bool:
+        return position in self._cache or self._selections[self._sources[position]] is None
+
+    @property
+    def materialized_column_count(self) -> int:
+        return sum(1 for position in range(self.arity) if self.is_materialized(position))
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def _resolve_selection(
+        self, source: int, *, charge: bool, label: str
+    ) -> np.ndarray | None:
+        """Collapse a source's selection chain to one index vector.
+
+        Compositions run right-to-left, so each one is sized by the *last*
+        (post-filter, smallest) index vector of the chain; the resolved
+        vector replaces the chain so later columns of the same source reuse
+        it for free.
+        """
+        chain = self._selections[source]
+        if chain is None:
+            return None
+        while len(chain) > 1:
+            tail = chain.pop()
+            head = chain.pop()
+            if charge:
+                composed = self.device.kernels.compose_selection(head, tail, label=f"{label}.compose")
+            else:
+                composed = head[tail]
+            chain.append(composed)
+        return chain[0]
+
+    def column(self, position: int, *, charge: bool = True, label: str = "gather_column") -> np.ndarray:
+        """Materialise (and cache) one column as a 1-D int64 array."""
+        if position < 0 or position >= self.arity:
+            raise SchemaError(f"column {position} out of range for arity {self.arity}")
+        cached = self._cache.get(position)
+        if cached is not None:
+            return cached
+        base = self._bases[position]
+        source = self._sources[position]
+        selection = self._resolve_selection(source, charge=charge, label=label)
+        if selection is None:
+            out = base
+        elif charge:
+            coalesced = self._monotone.get(source)
+            if coalesced is None:
+                coalesced = is_monotone(selection)
+                self._monotone[source] = coalesced
+            out = self.device.kernels.gather_column(base, selection, label=label, coalesced=coalesced)
+        else:
+            out = base[selection]
+        self._cache[position] = out
+        return out
+
+    def columns(self, *, charge: bool = True, label: str = "gather_column") -> list[np.ndarray]:
+        return [self.column(position, charge=charge, label=label) for position in range(self.arity)]
+
+    def as_rows(self, *, charge: bool = True, label: str = "materialize_rows") -> np.ndarray:
+        """Materialise the batch as a ``(n, arity)`` row array (interop edge)."""
+        out = np.empty((self._length, self.arity), dtype=TUPLE_DTYPE)
+        for position in range(self.arity):
+            out[:, position] = self.column(position, charge=charge, label=label)
+        if charge and self.arity:
+            self.device.kernels.transform(
+                self._length,
+                bytes_per_item=float(self.arity) * TUPLE_ITEMSIZE,
+                ops_per_item=float(self.arity),
+                label=label,
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Lazy routing operators (metadata only — nothing is copied or charged)
+    # ------------------------------------------------------------------
+    def project(self, positions: Sequence[int], *, names: tuple[str, ...] | None = None) -> "ColumnBatch":
+        """Reorder / repeat / drop columns — pure metadata, no copies."""
+        positions = [int(position) for position in positions]
+        for position in positions:
+            if position < 0 or position >= self.arity:
+                raise SchemaError(f"projection column {position} out of range for arity {self.arity}")
+        batch = ColumnBatch(
+            self.device,
+            length=self._length,
+            bases=[self._bases[position] for position in positions],
+            sources=[self._sources[position] for position in positions],
+            selections=self._selections,
+            names=names,
+        )
+        for new_position, position in enumerate(positions):
+            if position in self._cache:
+                batch._cache[new_position] = self._cache[position]
+        return batch
+
+    def assemble(
+        self,
+        entries: Sequence[tuple[str, int]],
+        *,
+        label: str = "assemble",
+        charge: bool = True,
+        names: tuple[str, ...] | None = None,
+    ) -> "ColumnBatch":
+        """Build a new batch from ``("column", position)`` / ``("constant", value)``
+        entries — the head-projection primitive.  Routed columns stay lazy;
+        only constant columns are written (and charged) here.
+        """
+        bases: list[np.ndarray] = []
+        sources: list[int] = []
+        selections = list(self._selections)
+        identity_slot: int | None = None
+        cache_entries: dict[int, np.ndarray] = {}
+        constant_columns = 0
+        for new_position, (kind, value) in enumerate(entries):
+            if kind == "column":
+                position = int(value)
+                if position < 0 or position >= self.arity:
+                    raise SchemaError(f"assemble column {position} out of range for arity {self.arity}")
+                bases.append(self._bases[position])
+                sources.append(self._sources[position])
+                if position in self._cache:
+                    cache_entries[new_position] = self._cache[position]
+            else:
+                if identity_slot is None:
+                    identity_slot = len(selections)
+                    selections.append(None)
+                bases.append(np.full(self._length, int(value), dtype=TUPLE_DTYPE))
+                sources.append(identity_slot)
+                constant_columns += 1
+        if charge and constant_columns and self._length:
+            self.device.kernels.transform(
+                self._length,
+                bytes_per_item=float(constant_columns) * TUPLE_ITEMSIZE,
+                ops_per_item=float(constant_columns),
+                label=label,
+            )
+        batch = ColumnBatch(
+            self.device, length=self._length, bases=bases, sources=sources, selections=selections, names=names
+        )
+        batch._cache.update(cache_entries)
+        return batch
+
+    def append_lazy(self, specs: Sequence[tuple[np.ndarray, np.ndarray]]) -> "ColumnBatch":
+        """Append lazy ``(base, selection)`` columns — the join-output wiring.
+
+        Specs sharing the *same* selection array object share one source, so
+        later routing composes that selection only once.  Pure metadata: no
+        values move until the columns are read.
+        """
+        bases = list(self._bases)
+        sources = list(self._sources)
+        selections = list(self._selections)
+        slot_of: dict[int, int] = {}
+        for base, selection in specs:
+            selection = np.asarray(selection, dtype=INDEX_DTYPE)
+            if selection.shape[0] != self._length:
+                raise SchemaError("appended selection length must equal the batch length")
+            slot = slot_of.get(id(selection))
+            if slot is None:
+                slot = len(selections)
+                selections.append([selection])
+                slot_of[id(selection)] = slot
+            bases.append(np.asarray(base, dtype=TUPLE_DTYPE).reshape(-1))
+            sources.append(slot)
+        batch = ColumnBatch(
+            self.device, length=self._length, bases=bases, sources=sources, selections=selections
+        )
+        batch._cache.update(self._cache)
+        return batch
+
+    def take(self, indices: np.ndarray, *, label: str = "take") -> "ColumnBatch":
+        """Select rows by index — appends to each source's selection chain.
+
+        No composition happens here; chains resolve lazily at first column
+        access, so sources whose columns are never read are never composed.
+        Columns already materialized are re-based onto their cached values,
+        reusing the earlier gather instead of repeating it.
+        """
+        indices = np.asarray(indices, dtype=INDEX_DTYPE).reshape(-1)
+        bases = list(self._bases)
+        sources = list(self._sources)
+        IDENTITY = -1
+        for position, cached in self._cache.items():
+            bases[position] = cached
+            sources[position] = IDENTITY
+        selections: list[list[np.ndarray] | None] = []
+        slot_of: dict[int, int] = {}
+        for position in range(len(bases)):
+            source = sources[position]
+            if source == IDENTITY:
+                continue
+            slot = slot_of.get(source)
+            if slot is None:
+                chain = self._selections[source]
+                slot = len(selections)
+                selections.append([indices] if chain is None else list(chain) + [indices])
+                slot_of[source] = slot
+            sources[position] = slot
+        if IDENTITY in sources or not selections:
+            identity_slot = len(selections)
+            selections.append([indices])
+            sources = [identity_slot if source == IDENTITY else source for source in sources]
+        return ColumnBatch(
+            self.device,
+            length=int(indices.shape[0]),
+            bases=bases,
+            sources=sources,
+            selections=selections,
+            names=self.names,
+        )
+
+    def filter(self, mask: np.ndarray, *, charge: bool = True, label: str = "filter") -> "ColumnBatch":
+        """Keep rows where ``mask`` is true (scan + lazy selection append)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self._length:
+            raise SchemaError("mask length must equal the batch length")
+        indices = np.flatnonzero(mask).astype(INDEX_DTYPE)
+        if charge:
+            self.device.kernels.transform(
+                self._length, bytes_per_item=1.0, ops_per_item=1.0, label=f"{label}.scan"
+            )
+        return self.take(indices, label=label)

@@ -46,11 +46,30 @@ def hash_rows(rows: np.ndarray) -> np.ndarray:
     if rows.ndim != 2:
         raise ValueError(f"expected a 2-D array of join keys, got shape {rows.shape}")
     n, arity = rows.shape
-    acc = np.full(n, np.uint64(arity + 1), dtype=np.uint64)
-    unsigned = rows.view(np.uint64) if rows.flags["C_CONTIGUOUS"] else np.ascontiguousarray(rows).view(np.uint64)
-    unsigned = unsigned.reshape(n, arity)
-    for col in range(arity):
-        acc = _splitmix64(acc ^ unsigned[:, col])
+    if arity == 0:
+        acc = np.full(n, np.uint64(1), dtype=np.uint64)
+        acc[acc == EMPTY_KEY] = np.uint64(0x123456789ABCDEF)
+        return acc
+    # One fold implementation: delegate to the columnar variant so the hash
+    # of a key is identical however the key is laid out (the table is built
+    # from rows and probed from columns).
+    return hash_columns([rows[:, column] for column in range(arity)])
+
+
+def hash_columns(columns) -> np.ndarray:
+    """Hash join keys given as per-column arrays (SoA layout).
+
+    This is *the* key-hash fold; :func:`hash_rows` delegates here, so row
+    and columnar pipelines always produce byte-identical hashes.
+    """
+    if not len(columns):
+        raise ValueError("hash_columns requires at least one key column")
+    first = np.asarray(columns[0], dtype=np.int64)
+    n = first.shape[0]
+    acc = np.full(n, np.uint64(len(columns) + 1), dtype=np.uint64)
+    for column in columns:
+        column = np.asarray(column, dtype=np.int64)
+        acc = _splitmix64(acc ^ column.view(np.uint64))
     # Reserve the EMPTY_KEY sentinel; remap the (vanishingly rare) clash.
     acc[acc == EMPTY_KEY] = np.uint64(0x123456789ABCDEF)
     return acc

@@ -58,11 +58,19 @@ import numpy as np
 
 from ..device.cost import KernelCost
 from ..device.device import Device
-from ..device.kernels import INDEX_ITEMSIZE, TUPLE_DTYPE, TUPLE_ITEMSIZE, as_rows, lex_rank_keys
+from ..device.kernels import (
+    INDEX_ITEMSIZE,
+    TUPLE_DTYPE,
+    TUPLE_ITEMSIZE,
+    as_rows,
+    host_lexsort_columns,
+    lex_rank_keys_columns,
+)
 from ..device.memory import Buffer
 from ..errors import HisaStateError, SchemaError
 from .buffers import MergeBufferManager, SimpleBufferManager
-from .hashing import hash_rows
+from .columnbatch import ColumnBatch
+from .hashing import hash_columns, hash_rows
 from .hashtable import DEFAULT_LOAD_FACTOR, OpenAddressingHashTable
 
 
@@ -85,7 +93,7 @@ class HISA:
     def __init__(
         self,
         device: Device,
-        rows: np.ndarray,
+        rows: "np.ndarray | ColumnBatch",
         join_columns: Sequence[int],
         *,
         load_factor: float = DEFAULT_LOAD_FACTOR,
@@ -94,44 +102,55 @@ class HISA:
         build_hash_index: bool = True,
         assume_sorted: bool = False,
     ) -> None:
-        rows = as_rows(rows)
+        # Columnar ingestion: a ColumnBatch hands over its (possibly lazy)
+        # columns directly — values are gathered per column, never packed
+        # into row tuples.  A row array is split into column views.
+        if isinstance(rows, ColumnBatch):
+            n = len(rows)
+            arity = rows.arity
+            natural_columns = rows.columns(charge=charge_build, label=f"{label}.ingest")
+        else:
+            rows = as_rows(rows)
+            n = int(rows.shape[0])
+            arity = int(rows.shape[1])
+            natural_columns = [rows[:, column] for column in range(arity)]
         self.device = device
         self.label = label
         self.load_factor = float(load_factor)
-        self.natural_arity = int(rows.shape[1])
+        self.natural_arity = arity
         self._freed = False
         self.last_merge_in_place = False
         self.last_merge_incremental = False
 
         join_columns = tuple(int(c) for c in join_columns)
-        if rows.shape[1] and any(c < 0 or c >= rows.shape[1] for c in join_columns):
+        if arity and any(c < 0 or c >= arity for c in join_columns):
             raise SchemaError(
-                f"join columns {join_columns} out of range for arity {rows.shape[1]}"
+                f"join columns {join_columns} out of range for arity {arity}"
             )
         if len(set(join_columns)) != len(join_columns):
             raise SchemaError(f"join columns must be distinct, got {join_columns}")
-        if not join_columns and rows.shape[1]:
+        if not join_columns and arity:
             raise SchemaError("at least one join column is required")
         self.join_columns = join_columns
         self.n_join = len(join_columns)
 
-        rest = tuple(c for c in range(rows.shape[1]) if c not in join_columns)
+        rest = tuple(c for c in range(arity) if c not in join_columns)
         self.column_order = join_columns + rest
         self._inverse_order = _invert_permutation(self.column_order)
 
-        # --- Tier 1: data array (join columns permuted to the front) ---------
-        n = int(rows.shape[0])
-        if n:
-            reordered = np.ascontiguousarray(rows[:, list(self.column_order)])
-        else:
-            reordered = rows.reshape(0, rows.shape[1])
-        self._storage = reordered
-        self.data = self._storage[:n]
+        # --- Tier 1: SoA data columns (join columns permuted to the front) ---
+        # Each stored column is its own dense, capacity-backed 1-D buffer, so
+        # joins and merges gather single columns instead of whole tuples.
+        self._column_storage: list[np.ndarray] = [
+            np.ascontiguousarray(natural_columns[column]) for column in self.column_order
+        ]
+        self._live = n
+        self._rows_cache: np.ndarray | None = None
         if charge_build and n:
             self.device.kernels.transform(
                 n,
-                bytes_per_item=2.0 * rows.shape[1] * TUPLE_ITEMSIZE,
-                ops_per_item=rows.shape[1],
+                bytes_per_item=2.0 * arity * TUPLE_ITEMSIZE,
+                ops_per_item=arity,
                 label=f"{label}.reorder_columns",
             )
 
@@ -153,13 +172,18 @@ class HISA:
                     label=f"{label}.adopt_sorted",
                 )
         elif charge_build:
-            self.sorted_index = self.device.kernels.lexsort_rows(self.data, label=f"{label}.sort_index")
+            self.sorted_index = self.device.kernels.lexsort_columns(
+                self.stored_columns(), label=f"{label}.sort_index", n_rows=n
+            )
         else:
-            self.sorted_index = _host_lexsort(self.data)
+            self.sorted_index = host_lexsort_columns(self.stored_columns(), n_rows=n)
 
         # --- Cached packed sort keys + join-key runs ---------------------------
-        sorted_data = self.data[self.sorted_index] if n else self.data
-        key_rows = self._recompute_sorted_state(sorted_data)
+        if n:
+            sorted_columns = [column[self.sorted_index] for column in self.stored_columns()]
+        else:
+            sorted_columns = self.stored_columns()
+        key_rows = self._recompute_sorted_state(sorted_columns)
         if charge_build and n and self.n_join:
             self.device.kernels.transform(
                 n,
@@ -198,7 +222,7 @@ class HISA:
         # packed sort keys (which persist across merges in the incremental
         # design and are as large as the data array).
         self._data_buffer: Buffer | None = device.allocate(
-            max(0, self._storage.nbytes), label=f"{label}.data", charge_cost=False
+            self._storage_nbytes(), label=f"{label}.data", charge_cost=False
         )
         self._index_buffer: Buffer | None = device.allocate(
             max(0, self.sorted_index.nbytes + self._cached_keys_nbytes()),
@@ -216,7 +240,7 @@ class HISA:
     # ------------------------------------------------------------------
     @property
     def tuple_count(self) -> int:
-        return int(self.data.shape[0])
+        return self._live
 
     def __len__(self) -> int:
         return self.tuple_count
@@ -232,10 +256,19 @@ class HISA:
     @property
     def capacity_rows(self) -> int:
         """Rows the backing storage can hold without reallocating."""
-        return int(self._storage.shape[0])
+        if not self._column_storage:
+            return self._live
+        return int(self._column_storage[0].shape[0])
+
+    def _storage_nbytes(self) -> int:
+        return sum(int(column.nbytes) for column in self._column_storage)
 
     def memory_breakdown(self) -> HisaMemoryBreakdown:
-        data_bytes = self._data_buffer.nbytes if self._data_buffer is not None else int(self.data.nbytes)
+        data_bytes = (
+            self._data_buffer.nbytes
+            if self._data_buffer is not None
+            else self._live * self.natural_arity * TUPLE_ITEMSIZE
+        )
         index_bytes = (
             self._index_buffer.nbytes
             if self._index_buffer is not None
@@ -252,21 +285,56 @@ class HISA:
         return self.memory_breakdown().total_bytes
 
     # ------------------------------------------------------------------
-    # Row access
+    # Column access (the SoA fast path) and row-array interop views
     # ------------------------------------------------------------------
+    def stored_column(self, position: int) -> np.ndarray:
+        """One stored column (index column order) as a dense 1-D view."""
+        self._check_live()
+        return self._column_storage[position][: self._live]
+
+    def stored_columns(self) -> list[np.ndarray]:
+        """All stored columns (join columns first), insertion order."""
+        self._check_live()
+        return [column[: self._live] for column in self._column_storage]
+
+    def natural_column(self, column: int) -> np.ndarray:
+        """One column in the relation's natural (schema) order."""
+        return self.stored_column(self._inverse_order[column])
+
+    def natural_columns(self) -> list[np.ndarray]:
+        """All columns in schema order — zero-copy views for ColumnBatch wrapping."""
+        return [self.natural_column(column) for column in range(self.natural_arity)]
+
+    @property
+    def data(self) -> np.ndarray:
+        """Materialized ``(n, arity)`` row view in stored column order.
+
+        Kept for interop (tests, the legacy rebuild merge); the cache is
+        invalidated whenever a merge mutates the column storage.
+        """
+        cache = self._rows_cache
+        if cache is None:
+            cache = np.empty((self._live, len(self._column_storage)), dtype=TUPLE_DTYPE)
+            for position, column in enumerate(self._column_storage):
+                cache[:, position] = column[: self._live]
+            self._rows_cache = cache
+        return cache
+
     def natural_rows(self) -> np.ndarray:
         """All tuples in their original (schema) column order, insertion order."""
         self._check_live()
-        if self.data.shape[0] == 0:
-            return self.data.reshape(0, self.natural_arity)
-        return self.data[:, list(self._inverse_order)]
+        out = np.empty((self._live, self.natural_arity), dtype=TUPLE_DTYPE)
+        for column in range(self.natural_arity):
+            out[:, column] = self.natural_column(column)
+        return out
 
     def sorted_natural_rows(self) -> np.ndarray:
         """All tuples in schema order, sorted by (join columns, rest)."""
         self._check_live()
-        if self.data.shape[0] == 0:
-            return self.data.reshape(0, self.natural_arity)
-        return self.data[self.sorted_index][:, list(self._inverse_order)]
+        out = np.empty((self._live, self.natural_arity), dtype=TUPLE_DTYPE)
+        for column in range(self.natural_arity):
+            out[:, column] = self.natural_column(column)[self.sorted_index]
+        return out
 
     def stored_rows(self) -> np.ndarray:
         """All tuples in index column order (join columns first), insertion order."""
@@ -279,8 +347,11 @@ class HISA:
         positions = np.asarray(positions, dtype=np.int64)
         if positions.size == 0:
             return np.empty((0, self.natural_arity), dtype=np.int64)
-        gathered = self.data[self.sorted_index[positions]]
-        return gathered[:, list(self._inverse_order)]
+        data_positions = self.sorted_index[positions]
+        out = np.empty((positions.size, self.natural_arity), dtype=TUPLE_DTYPE)
+        for column in range(self.natural_arity):
+            out[:, column] = self.natural_column(column)[data_positions]
+        return out
 
     # ------------------------------------------------------------------
     # Range queries (Algorithm 3 support)
@@ -292,28 +363,54 @@ class HISA:
         ``join_columns[j]``.  Returns ``(starts, lengths)`` in sorted-index
         space; misses are ``(-1, 0)``.
         """
-        self._check_live()
         keys = as_rows(keys)
-        if keys.shape[0] == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        if keys.shape[1] != self.n_join:
+        if keys.shape[0] and keys.shape[1] != self.n_join:
             raise SchemaError(f"expected keys of width {self.n_join}, got {keys.shape[1]}")
+        return self.lookup_columns(
+            [keys[:, position] for position in range(keys.shape[1])],
+            charge=charge,
+            verify=verify,
+            n_keys=int(keys.shape[0]),
+        )
+
+    def lookup_columns(
+        self,
+        key_columns: Sequence[np.ndarray],
+        *,
+        charge: bool = True,
+        verify: bool = True,
+        n_keys: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar :meth:`lookup`: ``key_columns[j]`` holds ``join_columns[j]``.
+
+        The SoA fast path — keys are hashed by folding the columns directly
+        and verified against single stored columns, so no row tuples are ever
+        assembled.
+        """
+        self._check_live()
+        m = int(key_columns[0].shape[0]) if key_columns else int(n_keys or 0)
+        if m == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        if len(key_columns) != self.n_join:
+            raise SchemaError(f"expected keys of width {self.n_join}, got {len(key_columns)}")
         if self.table is None:
             raise HisaStateError("this HISA was built without a hash index")
         if charge:
             self.device.kernels.transform(
-                keys.shape[0],
+                m,
                 bytes_per_item=self.n_join * TUPLE_ITEMSIZE,
                 ops_per_item=4.0 * self.n_join,
                 label=f"{self.label}.hash_keys",
             )
-        hashes = hash_rows(keys)
+        hashes = hash_columns(key_columns)
         starts, lengths = self.table.probe(hashes, charge=charge, label=f"{self.label}.probe")
         if verify and starts.size:
             hits = starts >= 0
             if hits.any():
-                first_rows = self.data[self.sorted_index[starts[hits]]][:, : self.n_join]
-                matches = np.all(first_rows == keys[hits], axis=1)
+                first_positions = self.sorted_index[starts[hits]]
+                matches = np.ones(first_positions.size, dtype=bool)
+                for position, key_column in enumerate(key_columns):
+                    matches &= self.stored_column(position)[first_positions] == key_column[hits]
                 if charge:
                     self.device.kernels.random_access(
                         int(hits.sum()),
@@ -355,10 +452,19 @@ class HISA:
         rows = as_rows(rows)
         if rows.shape[0] == 0:
             return np.empty(0, dtype=bool)
+        return self.contains_columns(
+            [rows[:, column] for column in range(rows.shape[1])], charge=charge
+        )
+
+    def contains_columns(self, columns: Sequence[np.ndarray], *, charge: bool = True) -> np.ndarray:
+        """Columnar :meth:`contains`: ``columns`` are in schema order."""
+        self._check_live()
         if self.n_join != self.natural_arity:
             raise HisaStateError("contains() requires an all-column index")
-        keys = rows[:, list(self.column_order)]
-        starts, _lengths = self.lookup(keys, charge=charge, verify=True)
+        if not columns or columns[0].shape[0] == 0:
+            return np.empty(0, dtype=bool)
+        key_columns = [columns[column] for column in self.column_order]
+        starts, _lengths = self.lookup_columns(key_columns, charge=charge, verify=True)
         return starts >= 0
 
     # ------------------------------------------------------------------
@@ -431,10 +537,14 @@ class HISA:
             allow_in_place
             and self._data_buffer is not None
             and self._data_buffer.nbytes >= required
-            and self._storage.shape[0] >= n + d
+            and self.capacity_rows >= n + d
         )
         if in_place:
-            self._storage[n : n + d] = delta.data
+            # Per-column streaming appends into the reserved headroom.  Only
+            # the region past ``n`` is written, so live lazy batches holding
+            # (base, selection) references into these columns stay valid.
+            for position, column in enumerate(self._column_storage):
+                column[n : n + d] = delta.stored_column(position)
             if charge:
                 self.device.charge(
                     KernelCost(
@@ -447,9 +557,12 @@ class HISA:
         else:
             dest = manager.acquire(required, d * row_bytes)
             capacity = max(n + d, dest.nbytes // row_bytes if row_bytes else n + d)
-            storage = np.empty((capacity, arity), dtype=TUPLE_DTYPE)
-            storage[:n] = self.data
-            storage[n : n + d] = delta.data
+            storage: list[np.ndarray] = []
+            for position, column in enumerate(self._column_storage):
+                grown = np.empty(capacity, dtype=TUPLE_DTYPE)
+                grown[:n] = column[:n]
+                grown[n : n + d] = delta.stored_column(position)
+                storage.append(grown)
             if charge:
                 self.device.charge(
                     KernelCost(
@@ -458,12 +571,13 @@ class HISA:
                         ops=float(n + d),
                     )
                 )
-            self._storage = storage
+            self._column_storage = storage
             old_buffer = self._data_buffer
             self._data_buffer = dest
             if old_buffer is not None:
                 manager.retire(old_buffer)
-        self.data = self._storage[: n + d]
+        self._live = n + d
+        self._rows_cache = None
         self.last_merge_in_place = in_place
         return in_place
 
@@ -476,15 +590,15 @@ class HISA:
             total += int(self._sorted_join_keys.nbytes)
         return total
 
-    def _recompute_sorted_state(self, sorted_data: np.ndarray) -> np.ndarray:
-        """(Re)derive the cached keys, runs, and ordinals from sorted tuples.
+    def _recompute_sorted_state(self, sorted_columns: list[np.ndarray]) -> np.ndarray:
+        """(Re)derive the cached keys, runs, and ordinals from sorted columns.
 
         Shared by the constructor and the legacy rebuild merge so the two
         stay byte-identical (the rebuild path is the equivalence oracle).
         Returns the distinct join-key rows for hashing.
         """
         if self.natural_arity:
-            self._sorted_keys = lex_rank_keys(sorted_data)
+            self._sorted_keys = lex_rank_keys_columns(sorted_columns)
         else:
             self._sorted_keys = None
         if self.n_join:
@@ -493,9 +607,11 @@ class HISA:
                 # packing the same bytes a second time.
                 self._sorted_join_keys = self._sorted_keys
             else:
-                self._sorted_join_keys = lex_rank_keys(np.ascontiguousarray(sorted_data[:, : self.n_join]))
+                self._sorted_join_keys = lex_rank_keys_columns(sorted_columns[: self.n_join])
             self.run_starts, self.run_lengths = _runs_from_keys(self._sorted_join_keys)
-            key_rows = sorted_data[self.run_starts][:, : self.n_join]
+            key_rows = np.column_stack(
+                [sorted_columns[position][self.run_starts] for position in range(self.n_join)]
+            )
         else:
             self._sorted_join_keys = None
             self.run_starts = np.empty(0, dtype=np.int64)
@@ -627,8 +743,13 @@ class HISA:
             new_starts = run_starts[is_new_run]
             new_lengths = run_lengths[is_new_run]
             if n_new:
-                key_rows = self.data[merged_index[new_starts]][:, : self.n_join]
-                new_hashes = hash_rows(key_rows)
+                new_key_positions = merged_index[new_starts]
+                new_hashes = hash_columns(
+                    [
+                        self.stored_column(position)[new_key_positions]
+                        for position in range(self.n_join)
+                    ]
+                )
                 if charge:
                     self.device.kernels.transform(
                         n_new,
@@ -673,12 +794,14 @@ class HISA:
         """Rebuild-from-scratch merge: O(|full|) per call, the pre-incremental
         behaviour kept as the ablation baseline and equivalence oracle."""
         n, d = self.tuple_count, delta.tuple_count
-        old_data = self.data
+        old_columns = self.stored_columns()
         old_index = self.sorted_index
         old_key_count = self.run_starts.size
 
         self._append_data(delta, manager, charge=charge, allow_in_place=False)
-        merged_index = _merge_sorted_indices(old_data, old_index, delta.data, delta.sorted_index)
+        merged_index = _merge_sorted_indices(
+            old_columns, old_index, delta.stored_columns(), delta.sorted_index
+        )
         if charge:
             self.device.charge(
                 KernelCost(
@@ -692,8 +815,11 @@ class HISA:
 
         # Re-derive every cached structure from scratch (the whole point of
         # the incremental path is to avoid this O(|full|) block).
-        sorted_data = self.data[self.sorted_index] if n + d else self.data
-        key_rows = self._recompute_sorted_state(sorted_data)
+        if n + d:
+            sorted_columns = [column[self.sorted_index] for column in self.stored_columns()]
+        else:
+            sorted_columns = self.stored_columns()
+        key_rows = self._recompute_sorted_state(sorted_columns)
         if charge and self.n_join:
             self.device.kernels.transform(
                 n + d,
@@ -797,13 +923,6 @@ def _invert_permutation(order: tuple[int, ...]) -> tuple[int, ...]:
     return tuple(inverse)
 
 
-def _host_lexsort(rows: np.ndarray) -> np.ndarray:
-    if rows.shape[0] == 0:
-        return np.empty(0, dtype=np.int64)
-    keys = tuple(rows[:, col] for col in reversed(range(rows.shape[1])))
-    return np.lexsort(keys).astype(np.int64)
-
-
 def _runs_from_keys(sorted_join_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Run starts/lengths from packed join keys in sorted order."""
     n = sorted_join_keys.shape[0]
@@ -820,27 +939,28 @@ def _runs_from_keys(sorted_join_keys: np.ndarray) -> tuple[np.ndarray, np.ndarra
 
 
 def _merge_sorted_indices(
-    left_rows: np.ndarray,
+    left_columns: list[np.ndarray],
     left_index: np.ndarray,
-    right_rows: np.ndarray,
+    right_columns: list[np.ndarray],
     right_index: np.ndarray,
 ) -> np.ndarray:
-    """Merge two sorted index arrays into one over the concatenated data array.
+    """Merge two sorted index arrays into one over the concatenated columns.
 
-    The result indexes into ``concatenate([left_rows, right_rows])``.  This is
-    the legacy scratch-merge helper: it re-packs both sides' sort keys from
-    the data arrays (O(left + right) work), which the incremental merge path
-    avoids by caching the packed keys.  The simulated cost is charged by the
-    caller; here we only compute the exact answer.
+    The result indexes into the per-column concatenation of ``left_columns``
+    and ``right_columns``.  This is the legacy scratch-merge helper: it
+    re-packs both sides' sort keys from the data columns (O(left + right)
+    work), which the incremental merge path avoids by caching the packed
+    keys.  The simulated cost is charged by the caller; here we only compute
+    the exact answer.
     """
-    n_left = left_rows.shape[0]
-    n_right = right_rows.shape[0]
+    n_left = int(left_columns[0].shape[0]) if left_columns else 0
+    n_right = int(right_columns[0].shape[0]) if right_columns else 0
     if n_left == 0:
         return (right_index + n_left).astype(np.int64)
     if n_right == 0:
         return left_index.astype(np.int64)
-    left_sorted_keys = lex_rank_keys(left_rows[left_index])
-    right_sorted_keys = lex_rank_keys(right_rows[right_index])
+    left_sorted_keys = lex_rank_keys_columns([column[left_index] for column in left_columns])
+    right_sorted_keys = lex_rank_keys_columns([column[right_index] for column in right_columns])
     right_before_left = np.searchsorted(right_sorted_keys, left_sorted_keys, side="left")
     left_before_right = np.searchsorted(left_sorted_keys, right_sorted_keys, side="right")
     merged = np.empty(n_left + n_right, dtype=np.int64)

@@ -11,26 +11,41 @@ These are the compute kernels the fixpoint loop of Figure 3 executes:
 * :func:`select`, :func:`project`, :func:`deduplicate`, :func:`difference` —
   the remaining operators of the evaluation pipeline.
 
-All functions return plain NumPy tuple arrays in the schema (natural) column
-order; the caller decides when to wrap results into HISAs.
+Every operator is *polymorphic over the pipeline layout*: given a row-major
+NumPy tuple array it runs the legacy row pipeline and returns a row array
+(the ablation baseline, unchanged); given a :class:`ColumnBatch` it runs the
+columnar late-materialization pipeline and returns a batch whose columns are
+gathered only when a downstream consumer touches them.  ``hash_join`` in
+columnar mode returns the match-index pairs wrapped as a lazy batch instead
+of materializing output tuples.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
 from ..device.cost import KernelCost
 from ..device.device import Device
-from ..device.kernels import TUPLE_ITEMSIZE, as_rows
+from ..device.kernels import (
+    INDEX_ITEMSIZE,
+    TUPLE_ITEMSIZE,
+    as_rows,
+    host_adjacent_unique_mask,
+    host_lexsort_columns,
+)
 from ..device.simt import warp_divergence_factor
 from ..errors import SchemaError
+from .columnbatch import ColumnBatch
 from .hisa import HISA
 
 OUTER = "outer"
 INNER = "inner"
+
+#: Operators accept either layout; the output layout follows the input.
+RowsLike = Union[np.ndarray, ColumnBatch]
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,18 @@ class ColumnComparison:
     def evaluate(self, rows: np.ndarray) -> np.ndarray:
         left = rows[:, self.left_column]
         right = rows[:, self.right_column] if self.right_column is not None else self.constant
+        return self._apply(left, right)
+
+    def evaluate_batch(self, batch: ColumnBatch, *, charge: bool = True, label: str = "compare") -> np.ndarray:
+        """Evaluate on a columnar batch — materializes only the referenced columns."""
+        left = batch.column(self.left_column, charge=charge, label=label)
+        if self.right_column is not None:
+            right = batch.column(self.right_column, charge=charge, label=label)
+        else:
+            right = self.constant
+        return self._apply(left, right)
+
+    def _apply(self, left, right) -> np.ndarray:
         if self.op == "==":
             return left == right
         if self.op == "!=":
@@ -90,7 +117,7 @@ class ColumnComparison:
 
 def hash_join(
     device: Device,
-    outer_rows: np.ndarray,
+    outer_rows: RowsLike,
     outer_join_columns: Sequence[int],
     inner: HISA,
     output: Sequence[JoinOutput],
@@ -98,14 +125,30 @@ def hash_join(
     comparisons: Sequence[ColumnComparison] = (),
     label: str = "join",
     charge: bool = True,
-) -> np.ndarray:
-    """Join an outer tuple array against an inner HISA.
+) -> RowsLike:
+    """Join an outer tuple array (or columnar batch) against an inner HISA.
 
     ``outer_join_columns[j]`` is the outer column matched against the inner's
     ``join_columns[j]``.  ``output`` lists the columns of the result tuple;
     ``comparisons`` (evaluated on the result layout) filter the output, which
     is how guards such as ``x != y`` in SG are applied inside the join kernel.
+
+    Given a :class:`ColumnBatch` outer, the join runs the columnar
+    late-materialization pipeline: only the outer key columns are gathered to
+    probe, and the result is a lazy batch of (match index, stored column)
+    pairs — no output tuple is materialized until someone reads it.
     """
+    if isinstance(outer_rows, ColumnBatch):
+        return _hash_join_columnar(
+            device,
+            outer_rows,
+            outer_join_columns,
+            inner,
+            output,
+            comparisons=comparisons,
+            label=label,
+            charge=charge,
+        )
     outer_rows = as_rows(outer_rows)
     outer_join_columns = [int(c) for c in outer_join_columns]
     if len(outer_join_columns) != inner.n_join:
@@ -149,9 +192,9 @@ def hash_join(
         return np.empty((0, out_arity), dtype=np.int64)
 
     probe_idx, data_positions = inner.expand_matches(starts, lengths)
-    inner_stored = inner.stored_rows()
 
-    # 4. Materialise the output columns.
+    # 4. Materialise the output columns (gathered from the SoA storage —
+    #    no full row array is assembled for the probed index).
     columns = []
     for spec in output:
         if spec.source == OUTER:
@@ -162,7 +205,7 @@ def hash_join(
             if spec.column >= inner.natural_arity:
                 raise SchemaError(f"inner column {spec.column} out of range")
             stored_col = inner.column_order.index(spec.column)
-            columns.append(inner_stored[data_positions, stored_col])
+            columns.append(inner.stored_column(stored_col)[data_positions])
     result = np.column_stack(columns).astype(np.int64) if columns else np.empty((total_matches, 0), dtype=np.int64)
 
     # 5. Apply in-kernel comparison guards.
@@ -181,6 +224,106 @@ def hash_join(
                 divergence=divergence,
             )
         )
+    return result
+
+
+def _hash_join_columnar(
+    device: Device,
+    outer: ColumnBatch,
+    outer_join_columns: Sequence[int],
+    inner: HISA,
+    output: Sequence[JoinOutput],
+    *,
+    comparisons: Sequence[ColumnComparison] = (),
+    label: str = "join",
+    charge: bool = True,
+) -> ColumnBatch:
+    """Columnar hash join: probe with key columns, emit a lazy index batch."""
+    outer_join_columns = [int(c) for c in outer_join_columns]
+    if len(outer_join_columns) != inner.n_join:
+        raise SchemaError(
+            f"outer join columns {outer_join_columns} do not match inner key width {inner.n_join}"
+        )
+    out_arity = len(output)
+    for spec in output:
+        if spec.source == OUTER and spec.column >= outer.arity:
+            raise SchemaError(f"outer column {spec.column} out of range")
+        if spec.source == INNER and spec.column >= inner.natural_arity:
+            raise SchemaError(f"inner column {spec.column} out of range")
+    n = len(outer)
+    streamed_keys = sum(1 for column in outer_join_columns if outer.is_materialized(column))
+    streamed_bytes = float(n) * streamed_keys * TUPLE_ITEMSIZE
+    if n == 0 or inner.tuple_count == 0:
+        if charge and n and streamed_keys:
+            device.charge(KernelCost(kernel=f"{label}.scan_outer", sequential_bytes=streamed_bytes))
+        return ColumnBatch.empty(device, out_arity)
+
+    # 1. Read only the outer *key* columns (the columnar saving: non-key
+    #    columns of the outer batch are not touched by the probe).  Already-
+    #    materialized key columns are charged here as a streaming scan; lazy
+    #    ones pay their own gather in ``column()`` instead, so a fully lazy
+    #    key set charges only the per-tuple probe ops.
+    if charge:
+        device.charge(
+            KernelCost(
+                kernel=f"{label}.scan_outer",
+                sequential_bytes=streamed_bytes,
+                ops=float(n),
+            )
+        )
+    key_columns = [
+        outer.column(column, charge=charge, label=f"{label}.gather_keys")
+        for column in outer_join_columns
+    ]
+
+    # 2. Hash the key columns and probe the inner hash table.
+    starts, lengths = inner.lookup_columns(key_columns, charge=charge)
+
+    # 3. Expand the matched runs into (probe index, data position) pairs.
+    #    Only the two index vectors are written — tuple values stay put.
+    total_matches = int(lengths.sum())
+    divergence = warp_divergence_factor(lengths, device.spec.warp_size)
+    if charge:
+        device.charge(
+            KernelCost(
+                kernel=f"{label}.scan_inner",
+                random_bytes=float(total_matches) * INDEX_ITEMSIZE,
+                sequential_bytes=2.0 * float(total_matches) * INDEX_ITEMSIZE,
+                ops=float(total_matches),
+                divergence=divergence,
+            )
+        )
+    if total_matches == 0:
+        return ColumnBatch.empty(device, out_arity)
+    probe_idx, data_positions = inner.expand_matches(starts, lengths)
+
+    # 4. Wire the output columns as lazy gathers: outer columns route through
+    #    the probe indices, inner columns reference the HISA's stored columns
+    #    selected by data position.  Nothing is copied or composed here —
+    #    selection chains resolve when (and only if) a column is read.
+    routed_outer = outer.take(probe_idx, label=f"{label}.route_outer")
+    inner_specs = [
+        (inner.stored_column(inner.column_order.index(spec.column)), data_positions)
+        for spec in output
+        if spec.source == INNER
+    ]
+    extended = routed_outer.append_lazy(inner_specs)
+    positions: list[int] = []
+    inner_position = routed_outer.arity
+    for spec in output:
+        if spec.source == OUTER:
+            positions.append(spec.column)
+        else:
+            positions.append(inner_position)
+            inner_position += 1
+    result = extended.project(positions)
+
+    # 5. In-kernel comparison guards materialize only the columns they read.
+    if comparisons:
+        mask = np.ones(len(result), dtype=bool)
+        for comparison in comparisons:
+            mask &= comparison.evaluate_batch(result, charge=charge, label=f"{label}.guard")
+        result = result.filter(mask, charge=charge, label=f"{label}.guard_compact")
     return result
 
 
@@ -207,6 +350,10 @@ def fused_nway_join(
     whose tuple finds no matches idle until the busiest warp lane finishes
     every nested loop (Figure 5).
     """
+    if isinstance(outer_rows, ColumnBatch):
+        # The fused kernel is inherently row-at-a-time (it is the ablation
+        # baseline); a columnar outer is materialized at this edge.
+        outer_rows = outer_rows.as_rows(charge=charge, label=f"{label}.materialize_outer")
     outer_rows = as_rows(outer_rows)
     if not stages:
         raise SchemaError("fused_nway_join requires at least one stage")
@@ -233,14 +380,13 @@ def fused_nway_join(
         total_ops += float(total_matches) * max(1, inner.natural_arity) + float(current.shape[0]) * 4.0
 
         probe_idx, data_positions = inner.expand_matches(starts, lengths)
-        inner_stored = inner.stored_rows()
         columns = []
         for spec in output:
             if spec.source == OUTER:
                 columns.append(current[probe_idx, spec.column])
             else:
                 stored_col = inner.column_order.index(spec.column)
-                columns.append(inner_stored[data_positions, stored_col])
+                columns.append(inner.stored_column(stored_col)[data_positions])
         current = (
             np.column_stack(columns).astype(np.int64)
             if columns
@@ -278,13 +424,24 @@ def fused_nway_join(
 
 def select(
     device: Device,
-    rows: np.ndarray,
+    rows: RowsLike,
     comparisons: Sequence[ColumnComparison],
     *,
     label: str = "select",
     charge: bool = True,
-) -> np.ndarray:
-    """Filter ``rows`` by conjunction of comparison predicates."""
+) -> RowsLike:
+    """Filter ``rows`` by conjunction of comparison predicates.
+
+    Columnar batches materialize only the columns the predicates read; the
+    surviving rows stay lazy (one selection compose per source).
+    """
+    if isinstance(rows, ColumnBatch):
+        if len(rows) == 0 or not comparisons:
+            return rows
+        mask = np.ones(len(rows), dtype=bool)
+        for comparison in comparisons:
+            mask &= comparison.evaluate_batch(rows, charge=charge, label=label)
+        return rows.filter(mask, charge=charge, label=f"{label}.compact")
     rows = as_rows(rows)
     if rows.shape[0] == 0 or not comparisons:
         return rows
@@ -305,13 +462,19 @@ def select(
 
 def project(
     device: Device,
-    rows: np.ndarray,
+    rows: RowsLike,
     columns: Sequence[int],
     *,
     label: str = "project",
     charge: bool = True,
-) -> np.ndarray:
-    """Project ``rows`` onto the given natural column indices (with reorder/repeat)."""
+) -> RowsLike:
+    """Project ``rows`` onto the given natural column indices (with reorder/repeat).
+
+    On a columnar batch this is pure metadata — no bytes move, which is the
+    core late-materialization saving over the row pipeline's copy.
+    """
+    if isinstance(rows, ColumnBatch):
+        return rows.project(columns)
     rows = as_rows(rows)
     columns = [int(c) for c in columns]
     if rows.shape[0] == 0:
@@ -328,33 +491,73 @@ def project(
     return np.ascontiguousarray(result)
 
 
-def deduplicate(device: Device, rows: np.ndarray, *, label: str = "deduplicate", charge: bool = True) -> np.ndarray:
-    """Sort + adjacent-compare + compact deduplication of a tuple array [R4]."""
+def deduplicate(device: Device, rows: RowsLike, *, label: str = "deduplicate", charge: bool = True) -> RowsLike:
+    """Sort + adjacent-compare + compact deduplication [R4].
+
+    Columnar batches are deduplicated with a per-column lexsort — no packed
+    row keys are built.  Both layouts (and the uncharged oracle) share the
+    host lexsort / adjacent-compare helpers in :mod:`repro.device.kernels`,
+    so the result order is identical everywhere: natural lexicographic.
+    """
+    if isinstance(rows, ColumnBatch):
+        if len(rows) <= 1:
+            return rows
+        if rows.arity == 0:
+            # All zero-arity tuples are equal: one survivor.
+            return ColumnBatch.from_columns(device, [], length=1, names=rows.names)
+        columns = rows.columns(charge=charge, label=f"{label}.gather")
+        if charge:
+            deduped = device.kernels.unique_columns(columns, label=label)
+        else:
+            order = host_lexsort_columns(columns, n_rows=len(rows))
+            sorted_columns = [column[order] for column in columns]
+            keep = host_adjacent_unique_mask(sorted_columns, n_rows=len(rows))
+            deduped = [column[keep] for column in sorted_columns]
+        return ColumnBatch.from_columns(device, deduped, names=rows.names)
     rows = as_rows(rows)
     if rows.shape[0] <= 1:
         return rows
     if charge:
         return device.kernels.unique_rows(rows, label=label)
-    packed_order = np.lexsort(tuple(rows[:, c] for c in reversed(range(rows.shape[1]))))
+    column_views = [rows[:, column] for column in range(rows.shape[1])]
+    packed_order = host_lexsort_columns(column_views, n_rows=rows.shape[0])
     sorted_rows = rows[packed_order]
-    keep = np.ones(sorted_rows.shape[0], dtype=bool)
-    keep[1:] = np.any(sorted_rows[1:] != sorted_rows[:-1], axis=1)
+    keep = host_adjacent_unique_mask(
+        [sorted_rows[:, column] for column in range(rows.shape[1])], n_rows=rows.shape[0]
+    )
     return sorted_rows[keep]
 
 
 def difference(
     device: Device,
-    rows: np.ndarray,
+    rows: RowsLike,
     existing: HISA,
     *,
     label: str = "difference",
     charge: bool = True,
-) -> np.ndarray:
+) -> RowsLike:
     """Return the tuples of ``rows`` not present in ``existing`` (populate-delta).
 
     ``existing`` must be indexed on all of its columns (the canonical ``full``
     index) so that membership can be answered by one range probe per tuple.
+    The columnar path hashes the batch's columns directly — no row tuples are
+    assembled for the membership probe.
     """
+    if isinstance(rows, ColumnBatch):
+        if len(rows) == 0 or existing.tuple_count == 0:
+            return rows
+        columns = rows.columns(charge=charge, label=f"{label}.gather")
+        present = existing.contains_columns(columns, charge=charge)
+        keep = ~present
+        # Compact eagerly: the delta feeds every index build next, so each
+        # column is streamed once here instead of re-gathered per consumer.
+        if charge:
+            kept_columns = device.kernels.compact_columns(columns, keep, label=f"{label}.compact")
+        else:
+            kept_columns = [column[keep] for column in columns]
+        return ColumnBatch.from_columns(
+            device, kept_columns, length=int(np.count_nonzero(keep)), names=rows.names
+        )
     rows = as_rows(rows)
     if rows.shape[0] == 0:
         return rows
@@ -373,12 +576,37 @@ def difference(
     return result
 
 
-def union(device: Device, parts: Sequence[np.ndarray], *, label: str = "union", charge: bool = True) -> np.ndarray:
-    """Concatenate tuple arrays (no deduplication)."""
-    arrays = [as_rows(part) for part in parts if part is not None and len(part)]
+def union(
+    device: Device,
+    parts: Sequence[RowsLike],
+    *,
+    arity: int | None = None,
+    label: str = "union",
+    charge: bool = True,
+) -> RowsLike:
+    """Concatenate tuple arrays or batches (no deduplication).
+
+    ``arity`` pins the schema: when every part is empty the result keeps its
+    column count instead of silently collapsing to ``(0, 0)``.  Any non-empty
+    part must agree with it.
+    """
+    live_parts = [part for part in parts if part is not None and len(part)]
+    if arity is None:
+        # Infer the schema from any part (empty parts still carry their width).
+        for part in parts:
+            if part is not None:
+                arity = part.arity if isinstance(part, ColumnBatch) else as_rows(part).shape[1]
+                break
+        else:
+            arity = 0
+    if any(isinstance(part, ColumnBatch) for part in live_parts) or (
+        not live_parts and any(isinstance(part, ColumnBatch) for part in parts if part is not None)
+    ):
+        batches = [ColumnBatch.wrap(device, part) for part in live_parts]
+        return ColumnBatch.concatenate(device, batches, arity=arity, label=label, charge=charge)
+    arrays = [as_rows(part) for part in live_parts]
     if not arrays:
-        return np.empty((0, 0), dtype=np.int64)
-    arity = arrays[0].shape[1]
+        return np.empty((0, int(arity)), dtype=np.int64)
     for array in arrays:
         if array.shape[1] != arity:
             raise SchemaError("cannot union tuple arrays with different arity")

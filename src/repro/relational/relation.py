@@ -11,7 +11,7 @@ canonical all-column index used for deduplication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,9 +27,10 @@ from ..device.profiler import (
 )
 from ..errors import SchemaError
 from .buffers import MergeBufferManager, make_buffer_manager
+from .columnbatch import ColumnBatch
 from .hashtable import DEFAULT_LOAD_FACTOR
 from .hisa import HISA
-from .operators import deduplicate, difference, union
+from .operators import RowsLike, deduplicate, difference, union
 
 
 @dataclass
@@ -74,8 +75,9 @@ class Relation:
         self._index_column_sets: set[tuple[int, ...]] = {self._all_columns}
         self.full_indexes: dict[tuple[int, ...], HISA] = {}
         self._buffer_managers: dict[tuple[int, ...], MergeBufferManager] = {}
-        self.delta_rows: np.ndarray = np.empty((0, self.arity), dtype=np.int64)
-        self._new_parts: list[np.ndarray] = []
+        self._delta: RowsLike = np.empty((0, self.arity), dtype=np.int64)
+        self._delta_rows_view: np.ndarray | None = None
+        self._new_parts: list[RowsLike] = []
         self._new_buffers: list[Buffer] = []
         self._delta_buffer: Buffer | None = None
         self._iteration = 0
@@ -103,7 +105,7 @@ class Relation:
         if join_columns not in self.full_indexes:
             raise SchemaError(
                 f"relation {self.name!r} has no index on columns {join_columns}; "
-                f"call require_index() before initialize()"
+                "call require_index() before initialize()"
             )
         return self.full_indexes[join_columns]
 
@@ -120,7 +122,8 @@ class Relation:
         rows = self._coerce(rows)
         with self.device.profiler.phase(PHASE_DEDUPLICATION):
             rows = deduplicate(self.device, rows, label=f"{self.name}.init_dedup")
-        self.delta_rows = rows
+        self._delta = rows
+        self._delta_rows_view = None
         with self.device.profiler.phase(PHASE_INDEX_FULL):
             # ``deduplicate`` left ``rows`` in natural lexicographic order, so
             # every index whose column order is the identity permutation (the
@@ -142,11 +145,27 @@ class Relation:
                     label=f"{self.name}.merge_buffer",
                 )
 
-    def add_new(self, rows: np.ndarray) -> None:
-        """Append freshly derived tuples to the *new* version."""
-        rows = self._coerce(rows)
-        if rows.shape[0] == 0:
-            return
+    def add_new(self, rows: RowsLike) -> None:
+        """Append freshly derived tuples (rows or a columnar batch) to *new*.
+
+        A :class:`ColumnBatch` is materialized column-wise here — the
+        delta-merge boundary of the late-materialization contract: every
+        column that survived the rule's head projection is about to be read
+        by deduplication anyway, and pinning values now decouples the batch
+        from producer storage that later merges will grow.
+        """
+        if isinstance(rows, ColumnBatch):
+            if rows.arity != self.arity:
+                raise SchemaError(
+                    f"relation {self.name!r} has arity {self.arity}, got a batch of arity {rows.arity}"
+                )
+            if len(rows) == 0:
+                return
+            rows.columns(charge=True, label=f"{self.name}.new_gather")
+        else:
+            rows = self._coerce(rows)
+            if rows.shape[0] == 0:
+                return
         buffer = self.device.allocate(rows.nbytes, label=f"{self.name}.new", charge_cost=False)
         self._new_parts.append(rows)
         self._new_buffers.append(buffer)
@@ -158,25 +177,28 @@ class Relation:
 
         with profiler.phase(PHASE_DEDUPLICATION):
             if self._new_parts:
-                new_rows = union(self.device, self._new_parts, label=f"{self.name}.gather_new")
+                new_rows = union(
+                    self.device, self._new_parts, arity=self.arity, label=f"{self.name}.gather_new"
+                )
                 new_rows = deduplicate(self.device, new_rows, label=f"{self.name}.dedup_new")
             else:
                 new_rows = np.empty((0, self.arity), dtype=np.int64)
-        new_count = int(new_rows.shape[0])
+        new_count = len(new_rows)
 
         with profiler.phase(PHASE_POPULATE_DELTA):
             if new_count and self.full_count:
                 delta = difference(self.device, new_rows, self.canonical_index, label=f"{self.name}.populate_delta")
             else:
                 delta = new_rows
-        delta_count = int(delta.shape[0])
+        delta_count = len(delta)
 
         # Retire the previous delta buffer and the accumulated new buffers.
         self._release_new_buffers()
         if self._delta_buffer is not None:
             self.device.free(self._delta_buffer, charge_cost=False)
             self._delta_buffer = None
-        self.delta_rows = delta
+        self._delta = delta
+        self._delta_rows_view = None
         if delta_count:
             self._delta_buffer = self.device.allocate(delta.nbytes, label=f"{self.name}.delta", charge_cost=False)
 
@@ -225,7 +247,8 @@ class Relation:
 
     def clear_delta(self) -> None:
         """Drop the delta version (used when a stratum reaches its fixpoint)."""
-        self.delta_rows = np.empty((0, self.arity), dtype=np.int64)
+        self._delta = np.empty((0, self.arity), dtype=np.int64)
+        self._delta_rows_view = None
         if self._delta_buffer is not None:
             self.device.free(self._delta_buffer, charge_cost=False)
             self._delta_buffer = None
@@ -252,17 +275,43 @@ class Relation:
 
     @property
     def delta_count(self) -> int:
-        return int(self.delta_rows.shape[0])
+        return len(self._delta)
+
+    @property
+    def delta_rows(self) -> np.ndarray:
+        """The delta version as a row array (interop / row-pipeline view).
+
+        A columnar delta is assembled into rows once and cached until the
+        next delta replaces it.
+        """
+        if isinstance(self._delta, ColumnBatch):
+            if self._delta_rows_view is None:
+                self._delta_rows_view = self._delta.as_rows(charge=False)
+            return self._delta_rows_view
+        return self._delta
+
+    @property
+    def delta_batch(self) -> ColumnBatch:
+        """The delta version as a columnar batch (zero-copy wrap)."""
+        return ColumnBatch.wrap(self.device, self._delta)
 
     @property
     def new_count(self) -> int:
-        return sum(int(part.shape[0]) for part in self._new_parts)
+        return sum(len(part) for part in self._new_parts)
 
     def full_rows(self) -> np.ndarray:
         """All tuples of the full version in schema column order."""
         if self._all_columns in self.full_indexes:
             return self.full_indexes[self._all_columns].natural_rows()
         return np.empty((0, self.arity), dtype=np.int64)
+
+    def full_batch(self) -> ColumnBatch:
+        """The full version as a columnar batch — zero-copy views of the
+        canonical index's stored columns (the columnar scan fast path)."""
+        if self._all_columns in self.full_indexes:
+            hisa = self.full_indexes[self._all_columns]
+            return ColumnBatch.from_columns(self.device, hisa.natural_columns(), length=hisa.tuple_count)
+        return ColumnBatch.empty(self.device, self.arity)
 
     def as_set(self) -> set[tuple[int, ...]]:
         """The full version as a Python set of tuples (for tests)."""
@@ -271,7 +320,7 @@ class Relation:
     def memory_bytes(self) -> int:
         """Simulated device bytes currently attributable to this relation."""
         total = sum(hisa.nbytes for hisa in self.full_indexes.values())
-        total += int(self.delta_rows.nbytes)
+        total += int(self._delta.nbytes)
         total += sum(int(part.nbytes) for part in self._new_parts)
         return total
 

@@ -7,7 +7,6 @@ from repro.experiments import (
     FIGURE1_SG,
     ResultTable,
     clear_caches,
-    output_size,
     paper_output_size,
     project_seconds,
     query_program,

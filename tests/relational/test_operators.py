@@ -8,6 +8,7 @@ from repro.device import Device
 from repro.errors import SchemaError
 from repro.relational import (
     HISA,
+    ColumnBatch,
     ColumnComparison,
     JoinOutput,
     deduplicate,
@@ -138,9 +139,7 @@ def test_fused_join_equals_materialized(device, paper_edges):
 
 def test_fused_join_charges_more_divergence_on_skewed_data(device):
     """A hub-heavy inner relation makes the fused plan pay for idle lanes."""
-    rng = np.random.default_rng(0)
     hub_edges = np.array([[0, i] for i in range(1, 200)] + [[i, 200 + i] for i in range(1, 50)], dtype=np.int64)
-    inner = HISA(device, hub_edges, join_columns=(0,), label="hub")
     outer = hub_edges
 
     fused_device = Device("h100", oom_enabled=False)
@@ -171,3 +170,127 @@ def test_hash_join_matches_bruteforce_property(outer, inner):
     result = hash_join(device, outer, [1], inner_hisa, output)
     expected = brute_force_join(outer, inner, [1], [0], [("outer", 0), ("outer", 1), ("inner", 1)])
     assert sorted(map(tuple, result.tolist())) == sorted(expected)
+
+
+# ----------------------------------------------------------------------
+# Columnar pipeline vs row-oriented reference (property-based)
+# ----------------------------------------------------------------------
+
+def as_sorted_tuples(data):
+    rows = data.as_rows(charge=False) if isinstance(data, ColumnBatch) else data
+    return sorted(map(tuple, np.asarray(rows).tolist()))
+
+
+# Duplicate-heavy by construction: tiny value domain.  Arity varies 1..3 and
+# empty relations are generated explicitly below.
+def rows_of_arity(arity, min_size=0, max_size=50):
+    return st.lists(
+        st.tuples(*[st.integers(0, 4) for _ in range(arity)]),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(lambda rows: np.asarray(rows, dtype=np.int64).reshape(-1, arity))
+
+
+@given(arity=st.integers(1, 3), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_columnar_join_equals_row_join_property(arity, data):
+    outer = data.draw(rows_of_arity(arity))
+    inner = data.draw(rows_of_arity(arity, min_size=1))
+    device = Device("h100", oom_enabled=False)
+    inner_hisa = HISA(device, inner, join_columns=(0,))
+    output = [JoinOutput("outer", c) for c in range(arity)] + [JoinOutput("inner", arity - 1)]
+    comparisons = (
+        [ColumnComparison("!=", 0, right_column=arity)] if arity > 1 else []
+    )
+    row_result = hash_join(device, outer, [arity - 1], inner_hisa, output, comparisons=comparisons)
+    batch = ColumnBatch.from_rows(device, outer)
+    col_result = hash_join(device, batch, [arity - 1], inner_hisa, output, comparisons=comparisons)
+    assert isinstance(col_result, ColumnBatch)
+    assert as_sorted_tuples(col_result) == as_sorted_tuples(row_result)
+
+
+@given(arity=st.integers(1, 3), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_columnar_dedup_difference_project_equal_row_reference(arity, data):
+    rows = data.draw(rows_of_arity(arity))
+    existing = data.draw(rows_of_arity(arity, min_size=1))
+    device = Device("h100", oom_enabled=False)
+
+    row_dedup = deduplicate(device, rows)
+    col_dedup = deduplicate(device, ColumnBatch.from_rows(device, rows))
+    # Both pipelines leave results in identical (sorted) order.
+    assert as_sorted_tuples(col_dedup) == as_sorted_tuples(row_dedup)
+    if len(row_dedup):
+        assert col_dedup.as_rows(charge=False).tolist() == row_dedup.tolist()
+
+    full = HISA(device, existing, join_columns=tuple(range(arity)))
+    row_diff = difference(device, rows, full)
+    col_diff = difference(device, ColumnBatch.from_rows(device, rows), full)
+    assert as_sorted_tuples(col_diff) == as_sorted_tuples(row_diff)
+
+    projection = [arity - 1, 0]
+    row_proj = project(device, rows, projection)
+    col_proj = project(device, ColumnBatch.from_rows(device, rows), projection)
+    assert as_sorted_tuples(col_proj) == as_sorted_tuples(row_proj)
+
+
+@given(arity=st.integers(1, 3), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_columnar_select_union_equal_row_reference(arity, data):
+    first = data.draw(rows_of_arity(arity))
+    second = data.draw(rows_of_arity(arity))
+    device = Device("h100", oom_enabled=False)
+    comparisons = [ColumnComparison("<=", 0, constant=2)]
+    row_sel = select(device, first, comparisons)
+    col_sel = select(device, ColumnBatch.from_rows(device, first), comparisons)
+    assert as_sorted_tuples(col_sel) == as_sorted_tuples(row_sel)
+
+    row_union = union(device, [first, second], arity=arity)
+    col_union = union(
+        device,
+        [ColumnBatch.from_rows(device, first), ColumnBatch.from_rows(device, second)],
+        arity=arity,
+    )
+    assert as_sorted_tuples(col_union) == as_sorted_tuples(row_union)
+
+
+def test_columnar_join_empty_inputs(device, paper_edges):
+    inner = HISA(device, paper_edges, join_columns=(0,))
+    empty_batch = ColumnBatch.empty(device, 2)
+    out = hash_join(device, empty_batch, [0], inner, [JoinOutput("outer", 0)])
+    assert isinstance(out, ColumnBatch)
+    assert len(out) == 0 and out.arity == 1
+    # Non-empty outer against an empty inner also keeps the output schema.
+    empty_inner = HISA(device, np.empty((0, 2), dtype=np.int64), join_columns=(0,))
+    out = hash_join(
+        device, ColumnBatch.from_rows(device, paper_edges), [0], empty_inner, [JoinOutput("outer", 0)]
+    )
+    assert len(out) == 0 and out.arity == 1
+
+
+def test_union_empty_parts_keep_arity(device):
+    """Regression: union of all-empty parts used to lose the schema as (0, 0)."""
+    out = union(device, [np.empty((0, 3), dtype=np.int64)], arity=3)
+    assert out.shape == (0, 3)
+    out = union(device, [], arity=2)
+    assert out.shape == (0, 2)
+    # Arity can also be inferred from an empty part's own width.
+    out = union(device, [np.empty((0, 4), dtype=np.int64)])
+    assert out.shape == (0, 4)
+    # Same contract on the columnar branch: all-empty batches keep the schema.
+    out = union(device, [ColumnBatch.empty(device, 4)])
+    assert isinstance(out, ColumnBatch) and len(out) == 0 and out.arity == 4
+    out = union(device, [ColumnBatch.empty(device, 3)], arity=3)
+    assert out.arity == 3
+
+
+def test_columnar_join_keeps_unread_columns_lazy(device, paper_edges):
+    inner = HISA(device, paper_edges, join_columns=(0,), label="edge")
+    batch = ColumnBatch.from_rows(device, paper_edges)
+    out = hash_join(
+        device, batch, [1], inner,
+        [JoinOutput("outer", 0), JoinOutput("outer", 1), JoinOutput("inner", 1)],
+    )
+    assert out.materialized_column_count == 0
+    out.column(2)
+    assert out.materialized_column_count == 1
