@@ -49,6 +49,7 @@ from repro.relational import (  # noqa: E402
 
 ARTIFACT = Path(__file__).resolve().parent / "BENCH_relational.json"
 COLUMNAR_ARTIFACT = Path(__file__).resolve().parent / "BENCH_columnar.json"
+BACKEND_ARTIFACT = Path(__file__).resolve().parent / "BENCH_backend.json"
 
 
 def time_single_merge(n_full: int, delta_size: int, *, incremental: bool, repeats: int = 3) -> float:
@@ -163,14 +164,20 @@ def sg_tree_edges(depth: int, fan: int) -> np.ndarray:
     return np.array(edges, dtype=np.int64)
 
 
-def time_sg_fixpoint(edges: np.ndarray, *, columnar: bool, repeats: int = 5) -> dict:
+def time_sg_fixpoint(
+    edges: np.ndarray, *, columnar: bool, repeats: int = 5, backend: str | None = None
+) -> dict:
     """End-to-end SG semi-naïve fixpoint (two-join recursive rule)."""
     times: list[float] = []
     sg_count = 0
     iterations = 0
     for _ in range(repeats):
         engine = GPULogEngine(
-            device="h100", oom_enabled=False, columnar=columnar, collect_relations=False
+            device="h100",
+            oom_enabled=False,
+            columnar=columnar,
+            collect_relations=False,
+            backend=backend,
         )
         engine.add_fact_array("edge", edges)
         start = time.perf_counter()
@@ -261,11 +268,119 @@ def record_columnar(quick: bool) -> dict:
     return artifact
 
 
+# ----------------------------------------------------------------------
+# Backend-dispatch overhead: the ArrayBackend layer vs the direct-NumPy
+# datapath it replaced
+# ----------------------------------------------------------------------
+
+#: Frozen from benchmarks/BENCH_columnar.json exactly as committed at PR 2
+#: (the direct-NumPy datapath, before the ArrayBackend layer existed), on
+#: this repository's reference container.  BENCH_columnar.json itself is
+#: regenerated by post-refactor code on every baseline run, so it cannot
+#: serve as the pre-refactor anchor — this pin can.
+PRE_REFACTOR_SG_REFERENCE = {
+    "tree_depth": 6,
+    "tree_fan": 3,
+    "sg_count": 596778,
+    "median_seconds": 0.4568,
+    "recorded_at": "2026-07-29T12:50:26Z",
+}
+
+
+def record_backend(quick: bool, reference_path: Path) -> dict:
+    """Record the numpy-backend SG fixpoint against two references.
+
+    * ``pre_refactor_reference`` — the *pinned* direct-NumPy datapath
+      measurement frozen at PR 2 (:data:`PRE_REFACTOR_SG_REFERENCE`); the
+      acceptance gate is the numpy backend staying within 5% of it, i.e. the
+      indirection through the ArrayBackend contract costs nothing
+      measurable.  Only comparable on the reference container at the full
+      (non-quick) shape.
+    * ``columnar_pipeline_reference`` — the live ``BENCH_columnar.json``
+      recorded on *this* machine (by current, post-refactor code): the
+      same-machine dispatch-overhead probe CI evaluates on every run.
+
+    The guard run double-checks that even the attribute-checking proxy stays
+    in the same ballpark.
+    """
+    if quick:
+        depth, fan, repeats = 5, 3, 2
+    else:
+        depth, fan, repeats = 6, 3, 5
+    edges = sg_tree_edges(depth, fan)
+
+    pinned = None
+    if (
+        PRE_REFACTOR_SG_REFERENCE["tree_depth"] == depth
+        and PRE_REFACTOR_SG_REFERENCE["tree_fan"] == fan
+    ):
+        pinned = dict(PRE_REFACTOR_SG_REFERENCE)
+
+    live = None
+    if reference_path.exists():
+        recorded = json.loads(reference_path.read_text())
+        sg_ref = recorded.get("sg_two_join_fixpoint", {})
+        if sg_ref.get("tree_depth") == depth and sg_ref.get("tree_fan") == fan:
+            live = {
+                "path": str(reference_path),
+                "recorded_at": recorded.get("recorded_at"),
+                "median_seconds": sg_ref.get("columnar", {}).get("median_seconds"),
+                "sg_count": sg_ref.get("columnar", {}).get("sg_count"),
+            }
+
+    artifact: dict = {
+        "schema_version": 2,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": bool(quick),
+        "sg_two_join_fixpoint": {
+            "edges": int(edges.shape[0]),
+            "tree_depth": depth,
+            "tree_fan": fan,
+            "pre_refactor_reference": pinned,
+            "columnar_pipeline_reference": live,
+        },
+    }
+    sg = artifact["sg_two_join_fixpoint"]
+    sg["numpy_backend"] = time_sg_fixpoint(edges, columnar=True, repeats=repeats, backend="numpy")
+    sg["guard_backend"] = time_sg_fixpoint(edges, columnar=True, repeats=repeats, backend="guard")
+    numpy_median = sg["numpy_backend"]["median_seconds"]
+    if pinned and pinned.get("median_seconds"):
+        sg["numpy_vs_pre_refactor"] = round(numpy_median / pinned["median_seconds"], 3)
+    if live and live.get("median_seconds"):
+        sg["numpy_vs_columnar_pipeline"] = round(numpy_median / live["median_seconds"], 3)
+    print(
+        f"SG fixpoint (|sg|={sg['numpy_backend']['sg_count']}): numpy backend "
+        f"{numpy_median}s  guard {sg['guard_backend']['median_seconds']}s"
+        + (
+            f"  pinned pre-refactor {pinned['median_seconds']}s "
+            f"(ratio {sg.get('numpy_vs_pre_refactor', 'n/a')})"
+            if pinned
+            else ""
+        )
+        + (
+            f"  same-machine columnar {live['median_seconds']}s "
+            f"(ratio {sg.get('numpy_vs_columnar_pipeline', 'n/a')})"
+            if live
+            else ""
+        )
+    )
+    return artifact
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
     parser.add_argument("--output", type=Path, default=ARTIFACT)
     parser.add_argument("--columnar-output", type=Path, default=COLUMNAR_ARTIFACT)
+    parser.add_argument("--backend-output", type=Path, default=BACKEND_ARTIFACT)
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="array backend for the merge/columnar baselines (numpy, cupy, guard); "
+        "defaults to $REPRO_BACKEND and then numpy",
+    )
     parser.add_argument(
         "--columnar-only",
         action="store_true",
@@ -276,9 +391,25 @@ def main() -> None:
         action="store_true",
         help="record only the merge baseline (leaves BENCH_columnar.json untouched)",
     )
+    parser.add_argument(
+        "--backend-only",
+        action="store_true",
+        help="record only BENCH_backend.json (numpy/guard backend vs the "
+        "pre-refactor columnar baseline)",
+    )
     args = parser.parse_args()
-    if args.columnar_only and args.merge_only:
-        parser.error("--columnar-only and --merge-only are mutually exclusive")
+    if sum([args.columnar_only, args.merge_only, args.backend_only]) > 1:
+        parser.error("--columnar-only, --merge-only and --backend-only are mutually exclusive")
+    if args.backend:
+        import os
+
+        os.environ["REPRO_BACKEND"] = args.backend
+
+    if args.backend_only:
+        backend_artifact = record_backend(args.quick, args.columnar_output)
+        args.backend_output.write_text(json.dumps(backend_artifact, indent=2) + "\n")
+        print(f"wrote {args.backend_output}")
+        return
 
     if not args.merge_only:
         columnar_artifact = record_columnar(args.quick)

@@ -20,6 +20,14 @@ Quickstart
 [(0, 1), (0, 2), (0, 3)]
 """
 
+from .backend import (
+    ArrayBackend,
+    GuardBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .datalog import (
     Atom,
     Comparison,
@@ -37,6 +45,12 @@ from .relational import HISA, Relation
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrayBackend",
+    "GuardBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "Atom",
     "Comparison",
     "Constant",

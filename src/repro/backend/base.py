@@ -1,0 +1,332 @@
+"""The :class:`ArrayBackend` contract — every array primitive the datapath needs.
+
+The relational substrate (``repro.relational``) and the simulated device
+kernels (``repro.device.kernels``) never import an array library directly;
+they reach every primitive through the :class:`ArrayBackend` instance owned by
+their :class:`~repro.device.device.Device`.  A backend owns its arrays: the
+relational layer only ever holds arrays a backend handed out, applies the
+contract primitives plus the *array protocol* (see below) to them, and crosses
+back to host NumPy exclusively through :meth:`ArrayBackend.to_host` /
+:meth:`ArrayBackend.from_host` — the two charged PCIe edges.
+
+The contract has three parts:
+
+1. **Abstract primitives** — creation (``empty``/``full``/``arange``/
+   ``asarray``), movement (``concatenate``/``take``/``scatter``/``repeat``),
+   order (``lexsort``/``searchsorted``/``pack_lex_keys``/
+   ``adjacent_unique_mask``), scans and reductions (``cumsum``/``add_at``/
+   ``reduceat_sum``/``nonzero_indices``/``count_nonzero``), and the transfer
+   boundary (``to_host``/``from_host``).  Each backend implements these with
+   its native library (NumPy, CuPy, ...).
+2. **Derived helpers** — implemented once here in terms of the primitives and
+   the array protocol (``as_rows``, ``compare``, ``hash_columns``,
+   ``run_lengths_from_starts``), so every backend hashes, coerces and compares
+   identically.
+3. **The array protocol** — backend arrays must support the NumPy-style
+   operator surface the datapath uses in place: ``shape``/``size``/``nbytes``/
+   ``dtype``, basic and fancy indexing (read and scatter-write), boolean
+   masking, slicing, elementwise comparison/arithmetic/bitwise operators,
+   ``astype``/``view``/``reshape``/``copy``, and reductions (``sum``, ``any``,
+   ``all``).  NumPy and CuPy both satisfy this natively.
+
+:data:`ARRAY_BACKEND_CONTRACT` is the frozen name set of parts 1 and 2 plus
+the dtype attributes; :class:`~repro.backend.guard.GuardBackend` enforces it
+at runtime by refusing any attribute outside the set.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import BackendError
+
+#: Type alias for backend-owned arrays.  Backends own their array type (NumPy
+#: ``ndarray``, CuPy ``ndarray``, ...); the datapath treats them opaquely.
+Array = Any
+
+#: Canonical element type of relation tuples (64-bit signed, Section 4.1).
+TUPLE_DTYPE = np.dtype(np.int64)
+TUPLE_ITEMSIZE = TUPLE_DTYPE.itemsize
+#: Canonical element type of index vectors (sorted index array, selections).
+INDEX_DTYPE = np.dtype(np.int64)
+INDEX_ITEMSIZE = INDEX_DTYPE.itemsize
+
+# splitmix64 constants (shared by every backend so hashes are identical)
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+"""Sentinel stored in unoccupied hash-table slots."""
+
+_EMPTY_KEY_REMAP = np.uint64(0x123456789ABCDEF)
+
+
+class ArrayBackend(ABC):
+    """Abstract array backend: the one contract the whole datapath runs on."""
+
+    #: short registry name, e.g. ``"numpy"`` or ``"cupy"``
+    name: str = "abstract"
+
+    # -- canonical dtypes (NumPy dtype objects; CuPy shares them) ----------
+    int64 = np.dtype(np.int64)
+    uint64 = np.dtype(np.uint64)
+    bool_ = np.dtype(np.bool_)
+    tuple_dtype = TUPLE_DTYPE
+    index_dtype = INDEX_DTYPE
+
+    # ------------------------------------------------------------------
+    # Transfer boundary (the only host<->device crossings)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def to_host(self, array: Array) -> np.ndarray:
+        """Copy a backend array to host NumPy (device-to-host PCIe edge)."""
+
+    @abstractmethod
+    def from_host(self, array: Any, dtype: Any = None) -> Array:
+        """Copy host data into a backend array (host-to-device PCIe edge)."""
+
+    @abstractmethod
+    def is_array(self, obj: Any) -> bool:
+        """True if ``obj`` is an array this backend owns."""
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def empty(self, shape: Any, dtype: Any = TUPLE_DTYPE) -> Array:
+        """Uninitialised array of the given shape."""
+
+    @abstractmethod
+    def zeros(self, shape: Any, dtype: Any = TUPLE_DTYPE) -> Array:
+        """Zero-filled array."""
+
+    @abstractmethod
+    def ones(self, shape: Any, dtype: Any = TUPLE_DTYPE) -> Array:
+        """One-filled array."""
+
+    @abstractmethod
+    def full(self, shape: Any, fill_value: Any, dtype: Any = TUPLE_DTYPE) -> Array:
+        """Constant-filled array."""
+
+    @abstractmethod
+    def arange(self, n: int, dtype: Any = INDEX_DTYPE) -> Array:
+        """``[0, n)`` as a 1-D array."""
+
+    @abstractmethod
+    def asarray(self, data: Any, dtype: Any = None) -> Array:
+        """Coerce ``data`` (backend array, sequence, or scalar) to an array."""
+
+    @abstractmethod
+    def ascontiguousarray(self, data: Any, dtype: Any = None) -> Array:
+        """Coerce to a C-contiguous array (dense column storage)."""
+
+    # ------------------------------------------------------------------
+    # Movement / combination
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def concatenate(self, arrays: Sequence[Array], axis: int = 0) -> Array:
+        """Concatenate arrays along ``axis``."""
+
+    @abstractmethod
+    def column_stack(self, columns: Sequence[Array]) -> Array:
+        """Stack 1-D columns into an ``(n, k)`` row array."""
+
+    @abstractmethod
+    def take(self, array: Array, indices: Array) -> Array:
+        """Gather: ``array[indices]``."""
+
+    @abstractmethod
+    def scatter(self, target: Array, indices: Array, values: Any) -> None:
+        """Scatter-write: ``target[indices] = values`` (in place)."""
+
+    @abstractmethod
+    def repeat(self, values: Array, repeats: Array) -> Array:
+        """Element-wise repetition (match-run expansion)."""
+
+    # ------------------------------------------------------------------
+    # Sorting and searching
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def lexsort(self, columns: Sequence[Array], n_rows: int | None = None) -> Array:
+        """Stable lexicographic argsort over per-column arrays, column 0
+        primary.  ``n_rows`` covers the zero-arity edge: with no sort keys
+        every order is (stably) sorted, so the identity permutation returns.
+        """
+
+    @abstractmethod
+    def searchsorted(self, haystack: Array, needles: Array, side: str = "left") -> Array:
+        """Batch binary search of ``needles`` into sorted ``haystack``."""
+
+    @abstractmethod
+    def pack_lex_keys(self, columns: Sequence[Array]) -> Array:
+        """Pack per-column tuple values into one opaque sortable key array.
+
+        The keys of two packings are mutually comparable (``searchsorted``
+        across arrays works) and ordering matches signed lexicographic tuple
+        order.  The packed representation is backend-private; callers only
+        ever compare, merge-scatter, and binary-search it.
+        """
+
+    @abstractmethod
+    def adjacent_unique_mask(self, columns: Sequence[Array], n_rows: int | None = None) -> Array:
+        """Mask of sorted tuples that differ from their predecessor, per column.
+
+        ``n_rows`` covers the zero-arity edge: with no columns every tuple
+        equals its predecessor (one survivor).
+        """
+
+    @abstractmethod
+    def is_monotone(self, indices: Array) -> bool:
+        """True if ``indices`` is non-decreasing (coalescable gather)."""
+
+    # ------------------------------------------------------------------
+    # Scans / reductions / compaction support
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def cumsum(self, values: Array) -> Array:
+        """Inclusive prefix sum."""
+
+    @abstractmethod
+    def nonzero_indices(self, mask: Array) -> Array:
+        """Indices of true mask entries as an :data:`INDEX_DTYPE` vector."""
+
+    @abstractmethod
+    def count_nonzero(self, mask: Array) -> int:
+        """Number of true entries (host int)."""
+
+    @abstractmethod
+    def add_at(self, target: Array, indices: Array, values: Any) -> None:
+        """Unbuffered scatter-add: ``target[indices] += values`` with repeats."""
+
+    @abstractmethod
+    def reduceat_sum(self, values: Array, starts: Array) -> Array:
+        """Segmented sum: total of ``values[starts[i]:starts[i+1]]`` per segment."""
+
+    # ------------------------------------------------------------------
+    # Derived helpers (implemented once, shared by every backend)
+    # ------------------------------------------------------------------
+    def as_rows(self, data: Any) -> Array:
+        """Coerce ``data`` to a C-contiguous 2-D :data:`TUPLE_DTYPE` row array."""
+        rows = self.asarray(data, dtype=TUPLE_DTYPE)
+        if rows.ndim == 1:
+            rows = rows.reshape(-1, 1)
+        if rows.ndim != 2:
+            raise ValueError(f"expected a 2-D tuple array, got shape {rows.shape}")
+        return self.ascontiguousarray(rows)
+
+    def compare(self, op: str, left: Any, right: Any) -> Array:
+        """Elementwise comparison kernel (the guard/filter primitive)."""
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise BackendError(f"unsupported comparison operator {op!r}")
+
+    def run_lengths_from_starts(self, starts: Array, n_rows: int) -> Array:
+        """Segment lengths given sorted segment starts and the total length."""
+        if int(starts.shape[0]) == 0:
+            return self.empty(0, dtype=INDEX_DTYPE)
+        bounds = self.concatenate([starts[1:], self.asarray([n_rows], dtype=INDEX_DTYPE)])
+        return (bounds - starts).astype(INDEX_DTYPE)
+
+    def _splitmix64(self, values: Array) -> Array:
+        z = values + _GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        return z ^ (z >> np.uint64(31))
+
+    def hash_columns(self, columns: Sequence[Array]) -> Array:
+        """Vectorised splitmix64 fold of join-key columns into uint64 hashes.
+
+        This is *the* key-hash fold; every layout (rows or columns) and every
+        backend produces byte-identical hashes for the same key values.
+        """
+        if not len(columns):
+            raise BackendError("hash_columns requires at least one key column")
+        first = self.asarray(columns[0], dtype=TUPLE_DTYPE)
+        n = int(first.shape[0])
+        acc = self.full(n, np.uint64(len(columns) + 1), dtype=self.uint64)
+        for column in columns:
+            column = self.asarray(column, dtype=TUPLE_DTYPE)
+            acc = self._splitmix64(acc ^ column.view(self.uint64))
+        # Reserve the EMPTY_KEY sentinel; remap the (vanishingly rare) clash.
+        acc[acc == EMPTY_KEY] = _EMPTY_KEY_REMAP
+        return acc
+
+    def hash_rows(self, rows: Array) -> Array:
+        """Hash each row of an ``(n, k)`` tuple array into a uint64 value."""
+        rows = self.asarray(rows, dtype=TUPLE_DTYPE)
+        if rows.ndim == 1:
+            rows = rows.reshape(-1, 1)
+        if rows.ndim != 2:
+            raise BackendError(f"expected a 2-D array of join keys, got shape {rows.shape}")
+        n, arity = rows.shape
+        if arity == 0:
+            return self.full(n, np.uint64(1), dtype=self.uint64)
+        return self.hash_columns([rows[:, column] for column in range(arity)])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Every attribute a datapath component may touch on a backend instance.
+#: :class:`~repro.backend.guard.GuardBackend` raises on anything else.
+ARRAY_BACKEND_CONTRACT = frozenset(
+    {
+        # identity + dtypes
+        "name",
+        "int64",
+        "uint64",
+        "bool_",
+        "tuple_dtype",
+        "index_dtype",
+        # transfer boundary
+        "to_host",
+        "from_host",
+        "is_array",
+        # creation
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "arange",
+        "asarray",
+        "ascontiguousarray",
+        # movement / combination
+        "concatenate",
+        "column_stack",
+        "take",
+        "scatter",
+        "repeat",
+        # sorting and searching
+        "lexsort",
+        "searchsorted",
+        "pack_lex_keys",
+        "adjacent_unique_mask",
+        "is_monotone",
+        # scans / reductions
+        "cumsum",
+        "nonzero_indices",
+        "count_nonzero",
+        "add_at",
+        "reduceat_sum",
+        # derived helpers
+        "as_rows",
+        "compare",
+        "run_lengths_from_starts",
+        "hash_columns",
+        "hash_rows",
+    }
+)

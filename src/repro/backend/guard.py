@@ -1,0 +1,67 @@
+"""GuardBackend — a contract-enforcing proxy around any :class:`ArrayBackend`.
+
+The guard forwards exactly the attributes named in
+:data:`~repro.backend.base.ARRAY_BACKEND_CONTRACT` to the wrapped backend and
+raises :class:`~repro.errors.BackendContractError` on anything else.  Running
+the tier-1 suite (or the TC/SG/CSPA equivalence runs) under
+``GuardBackend(NumpyBackend())`` therefore proves the datapath touches *only*
+the portable primitive surface — a stray ``backend.foo`` that happens to work
+on NumPy but is not part of the contract fails loudly instead of silently
+blocking a CuPy-class backend.
+
+The guard also counts primitive invocations (:attr:`call_counts`), which the
+conformance tests use to assert the datapath really routes through the
+contract rather than around it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from ..errors import BackendContractError
+from .base import ARRAY_BACKEND_CONTRACT, ArrayBackend
+
+_NON_CALLABLE = frozenset(
+    {"name", "int64", "uint64", "bool_", "tuple_dtype", "index_dtype"}
+)
+
+
+class GuardBackend:
+    """Proxy backend that refuses any primitive outside the contract."""
+
+    def __init__(self, inner: ArrayBackend) -> None:
+        if isinstance(inner, GuardBackend):
+            inner = inner.inner
+        self.inner = inner
+        self.name = f"guard({inner.name})"
+        self.call_counts: Counter[str] = Counter()
+
+    def __getattr__(self, attr: str) -> Any:
+        if attr.startswith("__"):  # dunder lookups (pickle, repr machinery)
+            raise AttributeError(attr)
+        if attr not in ARRAY_BACKEND_CONTRACT:
+            raise BackendContractError(
+                f"array primitive {attr!r} is outside the ArrayBackend contract; "
+                "add it to ARRAY_BACKEND_CONTRACT (and every backend) or express "
+                "the operation with existing primitives"
+            )
+        value = getattr(self.inner, attr)
+        if attr in _NON_CALLABLE or not callable(value):
+            return value
+
+        counts = self.call_counts
+
+        def counted(*args: Any, **kwargs: Any) -> Any:
+            counts[attr] += 1
+            return value(*args, **kwargs)
+
+        counted.__name__ = attr
+        return counted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GuardBackend({self.inner!r})"
+
+
+# The guard satisfies the ArrayBackend interface by delegation.
+ArrayBackend.register(GuardBackend)

@@ -1,0 +1,143 @@
+"""The reference :class:`ArrayBackend`: host NumPy.
+
+This backend is the semantics oracle for the conformance suite: every other
+backend must match it bit-for-bit on the contract primitives.  ``to_host`` /
+``from_host`` are logical no-copies (the "device" *is* host memory), but the
+device kernels still charge them as PCIe transfers so the simulated cost
+model treats every backend identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .base import INDEX_DTYPE, TUPLE_DTYPE, Array, ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference implementation of the array-backend contract on NumPy."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Transfer boundary
+    # ------------------------------------------------------------------
+    def to_host(self, array: Array) -> np.ndarray:
+        return np.asarray(array)
+
+    def from_host(self, array: Any, dtype: Any = None) -> Array:
+        return np.asarray(array, dtype=dtype)
+
+    def is_array(self, obj: Any) -> bool:
+        return isinstance(obj, np.ndarray)
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+    def empty(self, shape: Any, dtype: Any = TUPLE_DTYPE) -> Array:
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape: Any, dtype: Any = TUPLE_DTYPE) -> Array:
+        return np.zeros(shape, dtype=dtype)
+
+    def ones(self, shape: Any, dtype: Any = TUPLE_DTYPE) -> Array:
+        return np.ones(shape, dtype=dtype)
+
+    def full(self, shape: Any, fill_value: Any, dtype: Any = TUPLE_DTYPE) -> Array:
+        return np.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, n: int, dtype: Any = INDEX_DTYPE) -> Array:
+        return np.arange(n, dtype=dtype)
+
+    def asarray(self, data: Any, dtype: Any = None) -> Array:
+        return np.asarray(data, dtype=dtype)
+
+    def ascontiguousarray(self, data: Any, dtype: Any = None) -> Array:
+        return np.ascontiguousarray(data, dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # Movement / combination
+    # ------------------------------------------------------------------
+    def concatenate(self, arrays: Sequence[Array], axis: int = 0) -> Array:
+        return np.concatenate(list(arrays), axis=axis)
+
+    def column_stack(self, columns: Sequence[Array]) -> Array:
+        return np.column_stack(list(columns))
+
+    def take(self, array: Array, indices: Array) -> Array:
+        return array[indices]
+
+    def scatter(self, target: Array, indices: Array, values: Any) -> None:
+        target[indices] = values
+
+    def repeat(self, values: Array, repeats: Array) -> Array:
+        return np.repeat(values, repeats)
+
+    # ------------------------------------------------------------------
+    # Sorting and searching
+    # ------------------------------------------------------------------
+    def lexsort(self, columns: Sequence[Array], n_rows: int | None = None) -> Array:
+        if not len(columns):
+            return np.arange(int(n_rows or 0), dtype=INDEX_DTYPE)
+        n = int(columns[0].shape[0])
+        if n == 0:
+            return np.empty(0, dtype=INDEX_DTYPE)
+        # np.lexsort sorts by the last key first, so pass columns reversed.
+        return np.lexsort(tuple(reversed(list(columns)))).astype(INDEX_DTYPE)
+
+    def searchsorted(self, haystack: Array, needles: Array, side: str = "left") -> Array:
+        return np.searchsorted(haystack, needles, side=side).astype(INDEX_DTYPE)
+
+    def pack_lex_keys(self, columns: Sequence[Array]) -> Array:
+        """Pack columns into big-endian void keys preserving signed lex order.
+
+        int64 values are converted to offset-binary (sign bit flipped) and
+        byte-swapped to big-endian so the raw byte comparison of the void
+        view matches signed lexicographic tuple order.
+        """
+        arity = len(columns)
+        n = int(columns[0].shape[0]) if arity else 0
+        big_endian = np.empty((n, arity), dtype=">u8")
+        for position, column in enumerate(columns):
+            column = np.asarray(column, dtype=TUPLE_DTYPE)
+            big_endian[:, position] = column.view(np.uint64) ^ np.uint64(1 << 63)
+        return big_endian.view(np.dtype((np.void, max(1, arity) * 8))).ravel()
+
+    def adjacent_unique_mask(self, columns: Sequence[Array], n_rows: int | None = None) -> Array:
+        n = int(columns[0].shape[0]) if len(columns) else int(n_rows or 0)
+        mask = np.empty(n, dtype=bool)
+        if n == 0:
+            return mask
+        mask[0] = True
+        if n > 1:
+            mask[1:] = False
+            for column in columns:
+                mask[1:] |= column[1:] != column[:-1]
+        return mask
+
+    def is_monotone(self, indices: Array) -> bool:
+        if indices.size < 2:
+            return True
+        return bool((indices[1:] >= indices[:-1]).all())
+
+    # ------------------------------------------------------------------
+    # Scans / reductions
+    # ------------------------------------------------------------------
+    def cumsum(self, values: Array) -> Array:
+        return np.cumsum(values)
+
+    def nonzero_indices(self, mask: Array) -> Array:
+        return np.flatnonzero(mask).astype(INDEX_DTYPE)
+
+    def count_nonzero(self, mask: Array) -> int:
+        return int(np.count_nonzero(mask))
+
+    def add_at(self, target: Array, indices: Array, values: Any) -> None:
+        np.add.at(target, indices, values)
+
+    def reduceat_sum(self, values: Array, starts: Array) -> Array:
+        if int(starts.shape[0]) == 0:
+            return np.empty(0, dtype=values.dtype)
+        return np.add.reduceat(values, starts)

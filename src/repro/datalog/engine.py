@@ -23,6 +23,7 @@ from typing import Iterable, Sequence, Union
 
 import numpy as np
 
+from ..backend import ArrayBackend, get_backend
 from ..device.device import Device
 from ..device.profiler import FIGURE6_PHASES, PHASE_LOAD
 from ..device.spec import DeviceSpec
@@ -133,11 +134,24 @@ class GPULogEngine:
         columnar: bool = True,
         max_iterations: int = 1_000_000,
         collect_relations: bool = True,
+        backend: "ArrayBackend | str | None" = None,
     ) -> None:
         if isinstance(device, Device):
+            # A pre-built device already owns its backend; a conflicting
+            # explicit request would silently split the datapath.
+            if backend is not None and get_backend(backend).name != device.backend.name:
+                raise SchemaError(
+                    f"device already uses backend {device.backend.name!r}; "
+                    f"cannot override with {backend!r}"
+                )
             self.device = device
         else:
-            self.device = Device(device, memory_capacity_bytes=memory_capacity_bytes, oom_enabled=oom_enabled)
+            self.device = Device(
+                device,
+                memory_capacity_bytes=memory_capacity_bytes,
+                oom_enabled=oom_enabled,
+                backend=backend,
+            )
         self.collect_relations = bool(collect_relations)
         self.eager_buffers = bool(eager_buffers)
         self.buffer_growth_factor = float(buffer_growth_factor)
@@ -308,7 +322,9 @@ class GPULogEngine:
         for relation_name, relation in self.relations.items():
             counts[relation_name] = relation.full_count
             if self.collect_relations:
-                rows = relation.full_rows()
+                # Result extraction is the charged D2H edge of the transfer
+                # boundary: tuples leave the device exactly once, here.
+                rows = relation.full_rows_host()
                 relations[relation_name] = [tuple(decode(value) for value in row) for row in rows.tolist()]
             else:
                 relations[relation_name] = []

@@ -106,10 +106,17 @@ class SemiNaiveEvaluator:
             # ----------------------------------------------------------
             # Initialise the stratum: facts + non-recursive rule results.
             # ----------------------------------------------------------
-            initial_rows: dict[str, list[np.ndarray]] = defaultdict(list)
+            backend = self.device.backend
+            initial_rows: dict[str, list] = defaultdict(list)
             for name in idb_in_stratum:
                 if name in idb_facts:
-                    initial_rows[name].append(idb_facts.pop(name))
+                    # Ground IDB facts are host payloads: the stratum-init
+                    # edge uploads them through the charged H2D transfer.
+                    initial_rows[name].append(
+                        self.device.kernels.from_host(
+                            idb_facts.pop(name), dtype=backend.int64, label=f"{name}.h2d_facts"
+                        )
+                    )
             for version in non_recursive:
                 result = self._execute_version(version)
                 if len(result):
@@ -117,7 +124,8 @@ class SemiNaiveEvaluator:
                         # Stratum initialization is a materialization edge:
                         # the rows feed fact loading, which indexes them all.
                         # Charged as join output (the row pipeline writes the
-                        # equivalent tuples inside the join phase).
+                        # equivalent tuples inside the join phase); the rows
+                        # stay device-resident — no PCIe crossing here.
                         with self.device.profiler.phase(PHASE_JOIN):
                             result = result.as_rows(label=f"{version.head_relation}.materialize_init")
                     initial_rows[version.head_relation].append(result)
@@ -125,10 +133,10 @@ class SemiNaiveEvaluator:
                 relation = self.relations[name]
                 parts = initial_rows.get(name, [])
                 if parts:
-                    rows = np.concatenate(parts, axis=0)
+                    rows = backend.concatenate(parts, axis=0)
                 else:
-                    rows = np.empty((0, relation.arity), dtype=np.int64)
-                relation.initialize(rows)
+                    rows = backend.empty((0, relation.arity), dtype=backend.int64)
+                relation.initialize(rows, device_resident=True)
 
             iterations = 0
             in_place_merges = 0
@@ -177,9 +185,13 @@ class SemiNaiveEvaluator:
                         # add_new materializes a columnar result's head
                         # columns; that is the join's output write, so it is
                         # attributed to the join phase like the row
-                        # pipeline's in-kernel head projection.
+                        # pipeline's in-kernel head projection.  Join outputs
+                        # are device-resident in both pipelines — no PCIe
+                        # crossing at this edge.
                         with self.device.profiler.phase(PHASE_JOIN):
-                            self.relations[version.head_relation].add_new(result)
+                            self.relations[version.head_relation].add_new(
+                                result, device_resident=True
+                            )
                 total_delta = 0
                 for name in idb_in_stratum:
                     result = self.relations[name].end_iteration()
@@ -194,10 +206,11 @@ class SemiNaiveEvaluator:
     # Rule-version execution
     # ------------------------------------------------------------------
     def _execute_version(self, version: RuleVersion) -> RowsLike:
+        backend = self.device.backend
         with self.device.profiler.phase(PHASE_JOIN):
             rows = self._initial_rows(version)
             if len(rows) == 0:
-                return np.empty((0, len(version.head)), dtype=np.int64)
+                return backend.empty((0, len(version.head)), dtype=backend.int64)
             if self.materialize_nway or len(version.joins) <= 1 or not self._fusable(version):
                 rows = self._execute_materialized(version, rows)
             else:
@@ -219,7 +232,8 @@ class SemiNaiveEvaluator:
             rows = relation.delta_rows if initial.version == DELTA else relation.full_rows()
             arity = rows.shape[1]
         if len(rows) == 0:
-            return np.empty((0, len(initial.schema)), dtype=np.int64)
+            backend = self.device.backend
+            return backend.empty((0, len(initial.schema)), dtype=backend.int64)
         if initial.filters:
             rows = select(self.device, rows, initial.filters, label=f"{initial.relation}.scan_filter")
         identity = tuple(initial.projection) == tuple(range(arity))
@@ -237,7 +251,8 @@ class SemiNaiveEvaluator:
         """
         for step in version.joins:
             if len(rows) == 0:
-                return np.empty((0, len(step.schema)), dtype=np.int64)
+                backend = self.device.backend
+                return backend.empty((0, len(step.schema)), dtype=backend.int64)
             inner = self.relations[step.relation].index_for(step.join_columns)
             rows = hash_join(
                 self.device,
@@ -276,8 +291,9 @@ class SemiNaiveEvaluator:
         return version.joins[-1].post_projection is None
 
     def _project_head(self, version: RuleVersion, rows: RowsLike) -> RowsLike:
+        backend = self.device.backend
         if len(rows) == 0:
-            return np.empty((0, len(version.head)), dtype=np.int64)
+            return backend.empty((0, len(version.head)), dtype=backend.int64)
         if isinstance(rows, ColumnBatch):
             # Head variables are routed lazily (no copy); only constant
             # columns are written here.
@@ -293,8 +309,8 @@ class SemiNaiveEvaluator:
             if head_column.kind == "var":
                 columns.append(rows[:, head_column.position])
             else:
-                columns.append(np.full(rows.shape[0], int(head_column.value), dtype=np.int64))
-        result = np.column_stack(columns).astype(np.int64)
+                columns.append(backend.full(rows.shape[0], int(head_column.value), dtype=backend.int64))
+        result = backend.column_stack(columns).astype(backend.int64)
         self.device.kernels.transform(
             rows.shape[0],
             bytes_per_item=8.0 * len(version.head),

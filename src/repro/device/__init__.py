@@ -20,6 +20,7 @@ from .profiler import (
     PHASE_MERGE,
     PHASE_OTHER,
     PHASE_POPULATE_DELTA,
+    PHASE_TRANSFER,
     PhaseSummary,
     ProfileEvent,
     Profiler,
@@ -64,6 +65,7 @@ __all__ = [
     "PHASE_MERGE",
     "PHASE_OTHER",
     "PHASE_POPULATE_DELTA",
+    "PHASE_TRANSFER",
     "PhaseSummary",
     "ProfileEvent",
     "Profiler",

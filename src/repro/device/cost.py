@@ -46,6 +46,12 @@ class KernelCost:
         this kernel; charged at allocation latency + allocation bandwidth.
     allocations:
         Number of discrete allocations performed.
+    transfer_bytes:
+        Bytes crossing the host<->device boundary (PCIe), charged at the
+        device's transfer bandwidth *in addition to* the kernel body — a DMA
+        copy does not overlap the kernels this simulator serialises.  Only
+        the ``to_host`` / ``from_host`` kernels of the array-backend layer
+        produce this; everything else stays on device.
     """
 
     kernel: str
@@ -56,6 +62,7 @@ class KernelCost:
     launches: int = 1
     alloc_bytes: float = 0.0
     allocations: int = 0
+    transfer_bytes: float = 0.0
 
     def combined_with(self, other: "KernelCost", kernel: str | None = None) -> "KernelCost":
         """Return a cost representing this kernel followed by ``other``."""
@@ -68,6 +75,7 @@ class KernelCost:
             launches=self.launches + other.launches,
             alloc_bytes=self.alloc_bytes + other.alloc_bytes,
             allocations=self.allocations + other.allocations,
+            transfer_bytes=self.transfer_bytes + other.transfer_bytes,
         )
 
 
@@ -104,7 +112,18 @@ class CostModel:
         """Fixed launch overhead for the kernel launches in ``cost``."""
         return cost.launches * self.spec.kernel_launch_us * 1e-6
 
+    def transfer_seconds(self, cost: KernelCost) -> float:
+        """Seconds spent moving data across the host<->device (PCIe) boundary."""
+        if not cost.transfer_bytes:
+            return 0.0
+        return cost.transfer_bytes / self.spec.pcie_bandwidth_bytes
+
     def seconds(self, cost: KernelCost) -> float:
         """Total simulated seconds for ``cost`` (roofline of memory/compute)."""
         body = max(self.memory_seconds(cost), self.compute_seconds(cost))
-        return self.launch_seconds(cost) + body + self.allocation_seconds(cost)
+        return (
+            self.launch_seconds(cost)
+            + body
+            + self.allocation_seconds(cost)
+            + self.transfer_seconds(cost)
+        )

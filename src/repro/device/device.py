@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..backend import ArrayBackend, BackendLike, get_backend
 from .cost import CostModel, KernelCost
 from .kernels import DeviceKernels
 from .memory import Buffer, MemoryPool, MemoryStats
@@ -45,6 +46,7 @@ class Device:
         memory_capacity_bytes: int | None = None,
         oom_enabled: bool = True,
         profiler: Profiler | None = None,
+        backend: BackendLike = None,
     ) -> None:
         if isinstance(spec, str):
             spec = device_preset(spec)
@@ -53,6 +55,9 @@ class Device:
         self.profiler = profiler if profiler is not None else Profiler()
         capacity = memory_capacity_bytes if memory_capacity_bytes is not None else spec.memory_capacity_bytes
         self.pool = MemoryPool(capacity, oom_enabled=oom_enabled)
+        #: the array backend every kernel and relational structure of this
+        #: device runs on (name, instance, or the ``REPRO_BACKEND`` default)
+        self.backend: ArrayBackend = get_backend(backend)
         self.kernels = DeviceKernels(self)
 
     # ------------------------------------------------------------------

@@ -2,93 +2,92 @@
 
 These are the Thrust-style bulk primitives GPUlog is built from: gather,
 stable (radix-like) sort of tuple rows, exclusive scan, adjacent-difference
-deduplication, stream compaction, path merge, and raw memory movement.  Each
-primitive
+deduplication, stream compaction, path merge, raw memory movement, and the
+host<->device transfer edges.  Each primitive
 
-1. executes the real algorithm on host NumPy arrays (results are exact), and
+1. executes the real algorithm through the device's
+   :class:`~repro.backend.base.ArrayBackend` (results are exact on whatever
+   array library the backend owns — NumPy by default, CuPy when selected), and
 2. charges a :class:`~repro.device.cost.KernelCost` to the owning
    :class:`~repro.device.device.Device`, which converts it into simulated
    seconds via the device's cost model and records it in the profiler.
 
 Higher layers (HISA, the relational operators, the baseline engines) only
 touch the device through these primitives plus :meth:`Device.charge` for
-bespoke kernels such as the hash-probe join of Algorithm 3.
+bespoke kernels such as the hash-probe join of Algorithm 3.  None of them
+calls an array library directly: the backend is the single datapath.
+
+The module-level helpers (:func:`as_rows`, :func:`host_lexsort_columns`, ...)
+are the *host-side* NumPy conveniences used by tests, baseline engines and
+uncharged oracles; they delegate to the shared reference backend so the host
+and device implementations can never diverge.
 """
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..backend import (
+    HOST_BACKEND,
+    INDEX_DTYPE,
+    INDEX_ITEMSIZE,
+    TUPLE_DTYPE,
+    TUPLE_ITEMSIZE,
+    Array,
+)
 from .cost import KernelCost
+from .profiler import PHASE_TRANSFER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from .device import Device
 
-TUPLE_DTYPE = np.int64
-TUPLE_ITEMSIZE = np.dtype(TUPLE_DTYPE).itemsize
-INDEX_DTYPE = np.int64
-INDEX_ITEMSIZE = np.dtype(INDEX_DTYPE).itemsize
+__all__ = [
+    "DeviceKernels",
+    "INDEX_DTYPE",
+    "INDEX_ITEMSIZE",
+    "TUPLE_DTYPE",
+    "TUPLE_ITEMSIZE",
+    "as_rows",
+    "host_adjacent_unique_mask",
+    "host_lexsort_columns",
+    "is_monotone",
+    "lex_rank_keys",
+    "lex_rank_keys_columns",
+    "pack_rows",
+    "row_search_bounds",
+    "rows_nbytes",
+]
 
 
-def as_rows(data: np.ndarray) -> np.ndarray:
-    """Coerce ``data`` to a C-contiguous 2-D int64 row array."""
-    rows = np.asarray(data, dtype=TUPLE_DTYPE)
-    if rows.ndim == 1:
-        rows = rows.reshape(-1, 1)
-    if rows.ndim != 2:
-        raise ValueError(f"expected a 2-D tuple array, got shape {rows.shape}")
-    return np.ascontiguousarray(rows)
+def as_rows(data: Array) -> np.ndarray:
+    """Coerce ``data`` to a C-contiguous 2-D int64 row array (host helper)."""
+    return HOST_BACKEND.as_rows(data)
 
 
-def is_monotone(indices: np.ndarray) -> bool:
+def is_monotone(indices: Array) -> bool:
     """True if ``indices`` is non-decreasing (forward-only, coalescable reads)."""
-    if indices.size < 2:
-        return True
-    return bool((indices[1:] >= indices[:-1]).all())
+    return HOST_BACKEND.is_monotone(indices)
 
 
 def host_lexsort_columns(
-    columns: "list[np.ndarray] | tuple[np.ndarray, ...]", n_rows: int | None = None
+    columns: "list[Array] | tuple[Array, ...]", n_rows: int | None = None
 ) -> np.ndarray:
     """Stable lexicographic argsort over per-column arrays (column 0 primary).
 
-    This is the one host implementation of the tuple sort; the row-array
-    entry points build their column views and delegate here so the columnar
-    and row pipelines sort identically.  ``n_rows`` covers the zero-arity
-    edge: with no sort keys every order is (stably) sorted, so the identity
-    permutation is returned.
+    Host-side delegate of :meth:`ArrayBackend.lexsort`, kept so the row-array
+    entry points, tests and uncharged oracles share one sort implementation.
     """
-    if not columns:
-        return np.arange(int(n_rows or 0), dtype=INDEX_DTYPE)
-    n = int(columns[0].shape[0])
-    if n == 0:
-        return np.empty(0, dtype=INDEX_DTYPE)
-    # np.lexsort sorts by the last key first, so pass columns reversed.
-    return np.lexsort(tuple(reversed(columns))).astype(INDEX_DTYPE)
+    return HOST_BACKEND.lexsort(columns, n_rows=n_rows)
 
 
 def host_adjacent_unique_mask(
-    columns: "list[np.ndarray] | tuple[np.ndarray, ...]", n_rows: int | None = None
+    columns: "list[Array] | tuple[Array, ...]", n_rows: int | None = None
 ) -> np.ndarray:
-    """Mask of sorted tuples that differ from their predecessor, per column.
-
-    Shared by the row-array and columnar deduplication paths (and by the
-    uncharged oracle in :func:`repro.relational.operators.deduplicate`) so the
-    adjacent-compare step exists exactly once.  ``n_rows`` covers the
-    zero-arity edge: with no columns every tuple equals its predecessor.
-    """
-    n = int(columns[0].shape[0]) if columns else int(n_rows or 0)
-    mask = np.empty(n, dtype=bool)
-    if n == 0:
-        return mask
-    mask[0] = True
-    if n > 1:
-        mask[1:] = False
-        for column in columns:
-            mask[1:] |= column[1:] != column[:-1]
-    return mask
+    """Mask of sorted tuples that differ from their predecessor, per column."""
+    return HOST_BACKEND.adjacent_unique_mask(columns, n_rows=n_rows)
 
 
 def rows_nbytes(n_rows: int, arity: int) -> int:
@@ -101,31 +100,82 @@ class DeviceKernels:
 
     def __init__(self, device: "Device") -> None:
         self._device = device
+        self._backend = device.backend
+
+    @property
+    def backend(self):
+        """The array backend this device's kernels execute on."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # Host <-> device transfers (the charged PCIe boundary)
+    # ------------------------------------------------------------------
+    def from_host(self, data: Array, dtype=None, label: str = "h2d_transfer") -> Array:
+        """Upload host data into a backend array, charged as a PCIe copy.
+
+        This is the *only* sanctioned way host payloads enter the datapath
+        (fact loading, externally supplied new tuples).  The simulated cost
+        covers the DMA transfer plus the device-side write of the payload.
+        """
+        out = self._backend.from_host(data, dtype=dtype)
+        nbytes = float(getattr(out, "nbytes", 0))
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                transfer_bytes=nbytes,
+                sequential_bytes=nbytes,
+                ops=float(getattr(out, "size", 0)),
+            ),
+            phase=PHASE_TRANSFER,
+        )
+        return out
+
+    def to_host(self, array: Array, label: str = "d2h_transfer") -> np.ndarray:
+        """Download a backend array to host NumPy, charged as a PCIe copy.
+
+        The only sanctioned datapath exit (result collection, row-array
+        extraction for host consumers).  Cost covers the device-side read
+        plus the DMA transfer.
+        """
+        out = self._backend.to_host(array)
+        nbytes = float(getattr(out, "nbytes", 0))
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                transfer_bytes=nbytes,
+                sequential_bytes=nbytes,
+                ops=float(getattr(out, "size", 0)),
+            ),
+            phase=PHASE_TRANSFER,
+        )
+        return out
 
     # ------------------------------------------------------------------
     # Raw memory movement
     # ------------------------------------------------------------------
-    def copy(self, data: np.ndarray, label: str = "copy") -> np.ndarray:
+    def copy(self, data: Array, label: str = "copy") -> Array:
         """Device-to-device copy (one read + one write of the payload)."""
-        rows = np.array(data, dtype=data.dtype if hasattr(data, "dtype") else TUPLE_DTYPE, copy=True)
+        rows = self._backend.asarray(data).copy()
         nbytes = rows.nbytes
         self._device.charge(KernelCost(kernel=label, sequential_bytes=2.0 * nbytes, ops=rows.size))
         return rows
 
-    def concatenate_rows(self, parts: list[np.ndarray], label: str = "concatenate") -> np.ndarray:
+    def concatenate_rows(self, parts: list[Array], label: str = "concatenate") -> Array:
         """Concatenate tuple arrays; charged as a streaming copy of the output."""
-        parts = [as_rows(part) for part in parts if part is not None and len(part)]
+        backend = self._backend
+        parts = [backend.as_rows(part) for part in parts if part is not None and len(part)]
         if not parts:
-            return np.empty((0, 0), dtype=TUPLE_DTYPE)
-        out = np.concatenate(parts, axis=0)
+            return backend.empty((0, 0), dtype=TUPLE_DTYPE)
+        out = backend.concatenate(parts, axis=0)
         self._device.charge(KernelCost(kernel=label, sequential_bytes=2.0 * out.nbytes, ops=out.shape[0]))
         return out
 
-    def gather_rows(self, rows: np.ndarray, indices: np.ndarray, label: str = "gather") -> np.ndarray:
+    def gather_rows(self, rows: Array, indices: Array, label: str = "gather") -> Array:
         """Gather ``rows[indices]``; reads are random, writes are streaming."""
-        rows = as_rows(rows)
-        indices = np.asarray(indices, dtype=INDEX_DTYPE)
-        out = rows[indices]
+        backend = self._backend
+        rows = backend.as_rows(rows)
+        indices = backend.asarray(indices, dtype=INDEX_DTYPE)
+        out = backend.take(rows, indices)
         row_bytes = rows.shape[1] * TUPLE_ITEMSIZE if rows.size else TUPLE_ITEMSIZE
         self._device.charge(
             KernelCost(
@@ -137,11 +187,12 @@ class DeviceKernels:
         )
         return out
 
-    def gather_values(self, values: np.ndarray, indices: np.ndarray, label: str = "gather_values") -> np.ndarray:
+    def gather_values(self, values: Array, indices: Array, label: str = "gather_values") -> Array:
         """Gather scalar values; reads are random, writes streaming."""
-        values = np.asarray(values)
-        indices = np.asarray(indices, dtype=INDEX_DTYPE)
-        out = values[indices]
+        backend = self._backend
+        values = backend.asarray(values)
+        indices = backend.asarray(indices, dtype=INDEX_DTYPE)
+        out = backend.take(values, indices)
         itemsize = values.dtype.itemsize
         self._device.charge(
             KernelCost(
@@ -158,11 +209,11 @@ class DeviceKernels:
     # ------------------------------------------------------------------
     def gather_column(
         self,
-        base: np.ndarray,
-        indices: np.ndarray,
+        base: Array,
+        indices: Array,
         label: str = "gather_column",
         coalesced: bool | None = None,
-    ) -> np.ndarray:
+    ) -> Array:
         """Materialise one column of a lazy batch: ``base[indices]``.
 
         Cost is charged *per column* and only for columns a downstream
@@ -171,13 +222,14 @@ class DeviceKernels:
         the base forward-only, which a GPU coalesces; only genuinely
         unordered selections pay the random-access rate.
         """
-        base = np.asarray(base)
-        indices = np.asarray(indices, dtype=INDEX_DTYPE)
-        out = base[indices]
+        backend = self._backend
+        base = backend.asarray(base)
+        indices = backend.asarray(indices, dtype=INDEX_DTYPE)
+        out = backend.take(base, indices)
         itemsize = base.dtype.itemsize
         value_bytes = float(indices.size) * itemsize
         if coalesced is None:
-            coalesced = is_monotone(indices)
+            coalesced = backend.is_monotone(indices)
         self._device.charge(
             KernelCost(
                 kernel=label,
@@ -191,23 +243,24 @@ class DeviceKernels:
 
     def compose_selection(
         self,
-        selection: np.ndarray,
-        indices: np.ndarray,
+        selection: Array,
+        indices: Array,
         label: str = "compose_selection",
         coalesced: bool | None = None,
-    ) -> np.ndarray:
+    ) -> Array:
         """Compose two gather index vectors: ``selection[indices]``.
 
         Late materialization replaces per-operator tuple copies with this
         int64 index gather, performed once per *source* (not per column).
         Monotone ``indices`` (compaction / match-expansion shapes) coalesce.
         """
-        selection = np.asarray(selection, dtype=INDEX_DTYPE)
-        indices = np.asarray(indices, dtype=INDEX_DTYPE)
-        out = selection[indices]
+        backend = self._backend
+        selection = backend.asarray(selection, dtype=INDEX_DTYPE)
+        indices = backend.asarray(indices, dtype=INDEX_DTYPE)
+        out = backend.take(selection, indices)
         index_bytes = float(indices.size) * INDEX_ITEMSIZE
         if coalesced is None:
-            coalesced = is_monotone(indices)
+            coalesced = backend.is_monotone(indices)
         self._device.charge(
             KernelCost(
                 kernel=label,
@@ -219,17 +272,18 @@ class DeviceKernels:
         return out
 
     def concatenate_columns(
-        self, parts: list[list[np.ndarray]], label: str = "concatenate_columns"
-    ) -> list[np.ndarray]:
+        self, parts: list[list[Array]], label: str = "concatenate_columns"
+    ) -> list[Array]:
         """Concatenate per-column arrays of several batches (one pass per column)."""
         if not parts:
             return []
+        backend = self._backend
         arity = len(parts[0])
-        out: list[np.ndarray] = []
+        out: list[Array] = []
         total_bytes = 0.0
         total_rows = 0
         for column_index in range(arity):
-            column = np.concatenate([part[column_index] for part in parts])
+            column = backend.concatenate([part[column_index] for part in parts])
             total_bytes += 2.0 * column.nbytes
             total_rows = column.shape[0]
             out.append(column)
@@ -239,10 +293,10 @@ class DeviceKernels:
         return out
 
     def adjacent_unique_mask_columns(
-        self, sorted_columns: list[np.ndarray], n_rows: int, label: str = "adjacent_unique"
-    ) -> np.ndarray:
+        self, sorted_columns: list[Array], n_rows: int, label: str = "adjacent_unique"
+    ) -> Array:
         """Columnar adjacent-compare deduplication mask (one pass per column)."""
-        mask = host_adjacent_unique_mask(sorted_columns, n_rows=n_rows)
+        mask = self._backend.adjacent_unique_mask(sorted_columns, n_rows=n_rows)
         column_bytes = sum(float(column.nbytes) for column in sorted_columns)
         self._device.charge(
             KernelCost(
@@ -254,14 +308,15 @@ class DeviceKernels:
         return mask
 
     def compact_columns(
-        self, columns: list[np.ndarray], mask: np.ndarray, label: str = "compact_columns"
-    ) -> list[np.ndarray]:
+        self, columns: list[Array], mask: Array, label: str = "compact_columns"
+    ) -> list[Array]:
         """Stream-compact each column by a shared boolean mask.
 
         Charged as coalesced streaming (scan + scatter) per column — unlike a
         gather, compaction reads every element in order.
         """
-        mask = np.asarray(mask, dtype=bool)
+        backend = self._backend
+        mask = backend.asarray(mask, dtype=backend.bool_)
         out = [column[mask] for column in columns]
         in_bytes = sum(float(column.nbytes) for column in columns)
         out_bytes = sum(float(column.nbytes) for column in out)
@@ -274,7 +329,7 @@ class DeviceKernels:
         )
         return out
 
-    def unique_columns(self, columns: list[np.ndarray], label: str = "unique_columns") -> list[np.ndarray]:
+    def unique_columns(self, columns: list[Array], label: str = "unique_columns") -> list[Array]:
         """Columnar deduplication: per-column lexsort + adjacent-compare + compact.
 
         The columnar replacement for :meth:`unique_rows` — no packed row keys
@@ -284,7 +339,7 @@ class DeviceKernels:
             return list(columns)
         order = self.lexsort_columns(columns, label=f"{label}.sort")
         # The sort permutation is shared by every column: test coalescing once.
-        order_coalesced = is_monotone(order)
+        order_coalesced = self._backend.is_monotone(order)
         sorted_columns = [
             self.gather_column(column, order, label=f"{label}.gather", coalesced=order_coalesced)
             for column in columns
@@ -305,7 +360,7 @@ class DeviceKernels:
         """Charge an elementwise transform without a concrete payload.
 
         Used for column permutation (Algorithm 1 lines 1-5), selection
-        predicates, and hash computation where the NumPy work happens inline
+        predicates, and hash computation where the array work happens inline
         in the caller.
         """
         n_items = max(0, int(n_items))
@@ -320,31 +375,32 @@ class DeviceKernels:
     # ------------------------------------------------------------------
     # Sorting and order maintenance
     # ------------------------------------------------------------------
-    def lexsort_rows(self, rows: np.ndarray, label: str = "stable_sort") -> np.ndarray:
+    def lexsort_rows(self, rows: Array, label: str = "stable_sort") -> Array:
         """Stable lexicographic argsort of tuple rows.
 
         Mirrors Algorithm 1: one stable sort pass per column from least to
         most significant.  Each pass streams the permutation indices and the
         key column through memory.
         """
-        rows = as_rows(rows)
+        backend = self._backend
+        rows = backend.as_rows(rows)
         n, arity = rows.shape
-        order = host_lexsort_columns([rows[:, col] for col in range(arity)], n_rows=n)
+        order = backend.lexsort([rows[:, col] for col in range(arity)], n_rows=n)
         self._charge_lexsort(n, arity, label)
         return order
 
     def lexsort_columns(
-        self, columns: list[np.ndarray], label: str = "stable_sort", n_rows: int | None = None
-    ) -> np.ndarray:
+        self, columns: list[Array], label: str = "stable_sort", n_rows: int | None = None
+    ) -> Array:
         """Stable lexicographic argsort over per-column arrays (SoA layout).
 
         Same algorithm and cost as :meth:`lexsort_rows` — one stable pass per
         column — but each pass streams a contiguous column instead of a
         strided slice of a row array.  ``n_rows`` covers the zero-arity edge
-        (identity permutation), mirroring :func:`host_lexsort_columns`.
+        (identity permutation).
         """
         n = int(columns[0].shape[0]) if columns else int(n_rows or 0)
-        order = host_lexsort_columns(columns, n_rows=n)
+        order = self._backend.lexsort(columns, n_rows=n)
         self._charge_lexsort(n, len(columns), label)
         return order
 
@@ -359,27 +415,28 @@ class DeviceKernels:
             )
         )
 
-    def sort_rows(self, rows: np.ndarray, label: str = "sort_rows") -> np.ndarray:
+    def sort_rows(self, rows: Array, label: str = "sort_rows") -> Array:
         """Return the rows physically reordered into lexicographic order."""
-        rows = as_rows(rows)
+        rows = self._backend.as_rows(rows)
         order = self.lexsort_rows(rows, label=f"{label}.argsort")
         return self.gather_rows(rows, order, label=f"{label}.gather")
 
-    def is_sorted_rows(self, rows: np.ndarray) -> bool:
+    def is_sorted_rows(self, rows: Array) -> bool:
         """Host-side check (no cost) that rows are lexicographically sorted."""
-        rows = as_rows(rows)
+        rows = self._backend.as_rows(rows)
         if rows.shape[0] < 2:
             return True
         prev, curr = rows[:-1], rows[1:]
-        return bool(np.all(_lex_less_equal(prev, curr)))
+        return bool(_lex_less_equal(self._backend, prev, curr).all())
 
-    def merge_sorted_rows(self, left: np.ndarray, right: np.ndarray, label: str = "merge_path") -> np.ndarray:
+    def merge_sorted_rows(self, left: Array, right: Array, label: str = "merge_path") -> Array:
         """Merge two lexicographically sorted tuple arrays (GPU merge path).
 
         Charged as a single streaming pass over both inputs plus the output,
         the behaviour of the path-merge algorithm the paper takes from Thrust.
         """
-        left, right = as_rows(left), as_rows(right)
+        backend = self._backend
+        left, right = backend.as_rows(left), backend.as_rows(right)
         if left.size == 0:
             merged = right.copy()
         elif right.size == 0:
@@ -387,9 +444,11 @@ class DeviceKernels:
         else:
             if left.shape[1] != right.shape[1]:
                 raise ValueError("cannot merge tuple arrays with different arity")
-            merged = np.concatenate([left, right], axis=0)
-            order = np.lexsort(tuple(merged[:, col] for col in reversed(range(merged.shape[1]))))
-            merged = merged[order]
+            merged = backend.concatenate([left, right], axis=0)
+            order = backend.lexsort(
+                [merged[:, col] for col in range(merged.shape[1])], n_rows=merged.shape[0]
+            )
+            merged = backend.take(merged, order)
         total_bytes = float(left.nbytes + right.nbytes + merged.nbytes)
         self._device.charge(
             KernelCost(
@@ -403,12 +462,13 @@ class DeviceKernels:
     # ------------------------------------------------------------------
     # Scan / reduction / compaction
     # ------------------------------------------------------------------
-    def exclusive_scan(self, values: np.ndarray, label: str = "exclusive_scan") -> np.ndarray:
+    def exclusive_scan(self, values: Array, label: str = "exclusive_scan") -> Array:
         """Exclusive prefix sum (used for output-offset computation in joins)."""
-        values = np.asarray(values, dtype=INDEX_DTYPE)
-        out = np.zeros_like(values)
+        backend = self._backend
+        values = backend.asarray(values, dtype=INDEX_DTYPE)
+        out = backend.zeros(values.shape, dtype=INDEX_DTYPE)
         if values.size:
-            np.cumsum(values[:-1], out=out[1:])
+            out[1:] = backend.cumsum(values[:-1])
         self._device.charge(
             KernelCost(
                 kernel=label,
@@ -418,25 +478,26 @@ class DeviceKernels:
         )
         return out
 
-    def reduce_sum(self, values: np.ndarray, label: str = "reduce") -> int:
+    def reduce_sum(self, values: Array, label: str = "reduce") -> int:
         """Sum reduction (streaming read of the input)."""
-        values = np.asarray(values)
+        values = self._backend.asarray(values)
         total = int(values.sum()) if values.size else 0
         self._device.charge(
             KernelCost(kernel=label, sequential_bytes=float(values.nbytes), ops=float(values.size))
         )
         return total
 
-    def adjacent_unique_mask(self, sorted_rows: np.ndarray, label: str = "adjacent_unique") -> np.ndarray:
+    def adjacent_unique_mask(self, sorted_rows: Array, label: str = "adjacent_unique") -> Array:
         """Mask of rows that differ from their predecessor in a sorted array.
 
         This is the HISA deduplication primitive (Section 4.2): after sorting
         all columns lexicographically, duplicates are adjacent and removed by
         comparing each tuple to its neighbour in a parallel scan.
         """
-        rows = as_rows(sorted_rows)
+        backend = self._backend
+        rows = backend.as_rows(sorted_rows)
         n = rows.shape[0]
-        mask = host_adjacent_unique_mask([rows[:, col] for col in range(rows.shape[1])], n_rows=n)
+        mask = backend.adjacent_unique_mask([rows[:, col] for col in range(rows.shape[1])], n_rows=n)
         self._device.charge(
             KernelCost(
                 kernel=label,
@@ -446,10 +507,11 @@ class DeviceKernels:
         )
         return mask
 
-    def stream_compact(self, rows: np.ndarray, mask: np.ndarray, label: str = "stream_compact") -> np.ndarray:
+    def stream_compact(self, rows: Array, mask: Array, label: str = "stream_compact") -> Array:
         """Keep rows where ``mask`` is true (scan + scatter)."""
-        rows = as_rows(rows)
-        mask = np.asarray(mask, dtype=bool)
+        backend = self._backend
+        rows = backend.as_rows(rows)
+        mask = backend.asarray(mask, dtype=backend.bool_)
         if mask.shape[0] != rows.shape[0]:
             raise ValueError("mask length must equal the number of rows")
         out = rows[mask]
@@ -462,9 +524,9 @@ class DeviceKernels:
         )
         return out
 
-    def unique_rows(self, rows: np.ndarray, label: str = "unique_rows") -> np.ndarray:
+    def unique_rows(self, rows: Array, label: str = "unique_rows") -> Array:
         """Sort + adjacent-compare + compact: fully deduplicate a tuple array."""
-        rows = as_rows(rows)
+        rows = self._backend.as_rows(rows)
         if rows.shape[0] == 0:
             return rows
         sorted_rows = self.sort_rows(rows, label=f"{label}.sort")
@@ -507,11 +569,11 @@ class DeviceKernels:
 
         This is the cost of the incremental merge path: each of the ``n``
         delta keys walks ``log2(|full|)`` random reads to find its insertion
-        rank.  The NumPy work (``np.searchsorted`` on cached packed keys)
+        rank.  The array work (``searchsorted`` on cached packed keys)
         happens inline in the caller.
         """
         n_needles = max(0, int(n_needles))
-        depth = max(1.0, float(np.log2(max(2, int(haystack_size)))))
+        depth = max(1.0, math.log2(max(2, int(haystack_size))))
         self._device.charge(
             KernelCost(
                 kernel=label,
@@ -523,10 +585,10 @@ class DeviceKernels:
 
     def searchsorted_rows(
         self,
-        haystack_sorted: np.ndarray,
-        needles: np.ndarray,
+        haystack_sorted: Array,
+        needles: Array,
         label: str = "binary_search",
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[Array, Array]:
         """Lower/upper bound search of ``needles`` in sorted ``haystack``.
 
         Returns ``(lower, upper)`` index arrays.  Charged as ``log2(n)``
@@ -534,11 +596,12 @@ class DeviceKernels:
         would pay, used by the CPU baseline and by HISA's sorted-array
         fallback when the hash index is disabled.
         """
-        haystack = as_rows(haystack_sorted)
-        needles = as_rows(needles)
-        lower, upper = row_search_bounds(haystack, needles)
+        backend = self._backend
+        haystack = backend.as_rows(haystack_sorted)
+        needles = backend.as_rows(needles)
+        lower, upper = _row_search_bounds(backend, haystack, needles)
         n = needles.shape[0]
-        depth = max(1.0, np.log2(max(2, haystack.shape[0])))
+        depth = max(1.0, math.log2(max(2, haystack.shape[0])))
         row_bytes = max(TUPLE_ITEMSIZE, haystack.shape[1] * TUPLE_ITEMSIZE)
         self._device.charge(
             KernelCost(
@@ -563,11 +626,11 @@ def pack_rows(rows: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(rows).view(np.dtype((np.void, rows.shape[1] * TUPLE_ITEMSIZE))).ravel()
 
 
-def _lex_less_equal(prev: np.ndarray, curr: np.ndarray) -> np.ndarray:
+def _lex_less_equal(backend, prev: Array, curr: Array) -> Array:
     """Vectorised row-wise ``prev <= curr`` under lexicographic order."""
     n, arity = prev.shape
-    result = np.zeros(n, dtype=bool)
-    undecided = np.ones(n, dtype=bool)
+    result = backend.zeros(n, dtype=backend.bool_)
+    undecided = backend.ones(n, dtype=backend.bool_)
     for col in range(arity):
         less = prev[:, col] < curr[:, col]
         greater = prev[:, col] > curr[:, col]
@@ -577,46 +640,34 @@ def _lex_less_equal(prev: np.ndarray, curr: np.ndarray) -> np.ndarray:
     return result
 
 
-def row_search_bounds(haystack: np.ndarray, needles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Lower/upper bounds of each needle row within a lexicographically sorted haystack."""
+def _row_search_bounds(backend, haystack: Array, needles: Array) -> tuple[Array, Array]:
+    """Lower/upper bounds of each needle row within a sorted haystack."""
     if haystack.shape[0] == 0 or needles.shape[0] == 0:
-        zeros = np.zeros(needles.shape[0], dtype=INDEX_DTYPE)
+        zeros = backend.zeros(needles.shape[0], dtype=INDEX_DTYPE)
         return zeros, zeros.copy()
     if haystack.shape[1] != needles.shape[1]:
         raise ValueError("haystack and needles must have the same arity")
-    hay_packed = lex_rank_keys(haystack)
-    needle_packed = lex_rank_keys(needles, reference=haystack)
-    lower = np.searchsorted(hay_packed, needle_packed, side="left").astype(INDEX_DTYPE)
-    upper = np.searchsorted(hay_packed, needle_packed, side="right").astype(INDEX_DTYPE)
+    hay_packed = backend.pack_lex_keys([haystack[:, col] for col in range(haystack.shape[1])])
+    needle_packed = backend.pack_lex_keys([needles[:, col] for col in range(needles.shape[1])])
+    lower = backend.searchsorted(hay_packed, needle_packed, side="left")
+    upper = backend.searchsorted(hay_packed, needle_packed, side="right")
     return lower, upper
 
 
-def lex_rank_keys(rows: np.ndarray, reference: np.ndarray | None = None) -> np.ndarray:
-    """Map rows to sortable void keys preserving lexicographic order.
+def row_search_bounds(haystack: np.ndarray, needles: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Host-side :func:`_row_search_bounds` on the reference backend."""
+    return _row_search_bounds(HOST_BACKEND, as_rows(haystack), as_rows(needles))
 
-    int64 columns are converted to big-endian unsigned (offset by 2**63) so the
-    raw byte comparison of the void view matches signed lexicographic order.
+
+def lex_rank_keys(rows: np.ndarray, reference: np.ndarray | None = None) -> np.ndarray:
+    """Map rows to sortable packed keys preserving lexicographic order.
+
     ``reference`` is accepted for interface symmetry; keys are absolute.
     """
     rows = as_rows(rows)
-    # Flip the sign bit so unsigned byte comparison matches signed order.
-    unsigned = rows.view(np.uint64) ^ np.uint64(1 << 63)
-    big_endian = unsigned.astype(">u8")
-    return np.ascontiguousarray(big_endian).view(
-        np.dtype((np.void, rows.shape[1] * 8))
-    ).ravel()
+    return HOST_BACKEND.pack_lex_keys([rows[:, col] for col in range(rows.shape[1])])
 
 
-def lex_rank_keys_columns(columns: "list[np.ndarray] | tuple[np.ndarray, ...]") -> np.ndarray:
-    """Columnar :func:`lex_rank_keys`: pack per-column arrays into sort keys.
-
-    Produces byte-identical keys to the row-array version, so the SoA and
-    row pipelines share cached-key state interchangeably.
-    """
-    arity = len(columns)
-    n = int(columns[0].shape[0]) if arity else 0
-    big_endian = np.empty((n, arity), dtype=">u8")
-    for position, column in enumerate(columns):
-        column = np.asarray(column, dtype=TUPLE_DTYPE)
-        big_endian[:, position] = column.view(np.uint64) ^ np.uint64(1 << 63)
-    return big_endian.view(np.dtype((np.void, max(1, arity) * 8))).ravel()
+def lex_rank_keys_columns(columns: "list[Array] | tuple[Array, ...]") -> np.ndarray:
+    """Columnar :func:`lex_rank_keys` on the reference backend."""
+    return HOST_BACKEND.pack_lex_keys(columns)

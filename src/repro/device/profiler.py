@@ -25,6 +25,8 @@ PHASE_MERGE = "merge_delta_full"
 PHASE_POPULATE_DELTA = "populate_delta"
 PHASE_LOAD = "load"
 PHASE_OTHER = "other"
+#: Host<->device PCIe transfers (the to_host / from_host backend edges).
+PHASE_TRANSFER = "host_transfer"
 
 FIGURE6_PHASES = (
     PHASE_DEDUPLICATION,
@@ -69,6 +71,7 @@ class PhaseSummary:
     ops: float = 0.0
     alloc_bytes: float = 0.0
     allocations: int = 0
+    transfer_bytes: float = 0.0
 
     def add(self, event: ProfileEvent) -> None:
         self.seconds += event.seconds
@@ -78,6 +81,7 @@ class PhaseSummary:
         self.ops += event.cost.ops
         self.alloc_bytes += event.cost.alloc_bytes
         self.allocations += event.cost.allocations
+        self.transfer_bytes += event.cost.transfer_bytes
 
 
 class Profiler:
@@ -157,6 +161,11 @@ class Profiler:
     def variable_seconds(self) -> float:
         """Total data-proportional time (bandwidth, compute, first touch)."""
         return sum(event.variable_seconds for event in self._events)
+
+    @property
+    def transfer_bytes(self) -> float:
+        """Total bytes moved across the host<->device (PCIe) boundary."""
+        return sum(event.cost.transfer_bytes for event in self._events)
 
     def phase_summaries(self) -> dict[str, PhaseSummary]:
         """Aggregate recorded events by phase."""

@@ -65,6 +65,11 @@ class DeviceSpec:
     alloc_bandwidth_gbps:
         Bandwidth at which freshly allocated buffers are initialised /
         first-touched.
+    pcie_bandwidth_gbps:
+        Host<->device transfer bandwidth (the PCIe edge charged by the
+        ``to_host`` / ``from_host`` kernels).  ``None`` selects an effective
+        PCIe 4.0 x16 link for GPUs and streaming memory bandwidth for CPUs
+        (a CPU "transfer" is just a memcpy).
     sequential_efficiency:
         Fraction of peak bandwidth achieved by coalesced / streaming access.
     random_efficiency:
@@ -90,6 +95,7 @@ class DeviceSpec:
     kernel_launch_us: float = 5.0
     alloc_latency_us: float = 100.0
     alloc_bandwidth_gbps: float | None = None
+    pcie_bandwidth_gbps: float | None = None
     sequential_efficiency: float = 0.75
     random_efficiency: float = 0.12
     compute_efficiency: float = 0.35
@@ -147,6 +153,20 @@ class DeviceSpec:
         return gbps * GB
 
     @property
+    def pcie_bandwidth_bytes(self) -> float:
+        """Host<->device transfer bandwidth in bytes/s (the PCIe edge).
+
+        GPUs default to an effective PCIe 4.0 x16 link (~25 GB/s); a CPU
+        "device" crosses no bus — its transfers are host memcpys, charged at
+        streaming memory bandwidth.
+        """
+        if self.pcie_bandwidth_gbps is not None:
+            return self.pcie_bandwidth_gbps * GB
+        if self.kind == "cpu":
+            return self.sequential_bandwidth_bytes
+        return 25.0 * GB
+
+    @property
     def resident_threads(self) -> int:
         """Threads a single kernel launch keeps resident (stride width)."""
         if self.launch_threads is not None:
@@ -182,10 +202,11 @@ NVIDIA_H100 = DeviceSpec(
     memory_capacity_bytes=80 * GIB,
     kernel_launch_us=5.0,
     alloc_latency_us=120.0,
+    pcie_bandwidth_gbps=50.0,
     sequential_efficiency=0.78,
     random_efficiency=0.14,
     compute_efficiency=0.35,
-    notes="Primary evaluation GPU; HBM3, 3.35 TB/s (Section 6.5).",
+    notes="Primary evaluation GPU; HBM3, 3.35 TB/s (Section 6.5); PCIe 5.0 host link.",
 )
 
 NVIDIA_A100 = DeviceSpec(

@@ -37,6 +37,7 @@ class GPULogAdapter(BaselineEngine):
         load_factor: float = 0.8,
         materialize_nway: bool = True,
         columnar: bool = True,
+        backend: str | None = None,
     ) -> None:
         self.spec = device_preset(device) if isinstance(device, str) else device
         self.memory_capacity_bytes = memory_capacity_bytes
@@ -45,6 +46,8 @@ class GPULogAdapter(BaselineEngine):
         self.load_factor = load_factor
         self.materialize_nway = materialize_nway
         self.columnar = columnar
+        #: array-backend name/instance for every run (None = REPRO_BACKEND/numpy)
+        self.backend = backend
         self.last_result = None
 
     def run(
@@ -55,7 +58,7 @@ class GPULogAdapter(BaselineEngine):
         collect_relations: bool = False,
     ) -> EngineRunResult:
         program = self.coerce_program(program)
-        device = Device(self.spec, memory_capacity_bytes=self.memory_capacity_bytes)
+        device = Device(self.spec, memory_capacity_bytes=self.memory_capacity_bytes, backend=self.backend)
         engine = GPULogEngine(
             device,
             eager_buffers=self.eager_buffers,

@@ -37,6 +37,19 @@ class BufferError_(DeviceError):
     """Raised on invalid buffer operations (double free, use after free)."""
 
 
+class BackendError(ReproError):
+    """Base class for array-backend errors."""
+
+
+class BackendContractError(BackendError):
+    """Raised by the guard backend when a primitive outside the
+    :data:`~repro.backend.base.ARRAY_BACKEND_CONTRACT` is requested."""
+
+
+class BackendUnavailableError(BackendError):
+    """Raised when a requested backend (e.g. ``cupy``) is not importable."""
+
+
 class RelationError(ReproError):
     """Base class for errors in the relational substrate."""
 

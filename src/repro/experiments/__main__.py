@@ -12,9 +12,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from ..backend import BACKEND_ENV_VAR
 from . import ALL_EXPERIMENTS
 
 
@@ -30,7 +32,16 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment names (e.g. table1 ... table6, figure1, figure6, "
         "ablation-materialization, ablation-load-factor), 'all', or 'list'",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="array backend for every engine run (numpy, cupy, guard, "
+        f"guard:<name>); defaults to ${BACKEND_ENV_VAR} and then numpy",
+    )
     args = parser.parse_args(argv)
+    if args.backend:
+        # One switch retargets every Device the experiment drivers build.
+        os.environ[BACKEND_ENV_VAR] = args.backend
 
     requested = list(args.experiments)
     if not requested or requested == ["list"]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..backend import get_backend
 from ..datalog.ast import Program
 from ..datalog.engine import EvaluationResult, GPULogEngine
 from ..device.cost import CostModel
@@ -76,7 +77,7 @@ class ResultTable:
 
 _DATASET_CACHE: dict[tuple[str, str], object] = {}
 _TRACE_CACHE: dict[tuple[str, str, str], WorkloadTrace] = {}
-_GPULOG_CACHE: dict[tuple[str, str, str, bool], tuple[EvaluationResult, list[ProfileEvent]]] = {}
+_GPULOG_CACHE: dict[tuple[str, str, str, str], tuple[EvaluationResult, list[ProfileEvent]]] = {}
 
 
 def clear_caches() -> None:
@@ -124,22 +125,27 @@ def run_gpulog(
     eager_buffers: bool = True,
     materialize_nway: bool = True,
     use_cache: bool = True,
+    backend: str | None = None,
 ) -> tuple[EvaluationResult, list[ProfileEvent]]:
     """Run GPUlog on a registered dataset, returning the result and kernel events.
 
-    Runs with the default configuration are cached per (dataset, query, device)
-    so that multiple tables can reuse them.
+    Runs with the default configuration are cached per (dataset, query,
+    device, backend) so that multiple tables can reuse them.  ``backend``
+    selects the array backend by registry name; ``None`` defers to the
+    ``REPRO_BACKEND`` environment variable (and then NumPy), so one exported
+    variable retargets every experiment driver.
     """
     device_key = device if isinstance(device, str) else device.name
+    backend_key = get_backend(backend).name
     cacheable = use_cache and eager_buffers and materialize_nway
-    key = (dataset_name, query, device_key, True)
+    key = (dataset_name, query, device_key, backend_key)
     if cacheable and key in _GPULOG_CACHE:
         return _GPULOG_CACHE[key]
 
     dataset = get_dataset(dataset_name, profile)
     program = query_program(query)
     engine = GPULogEngine(
-        Device(device),
+        Device(device, backend=backend),
         eager_buffers=eager_buffers,
         materialize_nway=materialize_nway,
         collect_relations=False,

@@ -12,6 +12,11 @@ plus an optional *lazy gather* — each column is either
   chain is a sequence of index vectors shared by every column drawn from the
   same *source*.
 
+All arrays are owned by the device's
+:class:`~repro.backend.base.ArrayBackend`; the batch never touches an array
+library directly, which is what lets the same datapath run on NumPy, CuPy, or
+the contract-enforcing guard.
+
 The late-materialization contract
 ---------------------------------
 
@@ -34,17 +39,17 @@ The late-materialization contract
 
 Row arrays remain the interop format at the edges (:meth:`from_rows` /
 :meth:`as_rows`), which is what keeps the legacy row pipeline available as an
-ablation baseline behind ``columnar=False``.
+ablation baseline behind ``columnar=False``.  Note :meth:`as_rows` stays
+device-resident — crossing to host NumPy goes through the charged
+``Device.kernels.to_host`` transfer edge.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
+from ..backend import INDEX_DTYPE, TUPLE_DTYPE, TUPLE_ITEMSIZE, Array
 from ..device.device import Device
-from ..device.kernels import INDEX_DTYPE, TUPLE_DTYPE, TUPLE_ITEMSIZE, as_rows, is_monotone
 from ..errors import SchemaError
 
 __all__ = ["ColumnBatch"]
@@ -60,9 +65,9 @@ class ColumnBatch:
         device: Device,
         *,
         length: int,
-        bases: list[np.ndarray],
+        bases: list[Array],
         sources: list[int],
-        selections: list["list[np.ndarray] | None"],
+        selections: list["list[Array] | None"],
         names: tuple[str, ...] | None = None,
     ) -> None:
         self.device = device
@@ -70,7 +75,7 @@ class ColumnBatch:
         self._bases = bases
         self._sources = sources
         self._selections = selections
-        self._cache: dict[int, np.ndarray] = {}
+        self._cache: dict[int, Array] = {}
         #: per-source coalescing flag of the resolved selection, computed once
         #: and shared by every column gathered from that source
         self._monotone: dict[int, bool] = {}
@@ -85,13 +90,14 @@ class ColumnBatch:
     def from_columns(
         cls,
         device: Device,
-        columns: Sequence[np.ndarray],
+        columns: Sequence[Array],
         *,
         length: int | None = None,
         names: tuple[str, ...] | None = None,
     ) -> "ColumnBatch":
         """Wrap already-materialized per-column arrays (no copy)."""
-        cols = [np.asarray(column, dtype=TUPLE_DTYPE).reshape(-1) for column in columns]
+        backend = device.backend
+        cols = [backend.asarray(column, dtype=TUPLE_DTYPE).reshape(-1) for column in columns]
         if length is None:
             length = int(cols[0].shape[0]) if cols else 0
         for column in cols:
@@ -108,10 +114,10 @@ class ColumnBatch:
 
     @classmethod
     def from_rows(
-        cls, device: Device, rows: np.ndarray, *, names: tuple[str, ...] | None = None
+        cls, device: Device, rows: Array, *, names: tuple[str, ...] | None = None
     ) -> "ColumnBatch":
         """Wrap a row-major tuple array as column views (no copy)."""
-        rows = as_rows(rows)
+        rows = device.backend.as_rows(rows)
         return cls.from_columns(
             device,
             [rows[:, position] for position in range(rows.shape[1])],
@@ -121,12 +127,13 @@ class ColumnBatch:
 
     @classmethod
     def empty(cls, device: Device, arity: int, *, names: tuple[str, ...] | None = None) -> "ColumnBatch":
+        backend = device.backend
         return cls.from_columns(
-            device, [np.empty(0, dtype=TUPLE_DTYPE) for _ in range(arity)], length=0, names=names
+            device, [backend.empty(0, dtype=TUPLE_DTYPE) for _ in range(arity)], length=0, names=names
         )
 
     @classmethod
-    def wrap(cls, device: Device, data: "ColumnBatch | np.ndarray") -> "ColumnBatch":
+    def wrap(cls, device: Device, data: "ColumnBatch | Array") -> "ColumnBatch":
         """Coerce rows-or-batch input to a batch (rows are wrapped, not copied)."""
         if isinstance(data, ColumnBatch):
             return data
@@ -157,7 +164,8 @@ class ColumnBatch:
             columns = device.kernels.concatenate_columns(materialized, label=label)
         else:
             columns = [
-                np.concatenate([cols[position] for cols in materialized]) for position in range(arity)
+                device.backend.concatenate([cols[position] for cols in materialized])
+                for position in range(arity)
             ]
         # Pass the row count explicitly so zero-arity batches keep their length.
         total = sum(len(part) for part in parts)
@@ -194,7 +202,7 @@ class ColumnBatch:
     # ------------------------------------------------------------------
     def _resolve_selection(
         self, source: int, *, charge: bool, label: str
-    ) -> np.ndarray | None:
+    ) -> Array | None:
         """Collapse a source's selection chain to one index vector.
 
         Compositions run right-to-left, so each one is sized by the *last*
@@ -215,7 +223,7 @@ class ColumnBatch:
             chain.append(composed)
         return chain[0]
 
-    def column(self, position: int, *, charge: bool = True, label: str = "gather_column") -> np.ndarray:
+    def column(self, position: int, *, charge: bool = True, label: str = "gather_column") -> Array:
         """Materialise (and cache) one column as a 1-D int64 array."""
         if position < 0 or position >= self.arity:
             raise SchemaError(f"column {position} out of range for arity {self.arity}")
@@ -230,7 +238,7 @@ class ColumnBatch:
         elif charge:
             coalesced = self._monotone.get(source)
             if coalesced is None:
-                coalesced = is_monotone(selection)
+                coalesced = self.device.backend.is_monotone(selection)
                 self._monotone[source] = coalesced
             out = self.device.kernels.gather_column(base, selection, label=label, coalesced=coalesced)
         else:
@@ -238,12 +246,13 @@ class ColumnBatch:
         self._cache[position] = out
         return out
 
-    def columns(self, *, charge: bool = True, label: str = "gather_column") -> list[np.ndarray]:
+    def columns(self, *, charge: bool = True, label: str = "gather_column") -> list[Array]:
         return [self.column(position, charge=charge, label=label) for position in range(self.arity)]
 
-    def as_rows(self, *, charge: bool = True, label: str = "materialize_rows") -> np.ndarray:
+    def as_rows(self, *, charge: bool = True, label: str = "materialize_rows") -> Array:
         """Materialise the batch as a ``(n, arity)`` row array (interop edge)."""
-        out = np.empty((self._length, self.arity), dtype=TUPLE_DTYPE)
+        backend = self.device.backend
+        out = backend.empty((self._length, self.arity), dtype=TUPLE_DTYPE)
         for position in range(self.arity):
             out[:, position] = self.column(position, charge=charge, label=label)
         if charge and self.arity:
@@ -289,11 +298,12 @@ class ColumnBatch:
         entries — the head-projection primitive.  Routed columns stay lazy;
         only constant columns are written (and charged) here.
         """
-        bases: list[np.ndarray] = []
+        backend = self.device.backend
+        bases: list[Array] = []
         sources: list[int] = []
         selections = list(self._selections)
         identity_slot: int | None = None
-        cache_entries: dict[int, np.ndarray] = {}
+        cache_entries: dict[int, Array] = {}
         constant_columns = 0
         for new_position, (kind, value) in enumerate(entries):
             if kind == "column":
@@ -308,7 +318,7 @@ class ColumnBatch:
                 if identity_slot is None:
                     identity_slot = len(selections)
                     selections.append(None)
-                bases.append(np.full(self._length, int(value), dtype=TUPLE_DTYPE))
+                bases.append(backend.full(self._length, int(value), dtype=TUPLE_DTYPE))
                 sources.append(identity_slot)
                 constant_columns += 1
         if charge and constant_columns and self._length:
@@ -324,19 +334,20 @@ class ColumnBatch:
         batch._cache.update(cache_entries)
         return batch
 
-    def append_lazy(self, specs: Sequence[tuple[np.ndarray, np.ndarray]]) -> "ColumnBatch":
+    def append_lazy(self, specs: Sequence[tuple[Array, Array]]) -> "ColumnBatch":
         """Append lazy ``(base, selection)`` columns — the join-output wiring.
 
         Specs sharing the *same* selection array object share one source, so
         later routing composes that selection only once.  Pure metadata: no
         values move until the columns are read.
         """
+        backend = self.device.backend
         bases = list(self._bases)
         sources = list(self._sources)
         selections = list(self._selections)
         slot_of: dict[int, int] = {}
         for base, selection in specs:
-            selection = np.asarray(selection, dtype=INDEX_DTYPE)
+            selection = backend.asarray(selection, dtype=INDEX_DTYPE)
             if selection.shape[0] != self._length:
                 raise SchemaError("appended selection length must equal the batch length")
             slot = slot_of.get(id(selection))
@@ -344,7 +355,7 @@ class ColumnBatch:
                 slot = len(selections)
                 selections.append([selection])
                 slot_of[id(selection)] = slot
-            bases.append(np.asarray(base, dtype=TUPLE_DTYPE).reshape(-1))
+            bases.append(backend.asarray(base, dtype=TUPLE_DTYPE).reshape(-1))
             sources.append(slot)
         batch = ColumnBatch(
             self.device, length=self._length, bases=bases, sources=sources, selections=selections
@@ -352,7 +363,7 @@ class ColumnBatch:
         batch._cache.update(self._cache)
         return batch
 
-    def take(self, indices: np.ndarray, *, label: str = "take") -> "ColumnBatch":
+    def take(self, indices: Array, *, label: str = "take") -> "ColumnBatch":
         """Select rows by index — appends to each source's selection chain.
 
         No composition happens here; chains resolve lazily at first column
@@ -360,14 +371,14 @@ class ColumnBatch:
         Columns already materialized are re-based onto their cached values,
         reusing the earlier gather instead of repeating it.
         """
-        indices = np.asarray(indices, dtype=INDEX_DTYPE).reshape(-1)
+        indices = self.device.backend.asarray(indices, dtype=INDEX_DTYPE).reshape(-1)
         bases = list(self._bases)
         sources = list(self._sources)
         IDENTITY = -1
         for position, cached in self._cache.items():
             bases[position] = cached
             sources[position] = IDENTITY
-        selections: list[list[np.ndarray] | None] = []
+        selections: list[list[Array] | None] = []
         slot_of: dict[int, int] = {}
         for position in range(len(bases)):
             source = sources[position]
@@ -393,12 +404,13 @@ class ColumnBatch:
             names=self.names,
         )
 
-    def filter(self, mask: np.ndarray, *, charge: bool = True, label: str = "filter") -> "ColumnBatch":
+    def filter(self, mask: Array, *, charge: bool = True, label: str = "filter") -> "ColumnBatch":
         """Keep rows where ``mask`` is true (scan + lazy selection append)."""
-        mask = np.asarray(mask, dtype=bool)
+        backend = self.device.backend
+        mask = backend.asarray(mask, dtype=backend.bool_)
         if mask.shape[0] != self._length:
             raise SchemaError("mask length must equal the batch length")
-        indices = np.flatnonzero(mask).astype(INDEX_DTYPE)
+        indices = backend.nonzero_indices(mask)
         if charge:
             self.device.kernels.transform(
                 self._length, bytes_per_item=1.0, ops_per_item=1.0, label=f"{label}.scan"

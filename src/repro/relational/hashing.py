@@ -10,75 +10,40 @@ A 64-bit hash can collide for distinct join keys; the probability for the
 relation sizes in this reproduction is ~n^2 / 2^64 and the join kernel always
 verifies the actual column values while scanning the sorted index array, so a
 collision can cost a wasted scan but never an incorrect result.
+
+The fold itself lives on the :class:`~repro.backend.base.ArrayBackend`
+contract (:meth:`~repro.backend.base.ArrayBackend.hash_columns`), so every
+backend — and every layout, row or columnar — produces byte-identical hashes.
+The module-level functions here are the host-side conveniences bound to the
+reference backend; datapath code hashes through ``device.backend`` instead.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..backend import EMPTY_KEY, HOST_BACKEND, Array
 
-# splitmix64 constants
-_GAMMA = np.uint64(0x9E3779B97F4A7C15)
-_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
-_MIX2 = np.uint64(0x94D049BB133111EB)
-
-EMPTY_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
-"""Sentinel stored in unoccupied hash-table slots."""
+__all__ = ["EMPTY_KEY", "hash_columns", "hash_rows", "hash_single", "next_power_of_two"]
 
 
-def _splitmix64(values: np.ndarray) -> np.ndarray:
-    """Finalising mixer from splitmix64, vectorised over uint64 values."""
-    z = values + _GAMMA
-    z = (z ^ (z >> np.uint64(30))) * _MIX1
-    z = (z ^ (z >> np.uint64(27))) * _MIX2
-    return z ^ (z >> np.uint64(31))
-
-
-def hash_rows(rows: np.ndarray) -> np.ndarray:
+def hash_rows(rows: Array) -> Array:
     """Hash each row of an ``(n, k)`` int64 array into a uint64 value.
 
     Columns are folded left-to-right so that every column influences the
     result; the folding is order sensitive, matching a hash of the
     concatenated join-column bytes.
     """
-    rows = np.asarray(rows, dtype=np.int64)
-    if rows.ndim == 1:
-        rows = rows.reshape(-1, 1)
-    if rows.ndim != 2:
-        raise ValueError(f"expected a 2-D array of join keys, got shape {rows.shape}")
-    n, arity = rows.shape
-    if arity == 0:
-        acc = np.full(n, np.uint64(1), dtype=np.uint64)
-        acc[acc == EMPTY_KEY] = np.uint64(0x123456789ABCDEF)
-        return acc
-    # One fold implementation: delegate to the columnar variant so the hash
-    # of a key is identical however the key is laid out (the table is built
-    # from rows and probed from columns).
-    return hash_columns([rows[:, column] for column in range(arity)])
+    return HOST_BACKEND.hash_rows(rows)
 
 
-def hash_columns(columns) -> np.ndarray:
-    """Hash join keys given as per-column arrays (SoA layout).
-
-    This is *the* key-hash fold; :func:`hash_rows` delegates here, so row
-    and columnar pipelines always produce byte-identical hashes.
-    """
-    if not len(columns):
-        raise ValueError("hash_columns requires at least one key column")
-    first = np.asarray(columns[0], dtype=np.int64)
-    n = first.shape[0]
-    acc = np.full(n, np.uint64(len(columns) + 1), dtype=np.uint64)
-    for column in columns:
-        column = np.asarray(column, dtype=np.int64)
-        acc = _splitmix64(acc ^ column.view(np.uint64))
-    # Reserve the EMPTY_KEY sentinel; remap the (vanishingly rare) clash.
-    acc[acc == EMPTY_KEY] = np.uint64(0x123456789ABCDEF)
-    return acc
+def hash_columns(columns) -> Array:
+    """Hash join keys given as per-column arrays (SoA layout)."""
+    return HOST_BACKEND.hash_columns(columns)
 
 
 def hash_single(values: tuple[int, ...] | list[int]) -> int:
     """Hash one join key given as a Python tuple (convenience for tests)."""
-    row = np.asarray([list(values)], dtype=np.int64)
-    return int(hash_rows(row)[0])
+    row = HOST_BACKEND.as_rows([list(values)])
+    return int(HOST_BACKEND.hash_rows(row)[0])
 
 
 def next_power_of_two(value: int) -> int:

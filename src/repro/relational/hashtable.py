@@ -5,8 +5,8 @@ sorted index array, of the *first* tuple carrying that key (Algorithm 2).  We
 additionally keep the run length next to each entry: the paper discovers the
 run length by scanning the sorted index array until the join columns change,
 and the join kernel charges exactly that scan; storing the length lets the
-simulator expand matches with vectorised NumPy instead of a Python loop,
-without changing what is charged.
+simulator expand matches with vectorised bulk primitives instead of a Python
+loop, without changing what is charged.
 
 Construction emulates the massively parallel atomic-CAS insertion loop with
 rounds of vectorised linear probing: in round ``o`` every still-pending key
@@ -32,18 +32,19 @@ The table therefore supports
   known slots — a streaming pass, not a rebuild.
 
 Existing keys keep their slot until a growth rehash, which is what makes the
-slot-handle scheme sound.
+slot-handle scheme sound.  All arrays are owned by the device's
+:class:`~repro.backend.base.ArrayBackend`.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..backend import EMPTY_KEY, Array
 from ..device.cost import KernelCost
 from ..device.device import Device
-from .hashing import EMPTY_KEY, next_power_of_two
+from .hashing import next_power_of_two
 
 _SLOT_BYTES = 16  # 8-byte key + 8-byte value, the paper's (K, V) pair
 DEFAULT_LOAD_FACTOR = 0.8
@@ -73,9 +74,9 @@ class OpenAddressingHashTable:
     def __init__(
         self,
         device: Device,
-        key_hashes: np.ndarray,
-        values: np.ndarray,
-        run_lengths: np.ndarray | None = None,
+        key_hashes: Array,
+        values: Array,
+        run_lengths: Array | None = None,
         *,
         load_factor: float = DEFAULT_LOAD_FACTOR,
         label: str = "hash_table",
@@ -83,24 +84,26 @@ class OpenAddressingHashTable:
     ) -> None:
         if not 0 < load_factor <= 1.0:
             raise ValueError("load_factor must be in (0, 1]")
-        key_hashes = np.asarray(key_hashes, dtype=np.uint64)
-        values = np.asarray(values, dtype=np.int64)
+        backend = device.backend
+        key_hashes = backend.asarray(key_hashes, dtype=backend.uint64)
+        values = backend.asarray(values, dtype=backend.int64)
         if key_hashes.shape != values.shape:
             raise ValueError("key_hashes and values must have the same length")
         if run_lengths is None:
-            run_lengths = np.ones_like(values)
-        run_lengths = np.asarray(run_lengths, dtype=np.int64)
+            run_lengths = backend.ones(values.shape, dtype=backend.int64)
+        run_lengths = backend.asarray(run_lengths, dtype=backend.int64)
 
         self.device = device
+        self.backend = backend
         self.load_factor = float(load_factor)
         self.label = label
         self.n_keys = int(key_hashes.size)
-        self.capacity = next_power_of_two(int(np.ceil(max(1, self.n_keys) / self.load_factor)))
-        self._mask = np.uint64(self.capacity - 1)
+        self.capacity = next_power_of_two(int(math.ceil(max(1, self.n_keys) / self.load_factor)))
+        self._mask = self._hash_scalar(self.capacity - 1)
 
-        self._keys = np.full(self.capacity, EMPTY_KEY, dtype=np.uint64)
-        self._values = np.full(self.capacity, -1, dtype=np.int64)
-        self._lengths = np.zeros(self.capacity, dtype=np.int64)
+        self._keys = backend.full(self.capacity, EMPTY_KEY, dtype=backend.uint64)
+        self._values = backend.full(self.capacity, -1, dtype=backend.int64)
+        self._lengths = backend.zeros(self.capacity, dtype=backend.int64)
 
         rounds, probes, slots = self._build(key_hashes, values, run_lengths)
         #: physical slot claimed by each constructor key, in input order
@@ -124,42 +127,47 @@ class OpenAddressingHashTable:
                 )
             )
 
+    def _hash_scalar(self, value: int):
+        """A uint64 scalar in the backend's hash dtype (for masking/offsets)."""
+        return self.backend.asarray(value, dtype=self.backend.uint64)[()]
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def _build(
-        self, key_hashes: np.ndarray, values: np.ndarray, lengths: np.ndarray
-    ) -> tuple[int, int, np.ndarray]:
+        self, key_hashes: Array, values: Array, lengths: Array
+    ) -> tuple[int, int, Array]:
         """CAS-race insertion rounds; returns (rounds, probes, winning slots)."""
-        pending = np.arange(key_hashes.size, dtype=np.int64)
-        slot_of = np.full(key_hashes.size, -1, dtype=np.int64)
-        offset = np.uint64(0)
+        backend = self.backend
+        pending = backend.arange(key_hashes.size, dtype=backend.int64)
+        slot_of = backend.full(key_hashes.size, -1, dtype=backend.int64)
+        offset = 0
         rounds = 0
         probes = 0
         while pending.size:
             rounds += 1
             probes += int(pending.size)
-            slots = ((key_hashes[pending] + offset) & self._mask).astype(np.int64)
+            slots = ((key_hashes[pending] + self._hash_scalar(offset)) & self._mask).astype(backend.int64)
             empty = self._keys[slots] == EMPTY_KEY
             candidates = pending[empty]
             candidate_slots = slots[empty]
             if candidates.size:
                 # Emulate the CAS race: every candidate writes its key to its
-                # slot; with duplicate targets NumPy keeps one write per slot
-                # (exactly one CAS wins).  Reading the slot back tells each
-                # candidate whether it was the winner.
-                self._keys[candidate_slots] = key_hashes[candidates]
+                # slot; with duplicate targets the scatter keeps one write per
+                # slot (exactly one CAS wins).  Reading the slot back tells
+                # each candidate whether it was the winner.
+                backend.scatter(self._keys, candidate_slots, key_hashes[candidates])
                 won = self._keys[candidate_slots] == key_hashes[candidates]
                 winners = candidates[won]
                 winner_slots = candidate_slots[won]
-                self._values[winner_slots] = values[winners]
-                self._lengths[winner_slots] = lengths[winners]
-                slot_of[winners] = winner_slots
-                inserted = np.zeros(key_hashes.size, dtype=bool)
-                inserted[winners] = True
+                backend.scatter(self._values, winner_slots, values[winners])
+                backend.scatter(self._lengths, winner_slots, lengths[winners])
+                backend.scatter(slot_of, winners, winner_slots)
+                inserted = backend.zeros(key_hashes.size, dtype=backend.bool_)
+                backend.scatter(inserted, winners, True)
                 pending = pending[~inserted[pending]]
-            offset += np.uint64(1)
-            if int(offset) > self.capacity:
+            offset += 1
+            if offset > self.capacity:
                 raise RuntimeError("hash table build did not converge; table is over-full")
         return rounds, probes, slot_of
 
@@ -168,13 +176,13 @@ class OpenAddressingHashTable:
     # ------------------------------------------------------------------
     def insert_batch(
         self,
-        key_hashes: np.ndarray,
-        values: np.ndarray,
-        run_lengths: np.ndarray | None = None,
+        key_hashes: Array,
+        values: Array,
+        run_lengths: Array | None = None,
         *,
         charge: bool = True,
         label: str | None = None,
-    ) -> tuple[np.ndarray, bool]:
+    ) -> tuple[Array, bool]:
         """Insert previously-absent keys; returns ``(slots, grew)``.
 
         ``slots[i]`` is the physical slot claimed by ``key_hashes[i]``; the
@@ -184,13 +192,14 @@ class OpenAddressingHashTable:
         Only the *new* keys' probe work (plus the occasional rehash) is
         charged, which is the whole point of the incremental merge path.
         """
-        key_hashes = np.asarray(key_hashes, dtype=np.uint64)
-        values = np.asarray(values, dtype=np.int64)
+        backend = self.backend
+        key_hashes = backend.asarray(key_hashes, dtype=backend.uint64)
+        values = backend.asarray(values, dtype=backend.int64)
         if key_hashes.shape != values.shape:
             raise ValueError("key_hashes and values must have the same length")
         if run_lengths is None:
-            run_lengths = np.ones_like(values)
-        run_lengths = np.asarray(run_lengths, dtype=np.int64)
+            run_lengths = backend.ones(values.shape, dtype=backend.int64)
+        run_lengths = backend.asarray(run_lengths, dtype=backend.int64)
         m = int(key_hashes.size)
 
         grew = False
@@ -202,7 +211,10 @@ class OpenAddressingHashTable:
             rebuild_probes = self._grow(next_power_of_two(target))
             grew = True
 
-        rounds, probes, slots = self._build(key_hashes, values, run_lengths) if m else (0, 0, np.empty(0, dtype=np.int64))
+        if m:
+            rounds, probes, slots = self._build(key_hashes, values, run_lengths)
+        else:
+            rounds, probes, slots = 0, 0, backend.empty(0, dtype=backend.int64)
         self.n_keys += m
         self.stats = HashTableStats(
             capacity=self.capacity,
@@ -225,39 +237,41 @@ class OpenAddressingHashTable:
 
     def _grow(self, new_capacity: int) -> int:
         """Rehash every live entry into a larger table; returns probe count."""
+        backend = self.backend
         live = self._keys != EMPTY_KEY
         old_keys = self._keys[live]
         old_values = self._values[live]
         old_lengths = self._lengths[live]
 
         self.capacity = int(new_capacity)
-        self._mask = np.uint64(self.capacity - 1)
-        self._keys = np.full(self.capacity, EMPTY_KEY, dtype=np.uint64)
-        self._values = np.full(self.capacity, -1, dtype=np.int64)
-        self._lengths = np.zeros(self.capacity, dtype=np.int64)
+        self._mask = self._hash_scalar(self.capacity - 1)
+        self._keys = backend.full(self.capacity, EMPTY_KEY, dtype=backend.uint64)
+        self._values = backend.full(self.capacity, -1, dtype=backend.int64)
+        self._lengths = backend.zeros(self.capacity, dtype=backend.int64)
         _rounds, probes, _slots = self._build(old_keys, old_values, old_lengths)
         return probes
 
-    def find_slots(self, query_hashes: np.ndarray, *, charge: bool = False, label: str | None = None) -> np.ndarray:
+    def find_slots(self, query_hashes: Array, *, charge: bool = False, label: str | None = None) -> Array:
         """Resolve keys to their physical slot index (misses yield ``-1``)."""
-        query = np.asarray(query_hashes, dtype=np.uint64)
+        backend = self.backend
+        query = backend.asarray(query_hashes, dtype=backend.uint64)
         n = query.size
-        slots_out = np.full(n, -1, dtype=np.int64)
+        slots_out = backend.full(n, -1, dtype=backend.int64)
         if n == 0 or self.n_keys == 0:
             return slots_out
-        unresolved = np.arange(n, dtype=np.int64)
-        offset = np.uint64(0)
+        unresolved = backend.arange(n, dtype=backend.int64)
+        offset = 0
         probes = 0
         while unresolved.size:
             probes += int(unresolved.size)
-            slots = ((query[unresolved] + offset) & self._mask).astype(np.int64)
+            slots = ((query[unresolved] + self._hash_scalar(offset)) & self._mask).astype(backend.int64)
             slot_keys = self._keys[slots]
             hit = slot_keys == query[unresolved]
             miss = slot_keys == EMPTY_KEY
-            slots_out[unresolved[hit]] = slots[hit]
+            backend.scatter(slots_out, unresolved[hit], slots[hit])
             unresolved = unresolved[~(hit | miss)]
-            offset += np.uint64(1)
-            if int(offset) > self.capacity:
+            offset += 1
+            if offset > self.capacity:
                 break
         if charge:
             self.device.charge(
@@ -271,9 +285,9 @@ class OpenAddressingHashTable:
 
     def update_slots(
         self,
-        slots: np.ndarray,
-        values: np.ndarray,
-        run_lengths: np.ndarray,
+        slots: Array,
+        values: Array,
+        run_lengths: Array,
         *,
         charge: bool = True,
         label: str | None = None,
@@ -284,9 +298,10 @@ class OpenAddressingHashTable:
         start/length of entries whose sorted-index positions shifted during a
         merge.  Charged as a bandwidth-bound scatter, not per-key probing.
         """
-        slots = np.asarray(slots, dtype=np.int64)
-        self._values[slots] = np.asarray(values, dtype=np.int64)
-        self._lengths[slots] = np.asarray(run_lengths, dtype=np.int64)
+        backend = self.backend
+        slots = backend.asarray(slots, dtype=backend.int64)
+        backend.scatter(self._values, slots, backend.asarray(values, dtype=backend.int64))
+        backend.scatter(self._lengths, slots, backend.asarray(run_lengths, dtype=backend.int64))
         if charge and slots.size:
             self.device.charge(
                 KernelCost(
@@ -299,17 +314,18 @@ class OpenAddressingHashTable:
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------
-    def probe(self, query_hashes: np.ndarray, *, charge: bool = True, label: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+    def probe(self, query_hashes: Array, *, charge: bool = True, label: str | None = None) -> tuple[Array, Array]:
         """Look up a batch of join-key hashes.
 
         Returns ``(positions, lengths)``: the sorted-index position of the
         first tuple of each matched run and the run length; misses yield
         ``(-1, 0)``.
         """
-        query = np.asarray(query_hashes, dtype=np.uint64)
+        backend = self.backend
+        query = backend.asarray(query_hashes, dtype=backend.uint64)
         n = query.size
-        positions = np.full(n, -1, dtype=np.int64)
-        lengths = np.zeros(n, dtype=np.int64)
+        positions = backend.full(n, -1, dtype=backend.int64)
+        lengths = backend.zeros(n, dtype=backend.int64)
         if n == 0 or self.n_keys == 0:
             if charge and n:
                 self.device.charge(
@@ -317,23 +333,23 @@ class OpenAddressingHashTable:
                 )
             return positions, lengths
 
-        unresolved = np.arange(n, dtype=np.int64)
-        offset = np.uint64(0)
+        unresolved = backend.arange(n, dtype=backend.int64)
+        offset = 0
         probes = 0
         while unresolved.size:
             probes += int(unresolved.size)
-            slots = ((query[unresolved] + offset) & self._mask).astype(np.int64)
+            slots = ((query[unresolved] + self._hash_scalar(offset)) & self._mask).astype(backend.int64)
             slot_keys = self._keys[slots]
             hit = slot_keys == query[unresolved]
             miss = slot_keys == EMPTY_KEY
             if hit.any():
                 hit_idx = unresolved[hit]
                 hit_slots = slots[hit]
-                positions[hit_idx] = self._values[hit_slots]
-                lengths[hit_idx] = self._lengths[hit_slots]
+                backend.scatter(positions, hit_idx, self._values[hit_slots])
+                backend.scatter(lengths, hit_idx, self._lengths[hit_slots])
             unresolved = unresolved[~(hit | miss)]
-            offset += np.uint64(1)
-            if int(offset) > self.capacity:
+            offset += 1
+            if offset > self.capacity:
                 break
         if charge:
             self.device.charge(

@@ -45,8 +45,12 @@ is consumed.  Passing ``incremental=False`` forces the legacy scratch
 rebuild, which exists as the cost baseline for the merge ablation and the
 equivalence tests (the incremental result is tuple-identical to it).
 
-All algorithms run for real on NumPy arrays; every step charges the owning
-simulated device so the profiler sees the same phases the paper measures.
+All algorithms run for real on the device's
+:class:`~repro.backend.base.ArrayBackend` arrays (host NumPy by default, CuPy
+when selected); every step charges the owning simulated device so the
+profiler sees the same phases the paper measures.  The packed sort keys are
+backend-opaque (:meth:`~repro.backend.base.ArrayBackend.pack_lex_keys`); this
+module only compares, merge-scatters and binary-searches them.
 """
 
 from __future__ import annotations
@@ -54,23 +58,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
+from ..backend import INDEX_ITEMSIZE, TUPLE_DTYPE, TUPLE_ITEMSIZE, Array, ArrayBackend
 from ..device.cost import KernelCost
 from ..device.device import Device
-from ..device.kernels import (
-    INDEX_ITEMSIZE,
-    TUPLE_DTYPE,
-    TUPLE_ITEMSIZE,
-    as_rows,
-    host_lexsort_columns,
-    lex_rank_keys_columns,
-)
 from ..device.memory import Buffer
 from ..errors import HisaStateError, SchemaError
 from .buffers import MergeBufferManager, SimpleBufferManager
 from .columnbatch import ColumnBatch
-from .hashing import hash_columns, hash_rows
 from .hashtable import DEFAULT_LOAD_FACTOR, OpenAddressingHashTable
 
 
@@ -93,7 +87,7 @@ class HISA:
     def __init__(
         self,
         device: Device,
-        rows: "np.ndarray | ColumnBatch",
+        rows: "Array | ColumnBatch",
         join_columns: Sequence[int],
         *,
         load_factor: float = DEFAULT_LOAD_FACTOR,
@@ -102,6 +96,7 @@ class HISA:
         build_hash_index: bool = True,
         assume_sorted: bool = False,
     ) -> None:
+        backend = device.backend
         # Columnar ingestion: a ColumnBatch hands over its (possibly lazy)
         # columns directly — values are gathered per column, never packed
         # into row tuples.  A row array is split into column views.
@@ -110,11 +105,12 @@ class HISA:
             arity = rows.arity
             natural_columns = rows.columns(charge=charge_build, label=f"{label}.ingest")
         else:
-            rows = as_rows(rows)
+            rows = backend.as_rows(rows)
             n = int(rows.shape[0])
             arity = int(rows.shape[1])
             natural_columns = [rows[:, column] for column in range(arity)]
         self.device = device
+        self.backend: ArrayBackend = backend
         self.label = label
         self.load_factor = float(load_factor)
         self.natural_arity = arity
@@ -141,11 +137,11 @@ class HISA:
         # --- Tier 1: SoA data columns (join columns permuted to the front) ---
         # Each stored column is its own dense, capacity-backed 1-D buffer, so
         # joins and merges gather single columns instead of whole tuples.
-        self._column_storage: list[np.ndarray] = [
-            np.ascontiguousarray(natural_columns[column]) for column in self.column_order
+        self._column_storage: list[Array] = [
+            backend.ascontiguousarray(natural_columns[column]) for column in self.column_order
         ]
         self._live = n
-        self._rows_cache: np.ndarray | None = None
+        self._rows_cache: Array | None = None
         if charge_build and n:
             self.device.kernels.transform(
                 n,
@@ -163,7 +159,7 @@ class HISA:
         # shared instead of re-sorted per index (callers guarantee the
         # precondition; it is not re-checked tuple by tuple).
         if assume_sorted and self.column_order == tuple(range(self.natural_arity)):
-            self.sorted_index = np.arange(n, dtype=np.int64)
+            self.sorted_index = backend.arange(n, dtype=backend.int64)
             if charge_build and n:
                 self.device.kernels.transform(
                     n,
@@ -176,7 +172,7 @@ class HISA:
                 self.stored_columns(), label=f"{label}.sort_index", n_rows=n
             )
         else:
-            self.sorted_index = host_lexsort_columns(self.stored_columns(), n_rows=n)
+            self.sorted_index = backend.lexsort(self.stored_columns(), n_rows=n)
 
         # --- Cached packed sort keys + join-key runs ---------------------------
         if n:
@@ -194,10 +190,13 @@ class HISA:
 
         # --- Tier 3: open-addressing hash table --------------------------------
         self.table: OpenAddressingHashTable | None = None
-        self._hash_by_ordinal = np.empty(0, dtype=np.uint64)
-        self._slot_by_ordinal = np.empty(0, dtype=np.int64)
+        self._hash_by_ordinal = backend.empty(0, dtype=backend.uint64)
+        self._slot_by_ordinal = backend.empty(0, dtype=backend.int64)
         if build_hash_index and self.n_join:
-            hashes = hash_rows(key_rows) if key_rows.size else np.empty(0, dtype=np.uint64)
+            if key_rows.size:
+                hashes = backend.hash_rows(key_rows)
+            else:
+                hashes = backend.empty(0, dtype=backend.uint64)
             if charge_build and key_rows.size:
                 self.device.kernels.transform(
                     key_rows.shape[0],
@@ -287,26 +286,26 @@ class HISA:
     # ------------------------------------------------------------------
     # Column access (the SoA fast path) and row-array interop views
     # ------------------------------------------------------------------
-    def stored_column(self, position: int) -> np.ndarray:
+    def stored_column(self, position: int) -> Array:
         """One stored column (index column order) as a dense 1-D view."""
         self._check_live()
         return self._column_storage[position][: self._live]
 
-    def stored_columns(self) -> list[np.ndarray]:
+    def stored_columns(self) -> list[Array]:
         """All stored columns (join columns first), insertion order."""
         self._check_live()
         return [column[: self._live] for column in self._column_storage]
 
-    def natural_column(self, column: int) -> np.ndarray:
+    def natural_column(self, column: int) -> Array:
         """One column in the relation's natural (schema) order."""
         return self.stored_column(self._inverse_order[column])
 
-    def natural_columns(self) -> list[np.ndarray]:
+    def natural_columns(self) -> list[Array]:
         """All columns in schema order — zero-copy views for ColumnBatch wrapping."""
         return [self.natural_column(column) for column in range(self.natural_arity)]
 
     @property
-    def data(self) -> np.ndarray:
+    def data(self) -> Array:
         """Materialized ``(n, arity)`` row view in stored column order.
 
         Kept for interop (tests, the legacy rebuild merge); the cache is
@@ -314,41 +313,42 @@ class HISA:
         """
         cache = self._rows_cache
         if cache is None:
-            cache = np.empty((self._live, len(self._column_storage)), dtype=TUPLE_DTYPE)
+            cache = self.backend.empty((self._live, len(self._column_storage)), dtype=TUPLE_DTYPE)
             for position, column in enumerate(self._column_storage):
                 cache[:, position] = column[: self._live]
             self._rows_cache = cache
         return cache
 
-    def natural_rows(self) -> np.ndarray:
+    def natural_rows(self) -> Array:
         """All tuples in their original (schema) column order, insertion order."""
         self._check_live()
-        out = np.empty((self._live, self.natural_arity), dtype=TUPLE_DTYPE)
+        out = self.backend.empty((self._live, self.natural_arity), dtype=TUPLE_DTYPE)
         for column in range(self.natural_arity):
             out[:, column] = self.natural_column(column)
         return out
 
-    def sorted_natural_rows(self) -> np.ndarray:
+    def sorted_natural_rows(self) -> Array:
         """All tuples in schema order, sorted by (join columns, rest)."""
         self._check_live()
-        out = np.empty((self._live, self.natural_arity), dtype=TUPLE_DTYPE)
+        out = self.backend.empty((self._live, self.natural_arity), dtype=TUPLE_DTYPE)
         for column in range(self.natural_arity):
             out[:, column] = self.natural_column(column)[self.sorted_index]
         return out
 
-    def stored_rows(self) -> np.ndarray:
+    def stored_rows(self) -> Array:
         """All tuples in index column order (join columns first), insertion order."""
         self._check_live()
         return self.data
 
-    def rows_at_sorted_positions(self, positions: np.ndarray) -> np.ndarray:
+    def rows_at_sorted_positions(self, positions: Array) -> Array:
         """Tuples (schema order) at the given positions of the sorted index array."""
         self._check_live()
-        positions = np.asarray(positions, dtype=np.int64)
+        backend = self.backend
+        positions = backend.asarray(positions, dtype=backend.int64)
         if positions.size == 0:
-            return np.empty((0, self.natural_arity), dtype=np.int64)
+            return backend.empty((0, self.natural_arity), dtype=backend.int64)
         data_positions = self.sorted_index[positions]
-        out = np.empty((positions.size, self.natural_arity), dtype=TUPLE_DTYPE)
+        out = backend.empty((positions.size, self.natural_arity), dtype=TUPLE_DTYPE)
         for column in range(self.natural_arity):
             out[:, column] = self.natural_column(column)[data_positions]
         return out
@@ -356,14 +356,14 @@ class HISA:
     # ------------------------------------------------------------------
     # Range queries (Algorithm 3 support)
     # ------------------------------------------------------------------
-    def lookup(self, keys: np.ndarray, *, charge: bool = True, verify: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    def lookup(self, keys: Array, *, charge: bool = True, verify: bool = True) -> tuple[Array, Array]:
         """Range-query a batch of join keys.
 
         ``keys`` has shape ``(m, n_join)`` and column ``j`` holds the value of
         ``join_columns[j]``.  Returns ``(starts, lengths)`` in sorted-index
         space; misses are ``(-1, 0)``.
         """
-        keys = as_rows(keys)
+        keys = self.backend.as_rows(keys)
         if keys.shape[0] and keys.shape[1] != self.n_join:
             raise SchemaError(f"expected keys of width {self.n_join}, got {keys.shape[1]}")
         return self.lookup_columns(
@@ -375,12 +375,12 @@ class HISA:
 
     def lookup_columns(
         self,
-        key_columns: Sequence[np.ndarray],
+        key_columns: Sequence[Array],
         *,
         charge: bool = True,
         verify: bool = True,
         n_keys: int | None = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[Array, Array]:
         """Columnar :meth:`lookup`: ``key_columns[j]`` holds ``join_columns[j]``.
 
         The SoA fast path — keys are hashed by folding the columns directly
@@ -388,9 +388,10 @@ class HISA:
         assembled.
         """
         self._check_live()
+        backend = self.backend
         m = int(key_columns[0].shape[0]) if key_columns else int(n_keys or 0)
         if m == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            return backend.empty(0, dtype=backend.int64), backend.empty(0, dtype=backend.int64)
         if len(key_columns) != self.n_join:
             raise SchemaError(f"expected keys of width {self.n_join}, got {len(key_columns)}")
         if self.table is None:
@@ -402,13 +403,13 @@ class HISA:
                 ops_per_item=4.0 * self.n_join,
                 label=f"{self.label}.hash_keys",
             )
-        hashes = hash_columns(key_columns)
+        hashes = backend.hash_columns(key_columns)
         starts, lengths = self.table.probe(hashes, charge=charge, label=f"{self.label}.probe")
         if verify and starts.size:
             hits = starts >= 0
             if hits.any():
                 first_positions = self.sorted_index[starts[hits]]
-                matches = np.ones(first_positions.size, dtype=bool)
+                matches = backend.ones(first_positions.size, dtype=backend.bool_)
                 for position, key_column in enumerate(key_columns):
                     matches &= self.stored_column(position)[first_positions] == key_column[hits]
                 if charge:
@@ -417,12 +418,12 @@ class HISA:
                         bytes_per_access=self.n_join * TUPLE_ITEMSIZE,
                         label=f"{self.label}.verify_key",
                     )
-                bad = np.flatnonzero(hits)[~matches]
-                starts[bad] = -1
-                lengths[bad] = 0
+                bad = backend.nonzero_indices(hits)[~matches]
+                backend.scatter(starts, bad, -1)
+                backend.scatter(lengths, bad, 0)
         return starts, lengths
 
-    def expand_matches(self, starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def expand_matches(self, starts: Array, lengths: Array) -> tuple[Array, Array]:
         """Expand ``(starts, lengths)`` into flat (probe index, data position) pairs.
 
         Returns ``(probe_indices, data_positions)`` where ``data_positions``
@@ -430,39 +431,41 @@ class HISA:
         sorted index array).
         """
         self._check_live()
-        starts = np.asarray(starts, dtype=np.int64)
-        lengths = np.asarray(lengths, dtype=np.int64)
+        backend = self.backend
+        starts = backend.asarray(starts, dtype=backend.int64)
+        lengths = backend.asarray(lengths, dtype=backend.int64)
         total = int(lengths.sum())
         if total == 0:
-            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-        probe_indices = np.repeat(np.arange(starts.size, dtype=np.int64), lengths)
-        offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
-        within_run = np.arange(total, dtype=np.int64) - offsets
-        sorted_positions = np.repeat(starts, lengths) + within_run
+            return backend.empty(0, dtype=backend.int64), backend.empty(0, dtype=backend.int64)
+        probe_indices = backend.repeat(backend.arange(starts.size, dtype=backend.int64), lengths)
+        cumulative = backend.cumsum(lengths)
+        offsets = backend.repeat(cumulative - lengths, lengths)
+        within_run = backend.arange(total, dtype=backend.int64) - offsets
+        sorted_positions = backend.repeat(starts, lengths) + within_run
         data_positions = self.sorted_index[sorted_positions]
         return probe_indices, data_positions
 
-    def contains(self, rows: np.ndarray, *, charge: bool = True) -> np.ndarray:
+    def contains(self, rows: Array, *, charge: bool = True) -> Array:
         """Exact membership test for whole tuples (schema column order).
 
         Requires the HISA to be indexed on *all* columns (as the ``full``
         version used for deduplication is).
         """
         self._check_live()
-        rows = as_rows(rows)
+        rows = self.backend.as_rows(rows)
         if rows.shape[0] == 0:
-            return np.empty(0, dtype=bool)
+            return self.backend.empty(0, dtype=self.backend.bool_)
         return self.contains_columns(
             [rows[:, column] for column in range(rows.shape[1])], charge=charge
         )
 
-    def contains_columns(self, columns: Sequence[np.ndarray], *, charge: bool = True) -> np.ndarray:
+    def contains_columns(self, columns: Sequence[Array], *, charge: bool = True) -> Array:
         """Columnar :meth:`contains`: ``columns`` are in schema order."""
         self._check_live()
         if self.n_join != self.natural_arity:
             raise HisaStateError("contains() requires an all-column index")
         if not columns or columns[0].shape[0] == 0:
-            return np.empty(0, dtype=bool)
+            return self.backend.empty(0, dtype=self.backend.bool_)
         key_columns = [columns[column] for column in self.column_order]
         starts, _lengths = self.lookup_columns(key_columns, charge=charge, verify=True)
         return starts >= 0
@@ -528,6 +531,7 @@ class HISA:
         manager's growth policy).  ``allow_in_place=False`` forces the copy
         branch (the legacy rebuild always pays it).
         """
+        backend = self.backend
         n, d = self.tuple_count, delta.tuple_count
         arity = self.natural_arity
         row_bytes = arity * TUPLE_ITEMSIZE
@@ -557,9 +561,9 @@ class HISA:
         else:
             dest = manager.acquire(required, d * row_bytes)
             capacity = max(n + d, dest.nbytes // row_bytes if row_bytes else n + d)
-            storage: list[np.ndarray] = []
+            storage: list[Array] = []
             for position, column in enumerate(self._column_storage):
-                grown = np.empty(capacity, dtype=TUPLE_DTYPE)
+                grown = backend.empty(capacity, dtype=TUPLE_DTYPE)
                 grown[:n] = column[:n]
                 grown[n : n + d] = delta.stored_column(position)
                 storage.append(grown)
@@ -590,15 +594,16 @@ class HISA:
             total += int(self._sorted_join_keys.nbytes)
         return total
 
-    def _recompute_sorted_state(self, sorted_columns: list[np.ndarray]) -> np.ndarray:
+    def _recompute_sorted_state(self, sorted_columns: list[Array]) -> Array:
         """(Re)derive the cached keys, runs, and ordinals from sorted columns.
 
         Shared by the constructor and the legacy rebuild merge so the two
         stay byte-identical (the rebuild path is the equivalence oracle).
         Returns the distinct join-key rows for hashing.
         """
+        backend = self.backend
         if self.natural_arity:
-            self._sorted_keys = lex_rank_keys_columns(sorted_columns)
+            self._sorted_keys = backend.pack_lex_keys(sorted_columns)
         else:
             self._sorted_keys = None
         if self.n_join:
@@ -607,17 +612,17 @@ class HISA:
                 # packing the same bytes a second time.
                 self._sorted_join_keys = self._sorted_keys
             else:
-                self._sorted_join_keys = lex_rank_keys_columns(sorted_columns[: self.n_join])
-            self.run_starts, self.run_lengths = _runs_from_keys(self._sorted_join_keys)
-            key_rows = np.column_stack(
+                self._sorted_join_keys = backend.pack_lex_keys(sorted_columns[: self.n_join])
+            self.run_starts, self.run_lengths = _runs_from_keys(backend, self._sorted_join_keys)
+            key_rows = backend.column_stack(
                 [sorted_columns[position][self.run_starts] for position in range(self.n_join)]
             )
         else:
             self._sorted_join_keys = None
-            self.run_starts = np.empty(0, dtype=np.int64)
-            self.run_lengths = np.empty(0, dtype=np.int64)
-            key_rows = np.empty((0, max(1, self.n_join)), dtype=np.int64)
-        self._run_ordinals = np.arange(self.run_starts.size, dtype=np.int64)
+            self.run_starts = backend.empty(0, dtype=backend.int64)
+            self.run_lengths = backend.empty(0, dtype=backend.int64)
+            key_rows = backend.empty((0, max(1, self.n_join)), dtype=backend.int64)
+        self._run_ordinals = backend.arange(self.run_starts.size, dtype=backend.int64)
         return key_rows
 
     def _replace_index_buffer(self) -> None:
@@ -642,6 +647,7 @@ class HISA:
 
     # -- incremental path -------------------------------------------------
     def _merge_incremental(self, delta: "HISA", manager: MergeBufferManager, *, charge: bool) -> "HISA":
+        backend = self.backend
         n, d = self.tuple_count, delta.tuple_count
         m = n + d
 
@@ -651,25 +657,25 @@ class HISA:
         # 2. Sorted index + cached keys: binary-search the delta's cached keys
         #    into the full's cached keys (O(d log n)), then scatter both runs
         #    of keys/indices into the merged arrays (streaming passes).
-        insert_at = np.searchsorted(self._sorted_keys, delta._sorted_keys, side="left")
-        delta_pos = insert_at + np.arange(d, dtype=np.int64)
-        old_pos_mask = np.ones(m, dtype=bool)
-        old_pos_mask[delta_pos] = False
+        insert_at = backend.searchsorted(self._sorted_keys, delta._sorted_keys, side="left")
+        delta_pos = insert_at + backend.arange(d, dtype=backend.int64)
+        old_pos_mask = backend.ones(m, dtype=backend.bool_)
+        backend.scatter(old_pos_mask, delta_pos, False)
 
-        merged_index = np.empty(m, dtype=np.int64)
-        merged_index[delta_pos] = delta.sorted_index + n
+        merged_index = backend.empty(m, dtype=backend.int64)
+        backend.scatter(merged_index, delta_pos, delta.sorted_index + n)
         merged_index[old_pos_mask] = self.sorted_index
 
-        merged_keys = np.empty(m, dtype=self._sorted_keys.dtype)
-        merged_keys[delta_pos] = delta._sorted_keys
+        merged_keys = backend.empty(m, dtype=self._sorted_keys.dtype)
+        backend.scatter(merged_keys, delta_pos, delta._sorted_keys)
         merged_keys[old_pos_mask] = self._sorted_keys
 
         join_keys_aliased = self._sorted_join_keys is self._sorted_keys
         if join_keys_aliased:
             merged_join_keys = merged_keys
         else:
-            merged_join_keys = np.empty(m, dtype=self._sorted_join_keys.dtype)
-            merged_join_keys[delta_pos] = delta._sorted_join_keys
+            merged_join_keys = backend.empty(m, dtype=self._sorted_join_keys.dtype)
+            backend.scatter(merged_join_keys, delta_pos, delta._sorted_join_keys)
             merged_join_keys[old_pos_mask] = self._sorted_join_keys
 
         if charge:
@@ -702,14 +708,14 @@ class HISA:
             and delta.run_starts.size == d
         )
         if unique_runs:
-            run_starts = np.arange(m, dtype=np.int64)
-            run_lengths = np.ones(m, dtype=np.int64)
+            run_starts = backend.arange(m, dtype=backend.int64)
+            run_lengths = backend.ones(m, dtype=backend.int64)
             is_new_run = ~old_pos_mask
         else:
             # Adjacent-compare over the cached join keys (no gather); a run is
             # pre-existing iff it contains at least one pre-existing element.
-            run_starts, run_lengths = _runs_from_keys(merged_join_keys)
-            old_counts = np.add.reduceat(old_pos_mask.astype(np.int64), run_starts)
+            run_starts, run_lengths = _runs_from_keys(backend, merged_join_keys)
+            old_counts = backend.reduceat_sum(old_pos_mask.astype(backend.int64), run_starts)
             is_new_run = old_counts == 0
             if charge:
                 # The run scan reads every cached join key once plus the
@@ -722,13 +728,13 @@ class HISA:
                     )
                 )
         n_new = int(is_new_run.sum())
-        merged_ordinals = np.empty(run_starts.size, dtype=np.int64)
+        merged_ordinals = backend.empty(run_starts.size, dtype=backend.int64)
         # Pre-existing runs never split or reorder (equal join keys stay
         # contiguous under the lexicographic sort), so their ordinals carry
         # over positionally; new keys get fresh append-order ordinals.
         merged_ordinals[~is_new_run] = self._run_ordinals
         ordinal_base = int(self._hash_by_ordinal.size) if self.table is not None else int(self._run_ordinals.size)
-        merged_ordinals[is_new_run] = ordinal_base + np.arange(n_new, dtype=np.int64)
+        merged_ordinals[is_new_run] = ordinal_base + backend.arange(n_new, dtype=backend.int64)
         if charge:
             self.device.kernels.transform(
                 d,
@@ -744,7 +750,7 @@ class HISA:
             new_lengths = run_lengths[is_new_run]
             if n_new:
                 new_key_positions = merged_index[new_starts]
-                new_hashes = hash_columns(
+                new_hashes = backend.hash_columns(
                     [
                         self.stored_column(position)[new_key_positions]
                         for position in range(self.n_join)
@@ -758,15 +764,15 @@ class HISA:
                         label=f"{self.label}.hash_keys",
                     )
             else:
-                new_hashes = np.empty(0, dtype=np.uint64)
+                new_hashes = backend.empty(0, dtype=backend.uint64)
             new_slots, grew = self.table.insert_batch(
                 new_hashes, new_starts, new_lengths, charge=charge, label=f"{self.label}.table_insert"
             )
-            self._hash_by_ordinal = np.concatenate([self._hash_by_ordinal, new_hashes])
+            self._hash_by_ordinal = backend.concatenate([self._hash_by_ordinal, new_hashes])
             if grew:
                 self._slot_by_ordinal = self.table.find_slots(self._hash_by_ordinal)
             else:
-                self._slot_by_ordinal = np.concatenate([self._slot_by_ordinal, new_slots])
+                self._slot_by_ordinal = backend.concatenate([self._slot_by_ordinal, new_slots])
             existing = ~is_new_run
             self.table.update_slots(
                 self._slot_by_ordinal[self._run_ordinals],
@@ -793,6 +799,7 @@ class HISA:
     def _merge_rebuild(self, delta: "HISA", manager: MergeBufferManager, *, charge: bool) -> "HISA":
         """Rebuild-from-scratch merge: O(|full|) per call, the pre-incremental
         behaviour kept as the ablation baseline and equivalence oracle."""
+        backend = self.backend
         n, d = self.tuple_count, delta.tuple_count
         old_columns = self.stored_columns()
         old_index = self.sorted_index
@@ -800,7 +807,7 @@ class HISA:
 
         self._append_data(delta, manager, charge=charge, allow_in_place=False)
         merged_index = _merge_sorted_indices(
-            old_columns, old_index, delta.stored_columns(), delta.sorted_index
+            backend, old_columns, old_index, delta.stored_columns(), delta.sorted_index
         )
         if charge:
             self.device.charge(
@@ -831,10 +838,13 @@ class HISA:
         rebuild_table = self.table is not None or delta.table is not None
         old_capacity = self.table.capacity if self.table is not None else 0
         self.table = None
-        self._hash_by_ordinal = np.empty(0, dtype=np.uint64)
-        self._slot_by_ordinal = np.empty(0, dtype=np.int64)
+        self._hash_by_ordinal = backend.empty(0, dtype=backend.uint64)
+        self._slot_by_ordinal = backend.empty(0, dtype=backend.int64)
         if rebuild_table and self.n_join:
-            hashes = hash_rows(key_rows) if key_rows.size else np.empty(0, dtype=np.uint64)
+            if key_rows.size:
+                hashes = backend.hash_rows(key_rows)
+            else:
+                hashes = backend.empty(0, dtype=backend.uint64)
             self.table = OpenAddressingHashTable(
                 self.device,
                 hashes,
@@ -923,27 +933,25 @@ def _invert_permutation(order: tuple[int, ...]) -> tuple[int, ...]:
     return tuple(inverse)
 
 
-def _runs_from_keys(sorted_join_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _runs_from_keys(backend: ArrayBackend, sorted_join_keys: Array) -> tuple[Array, Array]:
     """Run starts/lengths from packed join keys in sorted order."""
-    n = sorted_join_keys.shape[0]
+    n = int(sorted_join_keys.shape[0])
     if n == 0:
-        empty = np.empty(0, dtype=np.int64)
+        empty = backend.empty(0, dtype=backend.int64)
         return empty, empty.copy()
-    new_run = np.empty(n, dtype=bool)
-    new_run[0] = True
-    if n > 1:
-        new_run[1:] = sorted_join_keys[1:] != sorted_join_keys[:-1]
-    run_starts = np.flatnonzero(new_run).astype(np.int64)
-    run_lengths = np.diff(np.append(run_starts, n)).astype(np.int64)
+    new_run = backend.adjacent_unique_mask([sorted_join_keys], n_rows=n)
+    run_starts = backend.nonzero_indices(new_run)
+    run_lengths = backend.run_lengths_from_starts(run_starts, n)
     return run_starts, run_lengths
 
 
 def _merge_sorted_indices(
-    left_columns: list[np.ndarray],
-    left_index: np.ndarray,
-    right_columns: list[np.ndarray],
-    right_index: np.ndarray,
-) -> np.ndarray:
+    backend: ArrayBackend,
+    left_columns: list[Array],
+    left_index: Array,
+    right_columns: list[Array],
+    right_index: Array,
+) -> Array:
     """Merge two sorted index arrays into one over the concatenated columns.
 
     The result indexes into the per-column concatenation of ``left_columns``
@@ -956,16 +964,16 @@ def _merge_sorted_indices(
     n_left = int(left_columns[0].shape[0]) if left_columns else 0
     n_right = int(right_columns[0].shape[0]) if right_columns else 0
     if n_left == 0:
-        return (right_index + n_left).astype(np.int64)
+        return (right_index + n_left).astype(backend.int64)
     if n_right == 0:
-        return left_index.astype(np.int64)
-    left_sorted_keys = lex_rank_keys_columns([column[left_index] for column in left_columns])
-    right_sorted_keys = lex_rank_keys_columns([column[right_index] for column in right_columns])
-    right_before_left = np.searchsorted(right_sorted_keys, left_sorted_keys, side="left")
-    left_before_right = np.searchsorted(left_sorted_keys, right_sorted_keys, side="right")
-    merged = np.empty(n_left + n_right, dtype=np.int64)
-    left_positions = np.arange(n_left, dtype=np.int64) + right_before_left
-    right_positions = np.arange(n_right, dtype=np.int64) + left_before_right
-    merged[left_positions] = left_index
-    merged[right_positions] = right_index + n_left
+        return left_index.astype(backend.int64)
+    left_sorted_keys = backend.pack_lex_keys([column[left_index] for column in left_columns])
+    right_sorted_keys = backend.pack_lex_keys([column[right_index] for column in right_columns])
+    right_before_left = backend.searchsorted(right_sorted_keys, left_sorted_keys, side="left")
+    left_before_right = backend.searchsorted(left_sorted_keys, right_sorted_keys, side="right")
+    merged = backend.empty(n_left + n_right, dtype=backend.int64)
+    left_positions = backend.arange(n_left, dtype=backend.int64) + right_before_left
+    right_positions = backend.arange(n_right, dtype=backend.int64) + left_before_right
+    backend.scatter(merged, left_positions, left_index)
+    backend.scatter(merged, right_positions, right_index + n_left)
     return merged

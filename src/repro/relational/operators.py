@@ -12,12 +12,16 @@ These are the compute kernels the fixpoint loop of Figure 3 executes:
   the remaining operators of the evaluation pipeline.
 
 Every operator is *polymorphic over the pipeline layout*: given a row-major
-NumPy tuple array it runs the legacy row pipeline and returns a row array
-(the ablation baseline, unchanged); given a :class:`ColumnBatch` it runs the
+tuple array it runs the legacy row pipeline and returns a row array (the
+ablation baseline, unchanged); given a :class:`ColumnBatch` it runs the
 columnar late-materialization pipeline and returns a batch whose columns are
 gathered only when a downstream consumer touches them.  ``hash_join`` in
 columnar mode returns the match-index pairs wrapped as a lazy batch instead
 of materializing output tuples.
+
+Every array is owned by the device's
+:class:`~repro.backend.base.ArrayBackend`; no operator calls an array library
+directly, so the same code runs on NumPy, CuPy or the guard backend.
 """
 
 from __future__ import annotations
@@ -25,17 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Union
 
-import numpy as np
-
+from ..backend import Array, ArrayBackend, HOST_BACKEND, INDEX_ITEMSIZE, TUPLE_ITEMSIZE
 from ..device.cost import KernelCost
 from ..device.device import Device
-from ..device.kernels import (
-    INDEX_ITEMSIZE,
-    TUPLE_ITEMSIZE,
-    as_rows,
-    host_adjacent_unique_mask,
-    host_lexsort_columns,
-)
 from ..device.simt import warp_divergence_factor
 from ..errors import SchemaError
 from .columnbatch import ColumnBatch
@@ -45,7 +41,7 @@ OUTER = "outer"
 INNER = "inner"
 
 #: Operators accept either layout; the output layout follows the input.
-RowsLike = Union[np.ndarray, ColumnBatch]
+RowsLike = Union[Array, ColumnBatch]
 
 
 @dataclass(frozen=True)
@@ -68,7 +64,12 @@ class JoinOutput:
 
 @dataclass(frozen=True)
 class ColumnComparison:
-    """A comparison predicate applied to result tuples (e.g. ``x != y``)."""
+    """A comparison predicate applied to result tuples (e.g. ``x != y``).
+
+    Evaluation routes through the backend's ``compare`` kernel (the one
+    comparison implementation every backend shares), so a backend overriding
+    it for device-side evaluation is honoured by both pipelines.
+    """
 
     op: str
     left_column: int
@@ -83,32 +84,29 @@ class ColumnComparison:
         if (self.right_column is None) == (self.constant is None):
             raise SchemaError("exactly one of right_column or constant must be given")
 
-    def evaluate(self, rows: np.ndarray) -> np.ndarray:
+    def evaluate(self, rows: Array, backend: "ArrayBackend | None" = None) -> Array:
         left = rows[:, self.left_column]
         right = rows[:, self.right_column] if self.right_column is not None else self.constant
-        return self._apply(left, right)
+        return (backend or HOST_BACKEND).compare(self.op, left, right)
 
-    def evaluate_batch(self, batch: ColumnBatch, *, charge: bool = True, label: str = "compare") -> np.ndarray:
+    def evaluate_batch(self, batch: ColumnBatch, *, charge: bool = True, label: str = "compare") -> Array:
         """Evaluate on a columnar batch — materializes only the referenced columns."""
         left = batch.column(self.left_column, charge=charge, label=label)
         if self.right_column is not None:
             right = batch.column(self.right_column, charge=charge, label=label)
         else:
             right = self.constant
-        return self._apply(left, right)
+        return batch.device.backend.compare(self.op, left, right)
 
-    def _apply(self, left, right) -> np.ndarray:
-        if self.op == "==":
-            return left == right
-        if self.op == "!=":
-            return left != right
-        if self.op == "<":
-            return left < right
-        if self.op == "<=":
-            return left <= right
-        if self.op == ">":
-            return left > right
-        return left >= right
+
+def _divergence(device: Device, work_per_item: Array) -> float:
+    """Warp-divergence factor of per-lane work (host-side cost modelling).
+
+    The SIMT model is analytic host code; backend arrays cross to host via
+    the *uncharged* raw ``to_host`` — this is introspection of the cost
+    model, not datapath payload movement.
+    """
+    return warp_divergence_factor(device.backend.to_host(work_per_item), device.spec.warp_size)
 
 
 # ----------------------------------------------------------------------
@@ -149,7 +147,8 @@ def hash_join(
             label=label,
             charge=charge,
         )
-    outer_rows = as_rows(outer_rows)
+    backend = device.backend
+    outer_rows = backend.as_rows(outer_rows)
     outer_join_columns = [int(c) for c in outer_join_columns]
     if len(outer_join_columns) != inner.n_join:
         raise SchemaError(
@@ -159,7 +158,7 @@ def hash_join(
     if outer_rows.shape[0] == 0 or inner.tuple_count == 0:
         if charge and outer_rows.shape[0]:
             device.charge(KernelCost(kernel=f"{label}.scan_outer", sequential_bytes=float(outer_rows.nbytes)))
-        return np.empty((0, out_arity), dtype=np.int64)
+        return backend.empty((0, out_arity), dtype=backend.int64)
 
     # 1. Stride over the outer relation's data array (coalesced reads).
     if charge:
@@ -177,7 +176,7 @@ def hash_join(
 
     # 3. Scan the matched runs of the sorted index array.
     total_matches = int(lengths.sum())
-    divergence = warp_divergence_factor(lengths, device.spec.warp_size)
+    divergence = _divergence(device, lengths)
     inner_row_bytes = max(1, inner.natural_arity) * TUPLE_ITEMSIZE
     if charge:
         device.charge(
@@ -189,7 +188,7 @@ def hash_join(
             )
         )
     if total_matches == 0:
-        return np.empty((0, out_arity), dtype=np.int64)
+        return backend.empty((0, out_arity), dtype=backend.int64)
 
     probe_idx, data_positions = inner.expand_matches(starts, lengths)
 
@@ -206,13 +205,16 @@ def hash_join(
                 raise SchemaError(f"inner column {spec.column} out of range")
             stored_col = inner.column_order.index(spec.column)
             columns.append(inner.stored_column(stored_col)[data_positions])
-    result = np.column_stack(columns).astype(np.int64) if columns else np.empty((total_matches, 0), dtype=np.int64)
+    if columns:
+        result = backend.column_stack(columns).astype(backend.int64)
+    else:
+        result = backend.empty((total_matches, 0), dtype=backend.int64)
 
     # 5. Apply in-kernel comparison guards.
     if comparisons:
-        mask = np.ones(result.shape[0], dtype=bool)
+        mask = backend.ones(result.shape[0], dtype=backend.bool_)
         for comparison in comparisons:
-            mask &= comparison.evaluate(result)
+            mask &= comparison.evaluate(result, backend)
         result = result[mask]
 
     if charge:
@@ -239,6 +241,7 @@ def _hash_join_columnar(
     charge: bool = True,
 ) -> ColumnBatch:
     """Columnar hash join: probe with key columns, emit a lazy index batch."""
+    backend = device.backend
     outer_join_columns = [int(c) for c in outer_join_columns]
     if len(outer_join_columns) != inner.n_join:
         raise SchemaError(
@@ -282,7 +285,7 @@ def _hash_join_columnar(
     # 3. Expand the matched runs into (probe index, data position) pairs.
     #    Only the two index vectors are written — tuple values stay put.
     total_matches = int(lengths.sum())
-    divergence = warp_divergence_factor(lengths, device.spec.warp_size)
+    divergence = _divergence(device, lengths)
     if charge:
         device.charge(
             KernelCost(
@@ -320,7 +323,7 @@ def _hash_join_columnar(
 
     # 5. In-kernel comparison guards materialize only the columns they read.
     if comparisons:
-        mask = np.ones(len(result), dtype=bool)
+        mask = backend.ones(len(result), dtype=backend.bool_)
         for comparison in comparisons:
             mask &= comparison.evaluate_batch(result, charge=charge, label=f"{label}.guard")
         result = result.filter(mask, charge=charge, label=f"{label}.guard_compact")
@@ -333,13 +336,13 @@ def _hash_join_columnar(
 
 def fused_nway_join(
     device: Device,
-    outer_rows: np.ndarray,
+    outer_rows: RowsLike,
     stages: Sequence[tuple[Sequence[int], HISA, Sequence[JoinOutput]]],
     *,
     comparisons: Sequence[ColumnComparison] = (),
     label: str = "fused_join",
     charge: bool = True,
-) -> np.ndarray:
+) -> Array:
     """Evaluate a chain of joins inside a single simulated kernel.
 
     ``stages`` is a list of ``(outer_join_columns, inner_hisa, output)``
@@ -350,29 +353,30 @@ def fused_nway_join(
     whose tuple finds no matches idle until the busiest warp lane finishes
     every nested loop (Figure 5).
     """
+    backend = device.backend
     if isinstance(outer_rows, ColumnBatch):
         # The fused kernel is inherently row-at-a-time (it is the ablation
         # baseline); a columnar outer is materialized at this edge.
         outer_rows = outer_rows.as_rows(charge=charge, label=f"{label}.materialize_outer")
-    outer_rows = as_rows(outer_rows)
+    outer_rows = backend.as_rows(outer_rows)
     if not stages:
         raise SchemaError("fused_nway_join requires at least one stage")
 
     current = outer_rows
     # Track, for every original outer tuple, how much nested work it generates.
-    origin = np.arange(outer_rows.shape[0], dtype=np.int64)
-    per_origin_work = np.zeros(outer_rows.shape[0], dtype=np.int64)
+    origin = backend.arange(outer_rows.shape[0], dtype=backend.int64)
+    per_origin_work = backend.zeros(outer_rows.shape[0], dtype=backend.int64)
     total_random_bytes = 0.0
     total_ops = 0.0
 
     for stage_index, (join_cols, inner, output) in enumerate(stages):
         if current.shape[0] == 0:
-            current = np.empty((0, len(output)), dtype=np.int64)
-            origin = np.empty(0, dtype=np.int64)
+            current = backend.empty((0, len(output)), dtype=backend.int64)
+            origin = backend.empty(0, dtype=backend.int64)
             break
         keys = current[:, [int(c) for c in join_cols]]
         starts, lengths = inner.lookup(keys, charge=False)
-        np.add.at(per_origin_work, origin, lengths)
+        backend.add_at(per_origin_work, origin, lengths)
         inner_row_bytes = max(1, inner.natural_arity) * TUPLE_ITEMSIZE
         total_matches = int(lengths.sum())
         total_random_bytes += float(total_matches) * (inner_row_bytes + 8.0)
@@ -388,20 +392,20 @@ def fused_nway_join(
                 stored_col = inner.column_order.index(spec.column)
                 columns.append(inner.stored_column(stored_col)[data_positions])
         current = (
-            np.column_stack(columns).astype(np.int64)
+            backend.column_stack(columns).astype(backend.int64)
             if columns
-            else np.empty((probe_idx.size, 0), dtype=np.int64)
+            else backend.empty((probe_idx.size, 0), dtype=backend.int64)
         )
         origin = origin[probe_idx]
 
     if comparisons and current.shape[0]:
-        mask = np.ones(current.shape[0], dtype=bool)
+        mask = backend.ones(current.shape[0], dtype=backend.bool_)
         for comparison in comparisons:
-            mask &= comparison.evaluate(current)
+            mask &= comparison.evaluate(current, backend)
         current = current[mask]
 
     if charge:
-        divergence = warp_divergence_factor(per_origin_work, device.spec.warp_size)
+        divergence = _divergence(device, per_origin_work)
         # Idle lanes issue no memory requests, so the whole warp's effective
         # bandwidth drops with divergence too — this is exactly the thread
         # starvation of Figure 5 that temporary materialization removes.
@@ -435,19 +439,20 @@ def select(
     Columnar batches materialize only the columns the predicates read; the
     surviving rows stay lazy (one selection compose per source).
     """
+    backend = device.backend
     if isinstance(rows, ColumnBatch):
         if len(rows) == 0 or not comparisons:
             return rows
-        mask = np.ones(len(rows), dtype=bool)
+        mask = backend.ones(len(rows), dtype=backend.bool_)
         for comparison in comparisons:
             mask &= comparison.evaluate_batch(rows, charge=charge, label=label)
         return rows.filter(mask, charge=charge, label=f"{label}.compact")
-    rows = as_rows(rows)
+    rows = backend.as_rows(rows)
     if rows.shape[0] == 0 or not comparisons:
         return rows
-    mask = np.ones(rows.shape[0], dtype=bool)
+    mask = backend.ones(rows.shape[0], dtype=backend.bool_)
     for comparison in comparisons:
-        mask &= comparison.evaluate(rows)
+        mask &= comparison.evaluate(rows, backend)
     result = rows[mask]
     if charge:
         device.charge(
@@ -475,10 +480,11 @@ def project(
     """
     if isinstance(rows, ColumnBatch):
         return rows.project(columns)
-    rows = as_rows(rows)
+    backend = device.backend
+    rows = backend.as_rows(rows)
     columns = [int(c) for c in columns]
     if rows.shape[0] == 0:
-        return np.empty((0, len(columns)), dtype=np.int64)
+        return backend.empty((0, len(columns)), dtype=backend.int64)
     result = rows[:, columns]
     if charge:
         device.charge(
@@ -488,7 +494,7 @@ def project(
                 ops=float(rows.shape[0]) * max(1, len(columns)),
             )
         )
-    return np.ascontiguousarray(result)
+    return backend.ascontiguousarray(result)
 
 
 def deduplicate(device: Device, rows: RowsLike, *, label: str = "deduplicate", charge: bool = True) -> RowsLike:
@@ -496,9 +502,10 @@ def deduplicate(device: Device, rows: RowsLike, *, label: str = "deduplicate", c
 
     Columnar batches are deduplicated with a per-column lexsort — no packed
     row keys are built.  Both layouts (and the uncharged oracle) share the
-    host lexsort / adjacent-compare helpers in :mod:`repro.device.kernels`,
-    so the result order is identical everywhere: natural lexicographic.
+    backend lexsort / adjacent-compare primitives, so the result order is
+    identical everywhere: natural lexicographic.
     """
+    backend = device.backend
     if isinstance(rows, ColumnBatch):
         if len(rows) <= 1:
             return rows
@@ -509,20 +516,20 @@ def deduplicate(device: Device, rows: RowsLike, *, label: str = "deduplicate", c
         if charge:
             deduped = device.kernels.unique_columns(columns, label=label)
         else:
-            order = host_lexsort_columns(columns, n_rows=len(rows))
+            order = backend.lexsort(columns, n_rows=len(rows))
             sorted_columns = [column[order] for column in columns]
-            keep = host_adjacent_unique_mask(sorted_columns, n_rows=len(rows))
+            keep = backend.adjacent_unique_mask(sorted_columns, n_rows=len(rows))
             deduped = [column[keep] for column in sorted_columns]
         return ColumnBatch.from_columns(device, deduped, names=rows.names)
-    rows = as_rows(rows)
+    rows = backend.as_rows(rows)
     if rows.shape[0] <= 1:
         return rows
     if charge:
         return device.kernels.unique_rows(rows, label=label)
     column_views = [rows[:, column] for column in range(rows.shape[1])]
-    packed_order = host_lexsort_columns(column_views, n_rows=rows.shape[0])
+    packed_order = backend.lexsort(column_views, n_rows=rows.shape[0])
     sorted_rows = rows[packed_order]
-    keep = host_adjacent_unique_mask(
+    keep = backend.adjacent_unique_mask(
         [sorted_rows[:, column] for column in range(rows.shape[1])], n_rows=rows.shape[0]
     )
     return sorted_rows[keep]
@@ -543,6 +550,7 @@ def difference(
     The columnar path hashes the batch's columns directly — no row tuples are
     assembled for the membership probe.
     """
+    backend = device.backend
     if isinstance(rows, ColumnBatch):
         if len(rows) == 0 or existing.tuple_count == 0:
             return rows
@@ -556,9 +564,9 @@ def difference(
         else:
             kept_columns = [column[keep] for column in columns]
         return ColumnBatch.from_columns(
-            device, kept_columns, length=int(np.count_nonzero(keep)), names=rows.names
+            device, kept_columns, length=backend.count_nonzero(keep), names=rows.names
         )
-    rows = as_rows(rows)
+    rows = backend.as_rows(rows)
     if rows.shape[0] == 0:
         return rows
     if existing.tuple_count == 0:
@@ -590,12 +598,13 @@ def union(
     column count instead of silently collapsing to ``(0, 0)``.  Any non-empty
     part must agree with it.
     """
+    backend = device.backend
     live_parts = [part for part in parts if part is not None and len(part)]
     if arity is None:
         # Infer the schema from any part (empty parts still carry their width).
         for part in parts:
             if part is not None:
-                arity = part.arity if isinstance(part, ColumnBatch) else as_rows(part).shape[1]
+                arity = part.arity if isinstance(part, ColumnBatch) else backend.as_rows(part).shape[1]
                 break
         else:
             arity = 0
@@ -604,12 +613,12 @@ def union(
     ):
         batches = [ColumnBatch.wrap(device, part) for part in live_parts]
         return ColumnBatch.concatenate(device, batches, arity=arity, label=label, charge=charge)
-    arrays = [as_rows(part) for part in live_parts]
+    arrays = [backend.as_rows(part) for part in live_parts]
     if not arrays:
-        return np.empty((0, int(arity)), dtype=np.int64)
+        return backend.empty((0, int(arity)), dtype=backend.int64)
     for array in arrays:
         if array.shape[1] != arity:
             raise SchemaError("cannot union tuple arrays with different arity")
     if charge:
         return device.kernels.concatenate_rows(arrays, label=label)
-    return np.concatenate(arrays, axis=0)
+    return backend.concatenate(arrays, axis=0)

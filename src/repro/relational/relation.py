@@ -7,16 +7,28 @@ into full; new is cleared.  :class:`Relation` implements exactly that
 lifecycle, maintaining one HISA index of the full version per join-column set
 requested by the query plan (Datalog engines index for every query), plus one
 canonical all-column index used for deduplication.
+
+The transfer boundary
+---------------------
+
+Relations are device-resident: every array they hold belongs to the device's
+:class:`~repro.backend.base.ArrayBackend`.  Host payloads cross the PCIe
+boundary exactly twice, and both edges are charged to the cost model:
+
+* **into** the relation — :meth:`initialize` and :meth:`add_new` upload host
+  rows via the charged ``from_host`` kernel unless the caller certifies the
+  rows are already device-resident (``device_resident=True``, which the
+  evaluator does for join outputs and materialized batches);
+* **out of** the relation — callers extracting rows for host consumption
+  (result collection) download via the charged ``to_host`` kernel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..backend import Array
 from ..device.device import Device
-from ..device.kernels import as_rows
 from ..device.memory import Buffer
 from ..device.profiler import (
     PHASE_DEDUPLICATION,
@@ -64,6 +76,7 @@ class Relation:
         if arity <= 0:
             raise SchemaError(f"relation {name!r} must have positive arity, got {arity}")
         self.device = device
+        self.backend = device.backend
         self.name = name
         self.arity = int(arity)
         self.load_factor = float(load_factor)
@@ -75,8 +88,8 @@ class Relation:
         self._index_column_sets: set[tuple[int, ...]] = {self._all_columns}
         self.full_indexes: dict[tuple[int, ...], HISA] = {}
         self._buffer_managers: dict[tuple[int, ...], MergeBufferManager] = {}
-        self._delta: RowsLike = np.empty((0, self.arity), dtype=np.int64)
-        self._delta_rows_view: np.ndarray | None = None
+        self._delta: RowsLike = self.backend.empty((0, self.arity), dtype=self.backend.int64)
+        self._delta_rows_view: Array | None = None
         self._new_parts: list[RowsLike] = []
         self._new_buffers: list[Buffer] = []
         self._delta_buffer: Buffer | None = None
@@ -117,8 +130,18 @@ class Relation:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def initialize(self, rows: np.ndarray) -> None:
-        """Load the initial facts: full = delta = deduplicated ``rows``."""
+    def initialize(self, rows: Array, *, device_resident: bool = False) -> None:
+        """Load the initial facts: full = delta = deduplicated ``rows``.
+
+        ``rows`` is treated as a *host* payload unless ``device_resident``
+        certifies it already lives on the device (the evaluator's stratum
+        initialization does); host rows pay the charged H2D transfer — the
+        PCIe edge the cost model previously ignored.
+        """
+        if not device_resident:
+            rows = self.device.kernels.from_host(
+                rows, dtype=self.backend.int64, label=f"{self.name}.h2d_facts"
+            )
         rows = self._coerce(rows)
         with self.device.profiler.phase(PHASE_DEDUPLICATION):
             rows = deduplicate(self.device, rows, label=f"{self.name}.init_dedup")
@@ -145,14 +168,16 @@ class Relation:
                     label=f"{self.name}.merge_buffer",
                 )
 
-    def add_new(self, rows: RowsLike) -> None:
+    def add_new(self, rows: RowsLike, *, device_resident: bool = False) -> None:
         """Append freshly derived tuples (rows or a columnar batch) to *new*.
 
         A :class:`ColumnBatch` is materialized column-wise here — the
         delta-merge boundary of the late-materialization contract: every
         column that survived the rule's head projection is about to be read
         by deduplication anyway, and pinning values now decouples the batch
-        from producer storage that later merges will grow.
+        from producer storage that later merges will grow.  Batches are
+        device-resident by construction; row arrays are host payloads unless
+        the caller says otherwise, and pay the charged H2D transfer.
         """
         if isinstance(rows, ColumnBatch):
             if rows.arity != self.arity:
@@ -163,6 +188,10 @@ class Relation:
                 return
             rows.columns(charge=True, label=f"{self.name}.new_gather")
         else:
+            if not device_resident:
+                rows = self.device.kernels.from_host(
+                    rows, dtype=self.backend.int64, label=f"{self.name}.h2d_new"
+                )
             rows = self._coerce(rows)
             if rows.shape[0] == 0:
                 return
@@ -182,7 +211,7 @@ class Relation:
                 )
                 new_rows = deduplicate(self.device, new_rows, label=f"{self.name}.dedup_new")
             else:
-                new_rows = np.empty((0, self.arity), dtype=np.int64)
+                new_rows = self.backend.empty((0, self.arity), dtype=self.backend.int64)
         new_count = len(new_rows)
 
         with profiler.phase(PHASE_POPULATE_DELTA):
@@ -247,7 +276,7 @@ class Relation:
 
     def clear_delta(self) -> None:
         """Drop the delta version (used when a stratum reaches its fixpoint)."""
-        self._delta = np.empty((0, self.arity), dtype=np.int64)
+        self._delta = self.backend.empty((0, self.arity), dtype=self.backend.int64)
         self._delta_rows_view = None
         if self._delta_buffer is not None:
             self.device.free(self._delta_buffer, charge_cost=False)
@@ -278,11 +307,12 @@ class Relation:
         return len(self._delta)
 
     @property
-    def delta_rows(self) -> np.ndarray:
-        """The delta version as a row array (interop / row-pipeline view).
+    def delta_rows(self) -> Array:
+        """The delta version as a device-resident row array (row-pipeline view).
 
         A columnar delta is assembled into rows once and cached until the
-        next delta replaces it.
+        next delta replaces it.  Host consumers must download the result
+        through the charged ``to_host`` kernel themselves.
         """
         if isinstance(self._delta, ColumnBatch):
             if self._delta_rows_view is None:
@@ -299,11 +329,18 @@ class Relation:
     def new_count(self) -> int:
         return sum(len(part) for part in self._new_parts)
 
-    def full_rows(self) -> np.ndarray:
-        """All tuples of the full version in schema column order."""
+    def full_rows(self) -> Array:
+        """All tuples of the full version in schema column order (device-resident)."""
         if self._all_columns in self.full_indexes:
             return self.full_indexes[self._all_columns].natural_rows()
-        return np.empty((0, self.arity), dtype=np.int64)
+        return self.backend.empty((0, self.arity), dtype=self.backend.int64)
+
+    def full_rows_host(self, *, charge: bool = True):
+        """Download the full version to host rows (the charged D2H edge)."""
+        rows = self.full_rows()
+        if charge:
+            return self.device.kernels.to_host(rows, label=f"{self.name}.d2h_result")
+        return self.backend.to_host(rows)
 
     def full_batch(self) -> ColumnBatch:
         """The full version as a columnar batch — zero-copy views of the
@@ -314,8 +351,8 @@ class Relation:
         return ColumnBatch.empty(self.device, self.arity)
 
     def as_set(self) -> set[tuple[int, ...]]:
-        """The full version as a Python set of tuples (for tests)."""
-        return {tuple(int(v) for v in row) for row in self.full_rows()}
+        """The full version as a Python set of tuples (for tests; uncharged)."""
+        return {tuple(int(v) for v in row) for row in self.full_rows_host(charge=False)}
 
     def memory_bytes(self) -> int:
         """Simulated device bytes currently attributable to this relation."""
@@ -327,17 +364,18 @@ class Relation:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _coerce(self, rows: np.ndarray) -> np.ndarray:
-        rows = np.asarray(rows, dtype=np.int64)
+    def _coerce(self, rows: Array) -> Array:
+        backend = self.backend
+        rows = backend.asarray(rows, dtype=backend.int64)
         if rows.size == 0:
-            return np.empty((0, self.arity), dtype=np.int64)
+            return backend.empty((0, self.arity), dtype=backend.int64)
         if rows.ndim == 1:
             rows = rows.reshape(1, -1)
         if rows.ndim != 2 or rows.shape[1] != self.arity:
             raise SchemaError(
                 f"relation {self.name!r} has arity {self.arity}, got tuples of shape {rows.shape}"
             )
-        return as_rows(rows)
+        return backend.as_rows(rows)
 
     def _release_new_buffers(self) -> None:
         for buffer in self._new_buffers:

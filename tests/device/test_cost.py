@@ -61,3 +61,31 @@ def test_combined_with_accumulates():
     assert c.ops == 8 and c.launches == 3
     assert c.divergence == 2.0
     assert c.allocations == 1 and c.alloc_bytes == 4
+
+
+def test_transfer_bytes_charged_at_pcie_bandwidth(model):
+    cost = KernelCost(kernel="h2d", transfer_bytes=1e9, launches=0)
+    assert model.transfer_seconds(cost) == pytest.approx(1e9 / model.spec.pcie_bandwidth_bytes)
+    # The transfer is additive on top of the kernel body (a serialised DMA).
+    body = KernelCost(kernel="k", sequential_bytes=1e9, launches=0)
+    both = KernelCost(kernel="k", sequential_bytes=1e9, transfer_bytes=1e9, launches=0)
+    assert model.seconds(both) == pytest.approx(model.seconds(body) + model.transfer_seconds(cost))
+
+
+def test_pcie_slower_than_hbm_on_gpu(model):
+    # The whole point of charging the boundary: a byte over PCIe costs far
+    # more than a byte of device-resident streaming.
+    transfer = KernelCost(kernel="h2d", transfer_bytes=1e9, launches=0)
+    stream = KernelCost(kernel="k", sequential_bytes=1e9, launches=0)
+    assert model.transfer_seconds(transfer) > 10 * model.memory_seconds(stream)
+
+
+def test_cpu_transfer_is_memcpy_rate():
+    cpu = device_preset("epyc-7543p")
+    assert cpu.pcie_bandwidth_bytes == pytest.approx(cpu.sequential_bandwidth_bytes)
+
+
+def test_combined_with_accumulates_transfer_bytes():
+    a = KernelCost(kernel="a", transfer_bytes=5)
+    b = KernelCost(kernel="b", transfer_bytes=7)
+    assert a.combined_with(b).transfer_bytes == 12
