@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI performance-regression gate over the recorded ``BENCH_*`` artifacts.
+
+The bench-smoke job records quick baselines on its own runner and then runs
+this script over them; any violated gate makes the script (and therefore the
+job) exit non-zero.  The gates, all evaluated on same-machine recordings so
+absolute wall-clock noise cancels out:
+
+* **backend dispatch** — the numpy-backend SG fixpoint must stay within
+  ``--max-dispatch-ratio`` (default 1.10) of the columnar-pipeline recording
+  made moments earlier on the same runner; a bigger ratio means the
+  ``ArrayBackend`` indirection started costing real time.
+* **incremental merge** — the largest quick microbenchmark's
+  rebuild/incremental speedup must stay above ``--min-merge-ratio`` (default
+  1.8; the quick 40k shape measures ~3x, the floor is the noise-proof
+  recalibration of the full-shape 3.0x gate).  A ratio collapsing toward
+  1.0 means the O(Δ) merge path regressed to rebuild-class cost.
+* **sharded exchange** — every ``num_shards > 1`` point of the sharded
+  scaling curve must report non-zero interconnect traffic and the same
+  output size as the single-device baseline; zero exchange bytes means the
+  charged ``device_to_device`` boundary was silently bypassed.
+
+Each gate is a pure function over the parsed artifact (returning a list of
+violation messages) so the logic is unit-testable without touching the
+filesystem; the CLI wires files to gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default ceiling for numpy-backend / columnar-pipeline dispatch overhead.
+MAX_DISPATCH_RATIO = 1.10
+#: Default floor for the quick incremental-merge speedup (largest |full|).
+MIN_MERGE_RATIO = 1.8
+
+
+def check_dispatch_ratio(artifact: dict, max_ratio: float = MAX_DISPATCH_RATIO) -> list[str]:
+    """Gate the ArrayBackend dispatch overhead recorded in BENCH_backend."""
+    sg = artifact.get("sg_two_join_fixpoint") or {}
+    ratio = sg.get("numpy_vs_columnar_pipeline")
+    if ratio is None:
+        return [
+            "backend artifact has no numpy_vs_columnar_pipeline ratio — "
+            "was the columnar baseline recorded on this runner first?"
+        ]
+    if ratio > max_ratio:
+        return [
+            f"backend dispatch ratio {ratio:.3f} exceeds {max_ratio:.2f}: "
+            "routing through ArrayBackend got measurably slower than the "
+            "same-machine columnar recording"
+        ]
+    return []
+
+
+def check_merge_ratio(artifact: dict, min_ratio: float = MIN_MERGE_RATIO) -> list[str]:
+    """Gate the incremental-merge speedup recorded in BENCH_relational."""
+    merges = artifact.get("single_merge") or []
+    if not merges:
+        return ["relational artifact has no single_merge entries"]
+    largest = max(merges, key=lambda entry: entry.get("n_full", 0))
+    speedup = largest.get("speedup")
+    if speedup is None:
+        return [f"single_merge entry for |full|={largest.get('n_full')} has no speedup"]
+    if speedup < min_ratio:
+        return [
+            f"incremental merge speedup {speedup:.2f}x at |full|={largest['n_full']} "
+            f"fell below the {min_ratio:.2f}x floor: the O(Δ) merge path regressed"
+        ]
+    return []
+
+
+def check_sharded(artifact: dict) -> list[str]:
+    """Gate the sharded scaling curve recorded in BENCH_sharded."""
+    scaling = artifact.get("sg_sharded_scaling") or {}
+    curve = scaling.get("curve") or []
+    if not curve:
+        return ["sharded artifact has no scaling curve"]
+    failures: list[str] = []
+    baseline = curve[0]
+    if baseline.get("num_shards") != 1:
+        failures.append("sharded curve must start at the num_shards=1 ablation baseline")
+    for entry in curve:
+        shards = entry.get("num_shards")
+        if entry.get("sg_count") != baseline.get("sg_count"):
+            failures.append(
+                f"sharded run at N={shards} produced |sg|={entry.get('sg_count')}, "
+                f"baseline produced {baseline.get('sg_count')}"
+            )
+        if shards and shards > 1 and not entry.get("exchange_bytes"):
+            failures.append(
+                f"sharded run at N={shards} reports zero exchange bytes — the "
+                "charged device_to_device boundary was bypassed"
+            )
+    return failures
+
+
+def run_gates(
+    backend_artifact: dict | None,
+    merge_artifact: dict | None,
+    sharded_artifact: dict | None,
+    *,
+    max_dispatch_ratio: float = MAX_DISPATCH_RATIO,
+    min_merge_ratio: float = MIN_MERGE_RATIO,
+) -> list[str]:
+    """Evaluate every gate whose artifact was supplied; returns all violations."""
+    failures: list[str] = []
+    if backend_artifact is not None:
+        failures += check_dispatch_ratio(backend_artifact, max_dispatch_ratio)
+    if merge_artifact is not None:
+        failures += check_merge_ratio(merge_artifact, min_merge_ratio)
+    if sharded_artifact is not None:
+        failures += check_sharded(sharded_artifact)
+    return failures
+
+
+def _load(path: Path | None) -> dict | None:
+    if path is None:
+        return None
+    return json.loads(Path(path).read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend-json", type=Path, default=None, help="BENCH_backend artifact")
+    parser.add_argument("--merge-json", type=Path, default=None, help="BENCH_relational artifact")
+    parser.add_argument("--sharded-json", type=Path, default=None, help="BENCH_sharded artifact")
+    parser.add_argument("--max-dispatch-ratio", type=float, default=MAX_DISPATCH_RATIO)
+    parser.add_argument("--min-merge-ratio", type=float, default=MIN_MERGE_RATIO)
+    args = parser.parse_args(argv)
+    if args.backend_json is None and args.merge_json is None and args.sharded_json is None:
+        parser.error("supply at least one artifact to gate")
+
+    failures = run_gates(
+        _load(args.backend_json),
+        _load(args.merge_json),
+        _load(args.sharded_json),
+        max_dispatch_ratio=args.max_dispatch_ratio,
+        min_merge_ratio=args.min_merge_ratio,
+    )
+    if failures:
+        print("PERF REGRESSION GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

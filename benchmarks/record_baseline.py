@@ -50,6 +50,7 @@ from repro.relational import (  # noqa: E402
 ARTIFACT = Path(__file__).resolve().parent / "BENCH_relational.json"
 COLUMNAR_ARTIFACT = Path(__file__).resolve().parent / "BENCH_columnar.json"
 BACKEND_ARTIFACT = Path(__file__).resolve().parent / "BENCH_backend.json"
+SHARDED_ARTIFACT = Path(__file__).resolve().parent / "BENCH_sharded.json"
 
 
 def time_single_merge(n_full: int, delta_size: int, *, incremental: bool, repeats: int = 3) -> float:
@@ -369,12 +370,117 @@ def record_backend(quick: bool, reference_path: Path) -> dict:
     return artifact
 
 
+# ----------------------------------------------------------------------
+# Sharded multi-device evaluation: the max-over-shards scaling curve
+# ----------------------------------------------------------------------
+
+def time_sharded_sg(edges: np.ndarray, num_shards: int, *, repeats: int = 3) -> dict:
+    """SG fixpoint under ``num_shards`` simulated devices.
+
+    ``simulated_seconds`` is the max over shards (shards run concurrently);
+    the exchange volume counts interconnect bytes on the sending side only.
+    """
+    times: list[float] = []
+    info: dict = {}
+    for _ in range(repeats):
+        engine = GPULogEngine(
+            device="h100", oom_enabled=False, collect_relations=False, num_shards=num_shards
+        )
+        engine.add_fact_array("edge", edges)
+        start = time.perf_counter()
+        result = engine.run(SG_SOURCE)
+        times.append(time.perf_counter() - start)
+        info = {
+            "num_shards": num_shards,
+            "sg_count": result.count("sg"),
+            "iterations": result.total_iterations,
+            "simulated_seconds": round(result.elapsed_seconds, 6),
+            "simulated_fixed_seconds": round(result.fixed_seconds, 6),
+            "simulated_variable_seconds": round(result.variable_seconds, 6),
+            "shard_simulated_seconds": [round(s, 6) for s in result.shard_elapsed_seconds]
+            or [round(result.elapsed_seconds, 6)],
+            "exchange_bytes": int(result.exchange_bytes),
+            "exchange_tuples": int(result.exchange_tuples),
+        }
+        engine.close()
+    times.sort()
+    info["host_median_seconds"] = round(times[len(times) // 2], 4)
+    return info
+
+
+def record_sharded(quick: bool, shard_counts: tuple[int, ...] = (1, 2, 4, 8)) -> dict:
+    """Record the sharded SG scaling curve to ``BENCH_sharded.json``.
+
+    The full shape is the depth-7 fan-3 tree (|sg| = 5 377 560 >= 100k) —
+    one step past the columnar/backend workload, deep enough that bandwidth
+    (not kernel-launch latency) dominates the simulated time, which is what
+    partitioning can actually divide.  Evaluated at N in {1, 2, 4, 8};
+    N = 1 runs the unchanged single-device path, so the curve's baseline is
+    the ablation baseline.  ``scaling_speedup`` tracks the max-over-shards
+    total; ``variable_scaling_speedup`` isolates the bandwidth-bound
+    component (per-iteration launch/allocation latency is per-shard
+    constant and bounds strong scaling at small workloads).
+    """
+    if quick:
+        depth, fan, repeats = 5, 3, 1
+    else:
+        depth, fan, repeats = 7, 3, 1
+    edges = sg_tree_edges(depth, fan)
+
+    artifact: dict = {
+        "schema_version": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": bool(quick),
+        "sg_sharded_scaling": {
+            "edges": int(edges.shape[0]),
+            "tree_depth": depth,
+            "tree_fan": fan,
+            "device": "h100",
+            "shard_counts": list(shard_counts),
+            "curve": [],
+        },
+    }
+    sharded = artifact["sg_sharded_scaling"]
+    baseline_seconds = None
+    baseline_variable = None
+    baseline_count = None
+    for num_shards in shard_counts:
+        entry = time_sharded_sg(edges, num_shards, repeats=repeats)
+        if baseline_seconds is None:
+            baseline_seconds = entry["simulated_seconds"]
+            baseline_variable = entry["simulated_variable_seconds"]
+            baseline_count = entry["sg_count"]
+        if entry["sg_count"] != baseline_count:
+            raise AssertionError(
+                f"sharded run diverged: |sg|={entry['sg_count']} at N={num_shards}, "
+                f"expected {baseline_count}"
+            )
+        entry["scaling_speedup"] = round(
+            baseline_seconds / max(1e-12, entry["simulated_seconds"]), 3
+        )
+        entry["variable_scaling_speedup"] = round(
+            baseline_variable / max(1e-12, entry["simulated_variable_seconds"]), 3
+        )
+        sharded["curve"].append(entry)
+        print(
+            f"SG sharded N={num_shards}: simulated {entry['simulated_seconds']}s "
+            f"(max over shards, {entry['scaling_speedup']}x vs N=1, "
+            f"bandwidth-bound component {entry['variable_scaling_speedup']}x)  "
+            f"exchange {entry['exchange_bytes'] / 1e6:.2f} MB / {entry['exchange_tuples']} tuples  "
+            f"host {entry['host_median_seconds']}s"
+        )
+    return artifact
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
     parser.add_argument("--output", type=Path, default=ARTIFACT)
     parser.add_argument("--columnar-output", type=Path, default=COLUMNAR_ARTIFACT)
     parser.add_argument("--backend-output", type=Path, default=BACKEND_ARTIFACT)
+    parser.add_argument("--sharded-output", type=Path, default=SHARDED_ARTIFACT)
     parser.add_argument(
         "--backend",
         default=None,
@@ -397,9 +503,18 @@ def main() -> None:
         help="record only BENCH_backend.json (numpy/guard backend vs the "
         "pre-refactor columnar baseline)",
     )
+    parser.add_argument(
+        "--sharded-only",
+        action="store_true",
+        help="record only BENCH_sharded.json (the SG multi-device scaling "
+        "curve at N in {1, 2, 4, 8} simulated shards)",
+    )
     args = parser.parse_args()
-    if sum([args.columnar_only, args.merge_only, args.backend_only]) > 1:
-        parser.error("--columnar-only, --merge-only and --backend-only are mutually exclusive")
+    exclusive = [args.columnar_only, args.merge_only, args.backend_only, args.sharded_only]
+    if sum(exclusive) > 1:
+        parser.error(
+            "--columnar-only, --merge-only, --backend-only and --sharded-only are mutually exclusive"
+        )
     if args.backend:
         import os
 
@@ -409,6 +524,12 @@ def main() -> None:
         backend_artifact = record_backend(args.quick, args.columnar_output)
         args.backend_output.write_text(json.dumps(backend_artifact, indent=2) + "\n")
         print(f"wrote {args.backend_output}")
+        return
+
+    if args.sharded_only:
+        sharded_artifact = record_sharded(args.quick)
+        args.sharded_output.write_text(json.dumps(sharded_artifact, indent=2) + "\n")
+        print(f"wrote {args.sharded_output}")
         return
 
     if not args.merge_only:

@@ -40,7 +40,7 @@ from .datalog import (
     parse_program,
 )
 from .device import Device, DeviceSpec, device_preset, list_device_presets
-from .relational import HISA, Relation
+from .relational import HISA, Relation, ShardedRelation
 
 __version__ = "1.0.0"
 
@@ -62,6 +62,7 @@ __all__ = [
     "Program",
     "Relation",
     "Rule",
+    "ShardedRelation",
     "Variable",
     "__version__",
     "device_preset",

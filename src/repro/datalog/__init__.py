@@ -12,7 +12,7 @@ from .ast import (
     make_term,
     program_from_rules,
 )
-from .engine import EvaluationResult, GPULogEngine, SymbolTable
+from .engine import SHARDS_ENV_VAR, EvaluationResult, GPULogEngine, SymbolTable
 from .parser import parse_program, parse_rule
 from .planner import (
     HeadColumn,
@@ -25,6 +25,7 @@ from .planner import (
     plan_program,
 )
 from .seminaive import EvaluationStats, SemiNaiveEvaluator, StratumResult
+from .sharded import ShardedSemiNaiveEvaluator, shard_columns_for_plan
 
 __all__ = [
     "Atom",
@@ -43,7 +44,9 @@ __all__ = [
     "Rule",
     "RulePlan",
     "RuleVersion",
+    "SHARDS_ENV_VAR",
     "SemiNaiveEvaluator",
+    "ShardedSemiNaiveEvaluator",
     "StratumResult",
     "Stratum",
     "SymbolTable",
@@ -56,4 +59,5 @@ __all__ = [
     "parse_rule",
     "plan_program",
     "program_from_rules",
+    "shard_columns_for_plan",
 ]

@@ -18,25 +18,44 @@ String constants in facts or rules are interned into integers transparently
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from collections import defaultdict
+from contextlib import ExitStack
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence, Union
 
 import numpy as np
 
 from ..backend import ArrayBackend, get_backend
 from ..device.device import Device
-from ..device.profiler import FIGURE6_PHASES, PHASE_LOAD
+from ..device.profiler import FIGURE6_PHASES, PHASE_LOAD, phase_fractions_from_seconds
 from ..device.spec import DeviceSpec
 from ..errors import DatalogError, SchemaError
 from ..relational.hashtable import DEFAULT_LOAD_FACTOR
 from ..relational.relation import IterationStats, Relation
+from ..relational.sharded import ShardedRelation
 from .analysis import analyze_program
 from .ast import Atom, Comparison, Constant, Program, Rule
-from .planner import plan_program
+from .planner import ProgramPlan, plan_program
 from .seminaive import EvaluationStats, SemiNaiveEvaluator
+from .sharded import ShardedSemiNaiveEvaluator, shard_columns_for_plan
 
 FactValue = Union[int, str]
 FactTuple = Sequence[FactValue]
+
+#: Environment variable supplying the default shard count (the experiments
+#: CLI's ``--shards`` flag exports it, mirroring ``REPRO_BACKEND``).
+SHARDS_ENV_VAR = "REPRO_SHARDS"
+
+
+def _default_num_shards() -> int:
+    value = os.environ.get(SHARDS_ENV_VAR, "").strip()
+    if not value:
+        return 1
+    try:
+        return int(value)
+    except ValueError as error:
+        raise SchemaError(f"{SHARDS_ENV_VAR} must be an integer, got {value!r}") from error
 
 
 class SymbolTable:
@@ -90,6 +109,16 @@ class EvaluationResult:
     phase_fractions: dict[str, float]
     iteration_history: dict[str, list[IterationStats]]
     stats: EvaluationStats
+    #: number of shard devices the run used (1 = single-device path)
+    shard_count: int = 1
+    #: per-shard simulated seconds (empty on the single-device path)
+    shard_elapsed_seconds: tuple[float, ...] = field(default_factory=tuple)
+    #: per-shard peak device memory in bytes
+    shard_peak_memory_bytes: tuple[int, ...] = field(default_factory=tuple)
+    #: bytes moved across the device<->device interconnect (shard exchange)
+    exchange_bytes: float = 0.0
+    #: tuples moved across shards during exchanges
+    exchange_tuples: int = 0
 
     def relation(self, name: str) -> list[tuple[FactValue, ...]]:
         """Tuples of ``name`` (decoded), or an empty list if unknown."""
@@ -135,7 +164,20 @@ class GPULogEngine:
         max_iterations: int = 1_000_000,
         collect_relations: bool = True,
         backend: "ArrayBackend | str | None" = None,
+        num_shards: int | None = None,
     ) -> None:
+        resolved_shards = num_shards if num_shards is not None else _default_num_shards()
+        if resolved_shards < 1:
+            raise SchemaError(f"num_shards must be >= 1, got {resolved_shards}")
+        if resolved_shards > 1 and not materialize_nway:
+            # The sharded evaluator joins step-by-step with an exchange
+            # barrier between steps; a fused n-way kernel cannot cross that
+            # barrier, so honouring the ablation flag is impossible —
+            # failing beats silently reporting materialized-pipeline numbers.
+            raise SchemaError("materialize_nway=False (fused n-way join) is not supported with num_shards > 1")
+        #: shard devices used by the sharded evaluator; 1 = the unchanged
+        #: single-device path (byte-identical to a run without sharding)
+        self.num_shards = int(resolved_shards)
         if isinstance(device, Device):
             # A pre-built device already owns its backend; a conflicting
             # explicit request would silently split the datapath.
@@ -145,13 +187,28 @@ class GPULogEngine:
                     f"cannot override with {backend!r}"
                 )
             self.device = device
+            # Sharding clones the pre-built device's configuration for the
+            # sibling shards (same spec, capacity, OOM policy and backend).
+            self.devices = [device] + [
+                Device(
+                    device.spec,
+                    memory_capacity_bytes=device.pool.capacity_bytes,
+                    oom_enabled=device.pool.oom_enabled,
+                    backend=device.backend,
+                )
+                for _ in range(self.num_shards - 1)
+            ]
         else:
-            self.device = Device(
-                device,
-                memory_capacity_bytes=memory_capacity_bytes,
-                oom_enabled=oom_enabled,
-                backend=backend,
-            )
+            self.devices = [
+                Device(
+                    device,
+                    memory_capacity_bytes=memory_capacity_bytes,
+                    oom_enabled=oom_enabled,
+                    backend=backend,
+                )
+                for _ in range(self.num_shards)
+            ]
+            self.device = self.devices[0]
         self.collect_relations = bool(collect_relations)
         self.eager_buffers = bool(eager_buffers)
         self.buffer_growth_factor = float(buffer_growth_factor)
@@ -165,7 +222,7 @@ class GPULogEngine:
         self.symbols = SymbolTable()
         self._facts: dict[str, list[tuple[int, ...]]] = {}
         self._fact_arities: dict[str, int] = {}
-        self.relations: dict[str, Relation] = {}
+        self.relations: dict[str, Relation | ShardedRelation] = {}
 
     # ------------------------------------------------------------------
     # Fact loading
@@ -220,6 +277,9 @@ class GPULogEngine:
         plan = plan_program(analysis)
         arities = self._resolve_arities(program)
 
+        if self.num_shards > 1:
+            return self._run_sharded(program, analysis, plan, arities)
+
         # Build relation storage and register the indexes the plan needs.
         self.relations = {}
         for relation_name, arity in arities.items():
@@ -258,10 +318,111 @@ class GPULogEngine:
         return self._build_result(program, stats)
 
     def close(self) -> None:
-        """Release all simulated device memory held by the engine's relations."""
-        for relation in self.relations.values():
+        """Release all simulated device memory held by the engine's relations.
+
+        Covers *every* shard device of a sharded engine, and double-close is
+        a no-op (the relation map is detached before freeing, so a second
+        call — or closing an engine that never ran — has nothing to do).
+        """
+        relations, self.relations = self.relations, {}
+        for relation in relations.values():
             relation.free()
-        self.relations.clear()
+
+    # ------------------------------------------------------------------
+    # Sharded evaluation (num_shards > 1)
+    # ------------------------------------------------------------------
+    def _run_sharded(self, program: Program, analysis, plan: ProgramPlan, arities) -> EvaluationResult:
+        """Partitioned evaluation across the engine's shard devices.
+
+        Relations are hash-partitioned by their canonical shard column;
+        the sharded evaluator exchanges foreign-keyed tuples through the
+        charged interconnect edge each iteration.  Within-shard execution
+        always runs the row pipeline — rows are materialized at every
+        exchange boundary anyway, so the ``columnar`` flag does not alter
+        sharded execution (cross-shard lazy batches are a known follow-up,
+        see ROADMAP).
+        """
+        shard_columns = shard_columns_for_plan(plan, arities)
+        self.relations = {}
+        for relation_name, arity in arities.items():
+            self.relations[relation_name] = ShardedRelation(
+                self.devices,
+                relation_name,
+                arity,
+                shard_column=shard_columns.get(relation_name, 0),
+                load_factor=self.load_factor,
+                eager_buffers=self.eager_buffers,
+                buffer_growth_factor=self.buffer_growth_factor,
+                incremental_merge=self.incremental_merge,
+            )
+        for relation_name, columns in plan.required_indexes():
+            self.relations[relation_name].require_index(columns)
+
+        idb_facts: dict[str, np.ndarray] = {}
+        with ExitStack() as stack:
+            for device in self.devices:
+                stack.enter_context(device.profiler.phase(PHASE_LOAD))
+            for relation_name, relation in self.relations.items():
+                rows = self._fact_rows(relation_name, relation.arity, program)
+                if relation_name in analysis.idb_relations:
+                    if rows.shape[0]:
+                        idb_facts[relation_name] = rows
+                else:
+                    relation.initialize(rows)
+
+        evaluator = ShardedSemiNaiveEvaluator(
+            self.devices, plan, self.relations, max_iterations=self.max_iterations
+        )
+        stats = evaluator.evaluate(idb_facts)
+        return self._build_sharded_result(program, stats, evaluator)
+
+    def _build_sharded_result(
+        self, program: Program, stats: EvaluationStats, evaluator: ShardedSemiNaiveEvaluator
+    ) -> EvaluationResult:
+        relations: dict[str, list[tuple[FactValue, ...]]] = {}
+        counts: dict[str, int] = {}
+        history: dict[str, list[IterationStats]] = {}
+        decode = self.symbols.decode
+        for relation_name, relation in self.relations.items():
+            counts[relation_name] = relation.full_count
+            if self.collect_relations:
+                rows = relation.full_rows_host()
+                relations[relation_name] = [tuple(decode(value) for value in row) for row in rows.tolist()]
+            else:
+                relations[relation_name] = []
+            history[relation_name] = list(relation.history)
+
+        # Shards run concurrently: elapsed time is the slowest shard; phase
+        # seconds aggregate *device-seconds* across the whole cluster.
+        phase_seconds: dict[str, float] = defaultdict(float)
+        for device in self.devices:
+            for phase, seconds in device.profiler.phase_seconds().items():
+                phase_seconds[phase] += seconds
+        fractions = phase_fractions_from_seconds(dict(phase_seconds), FIGURE6_PHASES)
+
+        shard_elapsed = tuple(device.elapsed_seconds for device in self.devices)
+        slowest = max(range(self.num_shards), key=lambda index: shard_elapsed[index])
+        return EvaluationResult(
+            program_name=program.name,
+            device_name=f"{self.device.spec.name} x{self.num_shards}",
+            relations=relations,
+            relation_counts=counts,
+            elapsed_seconds=max(shard_elapsed),
+            fixed_seconds=self.devices[slowest].profiler.fixed_seconds,
+            variable_seconds=self.devices[slowest].profiler.variable_seconds,
+            peak_memory_bytes=max(device.peak_memory_bytes for device in self.devices),
+            total_iterations=stats.total_iterations,
+            stratum_iterations={result.index: result.iterations for result in stats.strata},
+            phase_seconds=dict(phase_seconds),
+            phase_fractions=fractions,
+            iteration_history=history,
+            stats=stats,
+            shard_count=self.num_shards,
+            shard_elapsed_seconds=shard_elapsed,
+            shard_peak_memory_bytes=tuple(device.peak_memory_bytes for device in self.devices),
+            exchange_bytes=evaluator.exchange_bytes,
+            exchange_tuples=evaluator.exchange_tuples,
+        )
 
     # ------------------------------------------------------------------
     # Internal helpers

@@ -1,0 +1,384 @@
+"""Sharded semi-naïve fixpoint evaluation across multiple simulated devices.
+
+The single-device evaluator (:mod:`repro.datalog.seminaive`) is bound by one
+device's memory and bandwidth.  This module runs the same compiled plan
+bulk-synchronously over ``N`` shard devices:
+
+* every relation is hash-partitioned by its *canonical shard column* (the
+  first join column its indexes are probed through most often — see
+  :func:`shard_columns_for_plan`), so a probe keyed on that column finds all
+  of its matches on the shard the key hashes to;
+* each join step is preceded by an exchange barrier that moves only the
+  outer tuples whose probe key hashes to a foreign shard (a no-op when the
+  flowing rows are already partitioned on the key, e.g. the TC delta scan);
+  probes on a non-canonical column fall back to broadcasting the outer side;
+* head tuples are routed to the head relation's owner shards before
+  ``add_new``, so per-shard deduplication / ``populate_delta`` / merge
+  compose into their global counterparts (each tuple has one owner);
+* the global fixpoint is reached when **all** shards' deltas are empty.
+
+All cross-shard movement goes through the charged ``device_to_device``
+kernel (``KernelCost.transfer_bytes`` at the NVLink-class
+``DeviceSpec.interconnect_bandwidth_gbps``, recorded under the
+``shard_exchange`` profiler phase), mirroring the PCIe boundary rule of the
+host transfer edges.  Each shard device accumulates its own simulated time;
+a sharded run's elapsed time is the max over shards.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from contextlib import ExitStack
+
+from ..device.device import Device
+from ..device.profiler import PHASE_JOIN, PHASE_SHARD_EXCHANGE
+from ..errors import EvaluationError
+from ..relational.operators import hash_join, project, select
+from ..relational.sharded import ShardedRelation, partition_rows, partition_rows_host
+from .planner import DELTA, ProgramPlan, RuleVersion
+from .seminaive import EvaluationStats, StratumResult
+
+__all__ = ["ShardedSemiNaiveEvaluator", "shard_columns_for_plan"]
+
+
+def shard_columns_for_plan(plan: ProgramPlan, arities: dict[str, int]) -> dict[str, int]:
+    """Canonical shard column per relation: the most-probed first join column.
+
+    Counts every join *step* across every rule version (not the deduplicated
+    index signatures), so a column probed by ten rules outweighs one probed
+    through two distinct indexes; partitioning by the most common first join
+    column makes the most probes shard-local (ties break toward the smaller
+    column; relations the plan never probes default to column 0).
+    """
+    probe_counts: dict[str, Counter] = defaultdict(Counter)
+    for rule_plan in plan.rule_plans.values():
+        for version in rule_plan.versions:
+            for step in version.joins:
+                probe_counts[step.relation][step.join_columns[0]] += 1
+    columns: dict[str, int] = {}
+    for relation_name, arity in arities.items():
+        counter = probe_counts.get(relation_name)
+        if counter:
+            columns[relation_name] = max(counter.items(), key=lambda item: (item[1], -item[0]))[0]
+        else:
+            columns[relation_name] = 0
+    return columns
+
+
+class ShardedSemiNaiveEvaluator:
+    """Executes a compiled program plan over hash-partitioned relations."""
+
+    def __init__(
+        self,
+        devices: list[Device],
+        plan: ProgramPlan,
+        relations: dict[str, ShardedRelation],
+        *,
+        max_iterations: int = 1_000_000,
+    ) -> None:
+        self.devices = list(devices)
+        self.num_shards = len(self.devices)
+        self.plan = plan
+        self.relations = relations
+        self.max_iterations = int(max_iterations)
+        #: tuples moved across shards (the exchange volume in rows)
+        self.exchange_tuples = 0
+        #: join steps whose probe was shard-local after a key repartition
+        self.aligned_joins = 0
+        #: join steps that had to broadcast the outer side (misaligned probe)
+        self.broadcast_joins = 0
+
+    @property
+    def exchange_bytes(self) -> float:
+        """Total interconnect bytes moved (sender-side, no double counting)."""
+        return sum(device.profiler.interconnect_bytes for device in self.devices)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, idb_facts=None) -> EvaluationStats:
+        """Run every stratum to its global fixpoint (all shards' deltas empty)."""
+        idb_facts = dict(idb_facts or {})
+        stats = EvaluationStats()
+        analysis = self.plan.analysis
+
+        for stratum in analysis.strata:
+            non_recursive, recursive = self.plan.versions_for_stratum(stratum.index)
+            idb_in_stratum = sorted(stratum.relations & set(analysis.idb_relations))
+
+            # ----------------------------------------------------------
+            # Initialise the stratum: facts + non-recursive rule results,
+            # every part already routed to its owner shard.
+            # ----------------------------------------------------------
+            initial_parts: dict[str, list[list]] = {
+                name: [[] for _ in range(self.num_shards)] for name in idb_in_stratum
+            }
+            for name in idb_in_stratum:
+                if name in idb_facts:
+                    self._stage_ground_facts(name, idb_facts.pop(name), initial_parts[name])
+            for version in non_recursive:
+                parts = self._execute_version(version)
+                bucket = initial_parts[version.head_relation]
+                for shard, rows in enumerate(parts):
+                    if len(rows):
+                        bucket[shard].append(rows)
+            for name in idb_in_stratum:
+                relation = self.relations[name]
+                for shard in range(self.num_shards):
+                    backend = self.devices[shard].backend
+                    parts = initial_parts[name][shard]
+                    if not parts:
+                        rows = backend.empty((0, relation.arity), dtype=backend.int64)
+                    elif len(parts) == 1:
+                        rows = parts[0]
+                    else:
+                        rows = backend.concatenate(parts, axis=0)
+                    relation.initialize_shard(shard, rows, device_resident=True)
+
+            iterations = 0
+            in_place_merges = 0
+            rebuild_merges = 0
+            if recursive:
+                iterations, in_place_merges, rebuild_merges = self._run_fixpoint(
+                    stratum.index, idb_in_stratum, recursive
+                )
+            else:
+                for name in idb_in_stratum:
+                    self.relations[name].clear_delta()
+
+            stats.strata.append(
+                StratumResult(
+                    index=stratum.index,
+                    relations=tuple(idb_in_stratum),
+                    recursive=stratum.recursive,
+                    iterations=iterations,
+                    in_place_merges=in_place_merges,
+                    rebuild_merges=rebuild_merges,
+                )
+            )
+        return stats
+
+    def _stage_ground_facts(self, name: str, rows, buckets: list[list]) -> None:
+        """Partition host ground facts by owner and upload each part (charged H2D)."""
+        relation = self.relations[name]
+        parts = partition_rows_host(rows, relation.shard_column, self.num_shards)
+        for shard, part in enumerate(parts):
+            if part.shape[0]:
+                device = self.devices[shard]
+                buckets[shard].append(
+                    device.kernels.from_host(part, dtype=device.backend.int64, label=f"{name}.h2d_facts")
+                )
+
+    # ------------------------------------------------------------------
+    def _run_fixpoint(
+        self, stratum_index: int, idb_in_stratum: list[str], recursive: list[RuleVersion]
+    ) -> tuple[int, int, int]:
+        iteration = 0
+        in_place_merges = 0
+        rebuild_merges = 0
+        while True:
+            iteration += 1
+            if iteration > self.max_iterations:
+                raise EvaluationError(
+                    f"stratum {stratum_index} exceeded {self.max_iterations} iterations without reaching a fixpoint"
+                )
+            with ExitStack() as stack:
+                for device in self.devices:
+                    stack.enter_context(device.profiler.iteration(iteration))
+                for version in recursive:
+                    # Skip on the *global* delta: a shard with an empty local
+                    # delta still receives foreign-keyed rows via exchange.
+                    if self.relations[version.initial.relation].delta_count == 0:
+                        continue
+                    parts = self._execute_version(version)
+                    head = self.relations[version.head_relation]
+                    for shard, rows in enumerate(parts):
+                        if len(rows):
+                            with self.devices[shard].profiler.phase(PHASE_JOIN):
+                                head.add_new_shard(shard, rows, device_resident=True)
+                total_delta = 0
+                for name in idb_in_stratum:
+                    result = self.relations[name].end_iteration()
+                    total_delta += result.delta_count
+                    in_place_merges += result.in_place_merges
+                    rebuild_merges += result.rebuild_merges
+            if total_delta == 0:
+                break
+        return iteration, in_place_merges, rebuild_merges
+
+    # ------------------------------------------------------------------
+    # Rule-version execution (per shard, with exchange barriers)
+    # ------------------------------------------------------------------
+    def _execute_version(self, version: RuleVersion) -> list:
+        """Execute one rule version; returns per-shard head rows, already
+        routed to the head relation's owner shards."""
+        rows = self._initial_rows(version)
+        for step in version.joins:
+            if self._total(rows) == 0:
+                return self._empties(len(version.head))
+            inner = self.relations[step.relation]
+            if inner.aligned_with(step.join_columns):
+                self.aligned_joins += 1
+                rows = self._exchange(
+                    rows,
+                    key_position=step.outer_key_positions[0],
+                    label=f"{version.head_relation}<-{step.relation}.route",
+                )
+            else:
+                self.broadcast_joins += 1
+                rows = self._broadcast(rows, label=f"{version.head_relation}<-{step.relation}.bcast")
+            next_rows = []
+            for shard, shard_rows in enumerate(rows):
+                device = self.devices[shard]
+                backend = device.backend
+                if len(shard_rows) == 0:
+                    next_rows.append(backend.empty((0, len(step.schema)), dtype=backend.int64))
+                    continue
+                with device.profiler.phase(PHASE_JOIN):
+                    out = hash_join(
+                        device,
+                        shard_rows,
+                        step.outer_key_positions,
+                        inner.shards[shard].index_for(step.join_columns),
+                        step.output,
+                        comparisons=step.filters,
+                        label=f"{version.head_relation}<-{step.relation}",
+                    )
+                    if step.post_projection is not None and len(out):
+                        out = project(device, out, step.post_projection, label=f"{version.head_relation}.trim")
+                if len(out) == 0:
+                    out = backend.empty((0, len(step.schema)), dtype=backend.int64)
+                next_rows.append(out)
+            rows = next_rows
+
+        head_parts = []
+        for shard, shard_rows in enumerate(rows):
+            device = self.devices[shard]
+            with device.profiler.phase(PHASE_JOIN):
+                if len(shard_rows) and version.final_filters:
+                    shard_rows = select(
+                        device, shard_rows, version.final_filters, label=f"{version.head_relation}.filter"
+                    )
+                head_parts.append(self._project_head(version, shard_rows, device))
+        head_relation = self.relations[version.head_relation]
+        return self._exchange(
+            head_parts,
+            key_position=head_relation.shard_column,
+            label=f"{version.head_relation}.route_new",
+        )
+
+    def _initial_rows(self, version: RuleVersion) -> list:
+        initial = version.initial
+        relation = self.relations[initial.relation]
+        out = []
+        for shard in range(self.num_shards):
+            device = self.devices[shard]
+            backend = device.backend
+            local = relation.shards[shard]
+            rows = local.delta_rows if initial.version == DELTA else local.full_rows()
+            if len(rows) == 0:
+                out.append(backend.empty((0, len(initial.schema)), dtype=backend.int64))
+                continue
+            with device.profiler.phase(PHASE_JOIN):
+                arity = rows.shape[1]
+                if initial.filters:
+                    rows = select(device, rows, initial.filters, label=f"{initial.relation}.scan_filter")
+                identity = tuple(initial.projection) == tuple(range(arity))
+                if not identity and len(rows):
+                    rows = project(device, rows, initial.projection, label=f"{initial.relation}.scan_project")
+            if len(rows) == 0:
+                rows = backend.empty((0, len(initial.schema)), dtype=backend.int64)
+            out.append(rows)
+        return out
+
+    def _project_head(self, version: RuleVersion, rows, device: Device):
+        backend = device.backend
+        if len(rows) == 0:
+            return backend.empty((0, len(version.head)), dtype=backend.int64)
+        columns = []
+        for head_column in version.head:
+            if head_column.kind == "var":
+                columns.append(rows[:, head_column.position])
+            else:
+                columns.append(backend.full(rows.shape[0], int(head_column.value), dtype=backend.int64))
+        result = backend.column_stack(columns).astype(backend.int64)
+        device.kernels.transform(
+            rows.shape[0],
+            bytes_per_item=8.0 * len(version.head),
+            ops_per_item=len(version.head),
+            label=f"{version.head_relation}.project_head",
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Exchange barriers
+    # ------------------------------------------------------------------
+    def _exchange(self, rows_per_shard: list, key_position: int, label: str) -> list:
+        """Repartition flowing rows so each row sits on ``hash(row[key])``.
+
+        Rows already on their key's shard never move — this is the
+        "exchange only foreign-keyed tuples" rule.  Each foreign slice
+        crosses the interconnect exactly once, charged to the sender.
+        """
+        if self.num_shards == 1:
+            return list(rows_per_shard)
+        width = rows_per_shard[0].shape[1]
+        slices: list[list] = [[] for _ in range(self.num_shards)]
+        for source, rows in enumerate(rows_per_shard):
+            if len(rows) == 0:
+                continue
+            device = self.devices[source]
+            with device.profiler.phase(PHASE_SHARD_EXCHANGE):
+                parts = partition_rows(
+                    device, rows, key_position, self.num_shards, label=f"{label}.partition"
+                )
+            for target, part in enumerate(parts):
+                if len(part) == 0:
+                    continue
+                if target == source:
+                    slices[target].append(part)
+                else:
+                    slices[target].append(
+                        device.kernels.device_to_device(part, self.devices[target], label=f"{label}.d2d")
+                    )
+                    self.exchange_tuples += int(len(part))
+        return [self._gather(target, slices[target], width, label) for target in range(self.num_shards)]
+
+    def _broadcast(self, rows_per_shard: list, label: str) -> list:
+        """Send every shard's rows to every other shard (misaligned probe).
+
+        Correct for any partitioning because each *inner* tuple still lives
+        on exactly one shard, so every match is produced exactly once.
+        """
+        if self.num_shards == 1:
+            return list(rows_per_shard)
+        width = rows_per_shard[0].shape[1]
+        slices: list[list] = [[] for _ in range(self.num_shards)]
+        for source, rows in enumerate(rows_per_shard):
+            if len(rows) == 0:
+                continue
+            slices[source].append(rows)
+            targets = [shard for shard in range(self.num_shards) if shard != source]
+            copies = self.devices[source].kernels.broadcast_to(
+                rows, [self.devices[target] for target in targets], label=f"{label}.d2d"
+            )
+            for target, copy in zip(targets, copies):
+                slices[target].append(copy)
+            self.exchange_tuples += int(len(rows)) * len(targets)
+        return [self._gather(target, slices[target], width, label) for target in range(self.num_shards)]
+
+    def _gather(self, shard: int, parts: list, width: int, label: str) -> object:
+        device = self.devices[shard]
+        if not parts:
+            return device.backend.empty((0, width), dtype=device.backend.int64)
+        if len(parts) == 1:
+            return parts[0]
+        with device.profiler.phase(PHASE_SHARD_EXCHANGE):
+            return device.kernels.concatenate_rows(parts, label=f"{label}.gather")
+
+    # ------------------------------------------------------------------
+    def _total(self, rows_per_shard: list) -> int:
+        return sum(len(rows) for rows in rows_per_shard)
+
+    def _empties(self, width: int) -> list:
+        return [
+            device.backend.empty((0, width), dtype=device.backend.int64) for device in self.devices
+        ]

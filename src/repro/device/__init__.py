@@ -6,7 +6,7 @@ cost model (bandwidth, compute, launch latency, allocation latency, warp
 divergence) parameterised by data-center GPU and CPU specifications.
 """
 
-from .cost import CostModel, KernelCost
+from .cost import LINK_INTERCONNECT, LINK_PCIE, CostModel, KernelCost
 from .device import Device, DeviceSnapshot
 from .kernels import DeviceKernels, TUPLE_DTYPE, as_rows, pack_rows, rows_nbytes
 from .memory import Buffer, MemoryPool, MemoryStats
@@ -20,6 +20,7 @@ from .profiler import (
     PHASE_MERGE,
     PHASE_OTHER,
     PHASE_POPULATE_DELTA,
+    PHASE_SHARD_EXCHANGE,
     PHASE_TRANSFER,
     PhaseSummary,
     ProfileEvent,
@@ -53,6 +54,8 @@ __all__ = [
     "FIGURE6_PHASES",
     "INTEL_XEON_6338",
     "KernelCost",
+    "LINK_INTERCONNECT",
+    "LINK_PCIE",
     "MemoryPool",
     "MemoryStats",
     "NVIDIA_A100",
@@ -65,6 +68,7 @@ __all__ = [
     "PHASE_MERGE",
     "PHASE_OTHER",
     "PHASE_POPULATE_DELTA",
+    "PHASE_SHARD_EXCHANGE",
     "PHASE_TRANSFER",
     "PhaseSummary",
     "ProfileEvent",

@@ -20,6 +20,11 @@ from dataclasses import dataclass
 
 from .spec import DeviceSpec
 
+#: Host<->device transfer link (the default for ``KernelCost.transfer_bytes``).
+LINK_PCIE = "pcie"
+#: Device<->device transfer link (NVLink-class, used by shard exchanges).
+LINK_INTERCONNECT = "interconnect"
+
 
 @dataclass(frozen=True)
 class KernelCost:
@@ -47,11 +52,16 @@ class KernelCost:
     allocations:
         Number of discrete allocations performed.
     transfer_bytes:
-        Bytes crossing the host<->device boundary (PCIe), charged at the
-        device's transfer bandwidth *in addition to* the kernel body — a DMA
-        copy does not overlap the kernels this simulator serialises.  Only
-        the ``to_host`` / ``from_host`` kernels of the array-backend layer
-        produce this; everything else stays on device.
+        Bytes crossing a device boundary, charged at the link's transfer
+        bandwidth *in addition to* the kernel body — a DMA copy does not
+        overlap the kernels this simulator serialises.  Only the
+        ``to_host`` / ``from_host`` kernels of the array-backend layer and
+        the ``device_to_device`` kernel of sharded evaluation produce this;
+        everything else stays on device.
+    transfer_link:
+        Which link ``transfer_bytes`` crosses: ``"pcie"`` (host<->device,
+        the default) or ``"interconnect"`` (device<->device, the
+        NVLink-class shard-exchange edge).
     """
 
     kernel: str
@@ -63,9 +73,19 @@ class KernelCost:
     alloc_bytes: float = 0.0
     allocations: int = 0
     transfer_bytes: float = 0.0
+    transfer_link: str = LINK_PCIE
 
     def combined_with(self, other: "KernelCost", kernel: str | None = None) -> "KernelCost":
-        """Return a cost representing this kernel followed by ``other``."""
+        """Return a cost representing this kernel followed by ``other``.
+
+        Transfers over *different* links cannot be folded into one cost
+        record (each link has its own bandwidth), so mixing them raises.
+        """
+        if self.transfer_bytes and other.transfer_bytes and self.transfer_link != other.transfer_link:
+            raise ValueError(
+                f"cannot combine transfers over different links "
+                f"({self.transfer_link!r} vs {other.transfer_link!r})"
+            )
         return KernelCost(
             kernel=kernel or self.kernel,
             sequential_bytes=self.sequential_bytes + other.sequential_bytes,
@@ -76,6 +96,7 @@ class KernelCost:
             alloc_bytes=self.alloc_bytes + other.alloc_bytes,
             allocations=self.allocations + other.allocations,
             transfer_bytes=self.transfer_bytes + other.transfer_bytes,
+            transfer_link=self.transfer_link if self.transfer_bytes else other.transfer_link,
         )
 
 
@@ -113,9 +134,15 @@ class CostModel:
         return cost.launches * self.spec.kernel_launch_us * 1e-6
 
     def transfer_seconds(self, cost: KernelCost) -> float:
-        """Seconds spent moving data across the host<->device (PCIe) boundary."""
+        """Seconds spent moving data across a device boundary.
+
+        ``transfer_link`` selects the charged edge: host<->device transfers
+        cross PCIe, shard exchanges cross the NVLink-class interconnect.
+        """
         if not cost.transfer_bytes:
             return 0.0
+        if cost.transfer_link == LINK_INTERCONNECT:
+            return cost.transfer_bytes / self.spec.interconnect_bandwidth_bytes
         return cost.transfer_bytes / self.spec.pcie_bandwidth_bytes
 
     def seconds(self, cost: KernelCost) -> float:

@@ -38,8 +38,8 @@ from ..backend import (
     TUPLE_ITEMSIZE,
     Array,
 )
-from .cost import KernelCost
-from .profiler import PHASE_TRANSFER
+from .cost import LINK_INTERCONNECT, KernelCost
+from .profiler import PHASE_SHARD_EXCHANGE, PHASE_TRANSFER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from .device import Device
@@ -148,6 +148,73 @@ class DeviceKernels:
             ),
             phase=PHASE_TRANSFER,
         )
+        return out
+
+    # ------------------------------------------------------------------
+    # Device <-> device transfers (the charged interconnect boundary)
+    # ------------------------------------------------------------------
+    def device_to_device(self, array: Array, peer: "Device", label: str = "d2d_transfer") -> Array:
+        """Move a device-resident array to ``peer`` over the interconnect.
+
+        The sanctioned shard-exchange edge of sharded evaluation: delta
+        tuples whose join key hashes to a foreign shard cross here.  The
+        *sending* device is charged the DMA transfer (at the NVLink-class
+        ``DeviceSpec.interconnect_bandwidth_gbps``) plus the device-side
+        read; the *receiving* device is charged the payload write.  Both
+        charges land in the ``shard_exchange`` phase.
+        """
+        # Raw (uncharged) backend movement: simulated peers share host RAM,
+        # so the physical copy is a no-op reinterpretation — the simulated
+        # cost below is the entire point of this kernel.
+        out = peer.backend.asarray(self._backend.to_host(array))
+        nbytes = float(getattr(out, "nbytes", 0))
+        size = float(getattr(out, "size", 0))
+        self._device.charge(
+            KernelCost(
+                kernel=label,
+                transfer_bytes=nbytes,
+                transfer_link=LINK_INTERCONNECT,
+                sequential_bytes=nbytes,
+                ops=size,
+            ),
+            phase=PHASE_SHARD_EXCHANGE,
+        )
+        peer.charge(
+            KernelCost(kernel=f"{label}.recv", sequential_bytes=nbytes, ops=size),
+            phase=PHASE_SHARD_EXCHANGE,
+        )
+        return out
+
+    def broadcast_to(self, array: Array, peers: "list[Device]", label: str = "d2d_broadcast") -> "list[Array]":
+        """Send one device-resident array to several peers over the interconnect.
+
+        Simulated cost per link is identical to :meth:`device_to_device`
+        (there is no multicast: every link carries its own DMA, and every
+        peer pays its payload write) — but the host-side staging of the
+        payload happens once per *source*, not once per peer, so an N-way
+        broadcast does not re-read the array N times on the host.
+        """
+        staged = self._backend.to_host(array)
+        out: "list[Array]" = []
+        for peer in peers:
+            copied = peer.backend.asarray(staged)
+            nbytes = float(getattr(copied, "nbytes", 0))
+            size = float(getattr(copied, "size", 0))
+            self._device.charge(
+                KernelCost(
+                    kernel=label,
+                    transfer_bytes=nbytes,
+                    transfer_link=LINK_INTERCONNECT,
+                    sequential_bytes=nbytes,
+                    ops=size,
+                ),
+                phase=PHASE_SHARD_EXCHANGE,
+            )
+            peer.charge(
+                KernelCost(kernel=f"{label}.recv", sequential_bytes=nbytes, ops=size),
+                phase=PHASE_SHARD_EXCHANGE,
+            )
+            out.append(copied)
         return out
 
     # ------------------------------------------------------------------

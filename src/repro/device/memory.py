@@ -71,6 +71,10 @@ class MemoryPool:
         return self._capacity
 
     @property
+    def oom_enabled(self) -> bool:
+        return self._oom_enabled
+
+    @property
     def in_use_bytes(self) -> int:
         return self._stats.in_use_bytes
 

@@ -14,7 +14,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-from .cost import KernelCost
+from .cost import LINK_INTERCONNECT, KernelCost
 
 # Canonical phase names used by the engines; free-form names are also allowed.
 PHASE_JOIN = "join"
@@ -27,6 +27,8 @@ PHASE_LOAD = "load"
 PHASE_OTHER = "other"
 #: Host<->device PCIe transfers (the to_host / from_host backend edges).
 PHASE_TRANSFER = "host_transfer"
+#: Device<->device interconnect transfers (delta routing between shards).
+PHASE_SHARD_EXCHANGE = "shard_exchange"
 
 FIGURE6_PHASES = (
     PHASE_DEDUPLICATION,
@@ -35,6 +37,24 @@ FIGURE6_PHASES = (
     PHASE_MERGE,
     PHASE_JOIN,
 )
+
+
+def phase_fractions_from_seconds(
+    seconds: dict[str, float], phases: tuple[str, ...] = FIGURE6_PHASES
+) -> dict[str, float]:
+    """Fractions of total time per phase, unlisted phases folded into "other".
+
+    Shared by :meth:`Profiler.phase_fractions` and the sharded-run result
+    builder (which aggregates seconds across several profilers first), so
+    both report the same convention.
+    """
+    total = sum(seconds.values())
+    if total <= 0:
+        return {name: 0.0 for name in phases}
+    fractions = {name: seconds.get(name, 0.0) / total for name in phases}
+    accounted = sum(seconds.get(name, 0.0) for name in phases)
+    fractions[PHASE_OTHER] = (total - accounted) / total
+    return fractions
 
 
 @dataclass(frozen=True)
@@ -164,8 +184,22 @@ class Profiler:
 
     @property
     def transfer_bytes(self) -> float:
-        """Total bytes moved across the host<->device (PCIe) boundary."""
+        """Total bytes moved across any device boundary (PCIe + interconnect)."""
         return sum(event.cost.transfer_bytes for event in self._events)
+
+    @property
+    def interconnect_bytes(self) -> float:
+        """Bytes moved across the device<->device interconnect (shard exchange).
+
+        Counted on the *sending* device only, so summing this over every
+        shard's profiler yields the total exchange volume without double
+        counting.
+        """
+        return sum(
+            event.cost.transfer_bytes
+            for event in self._events
+            if event.cost.transfer_link == LINK_INTERCONNECT
+        )
 
     def phase_summaries(self) -> dict[str, PhaseSummary]:
         """Aggregate recorded events by phase."""
@@ -185,14 +219,7 @@ class Profiler:
         Phases not listed are folded into ``"other"``; fractions sum to 1.0
         when any time has been recorded at all.
         """
-        seconds = self.phase_seconds()
-        total = sum(seconds.values())
-        if total <= 0:
-            return {name: 0.0 for name in phases}
-        fractions = {name: seconds.get(name, 0.0) / total for name in phases}
-        accounted = sum(seconds.get(name, 0.0) for name in phases)
-        fractions[PHASE_OTHER] = (total - accounted) / total
-        return fractions
+        return phase_fractions_from_seconds(self.phase_seconds(), phases)
 
     def iteration_seconds(self) -> dict[int, float]:
         """Simulated seconds per fixpoint iteration (untagged events excluded)."""

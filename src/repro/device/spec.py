@@ -70,6 +70,12 @@ class DeviceSpec:
         ``to_host`` / ``from_host`` kernels).  ``None`` selects an effective
         PCIe 4.0 x16 link for GPUs and streaming memory bandwidth for CPUs
         (a CPU "transfer" is just a memcpy).
+    interconnect_bandwidth_gbps:
+        Device<->device transfer bandwidth (the NVLink/xGMI edge charged by
+        the ``device_to_device`` kernel of sharded evaluation).  ``None``
+        selects an NVLink-class default for GPUs (~300 GB/s effective) and
+        streaming memory bandwidth for CPUs (two CPU "devices" exchange
+        through shared memory).
     sequential_efficiency:
         Fraction of peak bandwidth achieved by coalesced / streaming access.
     random_efficiency:
@@ -96,6 +102,7 @@ class DeviceSpec:
     alloc_latency_us: float = 100.0
     alloc_bandwidth_gbps: float | None = None
     pcie_bandwidth_gbps: float | None = None
+    interconnect_bandwidth_gbps: float | None = None
     sequential_efficiency: float = 0.75
     random_efficiency: float = 0.12
     compute_efficiency: float = 0.35
@@ -167,6 +174,21 @@ class DeviceSpec:
         return 25.0 * GB
 
     @property
+    def interconnect_bandwidth_bytes(self) -> float:
+        """Device<->device transfer bandwidth in bytes/s (the NVLink edge).
+
+        GPUs default to an NVLink-class link (~300 GB/s effective per
+        direction — an order of magnitude above PCIe, an order below HBM);
+        CPU "devices" exchange through shared memory, charged at streaming
+        memory bandwidth.
+        """
+        if self.interconnect_bandwidth_gbps is not None:
+            return self.interconnect_bandwidth_gbps * GB
+        if self.kind == "cpu":
+            return self.sequential_bandwidth_bytes
+        return 300.0 * GB
+
+    @property
     def resident_threads(self) -> int:
         """Threads a single kernel launch keeps resident (stride width)."""
         if self.launch_threads is not None:
@@ -203,10 +225,14 @@ NVIDIA_H100 = DeviceSpec(
     kernel_launch_us=5.0,
     alloc_latency_us=120.0,
     pcie_bandwidth_gbps=50.0,
+    interconnect_bandwidth_gbps=450.0,
     sequential_efficiency=0.78,
     random_efficiency=0.14,
     compute_efficiency=0.35,
-    notes="Primary evaluation GPU; HBM3, 3.35 TB/s (Section 6.5); PCIe 5.0 host link.",
+    notes=(
+        "Primary evaluation GPU; HBM3, 3.35 TB/s (Section 6.5); PCIe 5.0 host link; "
+        "NVLink 4 peer link (900 GB/s bidirectional, 450 GB/s per direction)."
+    ),
 )
 
 NVIDIA_A100 = DeviceSpec(
@@ -219,10 +245,14 @@ NVIDIA_A100 = DeviceSpec(
     memory_capacity_bytes=80 * GIB,
     kernel_launch_us=5.0,
     alloc_latency_us=120.0,
+    interconnect_bandwidth_gbps=300.0,
     sequential_efficiency=0.75,
     random_efficiency=0.13,
     compute_efficiency=0.35,
-    notes="Secondary NVIDIA GPU; ~1.5 TB/s HBM2e (Table 5, Table 6, Figure 6).",
+    notes=(
+        "Secondary NVIDIA GPU; ~1.5 TB/s HBM2e (Table 5, Table 6, Figure 6); "
+        "NVLink 3 peer link (600 GB/s bidirectional, 300 GB/s per direction)."
+    ),
 )
 
 AMD_MI250 = DeviceSpec(
@@ -235,6 +265,7 @@ AMD_MI250 = DeviceSpec(
     memory_capacity_bytes=64 * GIB,
     kernel_launch_us=8.0,
     alloc_latency_us=400.0,
+    interconnect_bandwidth_gbps=200.0,
     sequential_efficiency=0.42,
     random_efficiency=0.07,
     compute_efficiency=0.25,
@@ -255,6 +286,7 @@ AMD_MI50 = DeviceSpec(
     memory_capacity_bytes=32 * GIB,
     kernel_launch_us=10.0,
     alloc_latency_us=400.0,
+    interconnect_bandwidth_gbps=100.0,
     sequential_efficiency=0.30,
     random_efficiency=0.05,
     compute_efficiency=0.18,

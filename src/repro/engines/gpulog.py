@@ -38,6 +38,7 @@ class GPULogAdapter(BaselineEngine):
         materialize_nway: bool = True,
         columnar: bool = True,
         backend: str | None = None,
+        num_shards: int | None = None,
     ) -> None:
         self.spec = device_preset(device) if isinstance(device, str) else device
         self.memory_capacity_bytes = memory_capacity_bytes
@@ -48,6 +49,8 @@ class GPULogAdapter(BaselineEngine):
         self.columnar = columnar
         #: array-backend name/instance for every run (None = REPRO_BACKEND/numpy)
         self.backend = backend
+        #: shard devices per run (None = $REPRO_SHARDS and then 1)
+        self.num_shards = num_shards
         self.last_result = None
 
     def run(
@@ -67,20 +70,25 @@ class GPULogAdapter(BaselineEngine):
             materialize_nway=self.materialize_nway,
             columnar=self.columnar,
             collect_relations=collect_relations,
+            num_shards=self.num_shards,
         )
         for name, rows in facts.items():
             engine.add_fact_array(name, np.asarray(rows, dtype=np.int64))
         try:
             result = engine.run(program)
         except DeviceOutOfMemoryError as error:
+            # Any shard may have raised; report the cluster view with the
+            # same max-over-shards convention as a successful sharded run
+            # (on a single-device run engine.devices is just [device]).
+            slowest = max(engine.devices, key=lambda shard: shard.elapsed_seconds)
             return EngineRunResult(
                 engine=self.name,
                 device=self.spec.name,
                 status=STATUS_OOM,
-                seconds=device.elapsed_seconds,
-                fixed_seconds=device.profiler.fixed_seconds,
-                variable_seconds=device.profiler.variable_seconds,
-                peak_memory_bytes=device.peak_memory_bytes,
+                seconds=slowest.elapsed_seconds,
+                fixed_seconds=slowest.profiler.fixed_seconds,
+                variable_seconds=slowest.profiler.variable_seconds,
+                peak_memory_bytes=max(shard.peak_memory_bytes for shard in engine.devices),
                 detail=str(error),
             )
         finally:
@@ -95,8 +103,10 @@ class GPULogAdapter(BaselineEngine):
             device=self.spec.name,
             status=STATUS_OK,
             seconds=result.elapsed_seconds,
-            fixed_seconds=device.profiler.fixed_seconds,
-            variable_seconds=device.profiler.variable_seconds,
+            # On a sharded run these describe the slowest shard, matching
+            # the max-over-shards elapsed time above.
+            fixed_seconds=result.fixed_seconds,
+            variable_seconds=result.variable_seconds,
             peak_memory_bytes=result.peak_memory_bytes,
             iterations=result.total_iterations,
             relation_counts=dict(result.relation_counts),

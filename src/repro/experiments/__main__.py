@@ -17,6 +17,7 @@ import sys
 import time
 
 from ..backend import BACKEND_ENV_VAR
+from ..datalog.engine import SHARDS_ENV_VAR
 from . import ALL_EXPERIMENTS
 
 
@@ -38,10 +39,23 @@ def main(argv: list[str] | None = None) -> int:
         help="array backend for every engine run (numpy, cupy, guard, "
         f"guard:<name>); defaults to ${BACKEND_ENV_VAR} and then numpy",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for every GPUlog run (partitioned multi-device "
+        f"evaluation); defaults to ${SHARDS_ENV_VAR} and then 1",
+    )
     args = parser.parse_args(argv)
     if args.backend:
         # One switch retargets every Device the experiment drivers build.
         os.environ[BACKEND_ENV_VAR] = args.backend
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
+        # Same pattern as --backend: every GPULogEngine the drivers build
+        # resolves its default shard count from this variable.
+        os.environ[SHARDS_ENV_VAR] = str(args.shards)
 
     requested = list(args.experiments)
     if not requested or requested == ["list"]:

@@ -23,6 +23,7 @@ from .operators import (
     union,
 )
 from .relation import IterationStats, Relation
+from .sharded import ShardedRelation, partition_rows, partition_rows_host, shard_assignments
 
 __all__ = [
     "BufferManagerStats",
@@ -39,6 +40,7 @@ __all__ = [
     "MergeBufferManager",
     "OpenAddressingHashTable",
     "Relation",
+    "ShardedRelation",
     "SimpleBufferManager",
     "deduplicate",
     "difference",
@@ -49,7 +51,10 @@ __all__ = [
     "hash_single",
     "make_buffer_manager",
     "next_power_of_two",
+    "partition_rows",
+    "partition_rows_host",
     "project",
     "select",
+    "shard_assignments",
     "union",
 ]

@@ -1,0 +1,273 @@
+"""Hash-partitioned relation storage for multi-device (sharded) evaluation.
+
+The successors of GDlog scale past one device's memory and bandwidth by
+partitioning relations across GPUs and exchanging delta tuples each iteration
+("Scaling Worst-Case Optimal Datalog to GPUs"); this module provides the
+storage half of that design for the simulated cluster:
+
+* :func:`shard_assignments` — the partitioning rule: a tuple lives on shard
+  ``hash(tuple[shard_column]) % num_shards``.  The hash is the backend's
+  ``hash_columns`` fold, so every backend (and the host) assigns tuples
+  identically.
+* :func:`partition_rows` — a charged scatter-by-shard kernel splitting a
+  device-resident row array into per-destination-shard slices.
+* :class:`ShardedRelation` — a router over ``num_shards`` ordinary
+  :class:`~repro.relational.relation.Relation` objects, one per shard device.
+  Each shard runs the unchanged columnar ``add_new``/dedup/merge path on its
+  partition; because every tuple has exactly one owner shard, per-shard
+  deduplication and ``populate_delta`` compose into their global
+  counterparts, and the union of the shard fulls is the single-device full.
+
+Cross-shard movement is *not* done here: the evaluator routes foreign-owned
+tuples through the charged ``device_to_device`` kernel before they reach a
+shard's ``add_new`` (see :mod:`repro.datalog.sharded`).
+"""
+
+from __future__ import annotations
+
+from ..backend import Array
+from ..device.cost import KernelCost
+from ..device.device import Device
+from ..errors import SchemaError
+from .hashtable import DEFAULT_LOAD_FACTOR
+from .relation import IterationStats, Relation
+
+__all__ = ["ShardedRelation", "partition_rows", "partition_rows_host", "shard_assignments"]
+
+
+def partition_rows_host(rows, column: int, num_shards: int) -> list:
+    """Host-side hash partition of fact rows by owner shard (uncharged).
+
+    The host half of the partitioning rule — same fold, same modulo as the
+    device-side :func:`partition_rows` — kept in one place so fact loading
+    and delta routing can never disagree about a tuple's owner.
+    """
+    from ..backend import HOST_BACKEND
+
+    rows = HOST_BACKEND.as_rows(rows)
+    if num_shards <= 1:
+        return [rows]
+    if rows.shape[0] == 0:
+        return [rows] * num_shards
+    owners = shard_assignments(HOST_BACKEND, rows[:, column], num_shards)
+    return [rows[owners == shard] for shard in range(num_shards)]
+
+
+def _sum_iteration_stats(rows: list[IterationStats]) -> IterationStats:
+    """Fold per-shard :class:`IterationStats` into the global view.
+
+    Valid because each tuple is owned by exactly one shard, so the counts
+    are disjoint and sum.
+    """
+    return IterationStats(
+        iteration=rows[0].iteration,
+        new_count=sum(s.new_count for s in rows),
+        delta_count=sum(s.delta_count for s in rows),
+        full_count=sum(s.full_count for s in rows),
+        in_place_merges=sum(s.in_place_merges for s in rows),
+        rebuild_merges=sum(s.rebuild_merges for s in rows),
+    )
+
+
+def shard_assignments(backend, values: Array, num_shards: int) -> Array:
+    """Owner shard of each value: ``hash(value) % num_shards``.
+
+    Uses the backend's splitmix64-style column fold so that host-side EDB
+    partitioning and device-side delta routing agree bit-for-bit.
+    """
+    hashes = backend.hash_columns([backend.asarray(values, dtype=backend.int64)])
+    return hashes % num_shards
+
+
+def partition_rows(
+    device: Device,
+    rows: Array,
+    column: int,
+    num_shards: int,
+    *,
+    label: str = "shard_partition",
+) -> list[Array]:
+    """Split a device-resident row array into per-shard slices by key hash.
+
+    Charged as one hash pass plus a scan + scatter of the payload (the
+    standard GPU partition kernel); the per-shard outputs stay resident on
+    ``device`` — moving foreign slices to their owners is the evaluator's
+    job (through the charged ``device_to_device`` edge).
+    """
+    backend = device.backend
+    rows = backend.as_rows(rows)
+    n, arity = rows.shape
+    if num_shards <= 1:
+        return [rows]
+    if n == 0:
+        return [rows] + [backend.empty((0, arity), dtype=backend.int64) for _ in range(num_shards - 1)]
+    owners = shard_assignments(backend, rows[:, column], num_shards)
+    parts = [rows[owners == shard] for shard in range(num_shards)]
+    row_bytes = float(rows.nbytes)
+    device.charge(
+        KernelCost(
+            kernel=label,
+            # hash read of the key column + payload read + scattered write
+            sequential_bytes=float(n) * 8.0 + 2.0 * row_bytes,
+            ops=float(n) * (arity + 4.0),
+            launches=2,
+        )
+    )
+    return parts
+
+
+class ShardedRelation:
+    """One Datalog relation hash-partitioned across ``num_shards`` devices.
+
+    Exposes the aggregate view the engine needs (counts, history, result
+    download) while delegating storage, indexing and the per-iteration
+    delta lifecycle to one vanilla :class:`Relation` per shard.
+    """
+
+    def __init__(
+        self,
+        devices: list[Device],
+        name: str,
+        arity: int,
+        *,
+        shard_column: int = 0,
+        load_factor: float = DEFAULT_LOAD_FACTOR,
+        eager_buffers: bool = True,
+        buffer_growth_factor: float = 8.0,
+        incremental_merge: bool = True,
+    ) -> None:
+        if not devices:
+            raise SchemaError(f"sharded relation {name!r} needs at least one device")
+        if not 0 <= shard_column < arity:
+            raise SchemaError(
+                f"shard column {shard_column} out of range for {name!r} (arity {arity})"
+            )
+        self.devices = list(devices)
+        self.name = name
+        self.arity = int(arity)
+        self.shard_column = int(shard_column)
+        self.num_shards = len(self.devices)
+        self.shards = [
+            Relation(
+                device,
+                name,
+                arity,
+                load_factor=load_factor,
+                eager_buffers=eager_buffers,
+                buffer_growth_factor=buffer_growth_factor,
+                incremental_merge=incremental_merge,
+            )
+            for device in self.devices
+        ]
+
+    # ------------------------------------------------------------------
+    # Index registration (forwarded to every shard)
+    # ------------------------------------------------------------------
+    def require_index(self, join_columns: tuple[int, ...]) -> None:
+        for shard in self.shards:
+            shard.require_index(join_columns)
+
+    @property
+    def index_column_sets(self) -> set[tuple[int, ...]]:
+        return self.shards[0].index_column_sets
+
+    def aligned_with(self, join_columns: tuple[int, ...]) -> bool:
+        """True if a probe on ``join_columns`` is shard-local.
+
+        Tuples are partitioned by ``hash(t[shard_column])``, so a probe
+        keyed on that same column finds all its matches on the shard the
+        key hashes to; any other key column scatters matches across shards
+        (the evaluator then broadcasts the outer side).
+        """
+        return bool(join_columns) and join_columns[0] == self.shard_column
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, rows) -> None:
+        """Partition *host* rows by owner shard and load each partition.
+
+        The host scatters the fact file once (uncharged host work, like
+        fact parsing) and each shard pays its own charged H2D upload —
+        the same total PCIe volume as the single-device load.
+        """
+        parts = partition_rows_host(rows, self.shard_column, self.num_shards)
+        for shard, part in zip(self.shards, parts):
+            shard.initialize(part)
+
+    def initialize_shard(self, shard: int, rows, *, device_resident: bool = False) -> None:
+        """Load one shard's partition directly (stratum-init edge)."""
+        self.shards[shard].initialize(rows, device_resident=device_resident)
+
+    def add_new_shard(self, shard: int, rows, *, device_resident: bool = False) -> None:
+        """Append tuples already routed to ``shard`` to its *new* version."""
+        self.shards[shard].add_new(rows, device_resident=device_resident)
+
+    def end_iteration(self) -> IterationStats:
+        """Run populate-delta / merge / clear-new on every shard.
+
+        Returns the global view: counts summed across shards (valid because
+        each tuple is owned by exactly one shard).
+        """
+        shard_stats = [shard.end_iteration() for shard in self.shards]
+        return _sum_iteration_stats(shard_stats)
+
+    def clear_delta(self) -> None:
+        for shard in self.shards:
+            shard.clear_delta()
+
+    def free(self) -> None:
+        """Release every shard's simulated device memory."""
+        for shard in self.shards:
+            shard.free()
+
+    # ------------------------------------------------------------------
+    # Introspection (global view)
+    # ------------------------------------------------------------------
+    @property
+    def full_count(self) -> int:
+        return sum(shard.full_count for shard in self.shards)
+
+    @property
+    def delta_count(self) -> int:
+        return sum(shard.delta_count for shard in self.shards)
+
+    @property
+    def new_count(self) -> int:
+        return sum(shard.new_count for shard in self.shards)
+
+    @property
+    def history(self) -> list[IterationStats]:
+        """Per-iteration global stats (shard histories summed position-wise)."""
+        histories = [shard.history for shard in self.shards]
+        length = min((len(h) for h in histories), default=0)
+        return [_sum_iteration_stats([h[i] for h in histories]) for i in range(length)]
+
+    def full_rows_host(self, *, charge: bool = True):
+        """Download every shard's full partition to host rows (charged D2H).
+
+        Shard order concatenation — a permutation of the single-device
+        result (callers compare as sets).
+        """
+        from ..backend import HOST_BACKEND
+
+        parts = [HOST_BACKEND.as_rows(shard.full_rows_host(charge=charge)) for shard in self.shards]
+        non_empty = [part for part in parts if part.shape[0]]
+        if not non_empty:
+            return HOST_BACKEND.empty((0, self.arity), dtype=HOST_BACKEND.int64)
+        return HOST_BACKEND.concatenate(non_empty, axis=0)
+
+    def as_set(self) -> set[tuple[int, ...]]:
+        result: set[tuple[int, ...]] = set()
+        for shard in self.shards:
+            result |= shard.as_set()
+        return result
+
+    def memory_bytes(self) -> int:
+        return sum(shard.memory_bytes() for shard in self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedRelation({self.name!r}, arity={self.arity}, shards={self.num_shards}, "
+            f"shard_column={self.shard_column}, full={self.full_count})"
+        )

@@ -1,0 +1,167 @@
+"""Unit tests for the CI perf-regression gate (benchmarks/check_regression.py).
+
+The bench-smoke job must *fail* on an injected regression, not just print a
+ratio; these tests pin the gate logic (pure functions over parsed artifacts)
+and the non-zero exit of the CLI so the CI behaviour is enforced by tier-1.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+# The gate script lives with the benchmarks (it is a CI entry point, not
+# package API); import it by path the same way CI executes it.
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS_DIR))
+
+import check_regression  # noqa: E402
+
+
+def healthy_backend_artifact(ratio=1.02):
+    return {"sg_two_join_fixpoint": {"numpy_vs_columnar_pipeline": ratio}}
+
+
+def healthy_merge_artifact(speedup=3.1):
+    return {
+        "single_merge": [
+            {"n_full": 10_000, "speedup": 2.0},
+            {"n_full": 40_000, "speedup": speedup},
+        ]
+    }
+
+
+def healthy_sharded_artifact():
+    return {
+        "sg_sharded_scaling": {
+            "curve": [
+                {"num_shards": 1, "sg_count": 1000, "exchange_bytes": 0},
+                {"num_shards": 2, "sg_count": 1000, "exchange_bytes": 4096},
+                {"num_shards": 4, "sg_count": 1000, "exchange_bytes": 8192},
+            ]
+        }
+    }
+
+
+# ----------------------------------------------------------------------
+# Gate functions
+# ----------------------------------------------------------------------
+
+def test_healthy_artifacts_pass_every_gate():
+    failures = check_regression.run_gates(
+        healthy_backend_artifact(),
+        healthy_merge_artifact(),
+        healthy_sharded_artifact(),
+    )
+    assert failures == []
+
+
+def test_dispatch_ratio_regression_fails():
+    failures = check_regression.check_dispatch_ratio(healthy_backend_artifact(ratio=1.25))
+    assert len(failures) == 1
+    assert "1.250" in failures[0]
+
+
+def test_dispatch_ratio_boundary_is_inclusive():
+    assert check_regression.check_dispatch_ratio(healthy_backend_artifact(ratio=1.10)) == []
+    assert check_regression.check_dispatch_ratio(healthy_backend_artifact(ratio=1.101)) != []
+
+
+def test_missing_dispatch_ratio_fails_loudly():
+    # A silently skipped comparison is how the old job discarded the signal.
+    assert check_regression.check_dispatch_ratio({"sg_two_join_fixpoint": {}}) != []
+    assert check_regression.check_dispatch_ratio({}) != []
+
+
+def test_merge_ratio_regression_fails():
+    failures = check_regression.check_merge_ratio(healthy_merge_artifact(speedup=1.2))
+    assert len(failures) == 1
+    assert "1.20x" in failures[0]
+
+
+def test_merge_gate_uses_largest_full_size():
+    # The 10k entry is below the floor, but only the largest |full| gates.
+    artifact = {
+        "single_merge": [
+            {"n_full": 10_000, "speedup": 1.1},
+            {"n_full": 40_000, "speedup": 2.5},
+        ]
+    }
+    assert check_regression.check_merge_ratio(artifact) == []
+
+
+def test_merge_gate_fails_on_empty_artifact():
+    assert check_regression.check_merge_ratio({}) != []
+    assert check_regression.check_merge_ratio({"single_merge": []}) != []
+
+
+def test_sharded_gate_requires_nonzero_exchange():
+    artifact = healthy_sharded_artifact()
+    artifact["sg_sharded_scaling"]["curve"][1]["exchange_bytes"] = 0
+    failures = check_regression.check_sharded(artifact)
+    assert len(failures) == 1
+    assert "N=2" in failures[0]
+
+
+def test_sharded_gate_requires_matching_output_sizes():
+    artifact = healthy_sharded_artifact()
+    artifact["sg_sharded_scaling"]["curve"][2]["sg_count"] = 999
+    failures = check_regression.check_sharded(artifact)
+    assert any("999" in failure for failure in failures)
+
+
+def test_sharded_gate_requires_single_device_baseline():
+    artifact = {
+        "sg_sharded_scaling": {
+            "curve": [{"num_shards": 2, "sg_count": 10, "exchange_bytes": 1}]
+        }
+    }
+    assert check_regression.check_sharded(artifact) != []
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes (what CI actually observes)
+# ----------------------------------------------------------------------
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_cli_passes_on_healthy_artifacts(tmp_path, capsys):
+    code = check_regression.main(
+        [
+            "--backend-json", write(tmp_path, "backend.json", healthy_backend_artifact()),
+            "--merge-json", write(tmp_path, "merge.json", healthy_merge_artifact()),
+            "--sharded-json", write(tmp_path, "sharded.json", healthy_sharded_artifact()),
+        ]
+    )
+    assert code == 0
+    assert "passed" in capsys.readouterr().out
+
+
+def test_cli_exits_nonzero_on_injected_regression(tmp_path, capsys):
+    code = check_regression.main(
+        [
+            "--backend-json", write(tmp_path, "backend.json", healthy_backend_artifact(ratio=1.5)),
+            "--merge-json", write(tmp_path, "merge.json", healthy_merge_artifact(speedup=1.0)),
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "PERF REGRESSION GATE FAILED" in err
+    assert "dispatch ratio" in err
+    assert "merge speedup" in err
+
+
+def test_cli_honours_threshold_overrides(tmp_path):
+    backend = write(tmp_path, "backend.json", healthy_backend_artifact(ratio=1.2))
+    assert check_regression.main(["--backend-json", backend]) == 1
+    assert check_regression.main(["--backend-json", backend, "--max-dispatch-ratio", "1.3"]) == 0
+
+
+def test_cli_requires_at_least_one_artifact():
+    with pytest.raises(SystemExit):
+        check_regression.main([])

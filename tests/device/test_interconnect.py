@@ -1,0 +1,66 @@
+"""Interconnect (device<->device) bandwidth modelling and cost charging."""
+
+import pytest
+
+from repro.device import (
+    LINK_INTERCONNECT,
+    LINK_PCIE,
+    CostModel,
+    KernelCost,
+    device_preset,
+)
+from repro.device.spec import GB, DeviceSpec
+
+
+def test_gpu_presets_have_nvlink_class_interconnect():
+    h100 = device_preset("h100")
+    assert h100.interconnect_bandwidth_gbps == 450.0
+    assert h100.interconnect_bandwidth_bytes == 450.0 * GB
+    # NVLink sits between PCIe and HBM.
+    assert h100.pcie_bandwidth_bytes < h100.interconnect_bandwidth_bytes
+    assert h100.interconnect_bandwidth_bytes < h100.memory_bandwidth_gbps * GB
+
+
+def test_gpu_default_interconnect_is_nvlink_class():
+    spec = DeviceSpec(
+        name="generic",
+        kind="gpu",
+        sm_count=10,
+        cores_per_sm=32,
+        clock_ghz=1.0,
+        memory_bandwidth_gbps=1000.0,
+        memory_capacity_bytes=1 << 30,
+    )
+    assert spec.interconnect_bandwidth_bytes == 300.0 * GB
+
+
+def test_cpu_interconnect_is_streaming_memory_bandwidth():
+    cpu = device_preset("epyc-7543p")
+    assert cpu.interconnect_bandwidth_bytes == cpu.sequential_bandwidth_bytes
+
+
+def test_transfer_seconds_selects_link_bandwidth():
+    spec = device_preset("h100")
+    model = CostModel(spec)
+    nbytes = 1_000_000_000.0
+    pcie = KernelCost(kernel="t", transfer_bytes=nbytes, launches=0)
+    nvlink = KernelCost(
+        kernel="t", transfer_bytes=nbytes, transfer_link=LINK_INTERCONNECT, launches=0
+    )
+    assert pcie.transfer_link == LINK_PCIE
+    assert model.transfer_seconds(pcie) == pytest.approx(nbytes / spec.pcie_bandwidth_bytes)
+    assert model.transfer_seconds(nvlink) == pytest.approx(
+        nbytes / spec.interconnect_bandwidth_bytes
+    )
+    assert model.transfer_seconds(nvlink) < model.transfer_seconds(pcie)
+
+
+def test_combined_with_preserves_link_and_rejects_mixing():
+    pcie = KernelCost(kernel="a", transfer_bytes=8.0)
+    nvlink = KernelCost(kernel="b", transfer_bytes=8.0, transfer_link=LINK_INTERCONNECT)
+    plain = KernelCost(kernel="c", sequential_bytes=8.0)
+    assert nvlink.combined_with(plain).transfer_link == LINK_INTERCONNECT
+    assert plain.combined_with(nvlink).transfer_link == LINK_INTERCONNECT
+    assert pcie.combined_with(plain).transfer_bytes == 8.0
+    with pytest.raises(ValueError):
+        pcie.combined_with(nvlink)
