@@ -19,6 +19,11 @@ absolute wall-clock noise cancels out:
   scaling curve must report non-zero interconnect traffic and the same
   output size as the single-device baseline; zero exchange bytes means the
   charged ``device_to_device`` boundary was silently bypassed.
+* **checkpoint overhead** — the SG fixpoint at ``checkpoint_every=50`` must
+  stay within ``--max-checkpoint-overhead`` (default 1.10) of the
+  checkpoint-free simulated time, actually take checkpoints, and produce
+  identical output sizes at every cadence; a bigger ratio means the
+  fault-tolerance insurance premium stopped being cheap.
 
 Each gate is a pure function over the parsed artifact (returning a list of
 violation messages) so the logic is unit-testable without touching the
@@ -36,6 +41,10 @@ from pathlib import Path
 MAX_DISPATCH_RATIO = 1.10
 #: Default floor for the quick incremental-merge speedup (largest |full|).
 MIN_MERGE_RATIO = 1.8
+#: Default ceiling for checkpoint_every=50 simulated time vs checkpoint-free.
+MAX_CHECKPOINT_OVERHEAD = 1.10
+#: The cadence the checkpoint-overhead gate pins (issue: <=10% at 50).
+GATED_CHECKPOINT_CADENCE = 50
 
 
 def check_dispatch_ratio(artifact: dict, max_ratio: float = MAX_DISPATCH_RATIO) -> list[str]:
@@ -98,13 +107,65 @@ def check_sharded(artifact: dict) -> list[str]:
     return failures
 
 
+def check_robustness(
+    artifact: dict, max_overhead: float = MAX_CHECKPOINT_OVERHEAD
+) -> list[str]:
+    """Gate the checkpoint-overhead curve recorded in BENCH_robustness."""
+    sg = artifact.get("sg_checkpoint_overhead") or {}
+    curve = sg.get("curve") or []
+    if not curve:
+        return ["robustness artifact has no sg_checkpoint_overhead curve"]
+    failures: list[str] = []
+    baseline = curve[0]
+    if baseline.get("checkpoint_every") != 0:
+        failures.append(
+            "checkpoint-overhead curve must start at the checkpoint_every=0 baseline"
+        )
+    gated = None
+    for entry in curve:
+        cadence = entry.get("checkpoint_every")
+        if entry.get("sg_count") != baseline.get("sg_count"):
+            failures.append(
+                f"checkpointed run at checkpoint_every={cadence} produced "
+                f"|sg|={entry.get('sg_count')}, baseline produced {baseline.get('sg_count')}"
+            )
+        if cadence and not entry.get("checkpoints_taken"):
+            failures.append(
+                f"run at checkpoint_every={cadence} took no checkpoints — the "
+                "snapshot path was silently skipped, so the overhead number is vacuous"
+            )
+        if cadence == GATED_CHECKPOINT_CADENCE:
+            gated = entry
+    if gated is None:
+        failures.append(
+            f"robustness curve has no checkpoint_every={GATED_CHECKPOINT_CADENCE} "
+            "entry — nothing to gate"
+        )
+        return failures
+    ratio = gated.get("overhead_vs_uncheckpointed")
+    if ratio is None:
+        failures.append(
+            f"checkpoint_every={GATED_CHECKPOINT_CADENCE} entry has no "
+            "overhead_vs_uncheckpointed ratio"
+        )
+    elif ratio > max_overhead:
+        failures.append(
+            f"checkpoint overhead {ratio:.3f}x at "
+            f"checkpoint_every={GATED_CHECKPOINT_CADENCE} exceeds {max_overhead:.2f}x: "
+            "iteration-boundary snapshots got measurably more expensive"
+        )
+    return failures
+
+
 def run_gates(
     backend_artifact: dict | None,
     merge_artifact: dict | None,
     sharded_artifact: dict | None,
+    robustness_artifact: dict | None = None,
     *,
     max_dispatch_ratio: float = MAX_DISPATCH_RATIO,
     min_merge_ratio: float = MIN_MERGE_RATIO,
+    max_checkpoint_overhead: float = MAX_CHECKPOINT_OVERHEAD,
 ) -> list[str]:
     """Evaluate every gate whose artifact was supplied; returns all violations."""
     failures: list[str] = []
@@ -114,6 +175,8 @@ def run_gates(
         failures += check_merge_ratio(merge_artifact, min_merge_ratio)
     if sharded_artifact is not None:
         failures += check_sharded(sharded_artifact)
+    if robustness_artifact is not None:
+        failures += check_robustness(robustness_artifact, max_checkpoint_overhead)
     return failures
 
 
@@ -128,18 +191,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend-json", type=Path, default=None, help="BENCH_backend artifact")
     parser.add_argument("--merge-json", type=Path, default=None, help="BENCH_relational artifact")
     parser.add_argument("--sharded-json", type=Path, default=None, help="BENCH_sharded artifact")
+    parser.add_argument(
+        "--robustness-json", type=Path, default=None, help="BENCH_robustness artifact"
+    )
     parser.add_argument("--max-dispatch-ratio", type=float, default=MAX_DISPATCH_RATIO)
     parser.add_argument("--min-merge-ratio", type=float, default=MIN_MERGE_RATIO)
+    parser.add_argument(
+        "--max-checkpoint-overhead", type=float, default=MAX_CHECKPOINT_OVERHEAD
+    )
     args = parser.parse_args(argv)
-    if args.backend_json is None and args.merge_json is None and args.sharded_json is None:
+    if (
+        args.backend_json is None
+        and args.merge_json is None
+        and args.sharded_json is None
+        and args.robustness_json is None
+    ):
         parser.error("supply at least one artifact to gate")
 
     failures = run_gates(
         _load(args.backend_json),
         _load(args.merge_json),
         _load(args.sharded_json),
+        _load(args.robustness_json),
         max_dispatch_ratio=args.max_dispatch_ratio,
         min_merge_ratio=args.min_merge_ratio,
+        max_checkpoint_overhead=args.max_checkpoint_overhead,
     )
     if failures:
         print("PERF REGRESSION GATE FAILED:", file=sys.stderr)

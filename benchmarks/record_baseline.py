@@ -51,6 +51,7 @@ ARTIFACT = Path(__file__).resolve().parent / "BENCH_relational.json"
 COLUMNAR_ARTIFACT = Path(__file__).resolve().parent / "BENCH_columnar.json"
 BACKEND_ARTIFACT = Path(__file__).resolve().parent / "BENCH_backend.json"
 SHARDED_ARTIFACT = Path(__file__).resolve().parent / "BENCH_sharded.json"
+ROBUSTNESS_ARTIFACT = Path(__file__).resolve().parent / "BENCH_robustness.json"
 
 
 def time_single_merge(n_full: int, delta_size: int, *, incremental: bool, repeats: int = 3) -> float:
@@ -474,6 +475,130 @@ def record_sharded(quick: bool, shard_counts: tuple[int, ...] = (1, 2, 4, 8)) ->
     return artifact
 
 
+# ----------------------------------------------------------------------
+# Fault tolerance: what iteration-boundary checkpointing costs
+# ----------------------------------------------------------------------
+
+def time_checkpointed_fixpoint(
+    source: str, facts: dict, count_name: str, checkpoint_every: int, *, repeats: int = 3
+) -> dict:
+    """One fixpoint under a checkpoint cadence, fault injection pinned off.
+
+    ``simulated_seconds`` includes the snapshot D2H traffic the cost model
+    charges under the ``checkpoint`` phase, so the overhead ratio is
+    deterministic (host seconds are recorded too, but only for trajectory).
+    """
+    from repro.relational import InMemoryCheckpointStore
+
+    times: list[float] = []
+    info: dict = {}
+    for _ in range(repeats):
+        engine = GPULogEngine(
+            device="h100",
+            oom_enabled=False,
+            collect_relations=False,
+            fault_plan="none",
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=InMemoryCheckpointStore() if checkpoint_every else None,
+        )
+        for name, rows in facts.items():
+            engine.add_fact_array(name, rows)
+        start = time.perf_counter()
+        result = engine.run(source)
+        times.append(time.perf_counter() - start)
+        info = {
+            "checkpoint_every": checkpoint_every,
+            f"{count_name}_count": result.count(count_name),
+            "iterations": result.total_iterations,
+            "simulated_seconds": round(result.elapsed_seconds, 6),
+            "checkpoint_phase_seconds": round(
+                result.phase_seconds.get("checkpoint", 0.0), 6
+            ),
+            "checkpoints_taken": result.checkpoints_taken,
+        }
+        engine.close()
+    times.sort()
+    info["host_median_seconds"] = round(times[len(times) // 2], 4)
+    return info
+
+
+def record_robustness(quick: bool, cadences: tuple[int, ...] = (0, 10, 50)) -> dict:
+    """Record the checkpoint-overhead curves to ``BENCH_robustness.json``.
+
+    Two shapes, both with fault injection pinned off (``fault_plan="none"``)
+    so the curve isolates the *insurance premium* — snapshot D2H charged
+    under the ``checkpoint`` phase — from recovery costs:
+
+    * the SG depth-6 fan-3 fixpoint (the columnar/backend workload): a
+      short, wide fixpoint where each snapshot is large;
+    * the TC chain: a long, thin fixpoint where the cadence (not the
+      snapshot size) dominates — checkpoint_every=10 takes ~5x the
+      snapshots of checkpoint_every=50.
+
+    The CI gate (``check_regression.py --robustness-json``) requires the
+    checkpoint_every=50 run to stay within 10% of the checkpoint-free
+    simulated time on the SG shape, and identical output sizes everywhere.
+    """
+    if quick:
+        depth, fan, chain_length, repeats = 5, 3, 120, 1
+    else:
+        depth, fan, chain_length, repeats = 6, 3, 450, 3
+    edges = sg_tree_edges(depth, fan)
+    chain_edges = np.array([[i, i + 1] for i in range(chain_length)], dtype=np.int64)
+
+    artifact: dict = {
+        "schema_version": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": bool(quick),
+        "sg_checkpoint_overhead": {
+            "edges": int(edges.shape[0]),
+            "tree_depth": depth,
+            "tree_fan": fan,
+            "device": "h100",
+            "curve": [],
+        },
+        "tc_chain_checkpoint_overhead": {
+            "chain_length": chain_length,
+            "device": "h100",
+            "curve": [],
+        },
+    }
+
+    for key, source, facts, count_name in (
+        ("sg_checkpoint_overhead", SG_SOURCE, {"edge": edges}, "sg"),
+        ("tc_chain_checkpoint_overhead", REACH_SOURCE, {"edge": chain_edges}, "reach"),
+    ):
+        curve = artifact[key]["curve"]
+        baseline_entry = None
+        for cadence in cadences:
+            entry = time_checkpointed_fixpoint(
+                source, facts, count_name, cadence, repeats=repeats
+            )
+            if baseline_entry is None:
+                baseline_entry = entry
+            if entry[f"{count_name}_count"] != baseline_entry[f"{count_name}_count"]:
+                raise AssertionError(
+                    f"checkpointed run diverged: |{count_name}|="
+                    f"{entry[f'{count_name}_count']} at checkpoint_every={cadence}"
+                )
+            entry["overhead_vs_uncheckpointed"] = round(
+                entry["simulated_seconds"]
+                / max(1e-12, baseline_entry["simulated_seconds"]),
+                4,
+            )
+            curve.append(entry)
+            print(
+                f"{key} checkpoint_every={cadence}: simulated "
+                f"{entry['simulated_seconds']}s "
+                f"({entry['overhead_vs_uncheckpointed']}x vs uncheckpointed), "
+                f"{entry['checkpoints_taken']} checkpoints, "
+                f"checkpoint phase {entry['checkpoint_phase_seconds']}s"
+            )
+    return artifact
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
@@ -481,6 +606,7 @@ def main() -> None:
     parser.add_argument("--columnar-output", type=Path, default=COLUMNAR_ARTIFACT)
     parser.add_argument("--backend-output", type=Path, default=BACKEND_ARTIFACT)
     parser.add_argument("--sharded-output", type=Path, default=SHARDED_ARTIFACT)
+    parser.add_argument("--robustness-output", type=Path, default=ROBUSTNESS_ARTIFACT)
     parser.add_argument(
         "--backend",
         default=None,
@@ -509,11 +635,24 @@ def main() -> None:
         help="record only BENCH_sharded.json (the SG multi-device scaling "
         "curve at N in {1, 2, 4, 8} simulated shards)",
     )
+    parser.add_argument(
+        "--robustness-only",
+        action="store_true",
+        help="record only BENCH_robustness.json (the checkpoint-overhead "
+        "curve at checkpoint_every in {0, 10, 50})",
+    )
     args = parser.parse_args()
-    exclusive = [args.columnar_only, args.merge_only, args.backend_only, args.sharded_only]
+    exclusive = [
+        args.columnar_only,
+        args.merge_only,
+        args.backend_only,
+        args.sharded_only,
+        args.robustness_only,
+    ]
     if sum(exclusive) > 1:
         parser.error(
-            "--columnar-only, --merge-only, --backend-only and --sharded-only are mutually exclusive"
+            "--columnar-only, --merge-only, --backend-only, --sharded-only and "
+            "--robustness-only are mutually exclusive"
         )
     if args.backend:
         import os
@@ -530,6 +669,12 @@ def main() -> None:
         sharded_artifact = record_sharded(args.quick)
         args.sharded_output.write_text(json.dumps(sharded_artifact, indent=2) + "\n")
         print(f"wrote {args.sharded_output}")
+        return
+
+    if args.robustness_only:
+        robustness_artifact = record_robustness(args.quick)
+        args.robustness_output.write_text(json.dumps(robustness_artifact, indent=2) + "\n")
+        print(f"wrote {args.robustness_output}")
         return
 
     if not args.merge_only:

@@ -28,9 +28,11 @@ import numpy as np
 
 from ..backend import ArrayBackend, get_backend
 from ..device.device import Device
+from ..device.faults import FaultPlan, resolve_fault_plan
 from ..device.profiler import FIGURE6_PHASES, PHASE_LOAD, phase_fractions_from_seconds
 from ..device.spec import DeviceSpec
-from ..errors import DatalogError, SchemaError
+from ..errors import CheckpointError, DatalogError, DeviceBufferError, SchemaError
+from ..relational.checkpoint import CheckpointStore, EvaluationCheckpoint
 from ..relational.hashtable import DEFAULT_LOAD_FACTOR
 from ..relational.relation import IterationStats, Relation
 from ..relational.sharded import ShardedRelation
@@ -119,6 +121,18 @@ class EvaluationResult:
     exchange_bytes: float = 0.0
     #: tuples moved across shards during exchanges
     exchange_tuples: int = 0
+    #: transient kernel faults absorbed by version-level retries
+    transient_retries: int = 0
+    #: iteration-boundary checkpoints taken during the run
+    checkpoints_taken: int = 0
+    #: global rollbacks to a checkpoint (fault recovery)
+    checkpoint_restores: int = 0
+    #: shard devices rebuilt after a mid-exchange crash
+    shard_rebuilds: int = 0
+    #: rule versions re-executed in halved chunks after an OOM
+    oom_chunked_joins: int = 0
+    #: dedup passes that degraded into halved chunks after an OOM
+    oom_degraded_dedups: int = 0
 
     def relation(self, name: str) -> list[tuple[FactValue, ...]]:
         """Tuples of ``name`` (decoded), or an empty list if unknown."""
@@ -165,6 +179,11 @@ class GPULogEngine:
         collect_relations: bool = True,
         backend: "ArrayBackend | str | None" = None,
         num_shards: int | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_store: CheckpointStore | None = None,
+        max_retries: int = 3,
+        retry_backoff_seconds: float = 1e-3,
+        fault_plan: "FaultPlan | str | None" = None,
     ) -> None:
         resolved_shards = num_shards if num_shards is not None else _default_num_shards()
         if resolved_shards < 1:
@@ -186,25 +205,39 @@ class GPULogEngine:
                     f"device already uses backend {device.backend.name!r}; "
                     f"cannot override with {backend!r}"
                 )
+            if fault_plan is not None and device.fault_plan is None:
+                device.fault_plan = resolve_fault_plan(fault_plan)
             self.device = device
             # Sharding clones the pre-built device's configuration for the
-            # sibling shards (same spec, capacity, OOM policy and backend).
+            # sibling shards (same spec, capacity, OOM policy, backend and
+            # fault plan — shared *instance*, so occurrence counters are
+            # cluster-global and fault schedules stay deterministic).
             self.devices = [device] + [
                 Device(
                     device.spec,
                     memory_capacity_bytes=device.pool.capacity_bytes,
                     oom_enabled=device.pool.oom_enabled,
                     backend=device.backend,
+                    # "none" stops a plan-free clone from re-resolving
+                    # REPRO_FAULT_PLAN into a fresh, unshared plan instance.
+                    fault_plan=device.fault_plan if device.fault_plan is not None else "none",
                 )
                 for _ in range(self.num_shards - 1)
             ]
         else:
+            # Resolve the plan once (explicit argument or REPRO_FAULT_PLAN)
+            # and share the instance across every shard device.  When it
+            # resolves to nothing — including an explicit "none" opt-out —
+            # pass "none" down so the devices do not re-resolve the
+            # environment into fresh, unshared plan instances.
+            shared_plan = resolve_fault_plan(fault_plan)
             self.devices = [
                 Device(
                     device,
                     memory_capacity_bytes=memory_capacity_bytes,
                     oom_enabled=oom_enabled,
                     backend=backend,
+                    fault_plan=shared_plan if shared_plan is not None else "none",
                 )
                 for _ in range(self.num_shards)
             ]
@@ -219,6 +252,14 @@ class GPULogEngine:
         #: legacy row-array pipeline as the ablation baseline.
         self.columnar = bool(columnar)
         self.max_iterations = int(max_iterations)
+        #: checkpoint every N fixpoint iterations (0 disables checkpointing)
+        self.checkpoint_every = int(checkpoint_every)
+        #: where snapshots go; ``None`` keeps only ``last_checkpoint`` in RAM
+        self.checkpoint_store = checkpoint_store
+        self.max_retries = int(max_retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        #: newest iteration-boundary checkpoint from the most recent run
+        self.last_checkpoint: EvaluationCheckpoint | None = None
         self.symbols = SymbolTable()
         self._facts: dict[str, list[tuple[int, ...]]] = {}
         self._fact_arities: dict[str, int] = {}
@@ -313,9 +354,123 @@ class GPULogEngine:
             materialize_nway=self.materialize_nway,
             columnar=self.columnar,
             max_iterations=self.max_iterations,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_store=self.checkpoint_store,
+            max_retries=self.max_retries,
+            retry_backoff_seconds=self.retry_backoff_seconds,
+            program_name=program.name,
+            program_source=str(program),
         )
-        stats = evaluator.evaluate(idb_facts)
-        return self._build_result(program, stats)
+        try:
+            stats = evaluator.evaluate(idb_facts)
+        finally:
+            self.last_checkpoint = evaluator.last_checkpoint
+        return self._build_result(program, stats, evaluator)
+
+    def resume(
+        self,
+        checkpoint: EvaluationCheckpoint,
+        program: Union[Program, str, None] = None,
+        *,
+        name: str | None = None,
+    ) -> EvaluationResult:
+        """Continue an interrupted run from an iteration-boundary checkpoint.
+
+        ``program`` defaults to the source text the checkpoint recorded at
+        save time.  No facts are loaded: every relation (EDB included) is
+        restored from the snapshot when evaluation reaches the checkpointed
+        stratum; earlier strata are skipped outright.  The checkpoint must
+        come from a run with the same shard count as this engine.
+        """
+        if checkpoint.num_shards != self.num_shards:
+            raise CheckpointError(
+                f"checkpoint was taken with {checkpoint.num_shards} shard(s); "
+                f"this engine has {self.num_shards}"
+            )
+        if program is None:
+            if not checkpoint.program_source:
+                raise CheckpointError("checkpoint carries no program source; pass the program")
+            program = checkpoint.program_source
+        if isinstance(program, str):
+            program = Program.parse(program, name=name or checkpoint.program_name or "program")
+        program = self._intern_program(program)
+        analysis = analyze_program(program)
+        plan = plan_program(analysis)
+        arities = self._resolve_arities(program)
+        for relation_name, state in checkpoint.relations.items():
+            known = arities.get(relation_name)
+            if known is not None and known != state.arity:
+                raise CheckpointError(
+                    f"checkpoint relation {relation_name!r} has arity {state.arity}, "
+                    f"the program expects {known}"
+                )
+
+        if self.num_shards > 1:
+            shard_columns = shard_columns_for_plan(plan, arities)
+            self.relations = {}
+            for relation_name, arity in arities.items():
+                self.relations[relation_name] = ShardedRelation(
+                    self.devices,
+                    relation_name,
+                    arity,
+                    shard_column=shard_columns.get(relation_name, 0),
+                    load_factor=self.load_factor,
+                    eager_buffers=self.eager_buffers,
+                    buffer_growth_factor=self.buffer_growth_factor,
+                    incremental_merge=self.incremental_merge,
+                )
+            for relation_name, columns in plan.required_indexes():
+                self.relations[relation_name].require_index(columns)
+            evaluator = ShardedSemiNaiveEvaluator(
+                self.devices,
+                plan,
+                self.relations,
+                max_iterations=self.max_iterations,
+                checkpoint_every=self.checkpoint_every,
+                checkpoint_store=self.checkpoint_store,
+                max_retries=self.max_retries,
+                retry_backoff_seconds=self.retry_backoff_seconds,
+                program_name=program.name,
+                program_source=str(program),
+            )
+            try:
+                stats = evaluator.evaluate({}, resume_from=checkpoint)
+            finally:
+                self._sync_devices(evaluator)
+            return self._build_sharded_result(program, stats, evaluator)
+
+        self.relations = {}
+        for relation_name, arity in arities.items():
+            self.relations[relation_name] = Relation(
+                self.device,
+                relation_name,
+                arity,
+                load_factor=self.load_factor,
+                eager_buffers=self.eager_buffers,
+                buffer_growth_factor=self.buffer_growth_factor,
+                incremental_merge=self.incremental_merge,
+            )
+        for relation_name, columns in plan.required_indexes():
+            self.relations[relation_name].require_index(columns)
+        evaluator = SemiNaiveEvaluator(
+            self.device,
+            plan,
+            self.relations,
+            materialize_nway=self.materialize_nway,
+            columnar=self.columnar,
+            max_iterations=self.max_iterations,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_store=self.checkpoint_store,
+            max_retries=self.max_retries,
+            retry_backoff_seconds=self.retry_backoff_seconds,
+            program_name=program.name,
+            program_source=str(program),
+        )
+        try:
+            stats = evaluator.evaluate({}, resume_from=checkpoint)
+        finally:
+            self.last_checkpoint = evaluator.last_checkpoint
+        return self._build_result(program, stats, evaluator)
 
     def close(self) -> None:
         """Release all simulated device memory held by the engine's relations.
@@ -323,10 +478,21 @@ class GPULogEngine:
         Covers *every* shard device of a sharded engine, and double-close is
         a no-op (the relation map is detached before freeing, so a second
         call — or closing an engine that never ran — has nothing to do).
+
+        Teardown is best-effort: a run killed mid-allocation (OOM, injected
+        fault) can leave a holder with a stale buffer handle — e.g. a resize
+        that freed the old buffer and then failed to allocate the new one.
+        Releasing such a handle would raise ``DeviceBufferError`` and mask
+        the error that killed the run (the adapter closes from a ``finally``
+        while converting OOM to a status), so close skips it and frees the
+        rest; the pool is being discarded with the engine anyway.
         """
         relations, self.relations = self.relations, {}
         for relation in relations.values():
-            relation.free()
+            try:
+                relation.free()
+            except DeviceBufferError:
+                continue
 
     # ------------------------------------------------------------------
     # Sharded evaluation (num_shards > 1)
@@ -371,10 +537,28 @@ class GPULogEngine:
                     relation.initialize(rows)
 
         evaluator = ShardedSemiNaiveEvaluator(
-            self.devices, plan, self.relations, max_iterations=self.max_iterations
+            self.devices,
+            plan,
+            self.relations,
+            max_iterations=self.max_iterations,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_store=self.checkpoint_store,
+            max_retries=self.max_retries,
+            retry_backoff_seconds=self.retry_backoff_seconds,
+            program_name=program.name,
+            program_source=str(program),
         )
-        stats = evaluator.evaluate(idb_facts)
+        try:
+            stats = evaluator.evaluate(idb_facts)
+        finally:
+            # Crash recovery may have swapped in replacement shard devices.
+            self._sync_devices(evaluator)
         return self._build_sharded_result(program, stats, evaluator)
+
+    def _sync_devices(self, evaluator: ShardedSemiNaiveEvaluator) -> None:
+        self.last_checkpoint = evaluator.last_checkpoint
+        self.devices = list(evaluator.devices)
+        self.device = self.devices[0]
 
     def _build_sharded_result(
         self, program: Program, stats: EvaluationStats, evaluator: ShardedSemiNaiveEvaluator
@@ -422,6 +606,15 @@ class GPULogEngine:
             shard_peak_memory_bytes=tuple(device.peak_memory_bytes for device in self.devices),
             exchange_bytes=evaluator.exchange_bytes,
             exchange_tuples=evaluator.exchange_tuples,
+            transient_retries=evaluator.transient_retries,
+            checkpoints_taken=evaluator.checkpoints_taken,
+            checkpoint_restores=evaluator.checkpoint_restores,
+            shard_rebuilds=evaluator.shard_rebuilds,
+            oom_degraded_dedups=sum(
+                shard.oom_degradations
+                for relation in self.relations.values()
+                for shard in relation.shards
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -475,7 +668,9 @@ class GPULogEngine:
         rows = np.concatenate([np.asarray(p, dtype=np.int64).reshape(-1, arity) for p in parts], axis=0)
         return rows
 
-    def _build_result(self, program: Program, stats: EvaluationStats) -> EvaluationResult:
+    def _build_result(
+        self, program: Program, stats: EvaluationStats, evaluator: SemiNaiveEvaluator | None = None
+    ) -> EvaluationResult:
         relations: dict[str, list[tuple[FactValue, ...]]] = {}
         counts: dict[str, int] = {}
         history: dict[str, list[IterationStats]] = {}
@@ -507,4 +702,11 @@ class GPULogEngine:
             phase_fractions=profiler.phase_fractions(FIGURE6_PHASES),
             iteration_history=history,
             stats=stats,
+            transient_retries=evaluator.transient_retries if evaluator else 0,
+            checkpoints_taken=evaluator.checkpoints_taken if evaluator else 0,
+            checkpoint_restores=evaluator.checkpoint_restores if evaluator else 0,
+            oom_chunked_joins=evaluator.oom_chunked_joins if evaluator else 0,
+            oom_degraded_dedups=sum(
+                relation.oom_degradations for relation in self.relations.values()
+            ),
         )

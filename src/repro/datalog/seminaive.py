@@ -21,13 +21,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..device.cost import KernelCost
 from ..device.device import Device
-from ..device.profiler import PHASE_JOIN
-from ..errors import EvaluationError
+from ..device.profiler import PHASE_JOIN, PHASE_RECOVERY
+from ..errors import (
+    DeviceOutOfMemoryError,
+    EvaluationError,
+    FixpointInterrupted,
+    TransientDeviceError,
+)
+from ..relational.checkpoint import CheckpointStore, EvaluationCheckpoint, RelationState
 from ..relational.columnbatch import ColumnBatch
 from ..relational.operators import RowsLike, fused_nway_join, hash_join, project, select
 from ..relational.relation import Relation
 from .planner import DELTA, ProgramPlan, RuleVersion
+
+#: Deepest recursive halving of a rule version's input scan under OOM; at
+#: depth 12 a chunk is 1/4096 of the scan and further splitting cannot help.
+OOM_CHUNK_MAX_DEPTH = 12
 
 
 @dataclass
@@ -77,6 +88,12 @@ class SemiNaiveEvaluator:
         materialize_nway: bool = True,
         columnar: bool = True,
         max_iterations: int = 1_000_000,
+        checkpoint_every: int = 0,
+        checkpoint_store: CheckpointStore | None = None,
+        max_retries: int = 3,
+        retry_backoff_seconds: float = 1e-3,
+        program_name: str = "",
+        program_source: str = "",
     ) -> None:
         self.device = device
         self.plan = plan
@@ -86,14 +103,38 @@ class SemiNaiveEvaluator:
         #: legacy row-array pipeline (the ablation baseline).
         self.columnar = bool(columnar)
         self.max_iterations = int(max_iterations)
+        #: snapshot (full, delta) of every relation each N iterations (0 = off)
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_store = checkpoint_store
+        #: transient-fault retries per rule version, and global restores
+        self.max_retries = int(max_retries)
+        #: simulated backoff before retry k is ``base * 2**(k-1)`` seconds,
+        #: recorded under the recovery phase (never a wall-clock sleep)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        self.program_name = program_name
+        self.program_source = program_source
+        self.last_checkpoint: EvaluationCheckpoint | None = None
+        # Recovery counters (surfaced by the engine result).
+        self.transient_retries = 0
+        self.checkpoints_taken = 0
+        self.checkpoint_restores = 0
+        self.oom_chunked_joins = 0
 
     # ------------------------------------------------------------------
-    def evaluate(self, idb_facts: dict[str, np.ndarray] | None = None) -> EvaluationStats:
+    def evaluate(
+        self,
+        idb_facts: dict[str, np.ndarray] | None = None,
+        *,
+        resume_from: EvaluationCheckpoint | None = None,
+    ) -> EvaluationStats:
         """Run every stratum to its fixpoint.
 
         ``idb_facts`` optionally supplies ground facts for IDB relations
         (loaded together with the non-recursive rule results when the
-        relation's stratum starts).
+        relation's stratum starts).  ``resume_from`` skips every stratum the
+        checkpoint already completed, restores all relations from its
+        snapshot, and continues the checkpointed stratum at the recorded
+        iteration boundary.
         """
         idb_facts = dict(idb_facts or {})
         stats = EvaluationStats()
@@ -102,48 +143,69 @@ class SemiNaiveEvaluator:
         for stratum in analysis.strata:
             non_recursive, recursive = self.plan.versions_for_stratum(stratum.index)
             idb_in_stratum = sorted(stratum.relations & set(analysis.idb_relations))
+            start_iteration = 0
 
-            # ----------------------------------------------------------
-            # Initialise the stratum: facts + non-recursive rule results.
-            # ----------------------------------------------------------
-            backend = self.device.backend
-            initial_rows: dict[str, list] = defaultdict(list)
-            for name in idb_in_stratum:
-                if name in idb_facts:
-                    # Ground IDB facts are host payloads: the stratum-init
-                    # edge uploads them through the charged H2D transfer.
-                    initial_rows[name].append(
-                        self.device.kernels.from_host(
-                            idb_facts.pop(name), dtype=backend.int64, label=f"{name}.h2d_facts"
-                        )
+            if resume_from is not None and stratum.index < resume_from.stratum_index:
+                # Completed before the checkpoint; its state is inside it.
+                stats.strata.append(
+                    StratumResult(
+                        index=stratum.index,
+                        relations=tuple(idb_in_stratum),
+                        recursive=stratum.recursive,
+                        iterations=0,
                     )
-            for version in non_recursive:
-                result = self._execute_version(version)
-                if len(result):
-                    if isinstance(result, ColumnBatch):
-                        # Stratum initialization is a materialization edge:
-                        # the rows feed fact loading, which indexes them all.
-                        # Charged as join output (the row pipeline writes the
-                        # equivalent tuples inside the join phase); the rows
-                        # stay device-resident — no PCIe crossing here.
-                        with self.device.profiler.phase(PHASE_JOIN):
-                            result = result.as_rows(label=f"{version.head_relation}.materialize_init")
-                    initial_rows[version.head_relation].append(result)
-            for name in idb_in_stratum:
-                relation = self.relations[name]
-                parts = initial_rows.get(name, [])
-                if parts:
-                    rows = backend.concatenate(parts, axis=0)
-                else:
-                    rows = backend.empty((0, relation.arity), dtype=backend.int64)
-                relation.initialize(rows, device_resident=True)
+                )
+                continue
+            if resume_from is not None and stratum.index == resume_from.stratum_index:
+                self.restore_checkpoint(resume_from)
+                start_iteration = resume_from.iteration
+                resume_from = None
+            else:
+                # ------------------------------------------------------
+                # Initialise the stratum: facts + non-recursive results.
+                # ------------------------------------------------------
+                backend = self.device.backend
+                initial_rows: dict[str, list] = defaultdict(list)
+                for name in idb_in_stratum:
+                    if name in idb_facts:
+                        # Ground IDB facts are host payloads: the stratum-init
+                        # edge uploads them through the charged H2D transfer.
+                        initial_rows[name].append(
+                            self.device.kernels.from_host(
+                                idb_facts.pop(name), dtype=backend.int64, label=f"{name}.h2d_facts"
+                            )
+                        )
+                for version in non_recursive:
+                    def stage(result, version=version):
+                        if isinstance(result, ColumnBatch):
+                            # Stratum initialization is a materialization edge:
+                            # the rows feed fact loading, which indexes them
+                            # all.  Charged as join output (the row pipeline
+                            # writes the equivalent tuples inside the join
+                            # phase); the rows stay device-resident — no PCIe
+                            # crossing here.
+                            with self.device.profiler.phase(PHASE_JOIN):
+                                result = result.as_rows(
+                                    label=f"{version.head_relation}.materialize_init"
+                                )
+                        initial_rows[version.head_relation].append(result)
+
+                    self._execute_with_recovery(version, stage)
+                for name in idb_in_stratum:
+                    relation = self.relations[name]
+                    parts = initial_rows.get(name, [])
+                    if parts:
+                        rows = backend.concatenate(parts, axis=0)
+                    else:
+                        rows = backend.empty((0, relation.arity), dtype=backend.int64)
+                    relation.initialize(rows, device_resident=True)
 
             iterations = 0
             in_place_merges = 0
             rebuild_merges = 0
             if recursive:
                 iterations, in_place_merges, rebuild_merges = self._run_fixpoint(
-                    stratum.index, idb_in_stratum, recursive
+                    stratum.index, idb_in_stratum, recursive, start_iteration=start_iteration
                 )
             else:
                 # Nothing recursive: clear deltas so later strata see stable fulls.
@@ -164,51 +226,187 @@ class SemiNaiveEvaluator:
 
     # ------------------------------------------------------------------
     def _run_fixpoint(
-        self, stratum_index: int, idb_in_stratum: list[str], recursive: list[RuleVersion]
+        self,
+        stratum_index: int,
+        idb_in_stratum: list[str],
+        recursive: list[RuleVersion],
+        *,
+        start_iteration: int = 0,
     ) -> tuple[int, int, int]:
-        iteration = 0
+        iteration = start_iteration
         in_place_merges = 0
         rebuild_merges = 0
+        restores = 0
+        if self.checkpoint_every and iteration == 0:
+            # Baseline snapshot right after stratum init, so even an
+            # iteration-1 fault has a boundary to roll back to.
+            self.save_checkpoint(stratum_index, iteration)
         while True:
             iteration += 1
             if iteration > self.max_iterations:
                 raise EvaluationError(
                     f"stratum {stratum_index} exceeded {self.max_iterations} iterations without reaching a fixpoint"
                 )
-            with self.device.profiler.iteration(iteration):
-                for version in recursive:
-                    delta_relation = self.relations[version.initial.relation]
-                    if delta_relation.delta_count == 0:
-                        continue
-                    result = self._execute_version(version)
-                    if len(result):
-                        # add_new materializes a columnar result's head
-                        # columns; that is the join's output write, so it is
-                        # attributed to the join phase like the row
-                        # pipeline's in-kernel head projection.  Join outputs
-                        # are device-resident in both pipelines — no PCIe
-                        # crossing at this edge.
-                        with self.device.profiler.phase(PHASE_JOIN):
-                            self.relations[version.head_relation].add_new(
-                                result, device_resident=True
-                            )
-                total_delta = 0
-                for name in idb_in_stratum:
-                    result = self.relations[name].end_iteration()
-                    total_delta += result.delta_count
-                    in_place_merges += result.in_place_merges
-                    rebuild_merges += result.rebuild_merges
+            try:
+                with self.device.profiler.iteration(iteration):
+                    for version in recursive:
+                        delta_relation = self.relations[version.initial.relation]
+                        if delta_relation.delta_count == 0:
+                            continue
+
+                        def append_new(result, version=version):
+                            # add_new materializes a columnar result's head
+                            # columns; that is the join's output write, so it
+                            # is attributed to the join phase like the row
+                            # pipeline's in-kernel head projection.  Join
+                            # outputs are device-resident in both pipelines —
+                            # no PCIe crossing at this edge.
+                            with self.device.profiler.phase(PHASE_JOIN):
+                                self.relations[version.head_relation].add_new(
+                                    result, device_resident=True
+                                )
+
+                        self._execute_with_recovery(version, append_new)
+                    total_delta = 0
+                    for name in idb_in_stratum:
+                        result = self.relations[name].end_iteration()
+                        total_delta += result.delta_count
+                        in_place_merges += result.in_place_merges
+                        rebuild_merges += result.rebuild_merges
+            except TransientDeviceError as error:
+                # Per-version retries are exhausted, or the fault hit a
+                # non-idempotent step (merge).  Roll every relation back to
+                # the last iteration boundary and replay from there; without
+                # a checkpoint the fixpoint cannot be replayed safely.
+                restores += 1
+                if self.last_checkpoint is None or restores > self.max_retries:
+                    raise FixpointInterrupted(
+                        f"stratum {stratum_index} iteration {iteration}: {error}",
+                        checkpoint=self.last_checkpoint,
+                        cause=error,
+                    ) from error
+                self.restore_checkpoint(self.last_checkpoint)
+                self._charge_backoff(restores, label="fixpoint_restore")
+                iteration = self.last_checkpoint.iteration
+                continue
+            if self.checkpoint_every and (
+                iteration % self.checkpoint_every == 0 or total_delta == 0
+            ):
+                # The fixpoint itself is always snapshotted, mirroring the
+                # sharded evaluator's stratum-final boundary.
+                self.save_checkpoint(stratum_index, iteration)
             if total_delta == 0:
                 break
         return iteration, in_place_merges, rebuild_merges
 
     # ------------------------------------------------------------------
+    # Fault recovery
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, stratum_index: int, iteration: int) -> EvaluationCheckpoint:
+        """Snapshot every relation's (full, delta) at an iteration boundary."""
+        checkpoint = EvaluationCheckpoint(
+            program_name=self.program_name,
+            stratum_index=stratum_index,
+            iteration=iteration,
+            num_shards=1,
+            relations={
+                name: RelationState(
+                    name=name, arity=relation.arity, partitions=[relation.checkpoint_state()]
+                )
+                for name, relation in self.relations.items()
+            },
+            program_source=self.program_source,
+        )
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(checkpoint)
+        self.last_checkpoint = checkpoint
+        self.checkpoints_taken += 1
+        return checkpoint
+
+    def restore_checkpoint(self, checkpoint: EvaluationCheckpoint) -> None:
+        """Roll every relation back to the checkpoint's iteration boundary."""
+        for name, state in checkpoint.relations.items():
+            relation = self.relations.get(name)
+            if relation is not None:
+                relation.restore(state.partitions[0])
+        self.last_checkpoint = checkpoint
+        self.checkpoint_restores += 1
+
+    def _execute_with_recovery(
+        self,
+        version: RuleVersion,
+        consume,
+        *,
+        part: tuple[int, int] = (0, 1),
+        depth: int = 0,
+    ) -> None:
+        """Execute one rule version and hand its output to ``consume``.
+
+        Transient kernel faults retry the whole (idempotent) version with
+        exponential backoff; re-executed appends at worst duplicate tuples
+        that deduplication removes.  An out-of-memory failure degrades
+        gracefully instead: the version re-executes over halved row ranges
+        of its input scan (recursively, down to single rows), each chunk
+        consumed independently — every extra pass is charged through the
+        cost model, so degradation is visible in the profile.
+        """
+        label = f"{version.head_relation}<-{version.initial.relation}"
+        try:
+            retries = 0
+            while True:
+                try:
+                    result = self._execute_version(version, part=part)
+                    if len(result):
+                        consume(result)
+                    return
+                except TransientDeviceError:
+                    retries += 1
+                    self.transient_retries += 1
+                    if retries > self.max_retries:
+                        raise
+                    self._charge_backoff(retries, label=label)
+        except DeviceOutOfMemoryError:
+            index, parts = part
+            span = self._part_span(version, part)
+            if span <= 1 or depth >= OOM_CHUNK_MAX_DEPTH:
+                raise
+            self.oom_chunked_joins += 1
+            self.device.profiler.record(
+                KernelCost(kernel=f"oom_degrade[{label}]", launches=0),
+                0.0,
+                phase=PHASE_RECOVERY,
+            )
+            self._execute_with_recovery(version, consume, part=(2 * index, 2 * parts), depth=depth + 1)
+            self._execute_with_recovery(version, consume, part=(2 * index + 1, 2 * parts), depth=depth + 1)
+
+    def _part_span(self, version: RuleVersion, part: tuple[int, int]) -> int:
+        """Rows of the version's input scan covered by chunk ``part``."""
+        relation = self.relations[version.initial.relation]
+        count = relation.delta_count if version.initial.version == DELTA else relation.full_count
+        index, parts = part
+        return (count * (index + 1)) // parts - (count * index) // parts
+
+    def _charge_backoff(self, attempt: int, *, label: str) -> None:
+        """Record the simulated exponential backoff before retry ``attempt``.
+
+        Deterministic: the wait is charged straight into the profiler under
+        the recovery phase — the simulation never sleeps.
+        """
+        seconds = self.retry_backoff_seconds * (2 ** (attempt - 1))
+        self.device.profiler.record(
+            KernelCost(kernel=f"retry_backoff[{label}]", launches=0),
+            seconds,
+            phase=PHASE_RECOVERY,
+            fixed_seconds=seconds,
+        )
+
+    # ------------------------------------------------------------------
     # Rule-version execution
     # ------------------------------------------------------------------
-    def _execute_version(self, version: RuleVersion) -> RowsLike:
+    def _execute_version(self, version: RuleVersion, *, part: tuple[int, int] = (0, 1)) -> RowsLike:
         backend = self.device.backend
         with self.device.profiler.phase(PHASE_JOIN):
-            rows = self._initial_rows(version)
+            rows = self._initial_rows(version, part=part)
             if len(rows) == 0:
                 return backend.empty((0, len(version.head)), dtype=backend.int64)
             if self.materialize_nway or len(version.joins) <= 1 or not self._fusable(version):
@@ -219,10 +417,18 @@ class SemiNaiveEvaluator:
                 rows = select(self.device, rows, version.final_filters, label=f"{version.head_relation}.filter")
             return self._project_head(version, rows)
 
-    def _initial_rows(self, version: RuleVersion) -> RowsLike:
+    def _initial_rows(self, version: RuleVersion, part: tuple[int, int] = (0, 1)) -> RowsLike:
         initial = version.initial
         relation = self.relations[initial.relation]
-        if self.columnar:
+        if part != (0, 1):
+            # Degraded (OOM) re-execution: one row-range chunk of the input
+            # scan, through the row pipeline so the slice is a plain view.
+            rows = relation.delta_rows if initial.version == DELTA else relation.full_rows()
+            n = rows.shape[0]
+            index, parts = part
+            rows = rows[(n * index) // parts : (n * (index + 1)) // parts]
+            arity = rows.shape[1]
+        elif self.columnar:
             # Zero-copy columnar scan over the relation's stored columns.
             rows: RowsLike = (
                 relation.delta_batch if initial.version == DELTA else relation.full_batch()

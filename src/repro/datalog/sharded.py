@@ -30,9 +30,18 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from contextlib import ExitStack
 
+import numpy as np
+
+from ..device.cost import KernelCost
 from ..device.device import Device
-from ..device.profiler import PHASE_JOIN, PHASE_SHARD_EXCHANGE
-from ..errors import EvaluationError
+from ..device.profiler import PHASE_JOIN, PHASE_RECOVERY, PHASE_SHARD_EXCHANGE
+from ..errors import (
+    EvaluationError,
+    ExchangeError,
+    FixpointInterrupted,
+    TransientDeviceError,
+)
+from ..relational.checkpoint import CheckpointStore, EvaluationCheckpoint
 from ..relational.operators import hash_join, project, select
 from ..relational.sharded import ShardedRelation, partition_rows, partition_rows_host
 from .planner import DELTA, ProgramPlan, RuleVersion
@@ -75,18 +84,37 @@ class ShardedSemiNaiveEvaluator:
         relations: dict[str, ShardedRelation],
         *,
         max_iterations: int = 1_000_000,
+        checkpoint_every: int = 0,
+        checkpoint_store: CheckpointStore | None = None,
+        max_retries: int = 3,
+        retry_backoff_seconds: float = 1e-3,
+        program_name: str = "",
+        program_source: str = "",
     ) -> None:
         self.devices = list(devices)
         self.num_shards = len(self.devices)
         self.plan = plan
         self.relations = relations
         self.max_iterations = int(max_iterations)
+        #: snapshot (full, delta) of every shard each N iterations (0 = off)
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_store = checkpoint_store
+        self.max_retries = int(max_retries)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        self.program_name = program_name
+        self.program_source = program_source
+        self.last_checkpoint: EvaluationCheckpoint | None = None
         #: tuples moved across shards (the exchange volume in rows)
         self.exchange_tuples = 0
         #: join steps whose probe was shard-local after a key repartition
         self.aligned_joins = 0
         #: join steps that had to broadcast the outer side (misaligned probe)
         self.broadcast_joins = 0
+        # Recovery counters (surfaced by the engine result).
+        self.transient_retries = 0
+        self.checkpoints_taken = 0
+        self.checkpoint_restores = 0
+        self.shard_rebuilds = 0
 
     @property
     def exchange_bytes(self) -> float:
@@ -94,7 +122,7 @@ class ShardedSemiNaiveEvaluator:
         return sum(device.profiler.interconnect_bytes for device in self.devices)
 
     # ------------------------------------------------------------------
-    def evaluate(self, idb_facts=None) -> EvaluationStats:
+    def evaluate(self, idb_facts=None, *, resume_from: EvaluationCheckpoint | None = None) -> EvaluationStats:
         """Run every stratum to its global fixpoint (all shards' deltas empty)."""
         idb_facts = dict(idb_facts or {})
         stats = EvaluationStats()
@@ -103,42 +131,59 @@ class ShardedSemiNaiveEvaluator:
         for stratum in analysis.strata:
             non_recursive, recursive = self.plan.versions_for_stratum(stratum.index)
             idb_in_stratum = sorted(stratum.relations & set(analysis.idb_relations))
+            start_iteration = 0
 
-            # ----------------------------------------------------------
-            # Initialise the stratum: facts + non-recursive rule results,
-            # every part already routed to its owner shard.
-            # ----------------------------------------------------------
-            initial_parts: dict[str, list[list]] = {
-                name: [[] for _ in range(self.num_shards)] for name in idb_in_stratum
-            }
-            for name in idb_in_stratum:
-                if name in idb_facts:
-                    self._stage_ground_facts(name, idb_facts.pop(name), initial_parts[name])
-            for version in non_recursive:
-                parts = self._execute_version(version)
-                bucket = initial_parts[version.head_relation]
-                for shard, rows in enumerate(parts):
-                    if len(rows):
-                        bucket[shard].append(rows)
-            for name in idb_in_stratum:
-                relation = self.relations[name]
-                for shard in range(self.num_shards):
-                    backend = self.devices[shard].backend
-                    parts = initial_parts[name][shard]
-                    if not parts:
-                        rows = backend.empty((0, relation.arity), dtype=backend.int64)
-                    elif len(parts) == 1:
-                        rows = parts[0]
-                    else:
-                        rows = backend.concatenate(parts, axis=0)
-                    relation.initialize_shard(shard, rows, device_resident=True)
+            if resume_from is not None and stratum.index < resume_from.stratum_index:
+                # Completed before the checkpoint; its state is inside it.
+                stats.strata.append(
+                    StratumResult(
+                        index=stratum.index,
+                        relations=tuple(idb_in_stratum),
+                        recursive=stratum.recursive,
+                        iterations=0,
+                    )
+                )
+                continue
+            if (
+                resume_from is not None
+                and stratum.index == resume_from.stratum_index
+                and not resume_from.metadata.get("pre_init")
+            ):
+                self.restore_checkpoint(resume_from)
+                start_iteration = resume_from.iteration
+                resume_from = None
+            else:
+                stratum_facts = {
+                    name: idb_facts.pop(name) for name in idb_in_stratum if name in idb_facts
+                }
+                if resume_from is not None:
+                    # A pre-init snapshot: restore the pre-stratum state and
+                    # replay initialization (its staged ground facts travel
+                    # in the checkpoint metadata).
+                    self.restore_checkpoint(resume_from)
+                    for name, rows in resume_from.metadata.get("idb_facts", {}).items():
+                        relation = self.relations[name]
+                        stratum_facts[name] = np.asarray(rows, dtype=np.int64).reshape(
+                            -1, relation.arity
+                        )
+                    resume_from = None
+                elif self.checkpoint_every and self.last_checkpoint is None:
+                    # First stratum: snapshot the pre-init state (EDB facts,
+                    # empty IDB) so a shard crash while initial parts are
+                    # routed has a boundary to roll back to.
+                    self.save_checkpoint(
+                        stratum.index, 0, pre_init=True, stratum_facts=stratum_facts
+                    )
+                self._initialize_stratum(
+                    stratum.index, idb_in_stratum, non_recursive, stratum_facts
+                )
 
             iterations = 0
             in_place_merges = 0
             rebuild_merges = 0
             if recursive:
                 iterations, in_place_merges, rebuild_merges = self._run_fixpoint(
-                    stratum.index, idb_in_stratum, recursive
+                    stratum.index, idb_in_stratum, recursive, start_iteration=start_iteration
                 )
             else:
                 for name in idb_in_stratum:
@@ -156,6 +201,71 @@ class ShardedSemiNaiveEvaluator:
             )
         return stats
 
+    def _initialize_stratum(
+        self,
+        stratum_index: int,
+        idb_in_stratum: list[str],
+        non_recursive: list[RuleVersion],
+        stratum_facts: dict,
+    ) -> None:
+        """Initialise the stratum: facts + non-recursive rule results, every
+        part already routed to its owner shard.
+
+        Exchange faults (a shard dying while initial parts are routed) are
+        recovered here: initialization is a pure function of the stratum's
+        ground facts plus the state earlier strata left behind, so the
+        crashed device is rebuilt, every shard rolls back to the last
+        checkpoint (the first stratum's pre-init snapshot or the previous
+        stratum's final one), and the block replays from scratch —
+        ``initialize_shard`` replaces state wholesale, so a partial first
+        attempt leaves no residue.
+        """
+        attempts = 0
+        while True:
+            try:
+                initial_parts: dict[str, list[list]] = {
+                    name: [[] for _ in range(self.num_shards)] for name in idb_in_stratum
+                }
+                for name, rows in stratum_facts.items():
+                    self._stage_ground_facts(name, rows, initial_parts[name])
+                for version in non_recursive:
+                    parts = self._retry_transient(
+                        lambda version=version: self._execute_version(version),
+                        label=f"{version.head_relation}<-{version.initial.relation}",
+                    )
+                    bucket = initial_parts[version.head_relation]
+                    for shard, rows in enumerate(parts):
+                        if len(rows):
+                            bucket[shard].append(rows)
+                for name in idb_in_stratum:
+                    relation = self.relations[name]
+                    for shard in range(self.num_shards):
+                        backend = self.devices[shard].backend
+                        parts = initial_parts[name][shard]
+                        if not parts:
+                            rows = backend.empty((0, relation.arity), dtype=backend.int64)
+                        elif len(parts) == 1:
+                            rows = parts[0]
+                        else:
+                            rows = backend.concatenate(parts, axis=0)
+                        relation.initialize_shard(shard, rows, device_resident=True)
+                return
+            except ExchangeError as error:
+                attempts += 1
+                # Recovery needs a boundary that still holds the rebuilt
+                # shard's pre-stratum partitions (EDB facts, earlier strata):
+                # the first stratum's pre-init snapshot or the previous
+                # stratum's final one.  Without checkpointing there is none.
+                if attempts > self.max_retries or self.last_checkpoint is None:
+                    raise FixpointInterrupted(
+                        f"stratum {stratum_index} initialization: {error}",
+                        checkpoint=self.last_checkpoint,
+                        cause=error,
+                    ) from error
+                self._rebuild_crashed_shard(error)
+                self.restore_checkpoint(self.last_checkpoint)
+                self._charge_backoff(attempts, label="shard_rebuild")
+
     def _stage_ground_facts(self, name: str, rows, buckets: list[list]) -> None:
         """Partition host ground facts by owner and upload each part (charged H2D)."""
         relation = self.relations[name]
@@ -169,40 +279,191 @@ class ShardedSemiNaiveEvaluator:
 
     # ------------------------------------------------------------------
     def _run_fixpoint(
-        self, stratum_index: int, idb_in_stratum: list[str], recursive: list[RuleVersion]
+        self,
+        stratum_index: int,
+        idb_in_stratum: list[str],
+        recursive: list[RuleVersion],
+        *,
+        start_iteration: int = 0,
     ) -> tuple[int, int, int]:
-        iteration = 0
+        iteration = start_iteration
         in_place_merges = 0
         rebuild_merges = 0
+        restores = 0
+        if self.checkpoint_every and iteration == 0:
+            # Baseline snapshot right after stratum init, so even an
+            # iteration-1 crash has a boundary to roll back to.
+            self.save_checkpoint(stratum_index, iteration)
         while True:
             iteration += 1
             if iteration > self.max_iterations:
                 raise EvaluationError(
                     f"stratum {stratum_index} exceeded {self.max_iterations} iterations without reaching a fixpoint"
                 )
-            with ExitStack() as stack:
-                for device in self.devices:
-                    stack.enter_context(device.profiler.iteration(iteration))
-                for version in recursive:
-                    # Skip on the *global* delta: a shard with an empty local
-                    # delta still receives foreign-keyed rows via exchange.
-                    if self.relations[version.initial.relation].delta_count == 0:
-                        continue
-                    parts = self._execute_version(version)
-                    head = self.relations[version.head_relation]
-                    for shard, rows in enumerate(parts):
-                        if len(rows):
-                            with self.devices[shard].profiler.phase(PHASE_JOIN):
-                                head.add_new_shard(shard, rows, device_resident=True)
-                total_delta = 0
-                for name in idb_in_stratum:
-                    result = self.relations[name].end_iteration()
-                    total_delta += result.delta_count
-                    in_place_merges += result.in_place_merges
-                    rebuild_merges += result.rebuild_merges
+            try:
+                with ExitStack() as stack:
+                    for device in self.devices:
+                        stack.enter_context(device.profiler.iteration(iteration))
+                    for version in recursive:
+                        # Skip on the *global* delta: a shard with an empty
+                        # local delta still receives foreign-keyed rows via
+                        # exchange.
+                        if self.relations[version.initial.relation].delta_count == 0:
+                            continue
+                        parts = self._retry_transient(
+                            lambda version=version: self._execute_version(version),
+                            label=f"{version.head_relation}<-{version.initial.relation}",
+                        )
+                        head = self.relations[version.head_relation]
+                        for shard, rows in enumerate(parts):
+                            if len(rows):
+                                with self.devices[shard].profiler.phase(PHASE_JOIN):
+                                    head.add_new_shard(shard, rows, device_resident=True)
+                    total_delta = 0
+                    for name in idb_in_stratum:
+                        result = self.relations[name].end_iteration()
+                        total_delta += result.delta_count
+                        in_place_merges += result.in_place_merges
+                        rebuild_merges += result.rebuild_merges
+            except ExchangeError as error:
+                # A shard died mid-exchange.  Its partitions are gone, and
+                # the surviving shards may have advanced past the snapshot
+                # boundary, so recovery is global: rebuild the dead device,
+                # then roll *every* shard back to the last checkpoint.
+                restores += 1
+                if self.last_checkpoint is None or restores > self.max_retries:
+                    raise FixpointInterrupted(
+                        f"stratum {stratum_index} iteration {iteration}: {error}",
+                        checkpoint=self.last_checkpoint,
+                        cause=error,
+                    ) from error
+                self._rebuild_crashed_shard(error)
+                self.restore_checkpoint(self.last_checkpoint)
+                self._charge_backoff(restores, label="shard_rebuild")
+                iteration = self.last_checkpoint.iteration
+                continue
+            except TransientDeviceError as error:
+                # Per-version retries are exhausted, or the fault hit a
+                # non-idempotent step (merge): global rollback and replay.
+                restores += 1
+                if self.last_checkpoint is None or restores > self.max_retries:
+                    raise FixpointInterrupted(
+                        f"stratum {stratum_index} iteration {iteration}: {error}",
+                        checkpoint=self.last_checkpoint,
+                        cause=error,
+                    ) from error
+                self.restore_checkpoint(self.last_checkpoint)
+                self._charge_backoff(restores, label="fixpoint_restore")
+                iteration = self.last_checkpoint.iteration
+                continue
+            if self.checkpoint_every and (
+                iteration % self.checkpoint_every == 0 or total_delta == 0
+            ):
+                # The fixpoint itself is always snapshotted: the next
+                # stratum's initialization rolls back to it if a shard
+                # crashes while initial parts are routed.
+                self.save_checkpoint(stratum_index, iteration)
             if total_delta == 0:
                 break
         return iteration, in_place_merges, rebuild_merges
+
+    # ------------------------------------------------------------------
+    # Fault recovery
+    # ------------------------------------------------------------------
+    def save_checkpoint(
+        self,
+        stratum_index: int,
+        iteration: int,
+        *,
+        pre_init: bool = False,
+        stratum_facts: dict | None = None,
+    ) -> EvaluationCheckpoint:
+        """Snapshot every relation across every shard at an iteration boundary.
+
+        A ``pre_init`` snapshot captures the state *before* the stratum's
+        initialization ran; resuming from one replays initialization, so any
+        staged IDB ground facts ride along in the metadata.
+        """
+        metadata: dict = {}
+        if pre_init:
+            metadata["pre_init"] = True
+            metadata["idb_facts"] = {
+                name: np.asarray(rows, dtype=np.int64).tolist()
+                for name, rows in (stratum_facts or {}).items()
+            }
+        checkpoint = EvaluationCheckpoint(
+            program_name=self.program_name,
+            stratum_index=stratum_index,
+            iteration=iteration,
+            num_shards=self.num_shards,
+            relations={
+                name: relation.checkpoint_state() for name, relation in self.relations.items()
+            },
+            program_source=self.program_source,
+            metadata=metadata,
+        )
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(checkpoint)
+        self.last_checkpoint = checkpoint
+        self.checkpoints_taken += 1
+        return checkpoint
+
+    def restore_checkpoint(self, checkpoint: EvaluationCheckpoint) -> None:
+        """Roll every shard of every relation back to the checkpoint boundary."""
+        for name, state in checkpoint.relations.items():
+            relation = self.relations.get(name)
+            if relation is not None:
+                relation.restore(state)
+        self.last_checkpoint = checkpoint
+        self.checkpoint_restores += 1
+
+    def _rebuild_crashed_shard(self, error: ExchangeError) -> None:
+        """Replace the device that died mid-exchange with a fresh clone.
+
+        The replacement keeps the crashed device's profiler (the cluster
+        time it burned is real) and the shared fault plan (occurrence
+        counters are cluster-global), but starts with an empty memory pool —
+        the old buffers died with the device.  Every relation swaps in an
+        empty shard on the clone; :meth:`restore_checkpoint` then reloads
+        its partitions.
+        """
+        crashed = error.device if error.device in self.devices else self.devices[0]
+        index = self.devices.index(crashed)
+        replacement = Device(
+            crashed.spec,
+            memory_capacity_bytes=crashed.pool.capacity_bytes,
+            oom_enabled=crashed.pool.oom_enabled,
+            backend=crashed.backend,
+            profiler=crashed.profiler,
+            fault_plan=crashed.fault_plan,
+        )
+        self.devices[index] = replacement
+        for relation in self.relations.values():
+            relation.rebuild_shard(index, replacement)
+        self.shard_rebuilds += 1
+
+    def _retry_transient(self, attempt, *, label: str):
+        """Retry an idempotent step on transient kernel faults with backoff."""
+        retries = 0
+        while True:
+            try:
+                return attempt()
+            except TransientDeviceError:
+                retries += 1
+                self.transient_retries += 1
+                if retries > self.max_retries:
+                    raise
+                self._charge_backoff(retries, label=label)
+
+    def _charge_backoff(self, attempt: int, *, label: str) -> None:
+        """Record simulated exponential backoff on shard 0 (the coordinator)."""
+        seconds = self.retry_backoff_seconds * (2 ** (attempt - 1))
+        self.devices[0].profiler.record(
+            KernelCost(kernel=f"retry_backoff[{label}]", launches=0),
+            seconds,
+            phase=PHASE_RECOVERY,
+            fixed_seconds=seconds,
+        )
 
     # ------------------------------------------------------------------
     # Rule-version execution (per shard, with exchange barriers)

@@ -8,10 +8,12 @@ divergence) parameterised by data-center GPU and CPU specifications.
 
 from .cost import LINK_INTERCONNECT, LINK_PCIE, CostModel, KernelCost
 from .device import Device, DeviceSnapshot
+from .faults import FAULT_PLAN_ENV_VAR, FaultPlan, FaultSpec, resolve_fault_plan
 from .kernels import DeviceKernels, TUPLE_DTYPE, as_rows, pack_rows, rows_nbytes
 from .memory import Buffer, MemoryPool, MemoryStats
 from .profiler import (
     FIGURE6_PHASES,
+    PHASE_CHECKPOINT,
     PHASE_DEDUPLICATION,
     PHASE_INDEX_DELTA,
     PHASE_INDEX_FULL,
@@ -20,6 +22,7 @@ from .profiler import (
     PHASE_MERGE,
     PHASE_OTHER,
     PHASE_POPULATE_DELTA,
+    PHASE_RECOVERY,
     PHASE_SHARD_EXCHANGE,
     PHASE_TRANSFER,
     PhaseSummary,
@@ -51,7 +54,10 @@ __all__ = [
     "DeviceKernels",
     "DeviceSnapshot",
     "DeviceSpec",
+    "FAULT_PLAN_ENV_VAR",
     "FIGURE6_PHASES",
+    "FaultPlan",
+    "FaultSpec",
     "INTEL_XEON_6338",
     "KernelCost",
     "LINK_INTERCONNECT",
@@ -60,6 +66,7 @@ __all__ = [
     "MemoryStats",
     "NVIDIA_A100",
     "NVIDIA_H100",
+    "PHASE_CHECKPOINT",
     "PHASE_DEDUPLICATION",
     "PHASE_INDEX_DELTA",
     "PHASE_INDEX_FULL",
@@ -68,6 +75,7 @@ __all__ = [
     "PHASE_MERGE",
     "PHASE_OTHER",
     "PHASE_POPULATE_DELTA",
+    "PHASE_RECOVERY",
     "PHASE_SHARD_EXCHANGE",
     "PHASE_TRANSFER",
     "PhaseSummary",
@@ -78,6 +86,7 @@ __all__ = [
     "device_preset",
     "list_device_presets",
     "pack_rows",
+    "resolve_fault_plan",
     "rows_nbytes",
     "stride_count",
     "stride_slices",

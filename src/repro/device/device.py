@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..backend import ArrayBackend, BackendLike, get_backend
 from .cost import CostModel, KernelCost
+from .faults import FaultPlan, resolve_fault_plan
 from .kernels import DeviceKernels
 from .memory import Buffer, MemoryPool, MemoryStats
 from .profiler import Profiler
@@ -47,6 +48,7 @@ class Device:
         oom_enabled: bool = True,
         profiler: Profiler | None = None,
         backend: BackendLike = None,
+        fault_plan: "FaultPlan | str | None" = None,
     ) -> None:
         if isinstance(spec, str):
             spec = device_preset(spec)
@@ -59,6 +61,10 @@ class Device:
         #: device runs on (name, instance, or the ``REPRO_BACKEND`` default)
         self.backend: ArrayBackend = get_backend(backend)
         self.kernels = DeviceKernels(self)
+        #: deterministic fault-injection schedule; ``None`` defers to the
+        #: ``REPRO_FAULT_PLAN`` environment variable, ``"none"`` disables
+        #: injection outright (see :mod:`repro.device.faults`)
+        self.fault_plan: FaultPlan | None = resolve_fault_plan(fault_plan)
 
     # ------------------------------------------------------------------
     # Time accounting
@@ -68,6 +74,11 @@ class Device:
 
         Returns the simulated duration so bespoke kernels can report it.
         """
+        if self.fault_plan is not None:
+            # An injected fault models a launch that never executed: it is
+            # checked before any time is recorded, so the retrying caller's
+            # re-execution charges the extra pass, not the failed one.
+            self.fault_plan.on_kernel(cost.kernel)
         seconds = self.cost_model.seconds(cost)
         fixed = self.cost_model.launch_seconds(cost) + cost.allocations * self.spec.alloc_latency_us * 1e-6
         self.profiler.record(cost, seconds, phase=phase, fixed_seconds=min(seconds, fixed))
@@ -87,6 +98,11 @@ class Device:
         The charge mirrors ``cudaMalloc`` + first touch; the eager buffer
         manager exists precisely to avoid paying it every iteration.
         """
+        if self.fault_plan is not None:
+            # Injected allocation failures fire before any pool state
+            # changes, so a caller that degrades (smaller chunks) or retries
+            # sees the same pool it saw before the fault.
+            self.fault_plan.on_alloc(label, nbytes, self.pool)
         buffer = self.pool.allocate(nbytes, label=label)
         if charge_cost:
             self.charge(

@@ -163,6 +163,11 @@ class DeviceKernels:
         read; the *receiving* device is charged the payload write.  Both
         charges land in the ``shard_exchange`` phase.
         """
+        if self._device.fault_plan is not None:
+            # An exchange fault fires before any payload moves or any cost is
+            # charged: the transfer never happened, and the receiving peer is
+            # reported as the crashed shard.
+            self._device.fault_plan.on_exchange(label, peer)
         # Raw (uncharged) backend movement: simulated peers share host RAM,
         # so the physical copy is a no-op reinterpretation — the simulated
         # cost below is the entire point of this kernel.
@@ -197,6 +202,8 @@ class DeviceKernels:
         staged = self._backend.to_host(array)
         out: "list[Array]" = []
         for peer in peers:
+            if self._device.fault_plan is not None:
+                self._device.fault_plan.on_exchange(label, peer)
             copied = peer.backend.asarray(staged)
             nbytes = float(getattr(copied, "nbytes", 0))
             size = float(getattr(copied, "size", 0))

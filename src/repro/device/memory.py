@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from ..errors import BufferError_, DeviceOutOfMemoryError
+from ..errors import DeviceBufferError, DeviceOutOfMemoryError
 
 
 @dataclass
@@ -118,17 +118,22 @@ class MemoryPool:
         return buffer
 
     def free(self, buffer: Buffer) -> None:
-        """Release ``buffer``; double frees raise :class:`BufferError_`."""
+        """Release ``buffer``; double frees and use-after-free raise
+        :class:`DeviceBufferError`."""
         stored = self._buffers.get(buffer.buffer_id)
-        if stored is None or stored.freed:
-            raise BufferError_(f"buffer {buffer.buffer_id} is not a live allocation")
+        if stored is None or stored.freed or buffer.freed:
+            raise DeviceBufferError(f"buffer {buffer.buffer_id} is not a live allocation")
         stored.freed = True
         self._stats.in_use_bytes -= stored.nbytes
         self._stats.free_count += 1
         del self._buffers[buffer.buffer_id]
 
     def resize(self, buffer: Buffer, nbytes: int, label: str | None = None) -> Buffer:
-        """Free ``buffer`` and allocate a replacement of ``nbytes``."""
+        """Free ``buffer`` and allocate a replacement of ``nbytes``.
+
+        Resizing a stale handle raises :class:`DeviceBufferError` (via
+        :meth:`free`) before any allocation happens.
+        """
         self.free(buffer)
         return self.allocate(nbytes, label if label is not None else buffer.label)
 

@@ -29,6 +29,10 @@ PHASE_OTHER = "other"
 PHASE_TRANSFER = "host_transfer"
 #: Device<->device interconnect transfers (delta routing between shards).
 PHASE_SHARD_EXCHANGE = "shard_exchange"
+#: Iteration-boundary checkpoint snapshots (full/delta D2H downloads).
+PHASE_CHECKPOINT = "checkpoint"
+#: Fault-recovery work: retry backoff, checkpoint restores, device rebuilds.
+PHASE_RECOVERY = "fault_recovery"
 
 FIGURE6_PHASES = (
     PHASE_DEDUPLICATION,
@@ -152,7 +156,16 @@ class Profiler:
         phase: str | None = None,
         fixed_seconds: float = 0.0,
     ) -> ProfileEvent:
-        """Record one kernel launch; returns the stored event."""
+        """Record one kernel launch; returns the stored event.
+
+        An active checkpoint/recovery phase dominates the caller's explicit
+        phase tag: the D2H/H2D transfers a snapshot or restore performs must
+        be attributed to fault-tolerance overhead (what the robustness
+        benchmark gates on), not folded into ordinary host-transfer time.
+        """
+        stack_top = self._phase_stack[-1] if self._phase_stack else None
+        if stack_top in (PHASE_CHECKPOINT, PHASE_RECOVERY):
+            phase = stack_top
         event = ProfileEvent(
             phase=phase or self.current_phase,
             kernel=cost.kernel,

@@ -33,8 +33,45 @@ class DeviceOutOfMemoryError(DeviceError):
         )
 
 
-class BufferError_(DeviceError):
+class DeviceBufferError(DeviceError):
     """Raised on invalid buffer operations (double free, use after free)."""
+
+
+#: Deprecated alias kept for backward compatibility; the trailing-underscore
+#: name used to leak into user-facing tracebacks.  New code should catch
+#: :class:`DeviceBufferError`.
+BufferError_ = DeviceBufferError
+
+
+class TransientDeviceError(DeviceError):
+    """A retryable kernel-launch failure (the simulated analogue of a CUDA
+    ``cudaErrorLaunchFailure`` that a driver-level retry would clear).
+
+    Raised only by an installed :class:`~repro.device.faults.FaultPlan`; the
+    evaluators retry the failed operator with exponential backoff.
+    """
+
+    def __init__(self, message: str, *, kernel: str = ""):
+        self.kernel = kernel
+        super().__init__(message)
+
+
+class ExchangeError(DeviceError):
+    """A device<->device interconnect transfer failed mid-exchange.
+
+    The sharded evaluator treats this as the crash of the *receiving* shard:
+    with checkpointing enabled it rebuilds that shard's device and restores
+    every partition from the last iteration-boundary checkpoint.  ``device``
+    is the peer whose receive failed (``None`` for a broadcast source fault).
+    """
+
+    def __init__(self, message: str, *, device=None):
+        self.device = device
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint cannot be saved, loaded, or applied."""
 
 
 class BackendError(ReproError):
@@ -92,6 +129,21 @@ class PlanningError(DatalogError):
 
 class EvaluationError(DatalogError):
     """Raised when fixpoint evaluation fails for a reason other than OOM."""
+
+
+class FixpointInterrupted(EvaluationError):
+    """Fixpoint evaluation stopped after exhausting its fault-recovery budget.
+
+    ``checkpoint`` is the last :class:`~repro.relational.checkpoint.
+    EvaluationCheckpoint` taken before the failure (``None`` when
+    checkpointing was disabled); pass it to ``GPULogEngine.resume`` to
+    continue from the last iteration boundary instead of restarting.
+    """
+
+    def __init__(self, message: str, *, checkpoint=None, cause: Exception | None = None):
+        self.checkpoint = checkpoint
+        self.cause = cause
+        super().__init__(message)
 
 
 class EngineError(ReproError):

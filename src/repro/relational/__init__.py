@@ -7,6 +7,14 @@ from .buffers import (
     SimpleBufferManager,
     make_buffer_manager,
 )
+from .checkpoint import (
+    CheckpointStore,
+    DiskCheckpointStore,
+    EvaluationCheckpoint,
+    InMemoryCheckpointStore,
+    PartitionState,
+    RelationState,
+)
 from .columnbatch import ColumnBatch
 from .hashing import EMPTY_KEY, hash_columns, hash_rows, hash_single, next_power_of_two
 from .hashtable import DEFAULT_LOAD_FACTOR, HashTableStats, OpenAddressingHashTable
@@ -27,12 +35,18 @@ from .sharded import ShardedRelation, partition_rows, partition_rows_host, shard
 
 __all__ = [
     "BufferManagerStats",
+    "CheckpointStore",
     "ColumnBatch",
     "ColumnComparison",
     "DEFAULT_LOAD_FACTOR",
+    "DiskCheckpointStore",
     "EMPTY_KEY",
     "EagerBufferManager",
+    "EvaluationCheckpoint",
     "HISA",
+    "InMemoryCheckpointStore",
+    "PartitionState",
+    "RelationState",
     "HashTableStats",
     "HisaMemoryBreakdown",
     "IterationStats",

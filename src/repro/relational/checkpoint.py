@@ -1,0 +1,276 @@
+"""Iteration-boundary checkpointing of semi-naïve fixpoint state.
+
+FlowLog's incrementality argument (PAPERS.md) is also a fault-tolerance
+argument: the pair *(full, delta)* per relation at an iteration boundary is
+the complete state of a semi-naïve fixpoint — everything else (sorted
+indexes, hash tables, cached keys) is deterministically rebuildable from it.
+A checkpoint therefore snapshots exactly those two column sets per relation
+per shard, and a restore re-indexes them through the ordinary
+:meth:`Relation.initialize` path.
+
+Two stores are provided:
+
+* :class:`InMemoryCheckpointStore` — host-RAM snapshots (the default; a real
+  deployment would pin these in host memory next to the driver), and
+* :class:`DiskCheckpointStore` — ``.npz``-serialized HISA column buffers plus
+  a JSON manifest, surviving process restarts.
+
+Both keep a bounded history (newest last) so a long fixpoint cannot
+accumulate unbounded snapshot memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CheckpointError
+
+__all__ = [
+    "CheckpointStore",
+    "DiskCheckpointStore",
+    "EvaluationCheckpoint",
+    "InMemoryCheckpointStore",
+    "PartitionState",
+    "RelationState",
+]
+
+
+@dataclass
+class PartitionState:
+    """One shard's (full, delta) host snapshot of a relation.
+
+    ``iteration`` is the shard relation's own end-of-iteration counter at
+    snapshot time (it also bounds the relation's stats history on restore).
+    """
+
+    full: np.ndarray
+    delta: np.ndarray
+    iteration: int = 0
+
+    def __post_init__(self) -> None:
+        self.full = np.ascontiguousarray(np.asarray(self.full, dtype=np.int64))
+        self.delta = np.ascontiguousarray(np.asarray(self.delta, dtype=np.int64))
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.full.nbytes + self.delta.nbytes)
+
+
+@dataclass
+class RelationState:
+    """Snapshot of one relation across every shard (one partition each)."""
+
+    name: str
+    arity: int
+    partitions: list[PartitionState]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(partition.nbytes for partition in self.partitions)
+
+
+@dataclass
+class EvaluationCheckpoint:
+    """A resumable fixpoint state at one iteration boundary.
+
+    ``iteration`` is the number of completed iterations of stratum
+    ``stratum_index`` (0 = the state right after stratum initialization).
+    ``program_source`` carries the *interned* program text so a checkpoint
+    loaded from disk can be resumed without re-supplying the program; the
+    engine that resumes must own the symbol table that interned it (or the
+    program must be symbol-free).
+    """
+
+    program_name: str
+    stratum_index: int
+    iteration: int
+    num_shards: int
+    relations: dict[str, RelationState]
+    program_source: str = ""
+    checkpoint_id: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Host bytes held by the snapshot's column payloads."""
+        return sum(state.nbytes for state in self.relations.values())
+
+    def relation_rows(self, name: str) -> np.ndarray:
+        """All full rows of ``name`` across shards (debugging/inspection)."""
+        state = self.relations[name]
+        parts = [p.full for p in state.partitions if p.full.shape[0]]
+        if not parts:
+            return np.empty((0, state.arity), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
+
+
+class CheckpointStore:
+    """Interface shared by the in-memory and on-disk checkpoint backends."""
+
+    def save(self, checkpoint: EvaluationCheckpoint) -> str:
+        raise NotImplementedError
+
+    def load(self, checkpoint_id: str) -> EvaluationCheckpoint:
+        raise NotImplementedError
+
+    def latest(self) -> EvaluationCheckpoint | None:
+        raise NotImplementedError
+
+    def list_ids(self) -> list[str]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class InMemoryCheckpointStore(CheckpointStore):
+    """Keeps the ``keep`` newest checkpoints in host memory."""
+
+    def __init__(self, *, keep: int = 2) -> None:
+        if keep < 1:
+            raise CheckpointError("an in-memory store must keep at least one checkpoint")
+        self.keep = int(keep)
+        self._checkpoints: list[EvaluationCheckpoint] = []
+        self._counter = 0
+
+    def save(self, checkpoint: EvaluationCheckpoint) -> str:
+        self._counter += 1
+        checkpoint.checkpoint_id = (
+            checkpoint.checkpoint_id
+            or f"ckpt-{self._counter:06d}-s{checkpoint.stratum_index}-i{checkpoint.iteration}"
+        )
+        self._checkpoints.append(checkpoint)
+        del self._checkpoints[: -self.keep]
+        return checkpoint.checkpoint_id
+
+    def load(self, checkpoint_id: str) -> EvaluationCheckpoint:
+        for checkpoint in reversed(self._checkpoints):
+            if checkpoint.checkpoint_id == checkpoint_id:
+                return checkpoint
+        raise CheckpointError(f"unknown checkpoint {checkpoint_id!r}")
+
+    def latest(self) -> EvaluationCheckpoint | None:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def list_ids(self) -> list[str]:
+        return [checkpoint.checkpoint_id for checkpoint in self._checkpoints]
+
+    def clear(self) -> None:
+        self._checkpoints.clear()
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """Serializes checkpoints to ``<directory>/<id>.npz`` + ``<id>.json``.
+
+    The ``.npz`` holds every partition's full/delta column buffer under keys
+    ``<relation>/<shard>/full`` and ``<relation>/<shard>/delta`` (HISA stores
+    int64 columns; ``np.savez_compressed`` round-trips them exactly).  The
+    JSON manifest carries the structural metadata and the program source.
+    """
+
+    def __init__(self, directory: str, *, keep: int = 2) -> None:
+        if keep < 1:
+            raise CheckpointError("a disk store must keep at least one checkpoint")
+        self.directory = str(directory)
+        self.keep = int(keep)
+        os.makedirs(self.directory, exist_ok=True)
+        self._counter = len(self.list_ids())
+
+    # ------------------------------------------------------------------
+    def _paths(self, checkpoint_id: str) -> tuple[str, str]:
+        base = os.path.join(self.directory, checkpoint_id)
+        return base + ".json", base + ".npz"
+
+    def save(self, checkpoint: EvaluationCheckpoint) -> str:
+        self._counter += 1
+        checkpoint.checkpoint_id = (
+            checkpoint.checkpoint_id
+            or f"ckpt-{self._counter:06d}-s{checkpoint.stratum_index}-i{checkpoint.iteration}"
+        )
+        manifest_path, payload_path = self._paths(checkpoint.checkpoint_id)
+        arrays: dict[str, np.ndarray] = {}
+        manifest_relations = {}
+        for name, state in checkpoint.relations.items():
+            manifest_relations[name] = {
+                "arity": state.arity,
+                "shards": len(state.partitions),
+                "iterations": [partition.iteration for partition in state.partitions],
+            }
+            for shard, partition in enumerate(state.partitions):
+                arrays[f"{name}/{shard}/full"] = partition.full
+                arrays[f"{name}/{shard}/delta"] = partition.delta
+        np.savez_compressed(payload_path, **arrays)
+        manifest = {
+            "program_name": checkpoint.program_name,
+            "stratum_index": checkpoint.stratum_index,
+            "iteration": checkpoint.iteration,
+            "num_shards": checkpoint.num_shards,
+            "relations": manifest_relations,
+            "program_source": checkpoint.program_source,
+            "metadata": checkpoint.metadata,
+        }
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        self._prune()
+        return checkpoint.checkpoint_id
+
+    def load(self, checkpoint_id: str) -> EvaluationCheckpoint:
+        manifest_path, payload_path = self._paths(checkpoint_id)
+        if not os.path.exists(manifest_path) or not os.path.exists(payload_path):
+            raise CheckpointError(f"unknown checkpoint {checkpoint_id!r} in {self.directory!r}")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        relations: dict[str, RelationState] = {}
+        with np.load(payload_path) as payload:
+            for name, meta in manifest["relations"].items():
+                arity = int(meta["arity"])
+                iterations = meta.get("iterations") or [0] * int(meta["shards"])
+                partitions = []
+                for shard in range(int(meta["shards"])):
+                    full = payload[f"{name}/{shard}/full"].reshape(-1, arity)
+                    delta = payload[f"{name}/{shard}/delta"].reshape(-1, arity)
+                    partitions.append(
+                        PartitionState(full=full, delta=delta, iteration=int(iterations[shard]))
+                    )
+                relations[name] = RelationState(name=name, arity=arity, partitions=partitions)
+        return EvaluationCheckpoint(
+            program_name=manifest["program_name"],
+            stratum_index=int(manifest["stratum_index"]),
+            iteration=int(manifest["iteration"]),
+            num_shards=int(manifest["num_shards"]),
+            relations=relations,
+            program_source=manifest.get("program_source", ""),
+            checkpoint_id=checkpoint_id,
+            metadata=manifest.get("metadata", {}),
+        )
+
+    def latest(self) -> EvaluationCheckpoint | None:
+        ids = self.list_ids()
+        return self.load(ids[-1]) if ids else None
+
+    def list_ids(self) -> list[str]:
+        if not os.path.isdir(self.directory):
+            return []
+        ids = [
+            entry[: -len(".json")]
+            for entry in os.listdir(self.directory)
+            if entry.endswith(".json")
+        ]
+        return sorted(ids)
+
+    def clear(self) -> None:
+        for checkpoint_id in self.list_ids():
+            for path in self._paths(checkpoint_id):
+                if os.path.exists(path):
+                    os.remove(path)
+
+    def _prune(self) -> None:
+        ids = self.list_ids()
+        for stale in ids[: -self.keep]:
+            for path in self._paths(stale):
+                if os.path.exists(path):
+                    os.remove(path)

@@ -31,18 +31,25 @@ from ..backend import Array
 from ..device.device import Device
 from ..device.memory import Buffer
 from ..device.profiler import (
+    PHASE_CHECKPOINT,
     PHASE_DEDUPLICATION,
     PHASE_INDEX_DELTA,
     PHASE_INDEX_FULL,
     PHASE_MERGE,
     PHASE_POPULATE_DELTA,
+    PHASE_RECOVERY,
 )
-from ..errors import SchemaError
+from ..errors import DeviceOutOfMemoryError, SchemaError
 from .buffers import MergeBufferManager, make_buffer_manager
+from .checkpoint import PartitionState
 from .columnbatch import ColumnBatch
 from .hashtable import DEFAULT_LOAD_FACTOR
 from .hisa import HISA
 from .operators import RowsLike, deduplicate, difference, union
+
+#: Smallest row count OOM degradation will split a dedup down to; below this
+#: the scratch is a few KiB and a failure means the device is genuinely full.
+OOM_DEDUP_FLOOR_ROWS = 256
 
 
 @dataclass
@@ -95,6 +102,8 @@ class Relation:
         self._delta_buffer: Buffer | None = None
         self._iteration = 0
         self.history: list[IterationStats] = []
+        #: dedup passes that had to degrade into halved chunks after an OOM
+        self.oom_degradations = 0
 
     # ------------------------------------------------------------------
     # Index registration
@@ -209,7 +218,7 @@ class Relation:
                 new_rows = union(
                     self.device, self._new_parts, arity=self.arity, label=f"{self.name}.gather_new"
                 )
-                new_rows = deduplicate(self.device, new_rows, label=f"{self.name}.dedup_new")
+                new_rows = self._deduplicate_new(new_rows)
             else:
                 new_rows = self.backend.empty((0, self.arity), dtype=self.backend.int64)
         new_count = len(new_rows)
@@ -273,6 +282,92 @@ class Relation:
         )
         self.history.append(stats)
         return stats
+
+    def _deduplicate_new(self, rows: RowsLike) -> RowsLike:
+        """Deduplicate the gathered new rows with an accounted sort scratch.
+
+        The radix sort inside deduplication needs O(n) transient device
+        scratch; this models it as a real pool allocation so memory pressure
+        (or an injected ``alloc`` fault) can surface here.  When the scratch
+        cannot be satisfied the pass *degrades* instead of failing: each half
+        is deduplicated with a half-size scratch and the sorted halves are
+        merged with an adjacent-unique compaction — the same sorted,
+        duplicate-free output, bought with extra charged merge passes.
+        """
+        try:
+            scratch = self.device.allocate(
+                int(rows.nbytes), label=f"{self.name}.dedup_scratch", charge_cost=False
+            )
+        except DeviceOutOfMemoryError:
+            n = len(rows)
+            if n <= OOM_DEDUP_FLOOR_ROWS:
+                raise
+            self.oom_degradations += 1
+            if isinstance(rows, ColumnBatch):
+                rows = rows.as_rows(label=f"{self.name}.dedup_degrade_materialize")
+            mid = n // 2
+            left = self._deduplicate_new(rows[:mid])
+            right = self._deduplicate_new(rows[mid:])
+            merged = self.device.kernels.merge_sorted_rows(
+                left, right, label=f"{self.name}.dedup_degrade_merge"
+            )
+            mask = self.device.kernels.adjacent_unique_mask(
+                merged, label=f"{self.name}.dedup_degrade_unique"
+            )
+            return self.device.kernels.stream_compact(
+                merged, mask, label=f"{self.name}.dedup_degrade_compact"
+            )
+        try:
+            return deduplicate(self.device, rows, label=f"{self.name}.dedup_new")
+        finally:
+            self.device.free(scratch, charge_cost=False)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint_state(self, *, charge: bool = True) -> PartitionState:
+        """Snapshot (full, delta) to host memory — the complete resumable state.
+
+        Indexes, hash tables and buffer managers are deterministically
+        rebuildable from these two column sets, so they are not serialized.
+        The D2H downloads are charged under the checkpoint phase so snapshot
+        overhead is visible in profiles (and in the robustness benchmark).
+        """
+        with self.device.profiler.phase(PHASE_CHECKPOINT):
+            full = self.full_rows()
+            delta = self.delta_rows
+            if charge:
+                full = self.device.kernels.to_host(full, label=f"{self.name}.d2h_checkpoint")
+                delta = self.device.kernels.to_host(delta, label=f"{self.name}.d2h_checkpoint")
+            else:
+                full = self.backend.to_host(full)
+                delta = self.backend.to_host(delta)
+        return PartitionState(full=full, delta=delta, iteration=self._iteration)
+
+    def restore(self, partition: PartitionState) -> None:
+        """Rebuild every version and index from a host checkpoint partition.
+
+        The inverse of :meth:`checkpoint_state`: frees whatever state the
+        relation currently holds, re-uploads the snapshot's full rows through
+        the ordinary :meth:`initialize` path (which rebuilds all HISA indexes
+        from the sorted data), then overrides the delta version with the
+        snapshot's delta.  All uploads are charged under the recovery phase.
+        """
+        self.free()
+        with self.device.profiler.phase(PHASE_RECOVERY):
+            self.initialize(partition.full)
+            delta = self.device.kernels.from_host(
+                partition.delta, dtype=self.backend.int64, label=f"{self.name}.h2d_restore_delta"
+            )
+            delta = self._coerce(delta)
+            self._delta = delta
+            self._delta_rows_view = None
+            if len(delta):
+                self._delta_buffer = self.device.allocate(
+                    delta.nbytes, label=f"{self.name}.delta", charge_cost=False
+                )
+        self._iteration = int(partition.iteration)
+        del self.history[self._iteration :]
 
     def clear_delta(self) -> None:
         """Drop the delta version (used when a stratum reaches its fixpoint)."""

@@ -29,6 +29,7 @@ from ..backend import Array
 from ..device.cost import KernelCost
 from ..device.device import Device
 from ..errors import SchemaError
+from .checkpoint import RelationState
 from .hashtable import DEFAULT_LOAD_FACTOR
 from .relation import IterationStats, Relation
 
@@ -147,17 +148,15 @@ class ShardedRelation:
         self.arity = int(arity)
         self.shard_column = int(shard_column)
         self.num_shards = len(self.devices)
+        # Kept so a crashed shard can be rebuilt with identical configuration.
+        self._relation_config = dict(
+            load_factor=load_factor,
+            eager_buffers=eager_buffers,
+            buffer_growth_factor=buffer_growth_factor,
+            incremental_merge=incremental_merge,
+        )
         self.shards = [
-            Relation(
-                device,
-                name,
-                arity,
-                load_factor=load_factor,
-                eager_buffers=eager_buffers,
-                buffer_growth_factor=buffer_growth_factor,
-                incremental_merge=incremental_merge,
-            )
-            for device in self.devices
+            Relation(device, name, arity, **self._relation_config) for device in self.devices
         ]
 
     # ------------------------------------------------------------------
@@ -215,6 +214,47 @@ class ShardedRelation:
     def clear_delta(self) -> None:
         for shard in self.shards:
             shard.clear_delta()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery
+    # ------------------------------------------------------------------
+    def checkpoint_state(self, *, charge: bool = True) -> RelationState:
+        """Snapshot every shard's (full, delta) partition to host memory."""
+        return RelationState(
+            name=self.name,
+            arity=self.arity,
+            partitions=[shard.checkpoint_state(charge=charge) for shard in self.shards],
+        )
+
+    def restore(self, state: RelationState) -> None:
+        """Restore every shard from a checkpoint (global rollback).
+
+        Partial restores are unsound — by the time one shard crashes, the
+        others' deltas have already advanced past the snapshot — so recovery
+        always rolls the whole relation back together.
+        """
+        if len(state.partitions) != self.num_shards:
+            raise SchemaError(
+                f"checkpoint for {self.name!r} has {len(state.partitions)} partitions, "
+                f"expected {self.num_shards}"
+            )
+        for shard, partition in zip(self.shards, state.partitions):
+            shard.restore(partition)
+
+    def rebuild_shard(self, index: int, device: Device) -> None:
+        """Replace shard ``index`` with a fresh relation on a replacement device.
+
+        Used after a shard crash: the old shard's buffers died with its
+        device, so the stale :class:`Relation` is simply discarded (no
+        ``free`` — its pool no longer exists) and an empty one with the same
+        index declarations takes its place, ready for :meth:`restore`.
+        """
+        column_sets = self.shards[index].index_column_sets
+        self.devices[index] = device
+        replacement = Relation(device, self.name, self.arity, **self._relation_config)
+        for columns in column_sets:
+            replacement.require_index(columns)
+        self.shards[index] = replacement
 
     def free(self) -> None:
         """Release every shard's simulated device memory."""

@@ -44,6 +44,33 @@ def healthy_sharded_artifact():
     }
 
 
+def healthy_robustness_artifact(overhead_at_50=1.03):
+    return {
+        "sg_checkpoint_overhead": {
+            "curve": [
+                {
+                    "checkpoint_every": 0,
+                    "sg_count": 1000,
+                    "checkpoints_taken": 0,
+                    "overhead_vs_uncheckpointed": 1.0,
+                },
+                {
+                    "checkpoint_every": 10,
+                    "sg_count": 1000,
+                    "checkpoints_taken": 5,
+                    "overhead_vs_uncheckpointed": 1.05,
+                },
+                {
+                    "checkpoint_every": 50,
+                    "sg_count": 1000,
+                    "checkpoints_taken": 2,
+                    "overhead_vs_uncheckpointed": overhead_at_50,
+                },
+            ]
+        }
+    }
+
+
 # ----------------------------------------------------------------------
 # Gate functions
 # ----------------------------------------------------------------------
@@ -53,6 +80,7 @@ def test_healthy_artifacts_pass_every_gate():
         healthy_backend_artifact(),
         healthy_merge_artifact(),
         healthy_sharded_artifact(),
+        healthy_robustness_artifact(),
     )
     assert failures == []
 
@@ -120,6 +148,78 @@ def test_sharded_gate_requires_single_device_baseline():
     assert check_regression.check_sharded(artifact) != []
 
 
+def test_robustness_gate_fails_on_checkpoint_overhead_regression():
+    failures = check_regression.check_robustness(
+        healthy_robustness_artifact(overhead_at_50=1.27)
+    )
+    assert len(failures) == 1
+    assert "1.270x" in failures[0]
+    assert "checkpoint_every=50" in failures[0]
+
+
+def test_robustness_gate_boundary_is_inclusive():
+    assert check_regression.check_robustness(healthy_robustness_artifact(1.10)) == []
+    assert check_regression.check_robustness(healthy_robustness_artifact(1.101)) != []
+
+
+def test_robustness_gate_only_pins_the_50_cadence():
+    # checkpoint_every=10 may legitimately cost more than 10%; only the
+    # cadence the issue names (50) is gated.
+    artifact = healthy_robustness_artifact()
+    artifact["sg_checkpoint_overhead"]["curve"][1]["overhead_vs_uncheckpointed"] = 1.4
+    assert check_regression.check_robustness(artifact) == []
+
+
+def test_robustness_gate_requires_checkpoints_actually_taken():
+    # Zero snapshots under a non-zero cadence means the overhead number is
+    # measuring nothing — fail loudly instead of passing vacuously.
+    artifact = healthy_robustness_artifact()
+    artifact["sg_checkpoint_overhead"]["curve"][2]["checkpoints_taken"] = 0
+    failures = check_regression.check_robustness(artifact)
+    assert any("took no checkpoints" in failure for failure in failures)
+
+
+def test_robustness_gate_requires_matching_output_sizes():
+    artifact = healthy_robustness_artifact()
+    artifact["sg_checkpoint_overhead"]["curve"][2]["sg_count"] = 999
+    failures = check_regression.check_robustness(artifact)
+    assert any("999" in failure for failure in failures)
+
+
+def test_robustness_gate_requires_uncheckpointed_baseline_and_gated_entry():
+    assert check_regression.check_robustness({}) != []
+    no_fifty = {
+        "sg_checkpoint_overhead": {
+            "curve": [
+                {"checkpoint_every": 0, "sg_count": 10, "checkpoints_taken": 0},
+                {
+                    "checkpoint_every": 10,
+                    "sg_count": 10,
+                    "checkpoints_taken": 1,
+                    "overhead_vs_uncheckpointed": 1.0,
+                },
+            ]
+        }
+    }
+    assert any("no checkpoint_every=50" in f for f in check_regression.check_robustness(no_fifty))
+    wrong_baseline = {
+        "sg_checkpoint_overhead": {
+            "curve": [
+                {
+                    "checkpoint_every": 50,
+                    "sg_count": 10,
+                    "checkpoints_taken": 1,
+                    "overhead_vs_uncheckpointed": 1.0,
+                }
+            ]
+        }
+    }
+    assert any(
+        "checkpoint_every=0 baseline" in f
+        for f in check_regression.check_robustness(wrong_baseline)
+    )
+
+
 # ----------------------------------------------------------------------
 # CLI exit codes (what CI actually observes)
 # ----------------------------------------------------------------------
@@ -154,6 +254,23 @@ def test_cli_exits_nonzero_on_injected_regression(tmp_path, capsys):
     assert "PERF REGRESSION GATE FAILED" in err
     assert "dispatch ratio" in err
     assert "merge speedup" in err
+
+
+def test_cli_gates_robustness_artifact(tmp_path, capsys):
+    healthy = write(tmp_path, "robustness.json", healthy_robustness_artifact())
+    assert check_regression.main(["--robustness-json", healthy]) == 0
+    regressed = write(
+        tmp_path, "robustness_bad.json", healthy_robustness_artifact(overhead_at_50=1.5)
+    )
+    assert check_regression.main(["--robustness-json", regressed]) == 1
+    assert "checkpoint overhead" in capsys.readouterr().err
+    # The threshold override mirrors the other gates' CLI knobs.
+    assert (
+        check_regression.main(
+            ["--robustness-json", regressed, "--max-checkpoint-overhead", "1.6"]
+        )
+        == 0
+    )
 
 
 def test_cli_honours_threshold_overrides(tmp_path):

@@ -1,0 +1,190 @@
+"""Checkpoint store round-trips: property-based and deterministic tests."""
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CheckpointError
+from repro.relational import (
+    DiskCheckpointStore,
+    EvaluationCheckpoint,
+    InMemoryCheckpointStore,
+    PartitionState,
+    RelationState,
+)
+
+
+def make_checkpoint(rng, *, num_relations=2, num_shards=1, max_rows=20, iteration=3):
+    """Build a random but well-formed checkpoint from ``rng``."""
+    relations = {}
+    for index in range(num_relations):
+        name = f"rel{index}"
+        arity = int(rng.integers(1, 4))
+        partitions = []
+        for _ in range(num_shards):
+            full = rng.integers(-(2**40), 2**40, size=(int(rng.integers(0, max_rows)), arity))
+            delta = rng.integers(-(2**40), 2**40, size=(int(rng.integers(0, max_rows)), arity))
+            partitions.append(PartitionState(full=full, delta=delta, iteration=iteration))
+        relations[name] = RelationState(name=name, arity=arity, partitions=partitions)
+    return EvaluationCheckpoint(
+        program_name="prop",
+        stratum_index=0,
+        iteration=iteration,
+        num_shards=num_shards,
+        relations=relations,
+        program_source="reach(x, y) <- edge(x, y).",
+        metadata={"note": "property-test"},
+    )
+
+
+def assert_checkpoints_equal(left, right):
+    assert left.program_name == right.program_name
+    assert left.stratum_index == right.stratum_index
+    assert left.iteration == right.iteration
+    assert left.num_shards == right.num_shards
+    assert left.program_source == right.program_source
+    assert set(left.relations) == set(right.relations)
+    for name, state in left.relations.items():
+        other = right.relations[name]
+        assert state.arity == other.arity
+        assert len(state.partitions) == len(other.partitions)
+        for mine, theirs in zip(state.partitions, other.partitions):
+            assert mine.iteration == theirs.iteration
+            np.testing.assert_array_equal(mine.full, theirs.full)
+            np.testing.assert_array_equal(mine.delta, theirs.delta)
+
+
+# ----------------------------------------------------------------------
+# Property tests: save -> load is the identity, for both stores
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    num_relations=st.integers(min_value=1, max_value=3),
+    num_shards=st.integers(min_value=1, max_value=4),
+)
+def test_memory_store_round_trip(seed, num_relations, num_shards):
+    rng = np.random.default_rng(seed)
+    checkpoint = make_checkpoint(rng, num_relations=num_relations, num_shards=num_shards)
+    store = InMemoryCheckpointStore()
+    checkpoint_id = store.save(checkpoint)
+    assert_checkpoints_equal(store.load(checkpoint_id), checkpoint)
+    assert store.latest() is checkpoint
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    num_relations=st.integers(min_value=1, max_value=3),
+    num_shards=st.integers(min_value=1, max_value=4),
+)
+def test_disk_store_round_trip(tmp_path_factory, seed, num_relations, num_shards):
+    rng = np.random.default_rng(seed)
+    checkpoint = make_checkpoint(rng, num_relations=num_relations, num_shards=num_shards)
+    store = DiskCheckpointStore(str(tmp_path_factory.mktemp("ckpt")))
+    checkpoint_id = store.save(checkpoint)
+    assert_checkpoints_equal(store.load(checkpoint_id), checkpoint)
+    loaded = store.latest()
+    assert loaded is not None and loaded.checkpoint_id == checkpoint_id
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_stores_agree_on_payloads(tmp_path_factory, seed):
+    rng = np.random.default_rng(seed)
+    checkpoint = make_checkpoint(rng, num_shards=2)
+    memory = InMemoryCheckpointStore()
+    disk = DiskCheckpointStore(str(tmp_path_factory.mktemp("ckpt")))
+    from_memory = memory.load(memory.save(checkpoint))
+    from_disk = disk.load(disk.save(checkpoint))
+    assert_checkpoints_equal(from_memory, from_disk)
+
+
+# ----------------------------------------------------------------------
+# Deterministic store behavior
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("store_kind", ["memory", "disk"])
+def test_keep_bound_prunes_oldest(tmp_path, store_kind):
+    if store_kind == "memory":
+        store = InMemoryCheckpointStore(keep=2)
+    else:
+        store = DiskCheckpointStore(str(tmp_path), keep=2)
+    rng = np.random.default_rng(7)
+    ids = [store.save(make_checkpoint(rng, iteration=i)) for i in range(5)]
+    assert store.list_ids() == ids[-2:]
+    with pytest.raises(CheckpointError):
+        store.load(ids[0])
+    latest = store.latest()
+    assert latest is not None and latest.checkpoint_id == ids[-1]
+
+
+@pytest.mark.parametrize("store_kind", ["memory", "disk"])
+def test_clear_empties_the_store(tmp_path, store_kind):
+    if store_kind == "memory":
+        store = InMemoryCheckpointStore()
+    else:
+        store = DiskCheckpointStore(str(tmp_path))
+    rng = np.random.default_rng(11)
+    store.save(make_checkpoint(rng))
+    store.clear()
+    assert store.list_ids() == []
+    assert store.latest() is None
+
+
+def test_keep_must_be_positive(tmp_path):
+    with pytest.raises(CheckpointError):
+        InMemoryCheckpointStore(keep=0)
+    with pytest.raises(CheckpointError):
+        DiskCheckpointStore(str(tmp_path), keep=0)
+
+
+def test_disk_store_survives_reopen(tmp_path):
+    rng = np.random.default_rng(3)
+    checkpoint = make_checkpoint(rng, num_shards=2)
+    first = DiskCheckpointStore(str(tmp_path))
+    checkpoint_id = first.save(checkpoint)
+    # A brand new store over the same directory sees the same checkpoint.
+    second = DiskCheckpointStore(str(tmp_path))
+    assert_checkpoints_equal(second.load(checkpoint_id), checkpoint)
+    # ...and its id counter continues past the existing entries.
+    next_id = second.save(make_checkpoint(rng))
+    assert next_id != checkpoint_id
+
+
+def test_empty_relations_round_trip(tmp_path):
+    empty = PartitionState(
+        full=np.empty((0, 2), dtype=np.int64), delta=np.empty((0, 2), dtype=np.int64)
+    )
+    checkpoint = EvaluationCheckpoint(
+        program_name="empty",
+        stratum_index=0,
+        iteration=0,
+        num_shards=1,
+        relations={"reach": RelationState(name="reach", arity=2, partitions=[empty])},
+    )
+    store = DiskCheckpointStore(str(tmp_path))
+    loaded = store.load(store.save(checkpoint))
+    assert loaded.relations["reach"].partitions[0].full.shape == (0, 2)
+    assert loaded.nbytes == 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint payload helpers
+# ----------------------------------------------------------------------
+def test_partition_state_coerces_to_contiguous_int64():
+    partition = PartitionState(full=[[1, 2], [3, 4]], delta=np.zeros((0, 2), dtype=np.float64))
+    assert partition.full.dtype == np.int64
+    assert partition.full.flags["C_CONTIGUOUS"]
+    assert partition.nbytes == partition.full.nbytes + partition.delta.nbytes
+
+
+def test_checkpoint_nbytes_and_relation_rows():
+    rng = np.random.default_rng(5)
+    checkpoint = make_checkpoint(rng, num_relations=1, num_shards=3)
+    state = checkpoint.relations["rel0"]
+    rows = checkpoint.relation_rows("rel0")
+    expected = sum(p.full.shape[0] for p in state.partitions)
+    assert rows.shape == (expected, state.arity)
+    assert checkpoint.nbytes == state.nbytes

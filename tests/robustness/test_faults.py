@@ -1,0 +1,150 @@
+"""Deterministic fault-injection harness: specs, plans, and device hooks."""
+
+import numpy as np
+import pytest
+
+from repro.device import Device, FAULT_PLAN_ENV_VAR, FaultPlan, FaultSpec, resolve_fault_plan
+from repro.device.cost import KernelCost
+from repro.errors import (
+    DeviceOutOfMemoryError,
+    ExchangeError,
+    SchemaError,
+    TransientDeviceError,
+)
+
+
+# ----------------------------------------------------------------------
+# Spec semantics
+# ----------------------------------------------------------------------
+def test_spec_fires_at_listed_occurrences():
+    spec = FaultSpec(kind="kernel", at=(2, 5))
+    fired = [spec.should_fire(i, 0) for i in range(1, 7)]
+    assert fired == [False, True, False, False, True, False]
+
+
+def test_spec_every_with_times_bound():
+    spec = FaultSpec(kind="kernel", every=3, times=2)
+    hits = [i for i in range(1, 13) if spec.should_fire(i, sum(1 for j in range(1, i) if spec.should_fire(j, 0)))]
+    # occurrences 3, 6 fire; the times bound stops the third multiple
+    assert spec.should_fire(3, 0)
+    assert spec.should_fire(6, 1)
+    assert not spec.should_fire(9, 2)
+
+
+def test_spec_pattern_matching_is_fnmatch():
+    spec = FaultSpec(kind="kernel", pattern="reach<-*", at=(1,))
+    assert spec.matches("reach<-edge")
+    assert not spec.matches("sg<-edge")
+
+
+def test_spec_requires_a_trigger():
+    with pytest.raises(SchemaError):
+        FaultSpec(kind="kernel")
+
+
+# ----------------------------------------------------------------------
+# Plan parsing
+# ----------------------------------------------------------------------
+def test_parse_round_trip():
+    plan = FaultPlan.parse("kernel:*<-*:at=3,7;alloc:*.new:every=5:times=2;exchange:*:at=1")
+    kinds = [spec.kind for spec in plan.specs]
+    assert kinds == ["kernel", "alloc", "exchange"]
+    assert plan.specs[0].at == (3, 7)
+    assert plan.specs[1].every == 5 and plan.specs[1].times == 2
+
+
+@pytest.mark.parametrize("text", ["none", "off", "0", ""])
+def test_parse_disabled_spellings(text):
+    assert FaultPlan.parse(text) is None
+
+
+def test_parse_named_ci_default():
+    plan = FaultPlan.parse("ci-default")
+    assert plan is not None
+    assert plan.name == "ci-default"
+    assert {spec.kind for spec in plan.specs} == {"kernel", "alloc", "exchange"}
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(SchemaError):
+        FaultPlan.parse("kernel")
+    with pytest.raises(SchemaError):
+        FaultPlan.parse("frobnicate:*:at=1")
+
+
+def test_seeded_plans_are_deterministic():
+    first = FaultPlan.seeded(42, kinds=("kernel",), faults=2)
+    second = FaultPlan.seeded(42, kinds=("kernel",), faults=2)
+    assert [spec.at for spec in first.specs] == [spec.at for spec in second.specs]
+    different = FaultPlan.seeded(43, kinds=("kernel",), faults=2)
+    assert [spec.at for spec in first.specs] != [spec.at for spec in different.specs]
+
+
+def test_resolve_fault_plan_env_var(monkeypatch):
+    monkeypatch.setenv(FAULT_PLAN_ENV_VAR, "kernel:*:at=1")
+    plan = resolve_fault_plan(None)
+    assert plan is not None and plan.specs[0].kind == "kernel"
+    monkeypatch.setenv(FAULT_PLAN_ENV_VAR, "none")
+    assert resolve_fault_plan(None) is None
+    monkeypatch.delenv(FAULT_PLAN_ENV_VAR)
+    assert resolve_fault_plan(None) is None
+    with pytest.raises(SchemaError):
+        resolve_fault_plan(123)
+
+
+# ----------------------------------------------------------------------
+# Device hooks
+# ----------------------------------------------------------------------
+def test_kernel_fault_fires_before_charge_records():
+    plan = FaultPlan.parse("kernel:boom:at=2")
+    device = Device("a100", oom_enabled=False, fault_plan=plan)
+    device.charge(KernelCost(kernel="boom", ops=1.0))
+    events_before = len(device.profiler.events)
+    with pytest.raises(TransientDeviceError) as excinfo:
+        device.charge(KernelCost(kernel="boom", ops=1.0))
+    assert excinfo.value.kernel == "boom"
+    # The failed launch is not recorded or charged.
+    assert len(device.profiler.events) == events_before
+    assert plan.fired_events == [("kernel", "boom", 2)]
+
+
+def test_alloc_fault_raises_oom_without_pool_mutation():
+    plan = FaultPlan.parse("alloc:victim:at=1")
+    device = Device("a100", fault_plan=plan)
+    in_use = device.pool.in_use_bytes
+    with pytest.raises(DeviceOutOfMemoryError):
+        device.allocate(1024, label="victim")
+    assert device.pool.in_use_bytes == in_use
+    # Other labels are untouched.
+    buffer = device.allocate(1024, label="innocent")
+    device.free(buffer)
+
+
+def test_exchange_fault_names_the_peer():
+    plan = FaultPlan.parse("exchange:*:at=1")
+    sender = Device("a100", oom_enabled=False, fault_plan=plan)
+    receiver = Device("a100", oom_enabled=False)
+    rows = sender.backend.asarray(np.arange(8, dtype=np.int64).reshape(4, 2))
+    with pytest.raises(ExchangeError) as excinfo:
+        sender.kernels.device_to_device(rows, receiver)
+    assert excinfo.value.device is receiver
+
+
+def test_shared_plan_counts_occurrences_across_devices():
+    plan = FaultPlan.parse("kernel:tick:at=3")
+    devices = [Device("a100", oom_enabled=False, fault_plan=plan) for _ in range(3)]
+    devices[0].charge(KernelCost(kernel="tick"))
+    devices[1].charge(KernelCost(kernel="tick"))
+    with pytest.raises(TransientDeviceError):
+        devices[2].charge(KernelCost(kernel="tick"))
+
+
+def test_plan_reset_restarts_the_schedule():
+    plan = FaultPlan.parse("kernel:tick:at=1")
+    device = Device("a100", oom_enabled=False, fault_plan=plan)
+    with pytest.raises(TransientDeviceError):
+        device.charge(KernelCost(kernel="tick"))
+    device.charge(KernelCost(kernel="tick"))  # at=1 already fired
+    plan.reset()
+    with pytest.raises(TransientDeviceError):
+        device.charge(KernelCost(kernel="tick"))
