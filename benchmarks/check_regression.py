@@ -18,7 +18,12 @@ absolute wall-clock noise cancels out:
 * **sharded exchange** — every ``num_shards > 1`` point of the sharded
   scaling curve must report non-zero interconnect traffic and the same
   output size as the single-device baseline; zero exchange bytes means the
-  charged ``device_to_device`` boundary was silently bypassed.
+  charged ``device_to_device`` boundary was silently bypassed.  On the same
+  points, semi-join-filtered exchange bytes must stay at or below
+  ``--max-filtered-exchange-ratio`` (default 0.7) of the recorded unfiltered
+  ablation arm, and overlap efficiency must be positive — a ratio drifting
+  toward 1.0 means the filters stopped pruning, a zero efficiency means the
+  double-buffered schedule stopped hiding exchange time.
 * **checkpoint overhead** — the SG fixpoint at ``checkpoint_every=50`` must
   stay within ``--max-checkpoint-overhead`` (default 1.10) of the
   checkpoint-free simulated time, actually take checkpoints, and produce
@@ -45,6 +50,8 @@ MIN_MERGE_RATIO = 1.8
 MAX_CHECKPOINT_OVERHEAD = 1.10
 #: The cadence the checkpoint-overhead gate pins (issue: <=10% at 50).
 GATED_CHECKPOINT_CADENCE = 50
+#: Default ceiling for filtered / unfiltered sharded exchange bytes.
+MAX_FILTERED_EXCHANGE_RATIO = 0.7
 
 
 def check_dispatch_ratio(artifact: dict, max_ratio: float = MAX_DISPATCH_RATIO) -> list[str]:
@@ -82,7 +89,9 @@ def check_merge_ratio(artifact: dict, min_ratio: float = MIN_MERGE_RATIO) -> lis
     return []
 
 
-def check_sharded(artifact: dict) -> list[str]:
+def check_sharded(
+    artifact: dict, max_filtered_ratio: float = MAX_FILTERED_EXCHANGE_RATIO
+) -> list[str]:
     """Gate the sharded scaling curve recorded in BENCH_sharded."""
     scaling = artifact.get("sg_sharded_scaling") or {}
     curve = scaling.get("curve") or []
@@ -103,6 +112,32 @@ def check_sharded(artifact: dict) -> list[str]:
             failures.append(
                 f"sharded run at N={shards} reports zero exchange bytes — the "
                 "charged device_to_device boundary was bypassed"
+            )
+        if not shards or shards <= 1:
+            continue
+        unfiltered = entry.get("unfiltered_exchange_bytes")
+        if unfiltered is None:
+            failures.append(
+                f"sharded run at N={shards} has no unfiltered_exchange_bytes — "
+                "the semi-join ablation arm was not recorded"
+            )
+        elif unfiltered and entry.get("exchange_bytes", 0) > max_filtered_ratio * unfiltered:
+            ratio = entry.get("exchange_bytes", 0) / unfiltered
+            failures.append(
+                f"filtered exchange at N={shards} moved {ratio:.3f}x the unfiltered "
+                f"bytes, above the {max_filtered_ratio:.2f}x ceiling: semi-join "
+                "filtering stopped pruning the exchange volume"
+            )
+        efficiency = entry.get("overlap_efficiency")
+        if efficiency is None:
+            failures.append(
+                f"sharded run at N={shards} has no overlap_efficiency — the "
+                "overlap schedule was not recorded"
+            )
+        elif efficiency <= 0:
+            failures.append(
+                f"overlap efficiency at N={shards} is {efficiency} — the "
+                "double-buffered exchange schedule hid no exchange time"
             )
     return failures
 
@@ -166,6 +201,7 @@ def run_gates(
     max_dispatch_ratio: float = MAX_DISPATCH_RATIO,
     min_merge_ratio: float = MIN_MERGE_RATIO,
     max_checkpoint_overhead: float = MAX_CHECKPOINT_OVERHEAD,
+    max_filtered_exchange_ratio: float = MAX_FILTERED_EXCHANGE_RATIO,
 ) -> list[str]:
     """Evaluate every gate whose artifact was supplied; returns all violations."""
     failures: list[str] = []
@@ -174,7 +210,7 @@ def run_gates(
     if merge_artifact is not None:
         failures += check_merge_ratio(merge_artifact, min_merge_ratio)
     if sharded_artifact is not None:
-        failures += check_sharded(sharded_artifact)
+        failures += check_sharded(sharded_artifact, max_filtered_exchange_ratio)
     if robustness_artifact is not None:
         failures += check_robustness(robustness_artifact, max_checkpoint_overhead)
     return failures
@@ -199,6 +235,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-checkpoint-overhead", type=float, default=MAX_CHECKPOINT_OVERHEAD
     )
+    parser.add_argument(
+        "--max-filtered-exchange-ratio", type=float, default=MAX_FILTERED_EXCHANGE_RATIO
+    )
     args = parser.parse_args(argv)
     if (
         args.backend_json is None
@@ -216,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
         max_dispatch_ratio=args.max_dispatch_ratio,
         min_merge_ratio=args.min_merge_ratio,
         max_checkpoint_overhead=args.max_checkpoint_overhead,
+        max_filtered_exchange_ratio=args.max_filtered_exchange_ratio,
     )
     if failures:
         print("PERF REGRESSION GATE FAILED:", file=sys.stderr)

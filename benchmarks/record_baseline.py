@@ -375,17 +375,32 @@ def record_backend(quick: bool, reference_path: Path) -> dict:
 # Sharded multi-device evaluation: the max-over-shards scaling curve
 # ----------------------------------------------------------------------
 
-def time_sharded_sg(edges: np.ndarray, num_shards: int, *, repeats: int = 3) -> dict:
+def time_sharded_sg(
+    edges: np.ndarray,
+    num_shards: int,
+    *,
+    repeats: int = 3,
+    semijoin_filter: bool = True,
+    overlap: bool = True,
+) -> dict:
     """SG fixpoint under ``num_shards`` simulated devices.
 
     ``simulated_seconds`` is the max over shards (shards run concurrently);
-    the exchange volume counts interconnect bytes on the sending side only.
+    ``exchange_bytes`` counts interconnect bytes on the sending side and
+    ``exchange_recv_bytes`` the mirror image on the receivers.  The
+    ``semijoin_filter`` / ``overlap`` levers select the exchange-layer
+    ablation arm.
     """
     times: list[float] = []
     info: dict = {}
     for _ in range(repeats):
         engine = GPULogEngine(
-            device="h100", oom_enabled=False, collect_relations=False, num_shards=num_shards
+            device="h100",
+            oom_enabled=False,
+            collect_relations=False,
+            num_shards=num_shards,
+            semijoin_filter=semijoin_filter,
+            overlap=overlap,
         )
         engine.add_fact_array("edge", edges)
         start = time.perf_counter()
@@ -393,6 +408,8 @@ def time_sharded_sg(edges: np.ndarray, num_shards: int, *, repeats: int = 3) -> 
         times.append(time.perf_counter() - start)
         info = {
             "num_shards": num_shards,
+            "semijoin_filter": bool(semijoin_filter),
+            "overlap": bool(overlap),
             "sg_count": result.count("sg"),
             "iterations": result.total_iterations,
             "simulated_seconds": round(result.elapsed_seconds, 6),
@@ -401,7 +418,13 @@ def time_sharded_sg(edges: np.ndarray, num_shards: int, *, repeats: int = 3) -> 
             "shard_simulated_seconds": [round(s, 6) for s in result.shard_elapsed_seconds]
             or [round(result.elapsed_seconds, 6)],
             "exchange_bytes": int(result.exchange_bytes),
+            "exchange_recv_bytes": int(result.exchange_recv_bytes),
             "exchange_tuples": int(result.exchange_tuples),
+            "exchange_skew": round(result.exchange_skew, 3),
+            "overlap_efficiency": round(result.exchange_overlap_efficiency, 4),
+            "overlap_hidden_seconds": round(result.exchange_overlap_hidden_seconds, 6),
+            "semijoin_rows_dropped": int(result.semijoin_rows_dropped),
+            "replicated_joins": int(result.replicated_joins),
         }
         engine.close()
     times.sort()
@@ -464,12 +487,35 @@ def record_sharded(quick: bool, shard_counts: tuple[int, ...] = (1, 2, 4, 8)) ->
         entry["variable_scaling_speedup"] = round(
             baseline_variable / max(1e-12, entry["simulated_variable_seconds"]), 3
         )
+        if num_shards > 1:
+            # The semi-join ablation arm: same shape, filters/replication/
+            # pre-routing off (overlap stays on — it hides time, not bytes).
+            unfiltered = time_sharded_sg(
+                edges, num_shards, repeats=1, semijoin_filter=False
+            )
+            if unfiltered["sg_count"] != baseline_count:
+                raise AssertionError(
+                    f"unfiltered ablation diverged: |sg|={unfiltered['sg_count']} "
+                    f"at N={num_shards}, expected {baseline_count}"
+                )
+            entry["unfiltered_exchange_bytes"] = unfiltered["exchange_bytes"]
+            entry["unfiltered_simulated_seconds"] = unfiltered["simulated_seconds"]
+            entry["filtered_exchange_ratio"] = round(
+                entry["exchange_bytes"] / max(1, unfiltered["exchange_bytes"]), 4
+            )
+        else:
+            entry["unfiltered_exchange_bytes"] = entry["exchange_bytes"]
+            entry["unfiltered_simulated_seconds"] = entry["simulated_seconds"]
+            entry["filtered_exchange_ratio"] = 1.0
         sharded["curve"].append(entry)
         print(
             f"SG sharded N={num_shards}: simulated {entry['simulated_seconds']}s "
             f"(max over shards, {entry['scaling_speedup']}x vs N=1, "
             f"bandwidth-bound component {entry['variable_scaling_speedup']}x)  "
-            f"exchange {entry['exchange_bytes'] / 1e6:.2f} MB / {entry['exchange_tuples']} tuples  "
+            f"exchange {entry['exchange_bytes'] / 1e6:.2f} MB "
+            f"(unfiltered {entry['unfiltered_exchange_bytes'] / 1e6:.2f} MB, "
+            f"ratio {entry['filtered_exchange_ratio']}) / {entry['exchange_tuples']} tuples  "
+            f"overlap eff {entry['overlap_efficiency']}  "
             f"host {entry['host_median_seconds']}s"
         )
     return artifact

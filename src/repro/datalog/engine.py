@@ -29,7 +29,12 @@ import numpy as np
 from ..backend import ArrayBackend, get_backend
 from ..device.device import Device
 from ..device.faults import FaultPlan, resolve_fault_plan
-from ..device.profiler import FIGURE6_PHASES, PHASE_LOAD, phase_fractions_from_seconds
+from ..device.profiler import (
+    FIGURE6_PHASES,
+    PHASE_LOAD,
+    PHASE_SHARD_EXCHANGE,
+    phase_fractions_from_seconds,
+)
 from ..device.spec import DeviceSpec
 from ..errors import CheckpointError, DatalogError, DeviceBufferError, SchemaError
 from ..relational.checkpoint import CheckpointStore, EvaluationCheckpoint
@@ -40,7 +45,7 @@ from .analysis import analyze_program
 from .ast import Atom, Comparison, Constant, Program, Rule
 from .planner import ProgramPlan, plan_program
 from .seminaive import EvaluationStats, SemiNaiveEvaluator
-from .sharded import ShardedSemiNaiveEvaluator, shard_columns_for_plan
+from .sharded import DEFAULT_REPLICATE_MAX_BYTES, ShardedSemiNaiveEvaluator, shard_columns_for_plan
 
 FactValue = Union[int, str]
 FactTuple = Sequence[FactValue]
@@ -48,6 +53,14 @@ FactTuple = Sequence[FactValue]
 #: Environment variable supplying the default shard count (the experiments
 #: CLI's ``--shards`` flag exports it, mirroring ``REPRO_BACKEND``).
 SHARDS_ENV_VAR = "REPRO_SHARDS"
+
+#: Ablation levers for the sharded exchange layer (the experiments CLI's
+#: ``--no-semijoin-filter`` / ``--no-exchange-overlap`` flags export these).
+SEMIJOIN_ENV_VAR = "REPRO_SEMIJOIN_FILTER"
+OVERLAP_ENV_VAR = "REPRO_EXCHANGE_OVERLAP"
+
+_TRUE_FLAGS = frozenset({"1", "true", "yes", "on"})
+_FALSE_FLAGS = frozenset({"0", "false", "no", "off"})
 
 
 def _default_num_shards() -> int:
@@ -58,6 +71,17 @@ def _default_num_shards() -> int:
         return int(value)
     except ValueError as error:
         raise SchemaError(f"{SHARDS_ENV_VAR} must be an integer, got {value!r}") from error
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    value = os.environ.get(name, "").strip().lower()
+    if not value:
+        return default
+    if value in _TRUE_FLAGS:
+        return True
+    if value in _FALSE_FLAGS:
+        return False
+    raise SchemaError(f"{name} must be a boolean flag, got {value!r}")
 
 
 class SymbolTable:
@@ -133,6 +157,28 @@ class EvaluationResult:
     oom_chunked_joins: int = 0
     #: dedup passes that degraded into halved chunks after an OOM
     oom_degraded_dedups: int = 0
+    #: interconnect bytes observed on the receiving side of exchanges
+    #: (should mirror ``exchange_bytes``; a gap means dropped payloads)
+    exchange_recv_bytes: float = 0.0
+    #: interconnect bytes sent by each shard device
+    exchange_send_bytes_per_shard: tuple[float, ...] = field(default_factory=tuple)
+    #: interconnect bytes received by each shard device
+    exchange_recv_bytes_per_shard: tuple[float, ...] = field(default_factory=tuple)
+    #: max over shards of (sent + received) divided by the mean — 1.0 is a
+    #: perfectly balanced exchange, higher means one shard is the hot spot
+    exchange_skew: float = 0.0
+    #: exchange seconds hidden under compute by overlap scheduling
+    exchange_overlap_hidden_seconds: float = 0.0
+    #: hidden exchange time / total exchange time (0 with overlap disabled)
+    exchange_overlap_efficiency: float = 0.0
+    #: outer rows semi-join filters dropped before they were shipped
+    semijoin_rows_dropped: int = 0
+    #: join steps answered against a replicated EDB inner (no exchange)
+    replicated_joins: int = 0
+    #: join steps whose probe was shard-local after a key repartition
+    aligned_joins: int = 0
+    #: join steps that actually replicated outer rows to other shards
+    broadcast_joins: int = 0
 
     def relation(self, name: str) -> list[tuple[FactValue, ...]]:
         """Tuples of ``name`` (decoded), or an empty list if unknown."""
@@ -184,6 +230,9 @@ class GPULogEngine:
         max_retries: int = 3,
         retry_backoff_seconds: float = 1e-3,
         fault_plan: "FaultPlan | str | None" = None,
+        semijoin_filter: bool | None = None,
+        overlap: bool | None = None,
+        replicate_max_bytes: int = DEFAULT_REPLICATE_MAX_BYTES,
     ) -> None:
         resolved_shards = num_shards if num_shards is not None else _default_num_shards()
         if resolved_shards < 1:
@@ -258,6 +307,17 @@ class GPULogEngine:
         self.checkpoint_store = checkpoint_store
         self.max_retries = int(max_retries)
         self.retry_backoff_seconds = float(retry_backoff_seconds)
+        #: semi-join filtering + EDB replication + head pre-routing in the
+        #: sharded exchange layer (``None`` reads REPRO_SEMIJOIN_FILTER)
+        self.semijoin_filter = (
+            _env_flag(SEMIJOIN_ENV_VAR, True) if semijoin_filter is None else bool(semijoin_filter)
+        )
+        #: double-buffered exchange/compute overlap (``None`` reads
+        #: REPRO_EXCHANGE_OVERLAP)
+        self.overlap = _env_flag(OVERLAP_ENV_VAR, True) if overlap is None else bool(overlap)
+        #: replicate a static EDB inner to every shard when its payload fits
+        #: under this many bytes (0 disables replication)
+        self.replicate_max_bytes = int(replicate_max_bytes)
         #: newest iteration-boundary checkpoint from the most recent run
         self.last_checkpoint: EvaluationCheckpoint | None = None
         self.symbols = SymbolTable()
@@ -432,6 +492,9 @@ class GPULogEngine:
                 retry_backoff_seconds=self.retry_backoff_seconds,
                 program_name=program.name,
                 program_source=str(program),
+                semijoin_filter=self.semijoin_filter,
+                overlap=self.overlap,
+                replicate_max_bytes=self.replicate_max_bytes,
             )
             try:
                 stats = evaluator.evaluate({}, resume_from=checkpoint)
@@ -500,13 +563,17 @@ class GPULogEngine:
     def _run_sharded(self, program: Program, analysis, plan: ProgramPlan, arities) -> EvaluationResult:
         """Partitioned evaluation across the engine's shard devices.
 
-        Relations are hash-partitioned by their canonical shard column;
-        the sharded evaluator exchanges foreign-keyed tuples through the
-        charged interconnect edge each iteration.  Within-shard execution
-        always runs the row pipeline — rows are materialized at every
-        exchange boundary anyway, so the ``columnar`` flag does not alter
-        sharded execution (cross-shard lazy batches are a known follow-up,
-        see ROADMAP).
+        Relations are hash-partitioned by their canonical shard column; the
+        sharded evaluator exchanges foreign-keyed tuples through the charged
+        interconnect edge each iteration.  The exchange layer is pipelined
+        and volume-minimizing: semi-join filters drop rows that cannot match
+        on the receiving shard, shipments carry only the columns downstream
+        plan steps read (cross-shard lazy batches), small static EDB inners
+        are replicated instead of broadcast against, and a double-buffered
+        schedule hides exchange time under the previous iteration's compute
+        (see :mod:`repro.datalog.sharded`; ablations: ``semijoin_filter``,
+        ``overlap``).  The ``columnar`` flag does not alter sharded execution
+        — the sharded datapath is always columnar end to end.
         """
         shard_columns = shard_columns_for_plan(plan, arities)
         self.relations = {}
@@ -547,6 +614,9 @@ class GPULogEngine:
             retry_backoff_seconds=self.retry_backoff_seconds,
             program_name=program.name,
             program_source=str(program),
+            semijoin_filter=self.semijoin_filter,
+            overlap=self.overlap,
+            replicate_max_bytes=self.replicate_max_bytes,
         )
         try:
             stats = evaluator.evaluate(idb_facts)
@@ -586,6 +656,20 @@ class GPULogEngine:
 
         shard_elapsed = tuple(device.elapsed_seconds for device in self.devices)
         slowest = max(range(self.num_shards), key=lambda index: shard_elapsed[index])
+
+        # Exchange volume, both directions.  Senders charge transfer_bytes,
+        # receivers charge recv_bytes for the same payloads, so the totals
+        # agree; the per-shard splits expose routing skew.
+        send_per_shard = tuple(device.profiler.interconnect_bytes for device in self.devices)
+        recv_per_shard = tuple(device.profiler.interconnect_recv_bytes for device in self.devices)
+        traffic = [sent + received for sent, received in zip(send_per_shard, recv_per_shard)]
+        total_traffic = sum(traffic)
+        skew = (max(traffic) * self.num_shards / total_traffic) if total_traffic > 0 else 0.0
+        # Overlap efficiency: the share of exchange time the double-buffered
+        # schedule hid under the previous iteration's compute.
+        hidden_seconds = sum(device.profiler.overlap_hidden_seconds for device in self.devices)
+        exchange_seconds = float(phase_seconds.get(PHASE_SHARD_EXCHANGE, 0.0))
+        overlap_efficiency = hidden_seconds / exchange_seconds if exchange_seconds > 0 else 0.0
         return EvaluationResult(
             program_name=program.name,
             device_name=f"{self.device.spec.name} x{self.num_shards}",
@@ -615,6 +699,16 @@ class GPULogEngine:
                 for relation in self.relations.values()
                 for shard in relation.shards
             ),
+            exchange_recv_bytes=float(sum(recv_per_shard)),
+            exchange_send_bytes_per_shard=send_per_shard,
+            exchange_recv_bytes_per_shard=recv_per_shard,
+            exchange_skew=skew,
+            exchange_overlap_hidden_seconds=hidden_seconds,
+            exchange_overlap_efficiency=overlap_efficiency,
+            semijoin_rows_dropped=evaluator.semijoin_rows_dropped,
+            replicated_joins=evaluator.replicated_joins,
+            aligned_joins=evaluator.aligned_joins,
+            broadcast_joins=evaluator.broadcast_joins,
         )
 
     # ------------------------------------------------------------------

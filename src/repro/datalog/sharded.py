@@ -1,34 +1,52 @@
 """Sharded semi-naïve fixpoint evaluation across multiple simulated devices.
 
 The single-device evaluator (:mod:`repro.datalog.seminaive`) is bound by one
-device's memory and bandwidth.  This module runs the same compiled plan
-bulk-synchronously over ``N`` shard devices:
+device's memory and bandwidth.  This module runs the same compiled plan over
+``N`` shard devices with a pipelined, volume-minimizing exchange schedule:
 
 * every relation is hash-partitioned by its *canonical shard column* (the
   first join column its indexes are probed through most often — see
   :func:`shard_columns_for_plan`), so a probe keyed on that column finds all
   of its matches on the shard the key hashes to;
-* each join step is preceded by an exchange barrier that moves only the
-  outer tuples whose probe key hashes to a foreign shard (a no-op when the
-  flowing rows are already partitioned on the key, e.g. the TC delta scan);
-  probes on a non-canonical column fall back to broadcasting the outer side;
-* head tuples are routed to the head relation's owner shards before
-  ``add_new``, so per-shard deduplication / ``populate_delta`` / merge
-  compose into their global counterparts (each tuple has one owner);
+* flowing tuples move between operators as lazy
+  :class:`~repro.relational.columnbatch.ColumnBatch` objects *across shard
+  boundaries too*: a shipment carries only the columns a downstream plan
+  step still reads (the planner's backward liveness analysis,
+  :func:`~repro.datalog.planner.version_live_columns`), with selection
+  chains resolved sender-side, so dead columns never cross the interconnect;
+* before a repartition or broadcast, a **semi-join filter** — an exact
+  per-shard key set built from the inner relation's join column and
+  refreshed incrementally from deltas on merge
+  (:class:`~repro.relational.semijoin.ExchangeFilterBank`) — drops outer
+  rows that cannot match on the receiving shard; small static EDB inners
+  are instead **replicated** once to every shard (charged through the same
+  broadcast edge), turning their probes shard-local, and when every
+  remaining step is local the flowing batch is **pre-routed** by the head's
+  shard key so the final head route disappears entirely;
+* each shard's iteration runs inside a double-buffered **overlap window**:
+  the exchange for iteration i+1 is modeled as in flight while iteration
+  i's join computes, so the per-window cost is ``max(compute, transfer)``
+  instead of their sum (negative-seconds credits under the
+  ``exchange_overlap`` profiler phase);
 * the global fixpoint is reached when **all** shards' deltas are empty.
 
-All cross-shard movement goes through the charged ``device_to_device``
-kernel (``KernelCost.transfer_bytes`` at the NVLink-class
-``DeviceSpec.interconnect_bandwidth_gbps``, recorded under the
-``shard_exchange`` profiler phase), mirroring the PCIe boundary rule of the
-host transfer edges.  Each shard device accumulates its own simulated time;
-a sharded run's elapsed time is the max over shards.
+Both levers ablate independently: ``semijoin_filter=False`` restores
+unfiltered, unreplicated, tail-routed exchanges, ``overlap=False`` restores
+the bulk-synchronous cost model.  All cross-shard movement still goes
+through the charged ``device_to_device`` / ``broadcast_to`` kernels
+(``KernelCost.transfer_bytes`` at the NVLink-class interconnect bandwidth,
+recorded under the ``shard_exchange`` phase), so filters and replicas only
+pay off when the rows they avoid shipping outweigh the keys they cost.
+Fault recovery composes unchanged: a crash mid-overlap rolls every shard
+back to the last iteration-boundary checkpoint, drops the in-flight window,
+and invalidates filters and replicas (they are rebuilt, charged, on demand).
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from contextlib import ExitStack
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,12 +60,18 @@ from ..errors import (
     TransientDeviceError,
 )
 from ..relational.checkpoint import CheckpointStore, EvaluationCheckpoint
+from ..relational.columnbatch import ColumnBatch
 from ..relational.operators import hash_join, project, select
-from ..relational.sharded import ShardedRelation, partition_rows, partition_rows_host
-from .planner import DELTA, ProgramPlan, RuleVersion
+from ..relational.relation import Relation
+from ..relational.semijoin import ExchangeFilterBank
+from ..relational.sharded import ShardedRelation, partition_rows_host, shard_owners
+from .planner import DELTA, ProgramPlan, RuleVersion, head_shard_variable, version_live_columns
 from .seminaive import EvaluationStats, StratumResult
 
 __all__ = ["ShardedSemiNaiveEvaluator", "shard_columns_for_plan"]
+
+#: Default ceiling for replicating a static EDB inner to every shard (bytes).
+DEFAULT_REPLICATE_MAX_BYTES = 4 << 20
 
 
 def shard_columns_for_plan(plan: ProgramPlan, arities: dict[str, int]) -> dict[str, int]:
@@ -74,6 +98,29 @@ def shard_columns_for_plan(plan: ProgramPlan, arities: dict[str, int]) -> dict[s
     return columns
 
 
+@dataclass(frozen=True)
+class _VersionPlan:
+    """Per-rule-version exchange schedule, computed once and cached.
+
+    ``modes[i]`` is how step ``i``'s probe reaches its inner: ``"local"``
+    (the inner is replicated on every shard), ``"aligned"`` (repartition the
+    outer by the probe key) or ``"broadcast"``.  ``live_before[i]`` is the
+    set of flowing-schema positions still read at or after step ``i`` — the
+    only columns an exchange in front of the step may ship.  When
+    ``route_before`` is set, the flowing batch is pre-routed by the head's
+    shard-key variable (at ``route_position`` of that step's input schema)
+    and the final head route is skipped: every later step is local, so rows
+    never leave their head-owner shard again.
+    """
+
+    modes: tuple[str, ...]
+    schemas: tuple[tuple[str, ...], ...]
+    live_before: tuple[frozenset, ...]
+    live_final: frozenset
+    route_before: int | None
+    route_position: int | None
+
+
 class ShardedSemiNaiveEvaluator:
     """Executes a compiled program plan over hash-partitioned relations."""
 
@@ -90,6 +137,9 @@ class ShardedSemiNaiveEvaluator:
         retry_backoff_seconds: float = 1e-3,
         program_name: str = "",
         program_source: str = "",
+        semijoin_filter: bool = True,
+        overlap: bool = True,
+        replicate_max_bytes: int = DEFAULT_REPLICATE_MAX_BYTES,
     ) -> None:
         self.devices = list(devices)
         self.num_shards = len(self.devices)
@@ -103,18 +153,33 @@ class ShardedSemiNaiveEvaluator:
         self.retry_backoff_seconds = float(retry_backoff_seconds)
         self.program_name = program_name
         self.program_source = program_source
+        #: semi-join filtering + EDB replication + head pre-routing lever
+        self.semijoin_filter = bool(semijoin_filter)
+        #: double-buffered exchange/compute overlap lever
+        self.overlap = bool(overlap)
+        self.replicate_max_bytes = int(replicate_max_bytes)
         self.last_checkpoint: EvaluationCheckpoint | None = None
         #: tuples moved across shards (the exchange volume in rows)
         self.exchange_tuples = 0
         #: join steps whose probe was shard-local after a key repartition
         self.aligned_joins = 0
-        #: join steps that had to broadcast the outer side (misaligned probe)
+        #: join steps that actually replicated outer rows (a filtered
+        #: broadcast that ships nothing does not count)
         self.broadcast_joins = 0
+        #: join steps answered from a replicated EDB inner (no exchange)
+        self.replicated_joins = 0
+        #: outer rows dropped by semi-join filters before shipping
+        self.semijoin_rows_dropped = 0
         # Recovery counters (surfaced by the engine result).
         self.transient_retries = 0
         self.checkpoints_taken = 0
         self.checkpoint_restores = 0
         self.shard_rebuilds = 0
+        # Exchange-schedule state (rebuilt on demand, dropped on rollback).
+        self._filters = ExchangeFilterBank(self.devices)
+        self._replicas: dict[str, list[Relation]] = {}
+        self._replica_decision: dict[str, bool] = {}
+        self._version_plans: dict[int, _VersionPlan] = {}
 
     @property
     def exchange_bytes(self) -> float:
@@ -128,6 +193,15 @@ class ShardedSemiNaiveEvaluator:
         stats = EvaluationStats()
         analysis = self.plan.analysis
 
+        try:
+            return self._evaluate(idb_facts, stats, analysis, resume_from)
+        finally:
+            # Replicas hold real pool buffers and filters hold key arrays;
+            # both are run-scoped caches, not results — release them so
+            # ``close()`` finds every shard device empty.
+            self._invalidate_exchange_state()
+
+    def _evaluate(self, idb_facts, stats, analysis, resume_from) -> EvaluationStats:
         for stratum in analysis.strata:
             non_recursive, recursive = self.plan.versions_for_stratum(stratum.index)
             idb_in_stratum = sorted(stratum.relations & set(analysis.idb_relations))
@@ -234,14 +308,19 @@ class ShardedSemiNaiveEvaluator:
                         label=f"{version.head_relation}<-{version.initial.relation}",
                     )
                     bucket = initial_parts[version.head_relation]
-                    for shard, rows in enumerate(parts):
-                        if len(rows):
-                            bucket[shard].append(rows)
+                    for shard, batch in enumerate(parts):
+                        if len(batch):
+                            bucket[shard].append(batch)
                 for name in idb_in_stratum:
                     relation = self.relations[name]
                     for shard in range(self.num_shards):
                         backend = self.devices[shard].backend
-                        parts = initial_parts[name][shard]
+                        parts = [
+                            part.as_rows(label=f"{name}.init_materialize")
+                            if isinstance(part, ColumnBatch)
+                            else part
+                            for part in initial_parts[name][shard]
+                        ]
                         if not parts:
                             rows = backend.empty((0, relation.arity), dtype=backend.int64)
                         elif len(parts) == 1:
@@ -294,6 +373,9 @@ class ShardedSemiNaiveEvaluator:
             # Baseline snapshot right after stratum init, so even an
             # iteration-1 crash has a boundary to roll back to.
             self.save_checkpoint(stratum_index, iteration)
+        if self.overlap:
+            for device in self.devices:
+                device.profiler.begin_overlap_schedule()
         while True:
             iteration += 1
             if iteration > self.max_iterations:
@@ -304,6 +386,13 @@ class ShardedSemiNaiveEvaluator:
                 with ExitStack() as stack:
                     for device in self.devices:
                         stack.enter_context(device.profiler.iteration(iteration))
+                    if self.overlap:
+                        # One overlap window per shard per iteration: this
+                        # window's exchange hides under the previous window's
+                        # compute (double buffering); the credit is granted
+                        # when the window closes at the iteration boundary.
+                        for device in self.devices:
+                            stack.enter_context(device.profiler.overlap_window())
                     for version in recursive:
                         # Skip on the *global* delta: a shard with an empty
                         # local delta still receives foreign-keyed rows via
@@ -315,18 +404,25 @@ class ShardedSemiNaiveEvaluator:
                             label=f"{version.head_relation}<-{version.initial.relation}",
                         )
                         head = self.relations[version.head_relation]
-                        for shard, rows in enumerate(parts):
-                            if len(rows):
+                        for shard, batch in enumerate(parts):
+                            if len(batch):
                                 with self.devices[shard].profiler.phase(PHASE_JOIN):
-                                    head.add_new_shard(shard, rows, device_resident=True)
+                                    head.add_new_shard(shard, batch, device_resident=True)
                     total_delta = 0
                     for name in idb_in_stratum:
                         result = self.relations[name].end_iteration()
                         total_delta += result.delta_count
                         in_place_merges += result.in_place_merges
                         rebuild_merges += result.rebuild_merges
+                        # Fold the just-merged delta keys into any semi-join
+                        # filters tracking this relation: the delta rows are
+                        # exactly the keys that entered full this iteration.
+                        if result.delta_count and self._filters.has_relation(name):
+                            self._filters.refresh(name, self.relations[name].shards)
             except ExchangeError as error:
-                # A shard died mid-exchange.  Its partitions are gone, and
+                # A shard died mid-exchange (possibly mid-overlap: the
+                # in-flight window is simply dropped — its credits were only
+                # granted at window close).  Its partitions are gone, and
                 # the surviving shards may have advanced past the snapshot
                 # boundary, so recovery is global: rebuild the dead device,
                 # then roll *every* shard back to the last checkpoint.
@@ -340,6 +436,7 @@ class ShardedSemiNaiveEvaluator:
                 self._rebuild_crashed_shard(error)
                 self.restore_checkpoint(self.last_checkpoint)
                 self._charge_backoff(restores, label="shard_rebuild")
+                self._restart_overlap()
                 iteration = self.last_checkpoint.iteration
                 continue
             except TransientDeviceError as error:
@@ -354,6 +451,7 @@ class ShardedSemiNaiveEvaluator:
                     ) from error
                 self.restore_checkpoint(self.last_checkpoint)
                 self._charge_backoff(restores, label="fixpoint_restore")
+                self._restart_overlap()
                 iteration = self.last_checkpoint.iteration
                 continue
             if self.checkpoint_every and (
@@ -366,6 +464,13 @@ class ShardedSemiNaiveEvaluator:
             if total_delta == 0:
                 break
         return iteration, in_place_merges, rebuild_merges
+
+    def _restart_overlap(self) -> None:
+        """Refill the pipeline after a rollback: the first replayed window
+        has no in-flight predecessor to hide behind."""
+        if self.overlap:
+            for device in self.devices:
+                device.profiler.begin_overlap_schedule()
 
     # ------------------------------------------------------------------
     # Fault recovery
@@ -416,6 +521,22 @@ class ShardedSemiNaiveEvaluator:
                 relation.restore(state)
         self.last_checkpoint = checkpoint
         self.checkpoint_restores += 1
+        # Filters were built from the pre-rollback fulls and replicas may
+        # live on a device that no longer exists: drop both, they are
+        # rebuilt (and re-charged) on demand from the restored state.
+        self._invalidate_exchange_state()
+
+    def _invalidate_exchange_state(self) -> None:
+        """Drop semi-join filters and EDB replicas (rollback/rebuild path)."""
+        for replicas in self._replicas.values():
+            for replica in replicas:
+                try:
+                    replica.free()
+                except Exception:
+                    # A replica on the crashed device died with its pool.
+                    pass
+        self._replicas.clear()
+        self._filters.invalidate()
 
     def _rebuild_crashed_shard(self, error: ExchangeError) -> None:
         """Replace the device that died mid-exchange with a fresh clone.
@@ -441,6 +562,7 @@ class ShardedSemiNaiveEvaluator:
         for relation in self.relations.values():
             relation.rebuild_shard(index, replacement)
         self.shard_rebuilds += 1
+        self._invalidate_exchange_state()
 
     def _retry_transient(self, attempt, *, label: str):
         """Retry an idempotent step on transient kernel faults with backoff."""
@@ -466,180 +588,514 @@ class ShardedSemiNaiveEvaluator:
         )
 
     # ------------------------------------------------------------------
+    # Exchange scheduling (per rule version, cached)
+    # ------------------------------------------------------------------
+    def _replicable(self, name: str) -> bool:
+        """True if ``name`` is a small static EDB inner worth replicating."""
+        if not self.semijoin_filter or self.num_shards == 1:
+            return False
+        cached = self._replica_decision.get(name)
+        if cached is not None:
+            return cached
+        relation = self.relations[name]
+        payload_bytes = relation.full_count * relation.arity * 8
+        decision = (
+            name not in self.plan.analysis.idb_relations
+            and 0 < payload_bytes <= self.replicate_max_bytes
+        )
+        self._replica_decision[name] = decision
+        return decision
+
+    def _version_plan(self, version: RuleVersion) -> _VersionPlan:
+        plan = self._version_plans.get(id(version))
+        if plan is not None:
+            return plan
+        live_before, live_final = version_live_columns(version)
+        schemas = tuple(
+            [tuple(version.initial.schema)] + [tuple(step.schema) for step in version.joins]
+        )
+        modes = []
+        for step in version.joins:
+            if self._replicable(step.relation):
+                modes.append("local")
+            elif self.relations[step.relation].aligned_with(step.join_columns):
+                modes.append("aligned")
+            else:
+                modes.append("broadcast")
+        route_before: int | None = None
+        route_position: int | None = None
+        if self.semijoin_filter and version.joins and self.num_shards > 1:
+            head_var = head_shard_variable(
+                version, self.relations[version.head_relation].shard_column
+            )
+            if head_var is not None:
+                for index in range(len(version.joins)):
+                    if head_var in schemas[index] and all(
+                        mode == "local" for mode in modes[index:]
+                    ):
+                        route_before = index
+                        route_position = schemas[index].index(head_var)
+                        break
+        plan = _VersionPlan(
+            modes=tuple(modes),
+            schemas=schemas,
+            live_before=live_before,
+            live_final=live_final,
+            route_before=route_before,
+            route_position=route_position,
+        )
+        self._version_plans[id(version)] = plan
+        return plan
+
+    def _replica_for(self, name: str, probe_columns: tuple[int, ...]) -> list[Relation]:
+        """Full copies of EDB relation ``name``, one per shard device.
+
+        Built once: every shard broadcasts its partition to all peers over
+        the charged interconnect, each device concatenates what it received
+        and pays the normal dedup/index build of ``Relation.initialize``.
+        Only the index a probe actually uses is built (``probe_columns``,
+        extended on demand when another rule probes a different column set
+        — the source relation's identity index, for example, exists for
+        merge/dedup, which a read-only replica never does).  Dropped (and
+        rebuilt on demand) when a fault rolls the cluster back.
+        """
+        replicas = self._replicas.get(name)
+        if replicas is not None:
+            for replica in replicas:
+                replica.build_index(probe_columns)
+            return replicas
+        relation = self.relations[name]
+        parts_per_target: list[list] = [[] for _ in range(self.num_shards)]
+        for source in range(self.num_shards):
+            device = self.devices[source]
+            rows = relation.shards[source].full_rows()
+            if not len(rows):
+                continue
+            parts_per_target[source].append(rows)
+            targets = [shard for shard in range(self.num_shards) if shard != source]
+            copies = device.kernels.broadcast_to(
+                rows, [self.devices[target] for target in targets], label=f"{name}.replicate"
+            )
+            for target, copy in zip(targets, copies):
+                parts_per_target[target].append(copy)
+        replicas = []
+        try:
+            for shard in range(self.num_shards):
+                device = self.devices[shard]
+                replica = Relation(
+                    device,
+                    f"{name}.replica",
+                    relation.arity,
+                    identity_index=False,
+                    **relation._relation_config,
+                )
+                replica.require_index(probe_columns)
+                parts = parts_per_target[shard]
+                if not parts:
+                    rows = device.backend.empty((0, relation.arity), dtype=device.backend.int64)
+                elif len(parts) == 1:
+                    rows = parts[0]
+                else:
+                    with device.profiler.phase(PHASE_SHARD_EXCHANGE):
+                        rows = device.kernels.concatenate_rows(parts, label=f"{name}.replicate.gather")
+                replica.initialize(rows, device_resident=True)
+                replicas.append(replica)
+        except BaseException:
+            for replica in replicas:
+                replica.free()
+            raise
+        self._replicas[name] = replicas
+        return replicas
+
+    # ------------------------------------------------------------------
     # Rule-version execution (per shard, with exchange barriers)
     # ------------------------------------------------------------------
-    def _execute_version(self, version: RuleVersion) -> list:
-        """Execute one rule version; returns per-shard head rows, already
+    def _execute_version(self, version: RuleVersion) -> list[ColumnBatch]:
+        """Execute one rule version; returns per-shard head batches, already
         routed to the head relation's owner shards."""
-        rows = self._initial_rows(version)
-        for step in version.joins:
-            if self._total(rows) == 0:
+        plan = self._version_plan(version)
+        batches = self._initial_rows(version)
+        routed = False
+        for index, step in enumerate(version.joins):
+            if self._total(batches) == 0:
                 return self._empties(len(version.head))
-            inner = self.relations[step.relation]
-            if inner.aligned_with(step.join_columns):
-                self.aligned_joins += 1
-                rows = self._exchange(
-                    rows,
-                    key_position=step.outer_key_positions[0],
-                    label=f"{version.head_relation}<-{step.relation}.route",
+            if not routed and plan.route_before == index:
+                batches = self._exchange(
+                    batches,
+                    key_position=plan.route_position,
+                    width=len(plan.schemas[index]),
+                    live=set(plan.live_before[index]) | {plan.route_position},
+                    label=f"{version.head_relation}.route_early",
                 )
+                routed = True
+            inner = self.relations[step.relation]
+            mode = plan.modes[index]
+            if mode == "local":
+                self.replicated_joins += 1
+                inners = self._replica_for(step.relation, tuple(step.join_columns))
+            elif mode == "aligned":
+                self.aligned_joins += 1
+                batches = self._exchange(
+                    batches,
+                    key_position=step.outer_key_positions[0],
+                    width=len(plan.schemas[index]),
+                    live=set(plan.live_before[index]),
+                    label=f"{version.head_relation}<-{step.relation}.route",
+                    filter_key=(step.relation, step.join_columns[0]),
+                )
+                inners = inner.shards
             else:
-                self.broadcast_joins += 1
-                rows = self._broadcast(rows, label=f"{version.head_relation}<-{step.relation}.bcast")
-            next_rows = []
-            for shard, shard_rows in enumerate(rows):
+                batches, shipped = self._broadcast(
+                    batches,
+                    key_position=step.outer_key_positions[0],
+                    width=len(plan.schemas[index]),
+                    live=set(plan.live_before[index]),
+                    label=f"{version.head_relation}<-{step.relation}.bcast",
+                    filter_key=(step.relation, step.join_columns[0]),
+                )
+                if shipped:
+                    self.broadcast_joins += 1
+                inners = inner.shards
+            next_batches = []
+            for shard, batch in enumerate(batches):
                 device = self.devices[shard]
-                backend = device.backend
-                if len(shard_rows) == 0:
-                    next_rows.append(backend.empty((0, len(step.schema)), dtype=backend.int64))
+                if len(batch) == 0:
+                    next_batches.append(ColumnBatch.empty(device, len(step.schema)))
                     continue
                 with device.profiler.phase(PHASE_JOIN):
                     out = hash_join(
                         device,
-                        shard_rows,
+                        batch,
                         step.outer_key_positions,
-                        inner.shards[shard].index_for(step.join_columns),
+                        inners[shard].index_for(step.join_columns),
                         step.output,
                         comparisons=step.filters,
                         label=f"{version.head_relation}<-{step.relation}",
                     )
                     if step.post_projection is not None and len(out):
-                        out = project(device, out, step.post_projection, label=f"{version.head_relation}.trim")
+                        out = project(
+                            device, out, step.post_projection, label=f"{version.head_relation}.trim"
+                        )
                 if len(out) == 0:
-                    out = backend.empty((0, len(step.schema)), dtype=backend.int64)
-                next_rows.append(out)
-            rows = next_rows
+                    out = ColumnBatch.empty(device, len(step.schema))
+                next_batches.append(ColumnBatch.wrap(device, out))
+            batches = next_batches
 
         head_parts = []
-        for shard, shard_rows in enumerate(rows):
+        for shard, batch in enumerate(batches):
             device = self.devices[shard]
             with device.profiler.phase(PHASE_JOIN):
-                if len(shard_rows) and version.final_filters:
-                    shard_rows = select(
-                        device, shard_rows, version.final_filters, label=f"{version.head_relation}.filter"
+                if len(batch) and version.final_filters:
+                    batch = select(
+                        device, batch, version.final_filters, label=f"{version.head_relation}.filter"
                     )
-                head_parts.append(self._project_head(version, shard_rows, device))
+                head_parts.append(self._project_head(version, batch, device))
+        if routed:
+            # The flow was pre-routed by the head's shard key and every later
+            # step was shard-local, so each head batch already sits on its
+            # owner (the pre-route hash *is* the ownership hash): no tail
+            # exchange at all.
+            return head_parts
         head_relation = self.relations[version.head_relation]
         return self._exchange(
             head_parts,
             key_position=head_relation.shard_column,
+            width=len(version.head),
+            live=set(range(len(version.head))),
             label=f"{version.head_relation}.route_new",
         )
 
-    def _initial_rows(self, version: RuleVersion) -> list:
+    def _initial_rows(self, version: RuleVersion) -> list[ColumnBatch]:
         initial = version.initial
         relation = self.relations[initial.relation]
         out = []
         for shard in range(self.num_shards):
             device = self.devices[shard]
-            backend = device.backend
             local = relation.shards[shard]
-            rows = local.delta_rows if initial.version == DELTA else local.full_rows()
-            if len(rows) == 0:
-                out.append(backend.empty((0, len(initial.schema)), dtype=backend.int64))
+            batch = local.delta_batch if initial.version == DELTA else local.full_batch()
+            if len(batch) == 0:
+                out.append(ColumnBatch.empty(device, len(initial.schema)))
                 continue
             with device.profiler.phase(PHASE_JOIN):
-                arity = rows.shape[1]
+                arity = batch.arity
                 if initial.filters:
-                    rows = select(device, rows, initial.filters, label=f"{initial.relation}.scan_filter")
+                    batch = select(
+                        device, batch, initial.filters, label=f"{initial.relation}.scan_filter"
+                    )
                 identity = tuple(initial.projection) == tuple(range(arity))
-                if not identity and len(rows):
-                    rows = project(device, rows, initial.projection, label=f"{initial.relation}.scan_project")
-            if len(rows) == 0:
-                rows = backend.empty((0, len(initial.schema)), dtype=backend.int64)
-            out.append(rows)
+                if not identity and len(batch):
+                    batch = project(
+                        device, batch, initial.projection, label=f"{initial.relation}.scan_project"
+                    )
+            if len(batch) == 0:
+                batch = ColumnBatch.empty(device, len(initial.schema))
+            out.append(ColumnBatch.wrap(device, batch))
         return out
 
-    def _project_head(self, version: RuleVersion, rows, device: Device):
-        backend = device.backend
-        if len(rows) == 0:
-            return backend.empty((0, len(version.head)), dtype=backend.int64)
-        columns = []
-        for head_column in version.head:
-            if head_column.kind == "var":
-                columns.append(rows[:, head_column.position])
-            else:
-                columns.append(backend.full(rows.shape[0], int(head_column.value), dtype=backend.int64))
-        result = backend.column_stack(columns).astype(backend.int64)
-        device.kernels.transform(
-            rows.shape[0],
-            bytes_per_item=8.0 * len(version.head),
-            ops_per_item=len(version.head),
-            label=f"{version.head_relation}.project_head",
-        )
-        return result
+    def _project_head(self, version: RuleVersion, batch: ColumnBatch, device: Device) -> ColumnBatch:
+        if len(batch) == 0:
+            return ColumnBatch.empty(device, len(version.head))
+        entries = [
+            ("column", head_column.position)
+            if head_column.kind == "var"
+            else ("constant", head_column.value)
+            for head_column in version.head
+        ]
+        return batch.assemble(entries, label=f"{version.head_relation}.project_head")
 
     # ------------------------------------------------------------------
     # Exchange barriers
     # ------------------------------------------------------------------
-    def _exchange(self, rows_per_shard: list, key_position: int, label: str) -> list:
-        """Repartition flowing rows so each row sits on ``hash(row[key])``.
+    def _filter_bank(self, filter_key: tuple[str, int] | None) -> ExchangeFilterBank | None:
+        """The filter bank with ``filter_key``'s key sets built, or ``None``."""
+        if not self.semijoin_filter or filter_key is None:
+            return None
+        name, column = filter_key
+        self._filters.ensure(name, column, self.relations[name].shards)
+        return self._filters
 
-        Rows already on their key's shard never move — this is the
-        "exchange only foreign-keyed tuples" rule.  Each foreign slice
-        crosses the interconnect exactly once, charged to the sender.
+    def _exchange(
+        self,
+        parts: list,
+        *,
+        key_position: int,
+        width: int,
+        live,
+        label: str,
+        filter_key: tuple[str, int] | None = None,
+    ) -> list[ColumnBatch]:
+        """Repartition flowing batches so each row sits on ``hash(row[key])``.
+
+        Rows already on their key's shard never move, rows whose key misses
+        the target shard's semi-join filter are dropped before shipping, and
+        a shipped slice carries only its ``live`` columns (selection chains
+        resolved sender-side) — each surviving slice crosses the interconnect
+        exactly once, charged to the sender.  All of a source's outbound
+        slices resolve and pack through one fused kernel sequence
+        (:meth:`_ship_partitioned`); only the per-link DMA stays per target.
         """
         if self.num_shards == 1:
-            return list(rows_per_shard)
-        width = rows_per_shard[0].shape[1]
-        slices: list[list] = [[] for _ in range(self.num_shards)]
-        for source, rows in enumerate(rows_per_shard):
-            if len(rows) == 0:
-                continue
+            return [ColumnBatch.wrap(self.devices[0], parts[0])]
+        bank = self._filter_bank(filter_key)
+        live_positions = sorted({int(position) for position in live} | {int(key_position)})
+        slices: list[list[ColumnBatch]] = [[] for _ in range(self.num_shards)]
+        for source, part in enumerate(parts):
             device = self.devices[source]
+            batch = ColumnBatch.wrap(device, part)
+            if len(batch) == 0:
+                continue
+            backend = device.backend
             with device.profiler.phase(PHASE_SHARD_EXCHANGE):
-                parts = partition_rows(
-                    device, rows, key_position, self.num_shards, label=f"{label}.partition"
-                )
-            for target, part in enumerate(parts):
-                if len(part) == 0:
-                    continue
-                if target == source:
-                    slices[target].append(part)
-                else:
-                    slices[target].append(
-                        device.kernels.device_to_device(part, self.devices[target], label=f"{label}.d2d")
-                    )
-                    self.exchange_tuples += int(len(part))
-        return [self._gather(target, slices[target], width, label) for target in range(self.num_shards)]
+                keys = batch.column(key_position, label=f"{label}.key")
+                owners = shard_owners(device, keys, self.num_shards, label=f"{label}.partition")
+                outbound: list[tuple[int, object]] = []
+                for target in range(self.num_shards):
+                    indices = backend.nonzero_indices(owners == target)
+                    if bank is not None and indices.shape[0]:
+                        present = bank.probe(
+                            device,
+                            filter_key[0],
+                            filter_key[1],
+                            target,
+                            backend.take(keys, indices),
+                            label=f"{label}.semijoin",
+                        )
+                        if present is not None:
+                            kept = indices[present]
+                            self.semijoin_rows_dropped += int(indices.shape[0] - kept.shape[0])
+                            indices = kept
+                    if indices.shape[0] == 0:
+                        continue
+                    if target == source:
+                        slices[target].append(batch.take(indices, label=f"{label}.local"))
+                    else:
+                        outbound.append((target, indices))
+                        self.exchange_tuples += int(indices.shape[0])
+                for target, shipped in self._ship_partitioned(
+                    device, batch, outbound, live_positions, width, label
+                ):
+                    slices[target].append(shipped)
+        return [
+            self._gather_batches(target, slices[target], width, live_positions, label)
+            for target in range(self.num_shards)
+        ]
 
-    def _broadcast(self, rows_per_shard: list, label: str) -> list:
-        """Send every shard's rows to every other shard (misaligned probe).
+    def _broadcast(
+        self,
+        parts: list,
+        *,
+        key_position: int,
+        width: int,
+        live,
+        label: str,
+        filter_key: tuple[str, int] | None = None,
+    ) -> tuple[list[ColumnBatch], int]:
+        """Replicate flowing batches to every shard (misaligned probe).
 
         Correct for any partitioning because each *inner* tuple still lives
-        on exactly one shard, so every match is produced exactly once.
+        on exactly one shard, so every match is produced exactly once.  With
+        a semi-join filter the replication is per-target: a row ships only
+        to the shards whose inner partition contains its probe key (possibly
+        several, possibly none), and a target receiving nothing gets no
+        transfer launch at all.  Returns ``(batches, rows_replicated)`` so
+        the caller can keep ``broadcast_joins`` meaning "rows actually
+        replicated".
         """
         if self.num_shards == 1:
-            return list(rows_per_shard)
-        width = rows_per_shard[0].shape[1]
-        slices: list[list] = [[] for _ in range(self.num_shards)]
-        for source, rows in enumerate(rows_per_shard):
-            if len(rows) == 0:
+            return [ColumnBatch.wrap(self.devices[0], parts[0])], 0
+        bank = self._filter_bank(filter_key)
+        live_positions = sorted({int(position) for position in live} | {int(key_position)})
+        slices: list[list[ColumnBatch]] = [[] for _ in range(self.num_shards)]
+        shipped_rows = 0
+        for source, part in enumerate(parts):
+            device = self.devices[source]
+            batch = ColumnBatch.wrap(device, part)
+            if len(batch) == 0:
                 continue
-            slices[source].append(rows)
-            targets = [shard for shard in range(self.num_shards) if shard != source]
-            copies = self.devices[source].kernels.broadcast_to(
-                rows, [self.devices[target] for target in targets], label=f"{label}.d2d"
-            )
-            for target, copy in zip(targets, copies):
-                slices[target].append(copy)
-            self.exchange_tuples += int(len(rows)) * len(targets)
-        return [self._gather(target, slices[target], width, label) for target in range(self.num_shards)]
+            backend = device.backend
+            if bank is None:
+                # Unfiltered: one staged payload of the live columns, one
+                # charged transfer per peer link.
+                slices[source].append(batch)
+                targets = [shard for shard in range(self.num_shards) if shard != source]
+                with device.profiler.phase(PHASE_SHARD_EXCHANGE):
+                    columns = batch.ship_columns(live_positions, label=label)
+                    stacked = backend.column_stack(columns)
+                    device.kernels.transform(
+                        len(batch),
+                        bytes_per_item=8.0 * len(live_positions),
+                        ops_per_item=float(len(live_positions)),
+                        label=f"{label}.pack",
+                    )
+                    copies = device.kernels.broadcast_to(
+                        stacked, [self.devices[target] for target in targets], label=f"{label}.d2d"
+                    )
+                for target, copy in zip(targets, copies):
+                    slices[target].append(
+                        ColumnBatch.from_shipped(self.devices[target], copy, live_positions, width)
+                    )
+                shipped_rows += int(len(batch)) * len(targets)
+                self.exchange_tuples += int(len(batch)) * len(targets)
+                continue
+            with device.profiler.phase(PHASE_SHARD_EXCHANGE):
+                keys = batch.column(key_position, label=f"{label}.key")
+                outbound: list[tuple[int, object]] = []
+                for target in range(self.num_shards):
+                    present = bank.probe(
+                        device,
+                        filter_key[0],
+                        filter_key[1],
+                        target,
+                        keys,
+                        label=f"{label}.semijoin",
+                    )
+                    if present is None:
+                        indices = backend.nonzero_indices(backend.ones(len(batch), dtype=backend.bool_))
+                    else:
+                        indices = backend.nonzero_indices(present)
+                        self.semijoin_rows_dropped += int(len(batch) - indices.shape[0])
+                    if indices.shape[0] == 0:
+                        continue
+                    if target == source:
+                        slices[target].append(batch.take(indices, label=f"{label}.local"))
+                    else:
+                        outbound.append((target, indices))
+                        shipped_rows += int(indices.shape[0])
+                        self.exchange_tuples += int(indices.shape[0])
+                for target, shipped in self._ship_partitioned(
+                    device, batch, outbound, live_positions, width, label
+                ):
+                    slices[target].append(shipped)
+        return (
+            [
+                self._gather_batches(target, slices[target], width, live_positions, label)
+                for target in range(self.num_shards)
+            ],
+            shipped_rows,
+        )
 
-    def _gather(self, shard: int, parts: list, width: int, label: str) -> object:
+    def _ship_partitioned(
+        self,
+        device: Device,
+        batch: ColumnBatch,
+        outbound: list,
+        live_positions: list[int],
+        width: int,
+        label: str,
+    ) -> list[tuple[int, ColumnBatch]]:
+        """Move one source's outbound slices to their target shards, fused.
+
+        ``outbound`` is ``[(target, row_indices), ...]`` for the foreign
+        targets that keep at least one row.  Rather than resolving, packing
+        and launching per target, the sender concatenates every outbound
+        row-index set, resolves the batch's selection chains *once* at the
+        combined length (live columns only), and packs all slices into one
+        target-segmented buffer with a single charged kernel — per-iteration
+        exchange launch latency stays flat in the shard count.  Only the
+        per-link DMA (and nothing on the receiver, which takes a passive
+        DMA write) remains per target; each target's segment is a zero-copy
+        slice of the packed buffer.
+        """
+        if not outbound:
+            return []
+        backend = device.backend
+        order = backend.concatenate([indices for _target, indices in outbound])
+        sub_batch = batch.take(order, label=f"{label}.slice")
+        columns = sub_batch.ship_columns(live_positions, label=label)
+        stacked = backend.column_stack(columns)
+        device.kernels.transform(
+            len(sub_batch),
+            bytes_per_item=8.0 * len(live_positions),
+            ops_per_item=float(len(live_positions)),
+            label=f"{label}.pack",
+        )
+        segments = []
+        start = 0
+        for target, indices in outbound:
+            stop = start + int(indices.shape[0])
+            segments.append((stacked[start:stop], self.devices[target]))
+            start = stop
+        copies = device.kernels.scatter_to(segments, label=f"{label}.d2d")
+        return [
+            (target, ColumnBatch.from_shipped(self.devices[target], copy, live_positions, width))
+            for (target, _indices), copy in zip(outbound, copies)
+        ]
+
+    def _gather_batches(
+        self, shard: int, parts: list[ColumnBatch], width: int, live_positions: list[int], label: str
+    ) -> ColumnBatch:
+        """Concatenate the slices a shard kept/received, live columns only."""
         device = self.devices[shard]
         if not parts:
-            return device.backend.empty((0, width), dtype=device.backend.int64)
+            return ColumnBatch.empty(device, width)
         if len(parts) == 1:
             return parts[0]
         with device.profiler.phase(PHASE_SHARD_EXCHANGE):
-            return device.kernels.concatenate_rows(parts, label=f"{label}.gather")
+            # One fused segmented-concat launch: every live column of every
+            # received slice lands in its output offset in a single pass.
+            with device.fused(f"{label}.gather_fused"):
+                materialized = [
+                    [part.column(position, label=f"{label}.gather") for position in live_positions]
+                    for part in parts
+                ]
+                columns = device.kernels.concatenate_columns(materialized, label=f"{label}.gather")
+        total = sum(len(part) for part in parts)
+        live_map = {position: index for index, position in enumerate(live_positions)}
+        placeholder = None
+        full_columns = []
+        for position in range(width):
+            index = live_map.get(position)
+            if index is not None:
+                full_columns.append(columns[index])
+            else:
+                if placeholder is None:
+                    placeholder = device.backend.zeros(total, dtype=device.backend.int64)
+                full_columns.append(placeholder)
+        return ColumnBatch.from_columns(device, full_columns, length=total)
 
     # ------------------------------------------------------------------
-    def _total(self, rows_per_shard: list) -> int:
-        return sum(len(rows) for rows in rows_per_shard)
+    def _total(self, batches: list) -> int:
+        return sum(len(batch) for batch in batches)
 
-    def _empties(self, width: int) -> list:
-        return [
-            device.backend.empty((0, width), dtype=device.backend.int64) for device in self.devices
-        ]
+    def _empties(self, width: int) -> list[ColumnBatch]:
+        return [ColumnBatch.empty(device, width) for device in self.devices]

@@ -62,6 +62,12 @@ class KernelCost:
         Which link ``transfer_bytes`` crosses: ``"pcie"`` (host<->device,
         the default) or ``"interconnect"`` (device<->device, the
         NVLink-class shard-exchange edge).
+    recv_bytes:
+        Bytes received over the interconnect by *this* device.  The link
+        time is charged on the sender (``transfer_bytes``); the receiver's
+        payload write is already part of its ``sequential_bytes``, so this
+        field adds no simulated time — it exists so per-shard ingress can
+        be accounted independently of egress (exchange-skew reporting).
     """
 
     kernel: str
@@ -74,6 +80,7 @@ class KernelCost:
     allocations: int = 0
     transfer_bytes: float = 0.0
     transfer_link: str = LINK_PCIE
+    recv_bytes: float = 0.0
 
     def combined_with(self, other: "KernelCost", kernel: str | None = None) -> "KernelCost":
         """Return a cost representing this kernel followed by ``other``.
@@ -97,6 +104,7 @@ class KernelCost:
             allocations=self.allocations + other.allocations,
             transfer_bytes=self.transfer_bytes + other.transfer_bytes,
             transfer_link=self.transfer_link if self.transfer_bytes else other.transfer_link,
+            recv_bytes=self.recv_bytes + other.recv_bytes,
         )
 
 

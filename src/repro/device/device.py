@@ -14,7 +14,9 @@ every experiment is attributable to a specific kernel in a specific phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
 
 from ..backend import ArrayBackend, BackendLike, get_backend
 from .cost import CostModel, KernelCost
@@ -65,6 +67,8 @@ class Device:
         #: ``REPRO_FAULT_PLAN`` environment variable, ``"none"`` disables
         #: injection outright (see :mod:`repro.device.faults`)
         self.fault_plan: FaultPlan | None = resolve_fault_plan(fault_plan)
+        #: active kernel-fusion scope (see :meth:`fused`); ``None`` outside
+        self._fusion: "list[object] | None" = None
 
     # ------------------------------------------------------------------
     # Time accounting
@@ -79,10 +83,51 @@ class Device:
             # checked before any time is recorded, so the retrying caller's
             # re-execution charges the extra pass, not the failed one.
             self.fault_plan.on_kernel(cost.kernel)
+        if self._fusion is not None:
+            # Inside a fusion scope: fold this stage's work into the pending
+            # fused launch instead of recording it.  The fault check above
+            # still ran per stage, so injection schedules keyed on stage
+            # names see the same occurrence counts as the unfused pipeline.
+            label, launches, accumulated, saved_phase = self._fusion
+            combined = cost if accumulated is None else accumulated.combined_with(cost)
+            self._fusion = [label, launches, combined, phase if phase is not None else saved_phase]
+            return self.cost_model.seconds(cost)
         seconds = self.cost_model.seconds(cost)
         fixed = self.cost_model.launch_seconds(cost) + cost.allocations * self.spec.alloc_latency_us * 1e-6
         self.profiler.record(cost, seconds, phase=phase, fixed_seconds=min(seconds, fixed))
         return seconds
+
+    @contextmanager
+    def fused(self, label: str, *, launches: int = 1) -> Iterator[None]:
+        """Fuse every charge inside the scope into one kernel launch.
+
+        Models operator fusion: the probe pipeline (gather keys, hash,
+        probe, verify, expand matches, guard) is a chain of elementwise
+        stages a real engine compiles into a single kernel, so the chain
+        should pay one launch latency, not one per stage.  Bytes, ops and
+        allocations of the stages are summed (memory traffic and
+        ``cudaMalloc`` calls do not fuse away); divergence takes the worst
+        stage; the launch count is pinned to ``launches``.
+
+        Nested scopes flatten into the outermost one.  Fault injection is
+        unaffected: each stage's fault check still fires under its own
+        kernel name before any time is folded in, and an injected fault
+        aborts the whole fused launch with nothing recorded.
+        """
+        if self._fusion is not None:
+            # Already fusing: the inner scope is part of the outer kernel.
+            yield
+            return
+        self._fusion = [label, launches, None, None]
+        try:
+            yield
+        except BaseException:
+            self._fusion = None
+            raise
+        label, launches, accumulated, phase = self._fusion
+        self._fusion = None
+        if accumulated is not None:
+            self.charge(replace(accumulated, kernel=label, launches=launches), phase=phase)
 
     @property
     def elapsed_seconds(self) -> float:

@@ -160,7 +160,9 @@ class DeviceKernels:
         tuples whose join key hashes to a foreign shard cross here.  The
         *sending* device is charged the DMA transfer (at the NVLink-class
         ``DeviceSpec.interconnect_bandwidth_gbps``) plus the device-side
-        read; the *receiving* device is charged the payload write.  Both
+        read; the *receiving* device is charged the payload write at memory
+        bandwidth but no kernel launch — a peer DMA writes straight into the
+        receiver's memory without the receiver scheduling anything.  Both
         charges land in the ``shard_exchange`` phase.
         """
         if self._device.fault_plan is not None:
@@ -185,9 +187,66 @@ class DeviceKernels:
             phase=PHASE_SHARD_EXCHANGE,
         )
         peer.charge(
-            KernelCost(kernel=f"{label}.recv", sequential_bytes=nbytes, ops=size),
+            KernelCost(
+                kernel=f"{label}.recv",
+                sequential_bytes=nbytes,
+                ops=size,
+                recv_bytes=nbytes,
+                launches=0,
+            ),
             phase=PHASE_SHARD_EXCHANGE,
         )
+        return out
+
+    def scatter_to(
+        self, segments: "list[tuple[Array, Device]]", label: str = "d2d_scatter"
+    ) -> "list[Array]":
+        """Send one distinct segment to each listed peer, as one fused launch.
+
+        The all-to-all shape of sharded exchange: a source posts every
+        outbound DMA from a single kernel (the way a fused scatter kernel
+        or NCCL all-to-all would), so the sender pays launch latency *once*
+        regardless of how many peers receive a slice, plus the summed link
+        transfer and device-side read.  Each receiver still pays its own
+        payload write — at bandwidth, with no launch, exactly as in
+        :meth:`device_to_device`.  Fault hooks fire per peer *before* any
+        payload moves or cost is charged, so a scripted ``exchange`` fault
+        aborts the whole fused launch with nothing sent.
+        """
+        for _array, peer in segments:
+            if self._device.fault_plan is not None:
+                self._device.fault_plan.on_exchange(label, peer)
+        out: "list[Array]" = []
+        total_bytes = 0.0
+        total_size = 0.0
+        for array, peer in segments:
+            copied = peer.backend.asarray(self._backend.to_host(array))
+            nbytes = float(getattr(copied, "nbytes", 0))
+            size = float(getattr(copied, "size", 0))
+            total_bytes += nbytes
+            total_size += size
+            peer.charge(
+                KernelCost(
+                    kernel=f"{label}.recv",
+                    sequential_bytes=nbytes,
+                    ops=size,
+                    recv_bytes=nbytes,
+                    launches=0,
+                ),
+                phase=PHASE_SHARD_EXCHANGE,
+            )
+            out.append(copied)
+        if segments:
+            self._device.charge(
+                KernelCost(
+                    kernel=label,
+                    transfer_bytes=total_bytes,
+                    transfer_link=LINK_INTERCONNECT,
+                    sequential_bytes=total_bytes,
+                    ops=total_size,
+                ),
+                phase=PHASE_SHARD_EXCHANGE,
+            )
         return out
 
     def broadcast_to(self, array: Array, peers: "list[Device]", label: str = "d2d_broadcast") -> "list[Array]":
@@ -218,7 +277,13 @@ class DeviceKernels:
                 phase=PHASE_SHARD_EXCHANGE,
             )
             peer.charge(
-                KernelCost(kernel=f"{label}.recv", sequential_bytes=nbytes, ops=size),
+                KernelCost(
+                    kernel=f"{label}.recv",
+                    sequential_bytes=nbytes,
+                    ops=size,
+                    recv_bytes=nbytes,
+                    launches=0,
+                ),
                 phase=PHASE_SHARD_EXCHANGE,
             )
             out.append(copied)

@@ -33,6 +33,8 @@ PHASE_SHARD_EXCHANGE = "shard_exchange"
 PHASE_CHECKPOINT = "checkpoint"
 #: Fault-recovery work: retry backoff, checkpoint restores, device rebuilds.
 PHASE_RECOVERY = "fault_recovery"
+#: Negative credits for exchange time hidden behind overlapped compute.
+PHASE_EXCHANGE_OVERLAP = "exchange_overlap"
 
 FIGURE6_PHASES = (
     PHASE_DEDUPLICATION,
@@ -80,6 +82,12 @@ class ProfileEvent:
 
     @property
     def variable_seconds(self) -> float:
+        if self.seconds < 0.0:
+            # Overlap credits are negative and carry a negative fixed share
+            # mirroring the hidden window's fixed/variable mix; the remainder
+            # is the variable refund.  Don't clamp — clamping would strand
+            # the whole credit in one bucket.
+            return self.seconds - self.fixed_seconds
         return max(0.0, self.seconds - self.fixed_seconds)
 
 
@@ -115,6 +123,14 @@ class Profiler:
         self._events: list[ProfileEvent] = []
         self._phase_stack: list[str] = []
         self._iteration: int | None = None
+        # Overlap-window bookkeeping (double-buffered exchange schedule).
+        self._window_depth = 0
+        self._window_exchange = 0.0
+        self._window_exchange_fixed = 0.0
+        self._window_compute = 0.0
+        self._pipeline_compute: float | None = None
+        self._overlap_hidden = 0.0
+        self._overlap_exchange = 0.0
 
     # ------------------------------------------------------------------
     # Phase / iteration context management
@@ -147,6 +163,84 @@ class Profiler:
             self._iteration = previous
 
     # ------------------------------------------------------------------
+    # Overlap scheduling (double-buffered exchanges)
+    # ------------------------------------------------------------------
+    def begin_overlap_schedule(self) -> None:
+        """Start (or restart) a double-buffered exchange schedule.
+
+        The first window after this call earns no credit — the pipeline has
+        no in-flight predecessor to hide behind.  The sharded evaluator calls
+        this at fixpoint entry and again after every fault rollback, since a
+        restore drains whatever transfer was in flight.
+        """
+        self._pipeline_compute = None
+        self._window_exchange = 0.0
+        self._window_exchange_fixed = 0.0
+        self._window_compute = 0.0
+
+    @contextmanager
+    def overlap_window(self) -> Iterator[None]:
+        """One overlapped window (one fixpoint iteration on this device).
+
+        While the window is open, ``record`` splits event seconds into an
+        exchange bucket (``shard_exchange`` phase) and a compute bucket
+        (everything else except checkpoint/recovery, which a real runtime
+        cannot overlap with an in-flight transfer).  On close, the window's
+        exchange time is charged as ``max(compute, transfer)`` instead of
+        their sum: the part of this window's exchange that fits under the
+        *previous* window's compute — the delta shipped for iteration i+1
+        while iteration i's join runs — is refunded as a negative-seconds
+        event in the :data:`PHASE_EXCHANGE_OVERLAP` phase.
+        """
+        self._window_depth += 1
+        if self._window_depth == 1:
+            self._window_exchange = 0.0
+            self._window_exchange_fixed = 0.0
+            self._window_compute = 0.0
+        try:
+            yield
+        finally:
+            self._window_depth -= 1
+            if self._window_depth == 0:
+                exchange = self._window_exchange
+                exchange_fixed = self._window_exchange_fixed
+                compute = self._window_compute
+                self._overlap_exchange += exchange
+                if self._pipeline_compute is not None:
+                    hidden = min(exchange, self._pipeline_compute)
+                    if hidden > 0.0:
+                        self._overlap_hidden += hidden
+                        # Refund fixed and variable time in the same ratio the
+                        # window's exchange accrued them, so the fixed/variable
+                        # split used for full-size projection stays meaningful.
+                        hidden_fixed = (
+                            hidden * (exchange_fixed / exchange) if exchange > 0.0 else 0.0
+                        )
+                        self._events.append(
+                            ProfileEvent(
+                                phase=PHASE_EXCHANGE_OVERLAP,
+                                kernel="exchange_overlap_credit",
+                                seconds=-hidden,
+                                cost=KernelCost(
+                                    kernel="exchange_overlap_credit", launches=0
+                                ),
+                                iteration=self._iteration,
+                                fixed_seconds=-hidden_fixed,
+                            )
+                        )
+                self._pipeline_compute = compute
+
+    @property
+    def overlap_hidden_seconds(self) -> float:
+        """Exchange seconds refunded because they fit under overlapped compute."""
+        return self._overlap_hidden
+
+    @property
+    def overlap_window_exchange_seconds(self) -> float:
+        """Exchange seconds that occurred inside overlap windows."""
+        return self._overlap_exchange
+
+    # ------------------------------------------------------------------
     # Recording and aggregation
     # ------------------------------------------------------------------
     def record(
@@ -175,6 +269,12 @@ class Profiler:
             fixed_seconds=float(fixed_seconds),
         )
         self._events.append(event)
+        if self._window_depth > 0 and event.seconds > 0.0:
+            if event.phase == PHASE_SHARD_EXCHANGE:
+                self._window_exchange += event.seconds
+                self._window_exchange_fixed += min(event.fixed_seconds, event.seconds)
+            elif event.phase not in (PHASE_CHECKPOINT, PHASE_RECOVERY):
+                self._window_compute += event.seconds
         return event
 
     @property
@@ -214,6 +314,16 @@ class Profiler:
             if event.cost.transfer_link == LINK_INTERCONNECT
         )
 
+    @property
+    def interconnect_recv_bytes(self) -> float:
+        """Bytes this device *received* over the interconnect.
+
+        The mirror of :attr:`interconnect_bytes`: summed over all shards the
+        two totals match, but per shard they differ and their spread is the
+        exchange skew surfaced on ``EvaluationResult``.
+        """
+        return sum(event.cost.recv_bytes for event in self._events)
+
     def phase_summaries(self) -> dict[str, PhaseSummary]:
         """Aggregate recorded events by phase."""
         summaries: dict[str, PhaseSummary] = {}
@@ -252,7 +362,14 @@ class Profiler:
     def reset(self) -> None:
         """Discard all recorded events (phase/iteration context is kept)."""
         self._events.clear()
+        self._window_exchange = 0.0
+        self._window_compute = 0.0
+        self._pipeline_compute = None
+        self._overlap_hidden = 0.0
+        self._overlap_exchange = 0.0
 
     def merge_from(self, other: "Profiler") -> None:
         """Append every event recorded by ``other`` into this profiler."""
         self._events.extend(other._events)
+        self._overlap_hidden += other._overlap_hidden
+        self._overlap_exchange += other._overlap_exchange

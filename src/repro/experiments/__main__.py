@@ -17,7 +17,7 @@ import sys
 import time
 
 from ..backend import BACKEND_ENV_VAR
-from ..datalog.engine import SHARDS_ENV_VAR
+from ..datalog.engine import OVERLAP_ENV_VAR, SEMIJOIN_ENV_VAR, SHARDS_ENV_VAR
 from . import ALL_EXPERIMENTS
 
 
@@ -46,6 +46,19 @@ def main(argv: list[str] | None = None) -> int:
         help="shard count for every GPUlog run (partitioned multi-device "
         f"evaluation); defaults to ${SHARDS_ENV_VAR} and then 1",
     )
+    parser.add_argument(
+        "--no-semijoin-filter",
+        action="store_true",
+        help="ablation: disable semi-join-filtered exchanges (plus EDB "
+        "replication and head pre-routing) in sharded runs "
+        f"(exports {SEMIJOIN_ENV_VAR}=0)",
+    )
+    parser.add_argument(
+        "--no-exchange-overlap",
+        action="store_true",
+        help="ablation: disable double-buffered exchange/compute overlap in "
+        f"sharded runs (exports {OVERLAP_ENV_VAR}=0)",
+    )
     args = parser.parse_args(argv)
     if args.backend:
         # One switch retargets every Device the experiment drivers build.
@@ -56,6 +69,10 @@ def main(argv: list[str] | None = None) -> int:
         # Same pattern as --backend: every GPULogEngine the drivers build
         # resolves its default shard count from this variable.
         os.environ[SHARDS_ENV_VAR] = str(args.shards)
+    if args.no_semijoin_filter:
+        os.environ[SEMIJOIN_ENV_VAR] = "0"
+    if args.no_exchange_overlap:
+        os.environ[OVERLAP_ENV_VAR] = "0"
 
     requested = list(args.experiments)
     if not requested or requested == ["list"]:

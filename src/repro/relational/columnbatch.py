@@ -140,6 +140,58 @@ class ColumnBatch:
         return cls.from_rows(device, data)
 
     @classmethod
+    def from_shipped(
+        cls,
+        device: Device,
+        rows: Array,
+        live_positions: Sequence[int],
+        arity: int,
+        *,
+        names: tuple[str, ...] | None = None,
+    ) -> "ColumnBatch":
+        """Rebuild a full-arity batch from a cross-shard shipment.
+
+        The exchange path ships only *live* columns (positions a downstream
+        plan step reads, per the planner's liveness analysis) packed as a
+        ``(n, len(live_positions))`` row block.  This wraps that block back
+        into the receiving shard's full flowing schema: live positions become
+        zero-copy column views of the block, and every dead position shares
+        one zero-filled placeholder column that, by construction, no
+        downstream operator will ever gather.
+        """
+        backend = device.backend
+        rows = backend.as_rows(rows)
+        if rows.shape[0] and rows.shape[1] != len(live_positions):
+            raise SchemaError(
+                f"shipped block has {rows.shape[1]} columns, expected {len(live_positions)}"
+            )
+        length = int(rows.shape[0])
+        live = {int(position): index for index, position in enumerate(live_positions)}
+        placeholder: Array | None = None
+        columns: list[Array] = []
+        for position in range(arity):
+            index = live.get(position)
+            if index is not None:
+                columns.append(rows[:, index])
+            else:
+                if placeholder is None:
+                    placeholder = backend.zeros(length, dtype=TUPLE_DTYPE)
+                columns.append(placeholder)
+        return cls.from_columns(device, columns, length=length, names=names)
+
+    def ship_columns(
+        self, positions: Sequence[int], *, label: str = "ship"
+    ) -> "list[Array]":
+        """Materialise exactly the columns a shipment carries (sender-side).
+
+        Resolving the selection chains here — before the bytes cross the
+        interconnect — is what makes cross-shard laziness pay: a filtered or
+        projected batch ships its post-selection values, never the backing
+        stores the lazy metadata points into.
+        """
+        return [self.column(int(position), label=f"{label}.resolve") for position in positions]
+
+    @classmethod
     def concatenate(
         cls,
         device: Device,

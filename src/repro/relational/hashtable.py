@@ -205,7 +205,11 @@ class OpenAddressingHashTable:
         grew = False
         rebuild_probes = 0
         if self.n_keys + m > self.load_factor * self.capacity:
-            target = self.capacity
+            # Fixpoint deltas tend to grow geometrically, so a 2x growth
+            # stride pays allocation latency on almost every merge; a 4x
+            # stride amortizes it to every other merge for at most one
+            # doubling of slack.
+            target = self.capacity * 4
             while self.n_keys + m > self.load_factor * target:
                 target *= 2
             rebuild_probes = self._grow(next_power_of_two(target))

@@ -678,27 +678,6 @@ class HISA:
             backend.scatter(merged_join_keys, delta_pos, delta._sorted_join_keys)
             merged_join_keys[old_pos_mask] = self._sorted_join_keys
 
-        if charge:
-            self.device.kernels.binary_search_keys(
-                d,
-                haystack_size=n,
-                key_bytes=self.natural_arity * TUPLE_ITEMSIZE,
-                label=f"{self.label}.merge_path",
-            )
-            # One bandwidth-bound pass rewrites the sorted index and every
-            # cached key array (read + write); this is the honest O(m)
-            # residual of keeping dense sorted arrays.
-            scatter_bytes = 2.0 * m * INDEX_ITEMSIZE + 2.0 * m * self._sorted_keys.dtype.itemsize
-            if not join_keys_aliased:
-                scatter_bytes += 2.0 * m * self._sorted_join_keys.dtype.itemsize
-            self.device.charge(
-                KernelCost(
-                    kernel=f"{self.label}.merge_scatter",
-                    sequential_bytes=scatter_bytes,
-                    ops=float(m),
-                )
-            )
-
         # 3. Runs.  Fast path: an all-column index over duplicate-free inputs
         #    has singleton runs by construction (delta is disjoint from full),
         #    so the run structure is positional and needs no key comparisons.
@@ -717,16 +696,6 @@ class HISA:
             run_starts, run_lengths = _runs_from_keys(backend, merged_join_keys)
             old_counts = backend.reduceat_sum(old_pos_mask.astype(backend.int64), run_starts)
             is_new_run = old_counts == 0
-            if charge:
-                # The run scan reads every cached join key once plus the
-                # origin bitmap — another bandwidth-bound O(m) pass.
-                self.device.charge(
-                    KernelCost(
-                        kernel=f"{self.label}.run_scan",
-                        sequential_bytes=float(m) * (merged_join_keys.dtype.itemsize + 1.0),
-                        ops=float(m),
-                    )
-                )
         n_new = int(is_new_run.sum())
         merged_ordinals = backend.empty(run_starts.size, dtype=backend.int64)
         # Pre-existing runs never split or reorder (equal join keys stay
@@ -736,12 +705,51 @@ class HISA:
         ordinal_base = int(self._hash_by_ordinal.size) if self.table is not None else int(self._run_ordinals.size)
         merged_ordinals[is_new_run] = ordinal_base + backend.arange(n_new, dtype=backend.int64)
         if charge:
-            self.device.kernels.transform(
+            self.device.kernels.binary_search_keys(
                 d,
-                bytes_per_item=2.0 * self.n_join * TUPLE_ITEMSIZE,
-                ops_per_item=self.n_join,
-                label=f"{self.label}.find_runs_delta",
+                haystack_size=n,
+                key_bytes=self.natural_arity * TUPLE_ITEMSIZE,
+                label=f"{self.label}.merge_path",
             )
+            # The index-merge epilogue — key/index scatter, run detection,
+            # delta run finding and new-key hashing — streams the merged
+            # arrays once, so it is charged as one fused finalize kernel.
+            # Each stage below still describes its own bytes/ops (the honest
+            # O(m) residual of dense sorted arrays); only the launches fold.
+            with self.device.fused(f"{self.label}.merge_finalize"):
+                scatter_bytes = 2.0 * m * INDEX_ITEMSIZE + 2.0 * m * self._sorted_keys.dtype.itemsize
+                if not join_keys_aliased:
+                    scatter_bytes += 2.0 * m * self._sorted_join_keys.dtype.itemsize
+                self.device.charge(
+                    KernelCost(
+                        kernel=f"{self.label}.merge_scatter",
+                        sequential_bytes=scatter_bytes,
+                        ops=float(m),
+                    )
+                )
+                if not unique_runs:
+                    # The run scan reads every cached join key once plus the
+                    # origin bitmap — another bandwidth-bound O(m) pass.
+                    self.device.charge(
+                        KernelCost(
+                            kernel=f"{self.label}.run_scan",
+                            sequential_bytes=float(m) * (merged_join_keys.dtype.itemsize + 1.0),
+                            ops=float(m),
+                        )
+                    )
+                self.device.kernels.transform(
+                    d,
+                    bytes_per_item=2.0 * self.n_join * TUPLE_ITEMSIZE,
+                    ops_per_item=self.n_join,
+                    label=f"{self.label}.find_runs_delta",
+                )
+                if self.table is not None and n_new:
+                    self.device.kernels.transform(
+                        n_new,
+                        bytes_per_item=self.n_join * TUPLE_ITEMSIZE,
+                        ops_per_item=4.0 * self.n_join,
+                        label=f"{self.label}.hash_keys",
+                    )
 
         # 4. Hash table: insert only the delta's new keys; refresh the shifted
         #    run starts of existing keys through their remembered slots.
@@ -756,13 +764,6 @@ class HISA:
                         for position in range(self.n_join)
                     ]
                 )
-                if charge:
-                    self.device.kernels.transform(
-                        n_new,
-                        bytes_per_item=self.n_join * TUPLE_ITEMSIZE,
-                        ops_per_item=4.0 * self.n_join,
-                        label=f"{self.label}.hash_keys",
-                    )
             else:
                 new_hashes = backend.empty(0, dtype=backend.uint64)
             new_slots, grew = self.table.insert_batch(

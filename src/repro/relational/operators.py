@@ -261,72 +261,81 @@ def _hash_join_columnar(
             device.charge(KernelCost(kernel=f"{label}.scan_outer", sequential_bytes=streamed_bytes))
         return ColumnBatch.empty(device, out_arity)
 
-    # 1. Read only the outer *key* columns (the columnar saving: non-key
-    #    columns of the outer batch are not touched by the probe).  Already-
-    #    materialized key columns are charged here as a streaming scan; lazy
-    #    ones pay their own gather in ``column()`` instead, so a fully lazy
-    #    key set charges only the per-tuple probe ops.
-    if charge:
-        device.charge(
-            KernelCost(
-                kernel=f"{label}.scan_outer",
-                sequential_bytes=streamed_bytes,
-                ops=float(n),
+    # The whole probe pipeline — key gather, hash, table probe, key verify,
+    # match expansion and guard evaluation — is a chain of elementwise
+    # stages over the same index space, which a real engine compiles into
+    # one fused kernel.  The fusion scope folds every stage's bytes/ops
+    # into a single launch; the stages below keep charging their own work
+    # descriptions so the memory/compute accounting stays per-stage exact.
+    with device.fused(f"{label}.probe_fused"):
+        # 1. Read only the outer *key* columns (the columnar saving: non-key
+        #    columns of the outer batch are not touched by the probe).
+        #    Already-materialized key columns are charged here as a streaming
+        #    scan; lazy ones pay their own gather in ``column()`` instead, so
+        #    a fully lazy key set charges only the per-tuple probe ops.
+        if charge:
+            device.charge(
+                KernelCost(
+                    kernel=f"{label}.scan_outer",
+                    sequential_bytes=streamed_bytes,
+                    ops=float(n),
+                )
             )
-        )
-    key_columns = [
-        outer.column(column, charge=charge, label=f"{label}.gather_keys")
-        for column in outer_join_columns
-    ]
+        key_columns = [
+            outer.column(column, charge=charge, label=f"{label}.gather_keys")
+            for column in outer_join_columns
+        ]
 
-    # 2. Hash the key columns and probe the inner hash table.
-    starts, lengths = inner.lookup_columns(key_columns, charge=charge)
+        # 2. Hash the key columns and probe the inner hash table.
+        starts, lengths = inner.lookup_columns(key_columns, charge=charge)
 
-    # 3. Expand the matched runs into (probe index, data position) pairs.
-    #    Only the two index vectors are written — tuple values stay put.
-    total_matches = int(lengths.sum())
-    divergence = _divergence(device, lengths)
-    if charge:
-        device.charge(
-            KernelCost(
-                kernel=f"{label}.scan_inner",
-                random_bytes=float(total_matches) * INDEX_ITEMSIZE,
-                sequential_bytes=2.0 * float(total_matches) * INDEX_ITEMSIZE,
-                ops=float(total_matches),
-                divergence=divergence,
+        # 3. Expand the matched runs into (probe index, data position) pairs.
+        #    Only the two index vectors are written — tuple values stay put.
+        total_matches = int(lengths.sum())
+        divergence = _divergence(device, lengths)
+        if charge:
+            device.charge(
+                KernelCost(
+                    kernel=f"{label}.scan_inner",
+                    random_bytes=float(total_matches) * INDEX_ITEMSIZE,
+                    sequential_bytes=2.0 * float(total_matches) * INDEX_ITEMSIZE,
+                    ops=float(total_matches),
+                    divergence=divergence,
+                )
             )
-        )
-    if total_matches == 0:
-        return ColumnBatch.empty(device, out_arity)
-    probe_idx, data_positions = inner.expand_matches(starts, lengths)
+        if total_matches == 0:
+            return ColumnBatch.empty(device, out_arity)
+        probe_idx, data_positions = inner.expand_matches(starts, lengths)
 
-    # 4. Wire the output columns as lazy gathers: outer columns route through
-    #    the probe indices, inner columns reference the HISA's stored columns
-    #    selected by data position.  Nothing is copied or composed here —
-    #    selection chains resolve when (and only if) a column is read.
-    routed_outer = outer.take(probe_idx, label=f"{label}.route_outer")
-    inner_specs = [
-        (inner.stored_column(inner.column_order.index(spec.column)), data_positions)
-        for spec in output
-        if spec.source == INNER
-    ]
-    extended = routed_outer.append_lazy(inner_specs)
-    positions: list[int] = []
-    inner_position = routed_outer.arity
-    for spec in output:
-        if spec.source == OUTER:
-            positions.append(spec.column)
-        else:
-            positions.append(inner_position)
-            inner_position += 1
-    result = extended.project(positions)
+        # 4. Wire the output columns as lazy gathers: outer columns route
+        #    through the probe indices, inner columns reference the HISA's
+        #    stored columns selected by data position.  Nothing is copied or
+        #    composed here — selection chains resolve when (and only if) a
+        #    column is read.
+        routed_outer = outer.take(probe_idx, label=f"{label}.route_outer")
+        inner_specs = [
+            (inner.stored_column(inner.column_order.index(spec.column)), data_positions)
+            for spec in output
+            if spec.source == INNER
+        ]
+        extended = routed_outer.append_lazy(inner_specs)
+        positions: list[int] = []
+        inner_position = routed_outer.arity
+        for spec in output:
+            if spec.source == OUTER:
+                positions.append(spec.column)
+            else:
+                positions.append(inner_position)
+                inner_position += 1
+        result = extended.project(positions)
 
-    # 5. In-kernel comparison guards materialize only the columns they read.
-    if comparisons:
-        mask = backend.ones(len(result), dtype=backend.bool_)
-        for comparison in comparisons:
-            mask &= comparison.evaluate_batch(result, charge=charge, label=f"{label}.guard")
-        result = result.filter(mask, charge=charge, label=f"{label}.guard_compact")
+        # 5. In-kernel comparison guards materialize only the columns they
+        #    read; the guard mask and compaction ride in the fused kernel.
+        if comparisons:
+            mask = backend.ones(len(result), dtype=backend.bool_)
+            for comparison in comparisons:
+                mask &= comparison.evaluate_batch(result, charge=charge, label=f"{label}.guard")
+            result = result.filter(mask, charge=charge, label=f"{label}.guard_compact")
     return result
 
 
@@ -512,10 +521,15 @@ def deduplicate(device: Device, rows: RowsLike, *, label: str = "deduplicate", c
         if rows.arity == 0:
             # All zero-arity tuples are equal: one survivor.
             return ColumnBatch.from_columns(device, [], length=1, names=rows.names)
-        columns = rows.columns(charge=charge, label=f"{label}.gather")
         if charge:
-            deduped = device.kernels.unique_columns(columns, label=label)
+            # Column gather, sort epilogue, adjacent-compare and compaction
+            # fuse around the multi-pass sort core: two radix passes plus one
+            # fused gather/mask/compact kernel.
+            with device.fused(f"{label}.dedup_fused", launches=3):
+                columns = rows.columns(charge=charge, label=f"{label}.gather")
+                deduped = device.kernels.unique_columns(columns, label=label)
         else:
+            columns = rows.columns(charge=charge, label=f"{label}.gather")
             order = backend.lexsort(columns, n_rows=len(rows))
             sorted_columns = [column[order] for column in columns]
             keep = backend.adjacent_unique_mask(sorted_columns, n_rows=len(rows))
@@ -554,15 +568,18 @@ def difference(
     if isinstance(rows, ColumnBatch):
         if len(rows) == 0 or existing.tuple_count == 0:
             return rows
-        columns = rows.columns(charge=charge, label=f"{label}.gather")
-        present = existing.contains_columns(columns, charge=charge)
-        keep = ~present
-        # Compact eagerly: the delta feeds every index build next, so each
-        # column is streamed once here instead of re-gathered per consumer.
-        if charge:
-            kept_columns = device.kernels.compact_columns(columns, keep, label=f"{label}.compact")
-        else:
-            kept_columns = [column[keep] for column in columns]
+        # The membership probe is one fused kernel: gather, hash, table
+        # probe, verify and compact all stream the same rows once.
+        with device.fused(f"{label}.diff_fused"):
+            columns = rows.columns(charge=charge, label=f"{label}.gather")
+            present = existing.contains_columns(columns, charge=charge)
+            keep = ~present
+            # Compact eagerly: the delta feeds every index build next, so each
+            # column is streamed once here instead of re-gathered per consumer.
+            if charge:
+                kept_columns = device.kernels.compact_columns(columns, keep, label=f"{label}.compact")
+            else:
+                kept_columns = [column[keep] for column in columns]
         return ColumnBatch.from_columns(
             device, kept_columns, length=backend.count_nonzero(keep), names=rows.names
         )

@@ -25,6 +25,7 @@ boundary exactly twice, and both edges are charged to the cost model:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from ..backend import Array
@@ -79,6 +80,7 @@ class Relation:
         eager_buffers: bool = True,
         buffer_growth_factor: float = 8.0,
         incremental_merge: bool = True,
+        identity_index: bool = True,
     ) -> None:
         if arity <= 0:
             raise SchemaError(f"relation {name!r} must have positive arity, got {arity}")
@@ -92,7 +94,13 @@ class Relation:
         self.incremental_merge = bool(incremental_merge)
 
         self._all_columns = tuple(range(self.arity))
-        self._index_column_sets: set[tuple[int, ...]] = {self._all_columns}
+        # The canonical all-column index backs full_rows()/full_count and the
+        # merge/dedup cycle; probe-only relations (cross-shard replicas that
+        # are only ever a join inner) skip it and pay for just the indexes
+        # their probes require.
+        self._index_column_sets: set[tuple[int, ...]] = (
+            {self._all_columns} if identity_index else set()
+        )
         self.full_indexes: dict[tuple[int, ...], HISA] = {}
         self._buffer_managers: dict[tuple[int, ...], MergeBufferManager] = {}
         self._delta: RowsLike = self.backend.empty((0, self.arity), dtype=self.backend.int64)
@@ -116,6 +124,36 @@ class Relation:
         if any(c < 0 or c >= self.arity for c in join_columns):
             raise SchemaError(f"index columns {join_columns} out of range for {self.name!r}")
         self._index_column_sets.add(join_columns)
+
+    def build_index(self, join_columns: tuple[int, ...]) -> None:
+        """Ensure an index on ``join_columns`` exists, building it if needed.
+
+        ``require_index`` only *registers* a column set before
+        ``initialize``; this also backfills the index on an
+        already-initialized relation — the path a probe-only replica takes
+        when a second rule probes it on a column set the first build didn't
+        cover.  Every HISA stores complete tuples, so any existing index can
+        seed the new one.
+        """
+        join_columns = tuple(int(c) for c in join_columns)
+        self.require_index(join_columns)
+        if join_columns in self.full_indexes or not self.full_indexes:
+            return
+        seed = next(iter(self.full_indexes.values()))
+        with self.device.profiler.phase(PHASE_INDEX_FULL):
+            self.full_indexes[join_columns] = HISA(
+                self.device,
+                seed.natural_rows(),
+                join_columns,
+                load_factor=self.load_factor,
+                label=f"{self.name}[{','.join(map(str, join_columns))}]",
+            )
+            self._buffer_managers[join_columns] = make_buffer_manager(
+                self.device,
+                eager=self.eager_buffers,
+                growth_factor=self.buffer_growth_factor,
+                label=f"{self.name}.merge_buffer",
+            )
 
     @property
     def index_column_sets(self) -> set[tuple[int, ...]]:
@@ -195,7 +233,10 @@ class Relation:
                 )
             if len(rows) == 0:
                 return
-            rows.columns(charge=True, label=f"{self.name}.new_gather")
+            # Resolving every lazy column of the incoming batch is one
+            # multi-column gather kernel, not one launch per column.
+            with self.device.fused(f"{self.name}.new_gather"):
+                rows.columns(charge=True, label=f"{self.name}.new_gather")
         else:
             if not device_resident:
                 rows = self.device.kernels.from_host(
@@ -251,15 +292,22 @@ class Relation:
                 # No hash table: the merge consumes only the delta's sorted
                 # data and cached keys, and nothing ever probes a delta index.
                 for columns in sorted(self._index_column_sets):
-                    delta_indexes[columns] = HISA(
-                        self.device,
-                        delta,
-                        columns,
-                        load_factor=self.load_factor,
-                        label=f"{self.name}.delta[{','.join(map(str, columns))}]",
-                        assume_sorted=True,
-                        build_hash_index=False,
-                    )
+                    # A prefix index adopts the dedup sort directly, so its
+                    # build is column reorder + index adoption + run finding —
+                    # elementwise stages over one pass, fused into one launch.
+                    # Non-prefix indexes re-sort (a real multi-pass kernel)
+                    # and keep their per-stage launches.
+                    adopts_sort = columns == tuple(range(len(columns)))
+                    with self.device.fused(f"{self.name}.delta.build_fused") if adopts_sort else nullcontext():
+                        delta_indexes[columns] = HISA(
+                            self.device,
+                            delta,
+                            columns,
+                            load_factor=self.load_factor,
+                            label=f"{self.name}.delta[{','.join(map(str, columns))}]",
+                            assume_sorted=True,
+                            build_hash_index=False,
+                        )
             with profiler.phase(PHASE_MERGE):
                 for columns in sorted(self._index_column_sets):
                     manager = self._buffer_managers[columns]

@@ -33,7 +33,13 @@ from .checkpoint import RelationState
 from .hashtable import DEFAULT_LOAD_FACTOR
 from .relation import IterationStats, Relation
 
-__all__ = ["ShardedRelation", "partition_rows", "partition_rows_host", "shard_assignments"]
+__all__ = [
+    "ShardedRelation",
+    "partition_rows",
+    "partition_rows_host",
+    "shard_assignments",
+    "shard_owners",
+]
 
 
 def partition_rows_host(rows, column: int, num_shards: int) -> list:
@@ -115,6 +121,36 @@ def partition_rows(
         )
     )
     return parts
+
+
+def shard_owners(
+    device: Device,
+    keys: Array,
+    num_shards: int,
+    *,
+    label: str = "shard_owners",
+) -> Array:
+    """Owner shard of each device-resident key value (charged hash pass).
+
+    The column-lazy sibling of :func:`partition_rows`: the exchange path
+    hashes just the routing key column of a batch, then slices the batch
+    lazily per destination — no full-row scatter is paid until (and unless)
+    live columns actually ship.  Charged as one streaming pass over the key
+    column (read + hash + owner write).
+    """
+    backend = device.backend
+    keys = backend.asarray(keys, dtype=backend.int64)
+    owners = shard_assignments(backend, keys, num_shards)
+    n = float(keys.shape[0])
+    device.charge(
+        KernelCost(
+            kernel=label,
+            sequential_bytes=n * 24.0,
+            ops=n * 6.0,
+            launches=1,
+        )
+    )
+    return owners
 
 
 class ShardedRelation:

@@ -36,9 +36,27 @@ def healthy_sharded_artifact():
     return {
         "sg_sharded_scaling": {
             "curve": [
-                {"num_shards": 1, "sg_count": 1000, "exchange_bytes": 0},
-                {"num_shards": 2, "sg_count": 1000, "exchange_bytes": 4096},
-                {"num_shards": 4, "sg_count": 1000, "exchange_bytes": 8192},
+                {
+                    "num_shards": 1,
+                    "sg_count": 1000,
+                    "exchange_bytes": 0,
+                    "unfiltered_exchange_bytes": 0,
+                    "overlap_efficiency": 0.0,
+                },
+                {
+                    "num_shards": 2,
+                    "sg_count": 1000,
+                    "exchange_bytes": 4096,
+                    "unfiltered_exchange_bytes": 16384,
+                    "overlap_efficiency": 0.4,
+                },
+                {
+                    "num_shards": 4,
+                    "sg_count": 1000,
+                    "exchange_bytes": 8192,
+                    "unfiltered_exchange_bytes": 32768,
+                    "overlap_efficiency": 0.5,
+                },
             ]
         }
     }
@@ -142,10 +160,53 @@ def test_sharded_gate_requires_matching_output_sizes():
 def test_sharded_gate_requires_single_device_baseline():
     artifact = {
         "sg_sharded_scaling": {
-            "curve": [{"num_shards": 2, "sg_count": 10, "exchange_bytes": 1}]
+            "curve": [
+                {
+                    "num_shards": 2,
+                    "sg_count": 10,
+                    "exchange_bytes": 1,
+                    "unfiltered_exchange_bytes": 10,
+                    "overlap_efficiency": 0.5,
+                }
+            ]
         }
     }
     assert check_regression.check_sharded(artifact) != []
+
+
+def test_sharded_gate_fails_when_filters_stop_pruning():
+    artifact = healthy_sharded_artifact()
+    # 0.9x of the unfiltered bytes: above the 0.7x ceiling.
+    artifact["sg_sharded_scaling"]["curve"][1]["exchange_bytes"] = 14746
+    failures = check_regression.check_sharded(artifact)
+    assert len(failures) == 1
+    assert "0.70x ceiling" in failures[0]
+    assert "N=2" in failures[0]
+
+
+def test_sharded_gate_honours_filtered_ratio_override():
+    artifact = healthy_sharded_artifact()
+    artifact["sg_sharded_scaling"]["curve"][1]["exchange_bytes"] = 14746
+    assert check_regression.check_sharded(artifact, max_filtered_ratio=0.95) == []
+
+
+def test_sharded_gate_requires_unfiltered_ablation_arm():
+    artifact = healthy_sharded_artifact()
+    del artifact["sg_sharded_scaling"]["curve"][2]["unfiltered_exchange_bytes"]
+    failures = check_regression.check_sharded(artifact)
+    assert any("unfiltered_exchange_bytes" in failure for failure in failures)
+
+
+def test_sharded_gate_requires_positive_overlap_efficiency():
+    artifact = healthy_sharded_artifact()
+    artifact["sg_sharded_scaling"]["curve"][2]["overlap_efficiency"] = 0.0
+    failures = check_regression.check_sharded(artifact)
+    assert len(failures) == 1
+    assert "hid no exchange time" in failures[0]
+    # A missing field is a recording bug, also gated.
+    del artifact["sg_sharded_scaling"]["curve"][2]["overlap_efficiency"]
+    failures = check_regression.check_sharded(artifact)
+    assert any("overlap_efficiency" in failure for failure in failures)
 
 
 def test_robustness_gate_fails_on_checkpoint_overhead_regression():
@@ -277,6 +338,19 @@ def test_cli_honours_threshold_overrides(tmp_path):
     backend = write(tmp_path, "backend.json", healthy_backend_artifact(ratio=1.2))
     assert check_regression.main(["--backend-json", backend]) == 1
     assert check_regression.main(["--backend-json", backend, "--max-dispatch-ratio", "1.3"]) == 0
+
+
+def test_cli_honours_filtered_exchange_ratio_override(tmp_path):
+    artifact = healthy_sharded_artifact()
+    artifact["sg_sharded_scaling"]["curve"][1]["exchange_bytes"] = 14746
+    sharded = write(tmp_path, "sharded.json", artifact)
+    assert check_regression.main(["--sharded-json", sharded]) == 1
+    assert (
+        check_regression.main(
+            ["--sharded-json", sharded, "--max-filtered-exchange-ratio", "0.95"]
+        )
+        == 0
+    )
 
 
 def test_cli_requires_at_least_one_artifact():

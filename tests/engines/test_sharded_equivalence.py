@@ -15,9 +15,19 @@ from repro.queries import CSPA_SOURCE, REACH_SOURCE, SG_SOURCE
 
 SHARD_COUNTS = [1, 2, 3, 4]
 
+#: the exchange-layer ablation matrix: semi-join filtering × overlap
+ABLATIONS = [
+    pytest.param(True, True, id="filtered-overlapped"),
+    pytest.param(True, False, id="filtered-synchronous"),
+    pytest.param(False, True, id="unfiltered-overlapped"),
+    pytest.param(False, False, id="unfiltered-synchronous"),
+]
 
-def run_engine(source, facts, outputs, num_shards):
-    engine = GPULogEngine(device="h100", oom_enabled=False, num_shards=num_shards)
+
+def run_engine(source, facts, outputs, num_shards, **engine_kwargs):
+    engine = GPULogEngine(
+        device="h100", oom_enabled=False, num_shards=num_shards, **engine_kwargs
+    )
     for name, rows in facts.items():
         engine.add_fact_array(name, rows)
     result = engine.run(source)
@@ -56,6 +66,56 @@ def test_cspa_sharded_equals_single_device(num_shards):
     outputs = ["valueflow", "valuealias", "memalias"]
     _, expected = run_engine(CSPA_SOURCE, cspa_facts(), outputs, 1)
     _, relations = run_engine(CSPA_SOURCE, cspa_facts(), outputs, num_shards)
+    for name in outputs:
+        assert relations[name] == expected[name], f"relation {name!r} diverged"
+        assert relations[name], f"relation {name!r} unexpectedly empty"
+
+
+@pytest.mark.parametrize("semijoin_filter,overlap", ABLATIONS)
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_tc_ablation_matrix_equals_single_device(paper_edges, num_shards, semijoin_filter, overlap):
+    _, expected = run_engine(REACH_SOURCE, {"edge": paper_edges}, ["reach"], 1)
+    _, relations = run_engine(
+        REACH_SOURCE,
+        {"edge": paper_edges},
+        ["reach"],
+        num_shards,
+        semijoin_filter=semijoin_filter,
+        overlap=overlap,
+    )
+    assert relations["reach"] == expected["reach"]
+    assert relations["reach"]
+
+
+@pytest.mark.parametrize("semijoin_filter,overlap", ABLATIONS)
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_sg_ablation_matrix_equals_single_device(random_dag_edges, num_shards, semijoin_filter, overlap):
+    _, expected = run_engine(SG_SOURCE, {"edge": random_dag_edges}, ["sg"], 1)
+    _, relations = run_engine(
+        SG_SOURCE,
+        {"edge": random_dag_edges},
+        ["sg"],
+        num_shards,
+        semijoin_filter=semijoin_filter,
+        overlap=overlap,
+    )
+    assert relations["sg"] == expected["sg"]
+    assert relations["sg"]
+
+
+@pytest.mark.parametrize("semijoin_filter,overlap", ABLATIONS)
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_cspa_ablation_matrix_equals_single_device(num_shards, semijoin_filter, overlap):
+    outputs = ["valueflow", "valuealias", "memalias"]
+    _, expected = run_engine(CSPA_SOURCE, cspa_facts(), outputs, 1)
+    _, relations = run_engine(
+        CSPA_SOURCE,
+        cspa_facts(),
+        outputs,
+        num_shards,
+        semijoin_filter=semijoin_filter,
+        overlap=overlap,
+    )
     for name in outputs:
         assert relations[name] == expected[name], f"relation {name!r} diverged"
         assert relations[name], f"relation {name!r} unexpectedly empty"
