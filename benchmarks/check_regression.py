@@ -29,6 +29,12 @@ absolute wall-clock noise cancels out:
   checkpoint-free simulated time, actually take checkpoints, and produce
   identical output sizes at every cadence; a bigger ratio means the
   fault-tolerance insurance premium stopped being cheap.
+* **join planner** — on the hub-graph triangle workload (binary-plan
+  intermediate > 10x the output), the ``cost+wcoj`` generic join must beat
+  the greedy binary plan by at least ``--min-wcoj-speedup`` (default 1.5x)
+  simulated time with identical output; and the ``cost`` planner's binary
+  ordering must never lose more than ``--max-cost-regression`` (default
+  1.05x) to the seed's greedy order on TC, SG or CSPA.
 
 Each gate is a pure function over the parsed artifact (returning a list of
 violation messages) so the logic is unit-testable without touching the
@@ -52,6 +58,14 @@ MAX_CHECKPOINT_OVERHEAD = 1.10
 GATED_CHECKPOINT_CADENCE = 50
 #: Default ceiling for filtered / unfiltered sharded exchange bytes.
 MAX_FILTERED_EXCHANGE_RATIO = 0.7
+#: Default floor for the WCOJ / binary triangle speedup (simulated time).
+MIN_WCOJ_SPEEDUP = 1.5
+#: Default ceiling for cost-planner / greedy-planner simulated time on the
+#: paper's acyclic workloads (TC, SG, CSPA).
+MAX_COST_REGRESSION = 1.05
+#: The intermediate blowup the WCOJ gate requires the workload to exhibit —
+#: below this the triangle instance is not binary-hostile enough to gate on.
+MIN_INTERMEDIATE_BLOWUP = 10.0
 
 
 def check_dispatch_ratio(artifact: dict, max_ratio: float = MAX_DISPATCH_RATIO) -> list[str]:
@@ -192,16 +206,79 @@ def check_robustness(
     return failures
 
 
+def check_planner(
+    artifact: dict,
+    min_wcoj_speedup: float = MIN_WCOJ_SPEEDUP,
+    max_cost_regression: float = MAX_COST_REGRESSION,
+) -> list[str]:
+    """Gate the join-planner baseline recorded in BENCH_planner."""
+    triangle = artifact.get("triangle_wcoj") or {}
+    if not triangle:
+        return ["planner artifact has no triangle_wcoj section"]
+    failures: list[str] = []
+
+    binary = triangle.get("binary") or {}
+    wcoj = triangle.get("wcoj") or {}
+    if binary.get("triangle_count") != wcoj.get("triangle_count"):
+        failures.append(
+            f"wcoj triangle run produced |triangle|={wcoj.get('triangle_count')}, "
+            f"binary produced {binary.get('triangle_count')} — the generic join "
+            "changed the output"
+        )
+    if wcoj.get("head_algorithm") != "wcoj":
+        failures.append(
+            f"cost+wcoj run executed algorithm={wcoj.get('head_algorithm')!r} for "
+            "the triangle rule — the planner stopped selecting the generic join "
+            "on a binary-hostile cyclic workload"
+        )
+    blowup = triangle.get("intermediate_blowup")
+    if blowup is None:
+        failures.append("triangle_wcoj has no intermediate_blowup — nothing to gate")
+    elif blowup < MIN_INTERMEDIATE_BLOWUP:
+        failures.append(
+            f"triangle workload's binary intermediate is only {blowup:.1f}x the "
+            f"output (< {MIN_INTERMEDIATE_BLOWUP:.0f}x) — the instance is not "
+            "binary-hostile enough for the speedup gate to mean anything"
+        )
+    speedup = triangle.get("wcoj_speedup")
+    if speedup is None:
+        failures.append("triangle_wcoj has no wcoj_speedup — nothing to gate")
+    elif speedup < min_wcoj_speedup:
+        failures.append(
+            f"wcoj speedup {speedup:.2f}x over the binary plan fell below the "
+            f"{min_wcoj_speedup:.2f}x floor: the generic join stopped paying for "
+            "itself on the hub triangle workload"
+        )
+
+    no_regression = artifact.get("cost_no_regression") or {}
+    if not no_regression:
+        failures.append("planner artifact has no cost_no_regression section")
+    for key, entry in sorted(no_regression.items()):
+        ratio = entry.get("cost_vs_greedy")
+        if ratio is None:
+            failures.append(f"cost_no_regression[{key}] has no cost_vs_greedy ratio")
+        elif ratio > max_cost_regression:
+            failures.append(
+                f"cost planner is {ratio:.3f}x the greedy simulated time on {key}, "
+                f"above the {max_cost_regression:.2f}x ceiling: the cost-based "
+                "ordering regressed a paper workload"
+            )
+    return failures
+
+
 def run_gates(
     backend_artifact: dict | None,
     merge_artifact: dict | None,
     sharded_artifact: dict | None,
     robustness_artifact: dict | None = None,
+    planner_artifact: dict | None = None,
     *,
     max_dispatch_ratio: float = MAX_DISPATCH_RATIO,
     min_merge_ratio: float = MIN_MERGE_RATIO,
     max_checkpoint_overhead: float = MAX_CHECKPOINT_OVERHEAD,
     max_filtered_exchange_ratio: float = MAX_FILTERED_EXCHANGE_RATIO,
+    min_wcoj_speedup: float = MIN_WCOJ_SPEEDUP,
+    max_cost_regression: float = MAX_COST_REGRESSION,
 ) -> list[str]:
     """Evaluate every gate whose artifact was supplied; returns all violations."""
     failures: list[str] = []
@@ -213,6 +290,8 @@ def run_gates(
         failures += check_sharded(sharded_artifact, max_filtered_exchange_ratio)
     if robustness_artifact is not None:
         failures += check_robustness(robustness_artifact, max_checkpoint_overhead)
+    if planner_artifact is not None:
+        failures += check_planner(planner_artifact, min_wcoj_speedup, max_cost_regression)
     return failures
 
 
@@ -230,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--robustness-json", type=Path, default=None, help="BENCH_robustness artifact"
     )
+    parser.add_argument("--planner-json", type=Path, default=None, help="BENCH_planner artifact")
     parser.add_argument("--max-dispatch-ratio", type=float, default=MAX_DISPATCH_RATIO)
     parser.add_argument("--min-merge-ratio", type=float, default=MIN_MERGE_RATIO)
     parser.add_argument(
@@ -238,12 +318,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-filtered-exchange-ratio", type=float, default=MAX_FILTERED_EXCHANGE_RATIO
     )
+    parser.add_argument("--min-wcoj-speedup", type=float, default=MIN_WCOJ_SPEEDUP)
+    parser.add_argument("--max-cost-regression", type=float, default=MAX_COST_REGRESSION)
     args = parser.parse_args(argv)
     if (
         args.backend_json is None
         and args.merge_json is None
         and args.sharded_json is None
         and args.robustness_json is None
+        and args.planner_json is None
     ):
         parser.error("supply at least one artifact to gate")
 
@@ -252,10 +335,13 @@ def main(argv: list[str] | None = None) -> int:
         _load(args.merge_json),
         _load(args.sharded_json),
         _load(args.robustness_json),
+        _load(args.planner_json),
         max_dispatch_ratio=args.max_dispatch_ratio,
         min_merge_ratio=args.min_merge_ratio,
         max_checkpoint_overhead=args.max_checkpoint_overhead,
         max_filtered_exchange_ratio=args.max_filtered_exchange_ratio,
+        min_wcoj_speedup=args.min_wcoj_speedup,
+        max_cost_regression=args.max_cost_regression,
     )
     if failures:
         print("PERF REGRESSION GATE FAILED:", file=sys.stderr)

@@ -37,7 +37,7 @@ import numpy as np  # noqa: E402
 from repro import GPULogEngine  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 from repro.device import Device  # noqa: E402
-from repro.queries import REACH_SOURCE, SG_SOURCE  # noqa: E402
+from repro.queries import CSPA_SOURCE, REACH_SOURCE, SG_SOURCE  # noqa: E402
 from repro.relational import (  # noqa: E402
     HISA,
     ColumnBatch,
@@ -52,6 +52,7 @@ COLUMNAR_ARTIFACT = Path(__file__).resolve().parent / "BENCH_columnar.json"
 BACKEND_ARTIFACT = Path(__file__).resolve().parent / "BENCH_backend.json"
 SHARDED_ARTIFACT = Path(__file__).resolve().parent / "BENCH_sharded.json"
 ROBUSTNESS_ARTIFACT = Path(__file__).resolve().parent / "BENCH_robustness.json"
+PLANNER_ARTIFACT = Path(__file__).resolve().parent / "BENCH_planner.json"
 
 
 def time_single_merge(n_full: int, delta_size: int, *, incremental: bool, repeats: int = 3) -> float:
@@ -645,6 +646,146 @@ def record_robustness(quick: bool, cadences: tuple[int, ...] = (0, 10, 50)) -> d
     return artifact
 
 
+# ----------------------------------------------------------------------
+# Join planner: worst-case-optimal generic join vs binary plans, and the
+# cost-based binary ordering's no-regression guarantee
+# ----------------------------------------------------------------------
+
+def time_planner_run(source: str, facts: dict, count_name: str, planner: str) -> dict:
+    """One fixpoint under ``planner``; simulated seconds plus the plan report
+    entry for ``count_name`` (estimate error diagnostics)."""
+    engine = GPULogEngine(
+        device="h100", oom_enabled=False, collect_relations=False, planner=planner
+    )
+    for name, rows in facts.items():
+        engine.add_fact_array(name, np.asarray(rows, dtype=np.int64))
+    start = time.perf_counter()
+    result = engine.run(source)
+    host_seconds = time.perf_counter() - start
+    head_entries = [e for e in result.plan_report if e["head"] == count_name]
+    info = {
+        "planner": planner,
+        f"{count_name}_count": result.count(count_name),
+        "iterations": result.total_iterations,
+        "simulated_seconds": round(result.elapsed_seconds, 6),
+        "host_seconds": round(host_seconds, 4),
+        "replans": result.replans,
+        "algorithms": sorted({e["algorithm"] for e in result.plan_report}),
+    }
+    if head_entries:
+        entry = head_entries[0]
+        info["head_algorithm"] = entry["algorithm"]
+        info["head_estimated_rows"] = round(entry["estimated_rows"], 1)
+        info["head_observed_rows"] = round(entry["observed_rows"], 1)
+    engine.close()
+    return info
+
+
+def record_planner(quick: bool) -> dict:
+    """Record the join-planner baseline to ``BENCH_planner.json``.
+
+    Two sections:
+
+    * ``triangle_wcoj`` — triangle counting on the hub graph (one vertex
+      bidirectionally linked to all others + a sparse random remainder).
+      The binary plan's first join materializes every wedge, which the hub
+      inflates far past the output (the artifact requires > 10x); the
+      generic join's min-side expansion sidesteps it.  The CI gate requires
+      ``cost+wcoj`` to beat the greedy binary plan by >= 1.5x simulated time.
+    * ``cost_no_regression`` — TC / SG / CSPA (acyclic-rule workloads where
+      WCOJ never fires) under ``cost`` vs ``greedy``.  The cost-based
+      ordering must never lose more than 5% simulated time to the seed's
+      syntactic order on the paper's own workloads.
+    """
+    from repro.experiments.planner_bench import (
+        TRIANGLE_PROGRAM,
+        hub_graph,
+        wedge_count,
+    )
+
+    if quick:
+        hub_nodes = 2500
+        depth, fan = 5, 3
+        tc_edges = load_dataset("Gnutella31", profile="test").facts()["edge"]
+        cspa_facts = load_dataset("httpd", profile="test").facts()
+    else:
+        hub_nodes = 4000
+        depth, fan = 6, 3
+        tc_edges = load_dataset("Gnutella31", profile="test").facts()["edge"]
+        cspa_facts = load_dataset("httpd", profile="test").facts()
+
+    artifact: dict = {
+        "schema_version": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": bool(quick),
+        "triangle_wcoj": {},
+        "cost_no_regression": {},
+    }
+
+    edges = hub_graph(hub_nodes)
+    triangle: dict = {
+        "hub_nodes": hub_nodes,
+        "edges": int(edges.shape[0]),
+        "binary_intermediate_rows": wedge_count(edges),
+    }
+    facts = {"edge": edges}
+    triangle["binary"] = time_planner_run(TRIANGLE_PROGRAM, facts, "triangle", "greedy")
+    triangle["wcoj"] = time_planner_run(TRIANGLE_PROGRAM, facts, "triangle", "cost+wcoj")
+    if triangle["binary"]["triangle_count"] != triangle["wcoj"]["triangle_count"]:
+        raise AssertionError(
+            f"planner runs diverged: |triangle|={triangle['wcoj']['triangle_count']} "
+            f"under cost+wcoj, expected {triangle['binary']['triangle_count']}"
+        )
+    triangle["output_rows"] = triangle["binary"]["triangle_count"]
+    triangle["intermediate_blowup"] = round(
+        triangle["binary_intermediate_rows"] / max(1, triangle["output_rows"]), 2
+    )
+    triangle["wcoj_speedup"] = round(
+        triangle["binary"]["simulated_seconds"]
+        / max(1e-12, triangle["wcoj"]["simulated_seconds"]),
+        3,
+    )
+    artifact["triangle_wcoj"] = triangle
+    print(
+        f"triangle hub n={hub_nodes}: binary {triangle['binary']['simulated_seconds']}s  "
+        f"wcoj {triangle['wcoj']['simulated_seconds']}s  ({triangle['wcoj_speedup']}x)  "
+        f"intermediate {triangle['binary_intermediate_rows']} rows "
+        f"({triangle['intermediate_blowup']}x the {triangle['output_rows']}-row output)"
+    )
+
+    sg_edges = sg_tree_edges(depth, fan)
+    for key, source, workload_facts, count_name in (
+        ("tc", REACH_SOURCE, {"edge": tc_edges}, "reach"),
+        ("sg", SG_SOURCE, {"edge": sg_edges}, "sg"),
+        ("cspa", CSPA_SOURCE, cspa_facts, "valueflow"),
+    ):
+        entry: dict = {
+            "workload": key,
+            "greedy": time_planner_run(source, workload_facts, count_name, "greedy"),
+            "cost": time_planner_run(source, workload_facts, count_name, "cost"),
+        }
+        if entry["greedy"][f"{count_name}_count"] != entry["cost"][f"{count_name}_count"]:
+            raise AssertionError(
+                f"cost planner diverged on {key}: "
+                f"|{count_name}|={entry['cost'][f'{count_name}_count']}, "
+                f"expected {entry['greedy'][f'{count_name}_count']}"
+            )
+        entry["cost_vs_greedy"] = round(
+            entry["cost"]["simulated_seconds"]
+            / max(1e-12, entry["greedy"]["simulated_seconds"]),
+            4,
+        )
+        artifact["cost_no_regression"][key] = entry
+        print(
+            f"{key}: greedy {entry['greedy']['simulated_seconds']}s  "
+            f"cost {entry['cost']['simulated_seconds']}s  "
+            f"(ratio {entry['cost_vs_greedy']})"
+        )
+    return artifact
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
@@ -653,6 +794,7 @@ def main() -> None:
     parser.add_argument("--backend-output", type=Path, default=BACKEND_ARTIFACT)
     parser.add_argument("--sharded-output", type=Path, default=SHARDED_ARTIFACT)
     parser.add_argument("--robustness-output", type=Path, default=ROBUSTNESS_ARTIFACT)
+    parser.add_argument("--planner-output", type=Path, default=PLANNER_ARTIFACT)
     parser.add_argument(
         "--backend",
         default=None,
@@ -687,6 +829,12 @@ def main() -> None:
         help="record only BENCH_robustness.json (the checkpoint-overhead "
         "curve at checkpoint_every in {0, 10, 50})",
     )
+    parser.add_argument(
+        "--planner-only",
+        action="store_true",
+        help="record only BENCH_planner.json (WCOJ vs binary triangle "
+        "counting plus the cost planner's TC/SG/CSPA no-regression check)",
+    )
     args = parser.parse_args()
     exclusive = [
         args.columnar_only,
@@ -694,11 +842,12 @@ def main() -> None:
         args.backend_only,
         args.sharded_only,
         args.robustness_only,
+        args.planner_only,
     ]
     if sum(exclusive) > 1:
         parser.error(
-            "--columnar-only, --merge-only, --backend-only, --sharded-only and "
-            "--robustness-only are mutually exclusive"
+            "--columnar-only, --merge-only, --backend-only, --sharded-only, "
+            "--robustness-only and --planner-only are mutually exclusive"
         )
     if args.backend:
         import os
@@ -721,6 +870,12 @@ def main() -> None:
         robustness_artifact = record_robustness(args.quick)
         args.robustness_output.write_text(json.dumps(robustness_artifact, indent=2) + "\n")
         print(f"wrote {args.robustness_output}")
+        return
+
+    if args.planner_only:
+        planner_artifact = record_planner(args.quick)
+        args.planner_output.write_text(json.dumps(planner_artifact, indent=2) + "\n")
+        print(f"wrote {args.planner_output}")
         return
 
     if not args.merge_only:

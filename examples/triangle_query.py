@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Triangle counting: binary join plans vs the worst-case-optimal generic join.
+
+Builds a hub-heavy graph (one vertex linked both ways to every other, plus a
+sparse random remainder), runs the same cyclic triangle rule under all three
+planner modes, and prints each run's chosen algorithm, simulated time, and
+the planner's estimated vs. observed cardinalities (``engine.explain()``).
+The binary plan's first join materializes every *wedge* — the hub inflates
+that intermediate hundreds of times past the output — while the generic
+join expands only the smallest candidate run per row, so ``cost+wcoj``
+wins on simulated time without changing a single tuple.
+"""
+
+import numpy as np
+
+from repro import GPULogEngine
+
+TRIANGLE_SOURCE = "triangle(x, y, z) :- edge(x, y), edge(y, z), edge(z, x)."
+
+
+def hub_graph(n: int = 2000, extra: int | None = None, seed: int = 7) -> np.ndarray:
+    if extra is None:
+        extra = 2 * n
+    rng = np.random.default_rng(seed)
+    rows = [(0, v) for v in range(1, n)] + [(v, 0) for v in range(1, n)]
+    src = rng.integers(1, n, size=extra)
+    dst = rng.integers(1, n, size=extra)
+    rows += [(int(a), int(b)) for a, b in zip(src, dst) if a != b]
+    return np.unique(np.asarray(rows, dtype=np.int64), axis=0)
+
+
+def wedge_count(edges: np.ndarray) -> int:
+    """Rows the binary plan's first join (edge ⋈ edge on y) materializes."""
+    uniques, out_degree = np.unique(edges[:, 0], return_counts=True)
+    degree = dict(zip(uniques.tolist(), out_degree.tolist()))
+    return sum(degree.get(int(y), 0) for y in edges[:, 1])
+
+
+def main() -> None:
+    edges = hub_graph()
+    print("triangle rule:")
+    print(f"  {TRIANGLE_SOURCE}")
+    print(f"hub graph: {edges.shape[0]} edges, max degree ~{edges.shape[0] // 2}")
+    print(f"binary plan's wedge intermediate: {wedge_count(edges)} rows")
+    print()
+
+    results = {}
+    for planner in ("greedy", "cost", "cost+wcoj"):
+        engine = GPULogEngine(device="h100", planner=planner)
+        engine.add_fact_array("edge", edges)
+        result = engine.run(TRIANGLE_SOURCE)
+        results[planner] = result
+        (entry,) = [e for e in result.plan_report if e["head"] == "triangle"]
+        print(
+            f"planner={planner:9s} algorithm={entry['algorithm']:6s} "
+            f"triangles={result.count('triangle'):6d} "
+            f"simulated={result.elapsed_seconds * 1e3:7.3f} ms"
+        )
+        print(engine.explain())
+        print()
+        engine.close()
+
+    greedy, wcoj = results["greedy"], results["cost+wcoj"]
+    assert (
+        greedy.relation_set("triangle") == wcoj.relation_set("triangle")
+    ), "planners must derive identical triangles!"
+    speedup = greedy.elapsed_seconds / wcoj.elapsed_seconds
+    print(
+        f"generic join is {speedup:.2f}x the binary plan's simulated speed "
+        f"({wedge_count(edges)} wedges never materialized)"
+    )
+
+
+if __name__ == "__main__":
+    main()

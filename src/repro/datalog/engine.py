@@ -41,9 +41,17 @@ from ..relational.checkpoint import CheckpointStore, EvaluationCheckpoint
 from ..relational.hashtable import DEFAULT_LOAD_FACTOR
 from ..relational.relation import IterationStats, Relation
 from ..relational.sharded import ShardedRelation
+from ..relational.stats import StatsCatalog
 from .analysis import analyze_program
 from .ast import Atom, Comparison, Constant, Program, Rule
-from .planner import ProgramPlan, plan_program
+from .planner import (
+    GREEDY,
+    PLANNERS,
+    Planner,
+    ProgramPlan,
+    plan_program,
+    version_required_indexes,
+)
 from .seminaive import EvaluationStats, SemiNaiveEvaluator
 from .sharded import DEFAULT_REPLICATE_MAX_BYTES, ShardedSemiNaiveEvaluator, shard_columns_for_plan
 
@@ -59,6 +67,10 @@ SHARDS_ENV_VAR = "REPRO_SHARDS"
 SEMIJOIN_ENV_VAR = "REPRO_SEMIJOIN_FILTER"
 OVERLAP_ENV_VAR = "REPRO_EXCHANGE_OVERLAP"
 
+#: Planner ablation axis (the experiments CLI's ``--planner`` flag exports it):
+#: "greedy" (legacy body-literal order), "cost", or "cost+wcoj".
+PLANNER_ENV_VAR = "REPRO_PLANNER"
+
 _TRUE_FLAGS = frozenset({"1", "true", "yes", "on"})
 _FALSE_FLAGS = frozenset({"0", "false", "no", "off"})
 
@@ -71,6 +83,11 @@ def _default_num_shards() -> int:
         return int(value)
     except ValueError as error:
         raise SchemaError(f"{SHARDS_ENV_VAR} must be an integer, got {value!r}") from error
+
+
+def _default_planner() -> str:
+    value = os.environ.get(PLANNER_ENV_VAR, "").strip().lower()
+    return value or GREEDY
 
 
 def _env_flag(name: str, default: bool) -> bool:
@@ -179,6 +196,13 @@ class EvaluationResult:
     aligned_joins: int = 0
     #: join steps that actually replicated outer rows to other shards
     broadcast_joins: int = 0
+    #: planner mode the run used ("greedy", "cost", or "cost+wcoj")
+    planner: str = "greedy"
+    #: one entry per rule version: chosen join order, algorithm, estimated
+    #: vs. observed cardinalities (feeds ``GPULogEngine.explain()``)
+    plan_report: tuple = field(default_factory=tuple)
+    #: recursive versions whose pipeline changed under adaptive replanning
+    replans: int = 0
 
     def relation(self, name: str) -> list[tuple[FactValue, ...]]:
         """Tuples of ``name`` (decoded), or an empty list if unknown."""
@@ -233,6 +257,8 @@ class GPULogEngine:
         semijoin_filter: bool | None = None,
         overlap: bool | None = None,
         replicate_max_bytes: int = DEFAULT_REPLICATE_MAX_BYTES,
+        planner: str | None = None,
+        replan_every: int = 8,
     ) -> None:
         resolved_shards = num_shards if num_shards is not None else _default_num_shards()
         if resolved_shards < 1:
@@ -318,8 +344,23 @@ class GPULogEngine:
         #: replicate a static EDB inner to every shard when its payload fits
         #: under this many bytes (0 disables replication)
         self.replicate_max_bytes = int(replicate_max_bytes)
+        #: join planner: "greedy" (legacy literal order, the byte-stable
+        #: ablation baseline), "cost", or "cost+wcoj" (``None`` reads
+        #: REPRO_PLANNER)
+        resolved_planner = _default_planner() if planner is None else str(planner)
+        if resolved_planner not in PLANNERS:
+            raise SchemaError(
+                f"unknown planner {resolved_planner!r}; expected one of {', '.join(PLANNERS)}"
+            )
+        self.planner = resolved_planner
+        #: re-plan recursive versions every N fixpoint iterations when
+        #: observed cardinalities drift ≥ 2x from estimates (0 disables;
+        #: only active for the statistics-driven planners)
+        self.replan_every = int(replan_every)
         #: newest iteration-boundary checkpoint from the most recent run
         self.last_checkpoint: EvaluationCheckpoint | None = None
+        #: result of the most recent run/resume (feeds :meth:`explain`)
+        self.last_result: EvaluationResult | None = None
         self.symbols = SymbolTable()
         self._facts: dict[str, list[tuple[int, ...]]] = {}
         self._fact_arities: dict[str, int] = {}
@@ -375,10 +416,32 @@ class GPULogEngine:
         program = self._intern_program(program)
 
         analysis = analyze_program(program)
-        plan = plan_program(analysis)
         arities = self._resolve_arities(program)
 
+        # Statistics-driven planners measure the staged host facts before
+        # planning (exact per-column distincts and max value frequencies —
+        # host-side introspection, nothing is charged).  The greedy planner
+        # plans stat-free, keeping its kernel sequence byte-identical to the
+        # legacy path.
+        catalog: StatsCatalog | None = None
+        staged_rows: dict[str, np.ndarray] = {}
+        if self.planner != GREEDY:
+            catalog = StatsCatalog()
+            for relation_name, arity in arities.items():
+                rows = self._fact_rows(relation_name, arity, program)
+                staged_rows[relation_name] = rows
+                if rows.shape[0]:
+                    catalog.seed_facts(
+                        relation_name, [rows[:, column] for column in range(arity)]
+                    )
+                else:
+                    catalog.ensure(relation_name, arity)
+        plan = plan_program(analysis, planner=self.planner, stats=catalog)
+
         if self.num_shards > 1:
+            # The sharded evaluator runs the compiled plan statically (WCOJ
+            # versions execute as their decomposed expand/check steps through
+            # the exchange machinery); adaptive replanning is single-device.
             return self._run_sharded(program, analysis, plan, arities)
 
         # Build relation storage and register the indexes the plan needs.
@@ -392,6 +455,7 @@ class GPULogEngine:
                 eager_buffers=self.eager_buffers,
                 buffer_growth_factor=self.buffer_growth_factor,
                 incremental_merge=self.incremental_merge,
+                stats=catalog,
             )
         for relation_name, columns in plan.required_indexes():
             self.relations[relation_name].require_index(columns)
@@ -400,7 +464,10 @@ class GPULogEngine:
         idb_facts: dict[str, np.ndarray] = {}
         with self.device.profiler.phase(PHASE_LOAD):
             for relation_name, relation in self.relations.items():
-                rows = self._fact_rows(relation_name, relation.arity, program)
+                if relation_name in staged_rows:
+                    rows = staged_rows[relation_name]
+                else:
+                    rows = self._fact_rows(relation_name, relation.arity, program)
                 if relation_name in analysis.idb_relations:
                     if rows.shape[0]:
                         idb_facts[relation_name] = rows
@@ -420,12 +487,14 @@ class GPULogEngine:
             retry_backoff_seconds=self.retry_backoff_seconds,
             program_name=program.name,
             program_source=str(program),
+            replan_every=self.replan_every if catalog is not None else 0,
+            replanner=self._make_replanner(analysis, catalog) if catalog is not None else None,
         )
         try:
             stats = evaluator.evaluate(idb_facts)
         finally:
             self.last_checkpoint = evaluator.last_checkpoint
-        return self._build_result(program, stats, evaluator)
+        return self._build_result(program, stats, evaluator, plan=plan)
 
     def resume(
         self,
@@ -455,7 +524,10 @@ class GPULogEngine:
             program = Program.parse(program, name=name or checkpoint.program_name or "program")
         program = self._intern_program(program)
         analysis = analyze_program(program)
-        plan = plan_program(analysis)
+        # Resume has no staged facts to measure (relations restore from the
+        # snapshot), so statistics-driven planners fall back to uniform
+        # estimates here; the replayed plan is still deterministic.
+        plan = plan_program(analysis, planner=self.planner)
         arities = self._resolve_arities(program)
         for relation_name, state in checkpoint.relations.items():
             known = arities.get(relation_name)
@@ -500,7 +572,7 @@ class GPULogEngine:
                 stats = evaluator.evaluate({}, resume_from=checkpoint)
             finally:
                 self._sync_devices(evaluator)
-            return self._build_sharded_result(program, stats, evaluator)
+            return self._build_sharded_result(program, stats, evaluator, plan=plan)
 
         self.relations = {}
         for relation_name, arity in arities.items():
@@ -533,7 +605,7 @@ class GPULogEngine:
             stats = evaluator.evaluate({}, resume_from=checkpoint)
         finally:
             self.last_checkpoint = evaluator.last_checkpoint
-        return self._build_result(program, stats, evaluator)
+        return self._build_result(program, stats, evaluator, plan=plan)
 
     def close(self) -> None:
         """Release all simulated device memory held by the engine's relations.
@@ -623,7 +695,7 @@ class GPULogEngine:
         finally:
             # Crash recovery may have swapped in replacement shard devices.
             self._sync_devices(evaluator)
-        return self._build_sharded_result(program, stats, evaluator)
+        return self._build_sharded_result(program, stats, evaluator, plan=plan)
 
     def _sync_devices(self, evaluator: ShardedSemiNaiveEvaluator) -> None:
         self.last_checkpoint = evaluator.last_checkpoint
@@ -631,7 +703,11 @@ class GPULogEngine:
         self.device = self.devices[0]
 
     def _build_sharded_result(
-        self, program: Program, stats: EvaluationStats, evaluator: ShardedSemiNaiveEvaluator
+        self,
+        program: Program,
+        stats: EvaluationStats,
+        evaluator: ShardedSemiNaiveEvaluator,
+        plan: ProgramPlan | None = None,
     ) -> EvaluationResult:
         relations: dict[str, list[tuple[FactValue, ...]]] = {}
         counts: dict[str, int] = {}
@@ -670,7 +746,7 @@ class GPULogEngine:
         hidden_seconds = sum(device.profiler.overlap_hidden_seconds for device in self.devices)
         exchange_seconds = float(phase_seconds.get(PHASE_SHARD_EXCHANGE, 0.0))
         overlap_efficiency = hidden_seconds / exchange_seconds if exchange_seconds > 0 else 0.0
-        return EvaluationResult(
+        result = EvaluationResult(
             program_name=program.name,
             device_name=f"{self.device.spec.name} x{self.num_shards}",
             relations=relations,
@@ -709,7 +785,14 @@ class GPULogEngine:
             replicated_joins=evaluator.replicated_joins,
             aligned_joins=evaluator.aligned_joins,
             broadcast_joins=evaluator.broadcast_joins,
+            planner=self.planner,
+            # Sharded runs execute the compiled plan statically; the report
+            # carries the planning-time estimates without observations.
+            plan_report=self._plan_report(plan, None),
+            replans=0,
         )
+        self.last_result = result
+        return result
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -762,8 +845,85 @@ class GPULogEngine:
         rows = np.concatenate([np.asarray(p, dtype=np.int64).reshape(-1, arity) for p in parts], axis=0)
         return rows
 
+    def _make_replanner(self, analysis, catalog: StatsCatalog):
+        """Adaptive replanning hook: re-plan one version against live stats.
+
+        Each call plans against a fresh snapshot of the merge-maintained
+        catalog (so delta-scan versions see current delta cardinalities) and
+        backfills whatever indexes the fresh pipeline probes.
+        """
+        planner_name = self.planner
+
+        def replan(version):
+            planner = Planner(analysis, planner=planner_name, stats=catalog.snapshot())
+            replacement = planner.plan_version(version.rule, version.delta_atom_index)
+            for relation_name, columns in version_required_indexes(replacement):
+                relation = self.relations.get(relation_name)
+                if relation is not None:
+                    relation.build_index(columns)
+            return replacement
+
+        return replan
+
+    def _plan_report(
+        self, plan: ProgramPlan | None, evaluator: SemiNaiveEvaluator | None
+    ) -> tuple:
+        if plan is None:
+            return ()
+        observations = getattr(evaluator, "version_observations", {}) if evaluator else {}
+        report = []
+        for rule, rule_plan in plan.rule_plans.items():
+            for version in rule_plan.versions:
+                entry = observations.get((id(rule), version.delta_atom_index))
+                current = entry["version"] if entry else version
+                report.append(
+                    {
+                        "rule": str(rule),
+                        "head": current.head_relation,
+                        "delta_atom": current.delta_atom_index,
+                        "planner": current.planner,
+                        "algorithm": current.algorithm,
+                        "atom_order": list(current.atom_order),
+                        "estimated_rows": current.estimated_rows,
+                        "estimated_cost": current.estimated_cost,
+                        "observed_rows": float(entry["rows"]) if entry else 0.0,
+                        "executions": int(entry["executions"]) if entry else 0,
+                    }
+                )
+        return tuple(report)
+
+    def explain(self) -> str:
+        """Human-readable plan dump for the most recent run.
+
+        One line per rule version: algorithm, body-atom join order, and
+        estimated vs. observed output cardinalities (observed is summed over
+        every execution of the version — 0 executions means the version
+        never ran, e.g. its stratum converged immediately).
+        """
+        result = self.last_result
+        if result is None:
+            return "no run to explain (call run() first)"
+        lines = [f"planner={result.planner} replans={result.replans}"]
+        for entry in result.plan_report:
+            estimated = entry["estimated_rows"]
+            estimated_text = f"{estimated:.1f}" if estimated is not None else "n/a"
+            lines.append(
+                f"  {entry['rule']}"
+                f"\n    version[delta_atom={entry['delta_atom']}]"
+                f" algorithm={entry['algorithm']}"
+                f" order={entry['atom_order']}"
+                f" est_rows={estimated_text}"
+                f" observed_rows={entry['observed_rows']:.0f}"
+                f" executions={entry['executions']}"
+            )
+        return "\n".join(lines)
+
     def _build_result(
-        self, program: Program, stats: EvaluationStats, evaluator: SemiNaiveEvaluator | None = None
+        self,
+        program: Program,
+        stats: EvaluationStats,
+        evaluator: SemiNaiveEvaluator | None = None,
+        plan: ProgramPlan | None = None,
     ) -> EvaluationResult:
         relations: dict[str, list[tuple[FactValue, ...]]] = {}
         counts: dict[str, int] = {}
@@ -781,7 +941,7 @@ class GPULogEngine:
             history[relation_name] = list(relation.history)
 
         profiler = self.device.profiler
-        return EvaluationResult(
+        result = EvaluationResult(
             program_name=program.name,
             device_name=self.device.spec.name,
             relations=relations,
@@ -803,4 +963,9 @@ class GPULogEngine:
             oom_degraded_dedups=sum(
                 relation.oom_degradations for relation in self.relations.values()
             ),
+            planner=self.planner,
+            plan_report=self._plan_report(plan, evaluator),
+            replans=evaluator.replans if evaluator else 0,
         )
+        self.last_result = result
+        return result

@@ -12,19 +12,68 @@ each binary join is materialized and becomes the outer relation of the next
 step, so every kernel launch has a balanced per-thread workload.  The planner
 also records which (relation, join columns) indexes the engine must maintain —
 Datalog engines index for every query (Section 3, [R1]).
+
+Three planning modes choose the pipeline:
+
+* ``"greedy"`` — the legacy body-literal order: starting from the outer
+  (delta) atom, repeatedly append the *lowest body position* atom that shares
+  a variable with the atoms already joined.  The tie-break is part of the
+  contract: given the same rule, the greedy plan is always the same pipeline,
+  so ablations against it are stable.
+* ``"cost"`` — cost-based ordering over a statistics view (row counts +
+  per-column distinct estimates, see :mod:`repro.relational.stats`).
+  Intermediate cardinalities use the standard distinct-value formula
+  ``|O ⋈ A| = |O|·|A| / Π_v max(d_O(v), d_A(v))`` over the shared variables;
+  the planner minimizes C_out (the sum of intermediate sizes), exhaustively
+  for bodies of at most :data:`EXHAUSTIVE_MAX_ATOMS` atoms and greedily by
+  cheapest next join beyond.  Delta-scan versions cost the outer scan at the
+  relation's *delta* cardinality.
+* ``"cost+wcoj"`` — additionally considers the worst-case-optimal generic
+  join (:mod:`repro.relational.wcoj`) for *cyclic* rule bodies (GYO
+  reduction does not empty the hypergraph).  A WCOJ version binds one new
+  variable per level by intersecting every atom that constrains it; its
+  AGM-style output bound ``Π_a |R_a|^{w_a}`` (heuristic fractional edge
+  cover ``w_a = 1 / max_{v∈a} cover(v)``) is compared against the best
+  binary plan's C_out and the cheaper algorithm wins.
+
+A WCOJ version is *decomposed* into ordinary :class:`JoinStep`s — one
+expanding join per level plus full-arity membership-check joins for the other
+atoms of the level — so every existing executor (row pipeline, fused kernels,
+the sharded loop with its exchange barriers and semi-join filters, column
+liveness, fault replay) runs it unchanged; the columnar single-device
+executor recognizes ``algorithm == "wcoj"`` and instead runs the per-row
+min-intersection operator, which computes the same set with worst-case-
+optimal work.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import Counter
 from dataclasses import dataclass
 
 from ..errors import PlanningError
 from ..relational.operators import ColumnComparison, JoinOutput
+from ..relational.stats import UniformStats
 from .analysis import ProgramAnalysis
 from .ast import Atom, Comparison, Constant, Rule, Variable
 
 DELTA = "delta"
 FULL = "full"
+
+GREEDY = "greedy"
+COST = "cost"
+COST_WCOJ = "cost+wcoj"
+#: The planner ablation axis surfaced as ``GPULogEngine(planner=...)``.
+PLANNERS = (GREEDY, COST, COST_WCOJ)
+
+BINARY = "binary"
+WCOJ = "wcoj"
+
+#: Bodies up to this many atoms are ordered by exhaustive permutation search;
+#: larger bodies fall back to greedy-by-cheapest-next-join.  6 atoms = at
+#: most 120 candidate orders per version, negligible against execution.
+EXHAUSTIVE_MAX_ATOMS = 6
 
 
 def _constant_value(term: Constant) -> int | str:
@@ -66,6 +115,36 @@ class HeadColumn:
 
 
 @dataclass(frozen=True)
+class WCOJCandidate:
+    """One atom constraining a generic-join level's new variable.
+
+    ``join_columns`` are the atom's already-bound natural columns (ascending)
+    — the index the intersection probes for match counts and expansions;
+    ``outer_key_positions`` are the pre-level schema positions feeding them.
+    ``value_column`` is the natural column holding the level variable, and
+    ``member_positions`` maps every natural column to its position in the
+    *post-expansion* schema, which is what the full-arity membership check
+    gathers.
+    """
+
+    atom_index: int
+    relation: str
+    arity: int
+    join_columns: tuple[int, ...]
+    outer_key_positions: tuple[int, ...]
+    value_column: int
+    member_positions: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class WCOJLevel:
+    """One variable of the generic join's variable order with its candidates."""
+
+    variable: str
+    candidates: tuple[WCOJCandidate, ...]
+
+
+@dataclass(frozen=True)
 class RuleVersion:
     """One semi-naïve version of a rule (fixed choice of the delta atom)."""
 
@@ -76,6 +155,21 @@ class RuleVersion:
     joins: tuple[JoinStep, ...]
     final_filters: tuple[ColumnComparison, ...]
     head: tuple[HeadColumn, ...]
+    #: BINARY (hash-join pipeline) or WCOJ (generic join; ``joins`` then holds
+    #: the decomposed expand/check steps every non-columnar executor runs).
+    algorithm: str = BINARY
+    #: Which planner produced this version (ablation bookkeeping).
+    planner: str = GREEDY
+    #: Body atom indices in execution order (outer atom first).
+    atom_order: tuple[int, ...] = ()
+    #: Generic-join levels, one per variable beyond the outer atom's.
+    wcoj_levels: tuple[WCOJLevel, ...] = ()
+    #: Estimated rows flowing out of the initial scan and each join step.
+    estimated_step_rows: tuple[float, ...] = ()
+    #: Estimated output cardinality (last step) under the stats view used.
+    estimated_rows: float | None = None
+    #: Estimated total intermediate tuples (C_out for binary, AGM bound for WCOJ).
+    estimated_cost: float | None = None
 
     @property
     def is_recursive(self) -> bool:
@@ -97,6 +191,7 @@ class ProgramPlan:
 
     analysis: ProgramAnalysis
     rule_plans: dict[Rule, RulePlan]
+    planner: str = GREEDY
 
     def required_indexes(self) -> set[tuple[str, tuple[int, ...]]]:
         indexes: set[tuple[str, tuple[int, ...]]] = set()
@@ -118,6 +213,24 @@ class ProgramPlan:
         return non_recursive, recursive
 
 
+def version_required_indexes(version: RuleVersion) -> set[tuple[str, tuple[int, ...]]]:
+    """Every (relation, join columns) index one rule version probes.
+
+    Binary steps probe their own join-column index.  A WCOJ version
+    additionally probes *every* candidate's bound-column index (the per-row
+    minimum side is chosen at runtime) and every candidate's full-arity
+    index (membership checks for the non-expanded sides).
+    """
+    required: set[tuple[str, tuple[int, ...]]] = set()
+    for step in version.joins:
+        required.add((step.relation, step.join_columns))
+    for level in version.wcoj_levels:
+        for candidate in level.candidates:
+            required.add((candidate.relation, candidate.join_columns))
+            required.add((candidate.relation, tuple(range(candidate.arity))))
+    return required
+
+
 # ----------------------------------------------------------------------
 # Planner
 # ----------------------------------------------------------------------
@@ -125,15 +238,27 @@ class ProgramPlan:
 class Planner:
     """Compiles rules of an analysed program into :class:`RulePlan` objects."""
 
-    def __init__(self, analysis: ProgramAnalysis) -> None:
+    def __init__(
+        self,
+        analysis: ProgramAnalysis,
+        *,
+        planner: str = GREEDY,
+        stats=None,
+    ) -> None:
+        if planner not in PLANNERS:
+            raise PlanningError(
+                f"unknown planner {planner!r}; expected one of {', '.join(PLANNERS)}"
+            )
         self.analysis = analysis
+        self.planner = planner
+        self.stats = stats if stats is not None else UniformStats()
 
     def plan_program(self) -> ProgramPlan:
         rule_plans: dict[Rule, RulePlan] = {}
         for stratum in self.analysis.strata:
             for rule in stratum.rules:
                 rule_plans[rule] = self.plan_rule(rule)
-        return ProgramPlan(analysis=self.analysis, rule_plans=rule_plans)
+        return ProgramPlan(analysis=self.analysis, rule_plans=rule_plans, planner=self.planner)
 
     def plan_rule(self, rule: Rule) -> RulePlan:
         if not rule.body:
@@ -142,24 +267,56 @@ class Planner:
         versions: list[RuleVersion] = []
         if recursive_atoms:
             for atom_index in recursive_atoms:
-                versions.append(self._plan_version(rule, delta_atom_index=atom_index))
+                versions.append(self.plan_version(rule, delta_atom_index=atom_index))
         else:
-            versions.append(self._plan_version(rule, delta_atom_index=None))
+            versions.append(self.plan_version(rule, delta_atom_index=None))
 
         required: set[tuple[str, tuple[int, ...]]] = set()
         for version in versions:
-            for step in version.joins:
-                required.add((step.relation, step.join_columns))
+            required.update(version_required_indexes(version))
         return RulePlan(rule=rule, versions=tuple(versions), required_indexes=tuple(sorted(required)))
 
     # ------------------------------------------------------------------
-    def _plan_version(self, rule: Rule, delta_atom_index: int | None) -> RuleVersion:
+    def plan_version(self, rule: Rule, delta_atom_index: int | None) -> RuleVersion:
+        """Plan one semi-naïve version under this planner's mode and stats."""
         body = list(rule.body)
         outer_index = delta_atom_index if delta_atom_index is not None else 0
-        ordered = self._order_atoms(body, outer_index, rule)
+        version_tag = DELTA if delta_atom_index is not None else FULL
 
+        if self.planner == GREEDY:
+            order = self._order_atoms(body, outer_index, rule)
+            estimate = self._estimate_order(body, outer_index, order, version_tag)
+            step_rows, cost, worst_cost = estimate if estimate is not None else ((), None, None)
+        else:
+            order, step_rows, cost, worst_cost = self._order_atoms_by_cost(
+                body, outer_index, rule, version_tag
+            )
+
+        if self.planner == COST_WCOJ:
+            wcoj = self._try_plan_wcoj(rule, delta_atom_index, version_tag, binary_cost=worst_cost)
+            if wcoj is not None:
+                return wcoj
+
+        return self._build_binary_version(
+            rule,
+            delta_atom_index,
+            order,
+            step_rows=tuple(step_rows or ()),
+            cost=cost,
+        )
+
+    def _build_binary_version(
+        self,
+        rule: Rule,
+        delta_atom_index: int | None,
+        order: list[int],
+        *,
+        step_rows: tuple[float, ...],
+        cost: float | None,
+    ) -> RuleVersion:
+        body = list(rule.body)
         pending_comparisons = list(rule.comparisons)
-        outer_atom = body[outer_index]
+        outer_atom = body[order[0]]
         initial, schema = self._plan_initial(
             outer_atom,
             DELTA if delta_atom_index is not None else FULL,
@@ -167,8 +324,8 @@ class Planner:
         )
 
         joins: list[JoinStep] = []
-        for atom in ordered[1:]:
-            step, schema = self._plan_join(atom, schema, pending_comparisons)
+        for atom_index in order[1:]:
+            step, schema = self._plan_join(body[atom_index], schema, pending_comparisons)
             joins.append(step)
 
         final_filters = tuple(
@@ -185,22 +342,33 @@ class Planner:
             joins=tuple(joins),
             final_filters=final_filters,
             head=head,
+            algorithm=BINARY,
+            planner=self.planner,
+            atom_order=tuple(order),
+            estimated_step_rows=step_rows,
+            estimated_rows=step_rows[-1] if step_rows else None,
+            estimated_cost=cost,
         )
 
-    def _order_atoms(self, body: list[Atom], outer_index: int, rule: Rule) -> list[Atom]:
+    def _order_atoms(self, body: list[Atom], outer_index: int, rule: Rule) -> list[int]:
         """Greedy left-to-right ordering starting from the outer atom.
 
         Each subsequent atom must share at least one variable with the
-        variables bound so far (no cross products).
+        variables bound so far (no cross products).  The tie-break is
+        explicit and documented: among connectable atoms, the one at the
+        *lowest body position* is appended next, so the greedy plan for a
+        rule is a pure function of its text — the stable ablation baseline
+        every other planner is compared against.  Returns body indices in
+        execution order.
         """
-        ordered = [body[outer_index]]
-        remaining = [atom for index, atom in enumerate(body) if index != outer_index]
+        ordered = [outer_index]
+        remaining = [index for index in range(len(body)) if index != outer_index]
         bound = set(body[outer_index].variable_names())
         while remaining:
-            for position, atom in enumerate(remaining):
-                if atom.variable_names() & bound:
-                    ordered.append(atom)
-                    bound |= atom.variable_names()
+            for position, index in enumerate(remaining):
+                if body[index].variable_names() & bound:
+                    ordered.append(index)
+                    bound |= body[index].variable_names()
                     remaining.pop(position)
                     break
             else:
@@ -209,6 +377,385 @@ class Planner:
                     "atoms already joined); cross products are not supported"
                 )
         return ordered
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def _scan_estimate(
+        self, atom: Atom, rows: float
+    ) -> tuple[float, dict[str, float], dict[str, int]]:
+        """(rows, per-variable distincts, variable->column) of one atom scan."""
+        stats = self.stats
+        seen: dict[str, int] = {}
+        selectivity = 1.0
+        for column, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                selectivity /= max(stats.distinct(atom.relation, column), 1.0)
+            elif term.name in seen:
+                selectivity /= max(stats.distinct(atom.relation, column), 1.0)
+            else:
+                seen[term.name] = column
+        rows = max(rows * selectivity, 1.0)
+        distincts = {
+            name: max(1.0, min(stats.distinct(atom.relation, column), rows))
+            for name, column in seen.items()
+        }
+        return rows, distincts, seen
+
+    def _atom_rows(self, body: list[Atom], index: int, outer_index: int, version_tag: str) -> float:
+        atom = body[index]
+        if index == outer_index and version_tag == DELTA:
+            return self.stats.delta_rows(atom.relation)
+        return self.stats.rows(atom.relation)
+
+    def _estimate_order(
+        self, body: list[Atom], outer_index: int, order: list[int], version_tag: str
+    ) -> tuple[list[float], float, float] | None:
+        """Estimate one join order: per-step rows, C_out, and worst-case C_out.
+
+        Returns ``None`` if the order needs a cross product (an atom joins on
+        no shared variable).  The expected C_out uses the distinct-value
+        formula (uniformity assumption); the worst-case C_out chains the
+        measured maximum key multiplicity per probe — on skewed data (a hub
+        vertex) the two diverge by orders of magnitude, and it is the worst
+        case that decides binary-vs-WCOJ, bound against bound.
+        """
+        rows, distincts, _ = self._scan_estimate(
+            body[order[0]], self._atom_rows(body, order[0], outer_index, version_tag)
+        )
+        step_rows = [rows]
+        cost = 0.0
+        worst = rows
+        worst_cost = 0.0
+        for index in order[1:]:
+            atom = body[index]
+            inner_rows, inner_d, inner_columns = self._scan_estimate(
+                atom, self._atom_rows(body, index, outer_index, version_tag)
+            )
+            shared = [name for name in inner_d if name in distincts]
+            if not shared:
+                return None
+            out = rows * inner_rows
+            for name in shared:
+                out /= max(distincts[name], inner_d[name], 1.0)
+            out = max(out, 1.0)
+            merged: dict[str, float] = {}
+            for name in set(distincts) | set(inner_d):
+                if name in distincts and name in inner_d:
+                    d = min(distincts[name], inner_d[name])
+                else:
+                    d = distincts.get(name, inner_d.get(name))
+                merged[name] = max(1.0, min(d, out))
+            rows, distincts = out, merged
+            step_rows.append(rows)
+            cost += rows
+            join_columns = tuple(sorted(inner_columns[name] for name in shared))
+            worst *= self.stats.max_multiplicity(atom.relation, join_columns)
+            worst_cost += worst
+        return step_rows, cost, worst_cost
+
+    def _order_atoms_by_cost(
+        self, body: list[Atom], outer_index: int, rule: Rule, version_tag: str
+    ) -> tuple[list[int], list[float], float, float]:
+        """Pick the cheapest connected join order by estimated C_out.
+
+        Exhaustive over every connected permutation for small bodies, greedy
+        by cheapest-next-intermediate beyond.  Ties break on the
+        lexicographically smallest body-index sequence, so equal-cost plans
+        (the common case under uniform fallback stats) are deterministic.
+        """
+        others = [index for index in range(len(body)) if index != outer_index]
+        if not others:
+            order = [outer_index]
+            estimate = self._estimate_order(body, outer_index, order, version_tag)
+            step_rows, cost, worst_cost = estimate if estimate is not None else ([], 0.0, 0.0)
+            return order, step_rows, cost, worst_cost
+
+        if len(body) <= EXHAUSTIVE_MAX_ATOMS:
+            best: tuple[float, tuple[int, ...], list[float], float] | None = None
+            for permutation in itertools.permutations(others):
+                order = [outer_index, *permutation]
+                estimate = self._estimate_order(body, outer_index, order, version_tag)
+                if estimate is None:
+                    continue
+                step_rows, cost, worst_cost = estimate
+                if best is None or (cost, permutation) < (best[0], best[1]):
+                    best = (cost, permutation, step_rows, worst_cost)
+            if best is None:
+                raise PlanningError(
+                    f"rule {rule} requires a cross product (atom shares no variable with the "
+                    "atoms already joined); cross products are not supported"
+                )
+            cost, permutation, step_rows, worst_cost = best
+            return [outer_index, *permutation], step_rows, cost, worst_cost
+
+        # Greedy-by-cost: append whichever connectable atom yields the
+        # smallest next intermediate; tie-break on lowest body position.
+        order = [outer_index]
+        remaining = list(others)
+        while remaining:
+            scored: list[tuple[float, int]] = []
+            for index in remaining:
+                estimate = self._estimate_order(body, outer_index, [*order, index], version_tag)
+                if estimate is not None:
+                    scored.append((estimate[0][-1], index))
+            if not scored:
+                raise PlanningError(
+                    f"rule {rule} requires a cross product (atom shares no variable with the "
+                    "atoms already joined); cross products are not supported"
+                )
+            _, chosen = min(scored)
+            order.append(chosen)
+            remaining.remove(chosen)
+        estimate = self._estimate_order(body, outer_index, order, version_tag)
+        assert estimate is not None
+        step_rows, cost, worst_cost = estimate
+        return order, step_rows, cost, worst_cost
+
+    # ------------------------------------------------------------------
+    # Worst-case-optimal generic join
+    # ------------------------------------------------------------------
+    def _try_plan_wcoj(
+        self,
+        rule: Rule,
+        delta_atom_index: int | None,
+        version_tag: str,
+        *,
+        binary_cost: float | None,
+    ) -> RuleVersion | None:
+        """Build a generic-join version if the body is cyclic, WCOJ-shaped,
+        and the AGM-style bound undercuts the best binary plan's C_out."""
+        body = list(rule.body)
+        outer_index = delta_atom_index if delta_atom_index is not None else 0
+        if len(body) < 3 or not self._is_cyclic(body):
+            return None
+        for atom in body:
+            names = [term.name for term in atom.terms if isinstance(term, Variable)]
+            if len(names) != len(atom.terms) or len(set(names)) != len(names):
+                return None  # constants / repeated variables: binary handles them
+
+        outer_atom = body[outer_index]
+        outer_vars = [term.name for term in outer_atom.terms]
+        bound = set(outer_vars)
+        for index, atom in enumerate(body):
+            if index != outer_index and set(a.name for a in atom.terms) <= bound:
+                return None  # an atom fully bound by the outer scan: stay binary
+
+        order_vars = self._wcoj_variable_order(body, outer_index, bound)
+        if order_vars is None:
+            return None
+
+        bound_value = self._agm_bound(body, outer_index, version_tag)
+        if bound_value is None:
+            return None
+        if binary_cost is not None and bound_value >= binary_cost:
+            return None
+
+        schema = tuple(outer_vars)
+        initial = InitialScan(
+            relation=outer_atom.relation,
+            version=version_tag,
+            filters=(),
+            projection=tuple(range(len(outer_vars))),
+            schema=schema,
+        )
+
+        joins: list[JoinStep] = []
+        levels: list[WCOJLevel] = []
+        assigned: set[int] = {outer_index}
+        atom_order: list[int] = [outer_index]
+        for variable in order_vars:
+            candidate_indexes = [
+                index
+                for index, atom in enumerate(body)
+                if index not in assigned
+                and variable in {term.name for term in atom.terms}
+                and {term.name for term in atom.terms} <= bound | {variable}
+            ]
+            if not candidate_indexes:
+                return None
+            post_schema = schema + (variable,)
+            schema_positions = {name: position for position, name in enumerate(post_schema)}
+            candidates: list[WCOJCandidate] = []
+            for index in candidate_indexes:
+                atom = body[index]
+                value_column = next(
+                    column for column, term in enumerate(atom.terms) if term.name == variable
+                )
+                bound_columns = tuple(
+                    column for column in range(len(atom.terms)) if column != value_column
+                )
+                candidates.append(
+                    WCOJCandidate(
+                        atom_index=index,
+                        relation=atom.relation,
+                        arity=len(atom.terms),
+                        join_columns=bound_columns,
+                        outer_key_positions=tuple(
+                            schema_positions[atom.terms[column].name] for column in bound_columns
+                        ),
+                        value_column=value_column,
+                        member_positions=tuple(
+                            schema_positions[term.name] for term in atom.terms
+                        ),
+                    )
+                )
+                assigned.add(index)
+                atom_order.append(index)
+
+            # Decomposed binary steps: expand on the first candidate, then a
+            # full-arity membership semi-join per remaining candidate (the
+            # full version is deduplicated, so multiplicity is at most one
+            # and the decomposition computes the same multiset).
+            expand = candidates[0]
+            joins.append(
+                JoinStep(
+                    relation=expand.relation,
+                    join_columns=expand.join_columns,
+                    outer_key_positions=expand.outer_key_positions,
+                    output=tuple(
+                        [JoinOutput("outer", position) for position in range(len(schema))]
+                        + [JoinOutput("inner", expand.value_column)]
+                    ),
+                    filters=(),
+                    post_projection=None,
+                    schema=post_schema,
+                )
+            )
+            for candidate in candidates[1:]:
+                joins.append(
+                    JoinStep(
+                        relation=candidate.relation,
+                        join_columns=tuple(range(candidate.arity)),
+                        outer_key_positions=candidate.member_positions,
+                        output=tuple(
+                            JoinOutput("outer", position) for position in range(len(post_schema))
+                        ),
+                        filters=(),
+                        post_projection=None,
+                        schema=post_schema,
+                    )
+                )
+            levels.append(WCOJLevel(variable=variable, candidates=tuple(candidates)))
+            bound.add(variable)
+            schema = post_schema
+
+        if assigned != set(range(len(body))):
+            return None
+        if not any(len(level.candidates) > 1 for level in levels):
+            return None  # every level is a plain binary join: nothing to intersect
+
+        final_filters = tuple(
+            self._comparison_to_schema(comparison, schema) for comparison in rule.comparisons
+        )
+        head = self._plan_head(rule.head, schema, rule)
+        return RuleVersion(
+            rule=rule,
+            head_relation=rule.head.relation,
+            delta_atom_index=delta_atom_index,
+            initial=initial,
+            joins=tuple(joins),
+            final_filters=final_filters,
+            head=head,
+            algorithm=WCOJ,
+            planner=self.planner,
+            atom_order=tuple(atom_order),
+            wcoj_levels=tuple(levels),
+            estimated_step_rows=(),
+            estimated_rows=bound_value,
+            estimated_cost=bound_value,
+        )
+
+    @staticmethod
+    def _wcoj_variable_order(
+        body: list[Atom], outer_index: int, outer_bound: set[str]
+    ) -> list[str] | None:
+        """Deterministic variable order for the generic join, or ``None``.
+
+        Starting from the outer atom's variables, repeatedly bind the
+        variable that completes the most not-yet-assigned atoms (every other
+        variable of the atom already bound); ties break on first occurrence
+        in the rule body.  Fails (returns ``None``) when some variable can
+        never be completed one-at-a-time — those rules stay binary.
+        """
+        first_seen: dict[str, int] = {}
+        for atom in body:
+            for term in atom.terms:
+                first_seen.setdefault(term.name, len(first_seen))
+        bound = set(outer_bound)
+        unbound = [name for name in first_seen if name not in bound]
+        assigned: set[int] = {outer_index}
+        order: list[str] = []
+        while unbound:
+            scored: list[tuple[int, int, str]] = []
+            for name in unbound:
+                completes = sum(
+                    1
+                    for index, atom in enumerate(body)
+                    if index not in assigned
+                    and name in {term.name for term in atom.terms}
+                    and {term.name for term in atom.terms} <= bound | {name}
+                )
+                if completes:
+                    scored.append((-completes, first_seen[name], name))
+            if not scored:
+                return None
+            _, _, chosen = min(scored)
+            order.append(chosen)
+            bound.add(chosen)
+            unbound.remove(chosen)
+            for index, atom in enumerate(body):
+                if index not in assigned and {term.name for term in atom.terms} <= bound:
+                    assigned.add(index)
+        return order
+
+    def _agm_bound(self, body: list[Atom], outer_index: int, version_tag: str) -> float | None:
+        """AGM-style output bound ``Π_a |R_a|^{w_a}`` for a cyclic body.
+
+        Uses the heuristic fractional edge cover ``w_a = 1 / max_{v∈a}
+        cover(v)`` (exact for symmetric patterns like triangles and
+        k-cliques, where every variable is covered by the same number of
+        atoms) and validates it: if some variable ends up covered with total
+        weight below 1 the weights are not a fractional edge cover and no
+        bound is claimed.
+        """
+        atom_vars = [{term.name for term in atom.terms} for atom in body]
+        cover = Counter(name for names in atom_vars for name in names)
+        weights = [1.0 / max(cover[name] for name in names) for names in atom_vars]
+        for name in cover:
+            total = sum(weight for names, weight in zip(atom_vars, weights) if name in names)
+            if total < 1.0 - 1e-9:
+                return None
+        bound = 1.0
+        for index, weight in enumerate(weights):
+            bound *= max(self._atom_rows(body, index, outer_index, version_tag), 1.0) ** weight
+        return bound
+
+    @staticmethod
+    def _is_cyclic(body: list[Atom]) -> bool:
+        """GYO reduction: True when the body hypergraph is *not* α-acyclic."""
+        edges = [frozenset(atom.variable_names()) for atom in body]
+        edges = [edge for edge in edges if edge]
+        changed = True
+        while changed and edges:
+            changed = False
+            for position, edge in enumerate(edges):
+                if any(
+                    position != other and edge <= edges[other] for other in range(len(edges))
+                ):
+                    edges.pop(position)
+                    changed = True
+                    break
+            if changed:
+                continue
+            count = Counter(name for edge in edges for name in edge)
+            lonely = {name for name, seen in count.items() if seen == 1}
+            if lonely:
+                reduced = [frozenset(edge - lonely) for edge in edges]
+                if reduced != edges:
+                    changed = True
+                edges = [edge for edge in reduced if edge]
+        return bool(edges)
 
     # ------------------------------------------------------------------
     def _plan_initial(
@@ -371,9 +918,11 @@ class Planner:
         return mapped
 
 
-def plan_program(analysis: ProgramAnalysis) -> ProgramPlan:
+def plan_program(
+    analysis: ProgramAnalysis, *, planner: str = GREEDY, stats=None
+) -> ProgramPlan:
     """Convenience wrapper: plan every rule of an analysed program."""
-    return Planner(analysis).plan_program()
+    return Planner(analysis, planner=planner, stats=stats).plan_program()
 
 
 # ----------------------------------------------------------------------
@@ -397,7 +946,10 @@ def version_live_columns(
     variable positions and the final filters' columns, then per join step
     (in reverse) map output positions through ``post_projection``, add the
     step's own filter columns, and translate ``"outer"``-sourced output
-    entries plus the probe keys back into the pre-step schema.
+    entries plus the probe keys back into the pre-step schema.  WCOJ
+    versions are decomposed into ordinary expand/check steps, so the same
+    walk covers them (membership checks keep every checked column alive via
+    their probe keys).
     """
     live: set[int] = set()
     for column in version.head:

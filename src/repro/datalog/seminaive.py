@@ -34,7 +34,8 @@ from ..relational.checkpoint import CheckpointStore, EvaluationCheckpoint, Relat
 from ..relational.columnbatch import ColumnBatch
 from ..relational.operators import RowsLike, fused_nway_join, hash_join, project, select
 from ..relational.relation import Relation
-from .planner import DELTA, ProgramPlan, RuleVersion
+from ..relational.wcoj import generic_join
+from .planner import DELTA, WCOJ, ProgramPlan, RuleVersion
 
 #: Deepest recursive halving of a rule version's input scan under OOM; at
 #: depth 12 a chunk is 1/4096 of the scan and further splitting cannot help.
@@ -94,6 +95,8 @@ class SemiNaiveEvaluator:
         retry_backoff_seconds: float = 1e-3,
         program_name: str = "",
         program_source: str = "",
+        replan_every: int = 0,
+        replanner=None,
     ) -> None:
         self.device = device
         self.plan = plan
@@ -113,12 +116,25 @@ class SemiNaiveEvaluator:
         self.retry_backoff_seconds = float(retry_backoff_seconds)
         self.program_name = program_name
         self.program_source = program_source
+        #: adaptively re-plan recursive versions every N fixpoint iterations
+        #: (0 = static plans); requires ``replanner``
+        self.replan_every = int(replan_every)
+        #: callable ``(version) -> RuleVersion | None`` producing a fresh plan
+        #: for one rule version against *current* statistics (and building
+        #: whatever new indexes the fresh plan probes)
+        self.replanner = replanner
         self.last_checkpoint: EvaluationCheckpoint | None = None
         # Recovery counters (surfaced by the engine result).
         self.transient_retries = 0
         self.checkpoints_taken = 0
         self.checkpoint_restores = 0
         self.oom_chunked_joins = 0
+        #: recursive versions whose pipeline actually changed on a replan
+        self.replans = 0
+        #: per-version observed output rows, keyed by (rule identity, delta
+        #: atom) so the key survives version swaps; feeds ``explain()`` and
+        #: the adaptive replanning drift test
+        self.version_observations: dict[tuple[int, int | None], dict] = {}
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -297,7 +313,63 @@ class SemiNaiveEvaluator:
                 self.save_checkpoint(stratum_index, iteration)
             if total_delta == 0:
                 break
+            if (
+                self.replanner is not None
+                and self.replan_every
+                and iteration % self.replan_every == 0
+            ):
+                recursive[:] = [self._maybe_replan(version) for version in recursive]
         return iteration, in_place_merges, rebuild_merges
+
+    # ------------------------------------------------------------------
+    # Adaptive replanning
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _version_key(version: RuleVersion) -> tuple[int, int | None]:
+        return (id(version.rule), version.delta_atom_index)
+
+    def _observe_version(self, version: RuleVersion, rows: int) -> None:
+        entry = self.version_observations.setdefault(
+            self._version_key(version),
+            {"version": version, "rows": 0.0, "executions": 0, "window_rows": 0.0, "window_executions": 0},
+        )
+        entry["version"] = version
+        entry["rows"] += float(rows)
+        entry["executions"] += 1
+        entry["window_rows"] += float(rows)
+        entry["window_executions"] += 1
+
+    def _maybe_replan(self, version: RuleVersion) -> RuleVersion:
+        """Swap in a fresh plan when observed output drifts ≥ 2x from estimate.
+
+        Drift is measured over the window since the last replan check; a
+        version whose average observed output stays within [0.5x, 2x] of its
+        estimate keeps its pipeline.  A replacement with the same atom order
+        and algorithm only refreshes the estimates (same kernels); a changed
+        pipeline counts as a replan.
+        """
+        entry = self.version_observations.get(self._version_key(version))
+        if entry is None or not entry["window_executions"]:
+            return version
+        estimated = version.estimated_rows
+        observed = entry["window_rows"] / entry["window_executions"]
+        entry["window_rows"] = 0.0
+        entry["window_executions"] = 0
+        if estimated is None:
+            return version
+        ratio = max(observed, 1.0) / max(estimated, 1.0)
+        if 0.5 <= ratio <= 2.0:
+            return version
+        replacement = self.replanner(version)
+        if replacement is None:
+            return version
+        if (replacement.atom_order, replacement.algorithm) != (
+            version.atom_order,
+            version.algorithm,
+        ):
+            self.replans += 1
+        entry["version"] = replacement
+        return replacement
 
     # ------------------------------------------------------------------
     # Fault recovery
@@ -356,6 +428,7 @@ class SemiNaiveEvaluator:
             while True:
                 try:
                     result = self._execute_version(version, part=part)
+                    self._observe_version(version, len(result))
                     if len(result):
                         consume(result)
                     return
@@ -409,7 +482,19 @@ class SemiNaiveEvaluator:
             rows = self._initial_rows(version, part=part)
             if len(rows) == 0:
                 return backend.empty((0, len(version.head)), dtype=backend.int64)
-            if self.materialize_nway or len(version.joins) <= 1 or not self._fusable(version):
+            if version.algorithm == WCOJ and self.columnar:
+                # Generic join: per-row min-side intersection over the
+                # level candidates.  The row pipeline (columnar=False) runs
+                # the decomposed expand/check steps below instead — same
+                # result set, worst-case-suboptimal work.
+                rows = generic_join(
+                    self.device,
+                    ColumnBatch.wrap(self.device, rows),
+                    version.wcoj_levels,
+                    self._index_for,
+                    label=f"{version.head_relation}.wcoj",
+                )
+            elif self.materialize_nway or len(version.joins) <= 1 or not self._fusable(version):
                 rows = self._execute_materialized(version, rows)
             else:
                 rows = self._execute_fused(version, rows)
@@ -488,6 +573,9 @@ class SemiNaiveEvaluator:
             comparisons=comparisons,
             label=f"{version.head_relation}.fused",
         )
+
+    def _index_for(self, relation: str, columns: tuple[int, ...]):
+        return self.relations[relation].index_for(columns)
 
     def _fusable(self, version: RuleVersion) -> bool:
         """A version can run fused only if intermediate steps carry no filters."""

@@ -39,6 +39,7 @@ class GPULogAdapter(BaselineEngine):
         columnar: bool = True,
         backend: str | None = None,
         num_shards: int | None = None,
+        planner: str | None = None,
     ) -> None:
         self.spec = device_preset(device) if isinstance(device, str) else device
         self.memory_capacity_bytes = memory_capacity_bytes
@@ -51,6 +52,8 @@ class GPULogAdapter(BaselineEngine):
         self.backend = backend
         #: shard devices per run (None = $REPRO_SHARDS and then 1)
         self.num_shards = num_shards
+        #: join planner per run (None = $REPRO_PLANNER and then "greedy")
+        self.planner = planner
         self.last_result = None
 
     def run(
@@ -71,6 +74,7 @@ class GPULogAdapter(BaselineEngine):
             columnar=self.columnar,
             collect_relations=collect_relations,
             num_shards=self.num_shards,
+            planner=self.planner,
         )
         for name, rows in facts.items():
             engine.add_fact_array(name, np.asarray(rows, dtype=np.int64))

@@ -17,6 +17,7 @@ from .runner import (
     run_gpulog,
     scale_factor,
 )
+from .planner_bench import hub_graph, run_clique4, run_planner_workload, run_triangle, wedge_count
 from .table1_ebm import PAPER_TABLE1, TABLE1_DATASETS, run_table1
 from .table2_reach import PAPER_TABLE2, TABLE2_DATASETS, run_table2
 from .table3_sg import PAPER_TABLE3, TABLE3_DATASETS, run_table3
@@ -35,6 +36,8 @@ ALL_EXPERIMENTS = {
     "figure6": run_figure6,
     "ablation-materialization": run_materialization_ablation,
     "ablation-load-factor": run_load_factor_ablation,
+    "triangle": run_triangle,
+    "clique4": run_clique4,
 }
 
 __all__ = [
@@ -57,6 +60,7 @@ __all__ = [
     "clear_caches",
     "get_dataset",
     "get_trace",
+    "hub_graph",
     "output_size",
     "paper_output_size",
     "phase_fractions",
@@ -64,16 +68,20 @@ __all__ = [
     "query_program",
     "reprice_events",
     "reprice_phase_seconds",
+    "run_clique4",
     "run_figure1",
     "run_figure6",
     "run_gpulog",
     "run_load_factor_ablation",
     "run_materialization_ablation",
+    "run_planner_workload",
     "run_table1",
     "run_table2",
     "run_table3",
     "run_table4",
     "run_table5",
     "run_table6",
+    "run_triangle",
     "scale_factor",
+    "wedge_count",
 ]

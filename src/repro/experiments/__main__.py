@@ -17,8 +17,10 @@ import sys
 import time
 
 from ..backend import BACKEND_ENV_VAR
-from ..datalog.engine import OVERLAP_ENV_VAR, SEMIJOIN_ENV_VAR, SHARDS_ENV_VAR
+from ..datalog.engine import OVERLAP_ENV_VAR, PLANNER_ENV_VAR, SEMIJOIN_ENV_VAR, SHARDS_ENV_VAR
+from ..datalog.planner import PLANNERS
 from . import ALL_EXPERIMENTS
+from .planner_bench import EXPLAIN_ENV_VAR
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +49,22 @@ def main(argv: list[str] | None = None) -> int:
         f"evaluation); defaults to ${SHARDS_ENV_VAR} and then 1",
     )
     parser.add_argument(
+        "--planner",
+        default=None,
+        choices=sorted(PLANNERS),
+        help="join planner for every GPUlog run (greedy = seed syntactic "
+        "order, cost = cost-based binary ordering, cost+wcoj = cost-based "
+        "plus worst-case-optimal generic join for cyclic rules); defaults "
+        f"to ${PLANNER_ENV_VAR} and then greedy",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="dump each rule version's chosen join order, algorithm, and "
+        "estimated vs. observed cardinalities after planner-aware runs "
+        f"(exports {EXPLAIN_ENV_VAR}=1)",
+    )
+    parser.add_argument(
         "--no-semijoin-filter",
         action="store_true",
         help="ablation: disable semi-join-filtered exchanges (plus EDB "
@@ -69,6 +87,12 @@ def main(argv: list[str] | None = None) -> int:
         # Same pattern as --backend: every GPULogEngine the drivers build
         # resolves its default shard count from this variable.
         os.environ[SHARDS_ENV_VAR] = str(args.shards)
+    if args.planner:
+        # Same pattern again: drivers that build engines without an explicit
+        # planner resolve their default from this variable.
+        os.environ[PLANNER_ENV_VAR] = args.planner
+    if args.explain:
+        os.environ[EXPLAIN_ENV_VAR] = "1"
     if args.no_semijoin_filter:
         os.environ[SEMIJOIN_ENV_VAR] = "0"
     if args.no_exchange_overlap:

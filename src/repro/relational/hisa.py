@@ -117,6 +117,11 @@ class HISA:
         self._freed = False
         self.last_merge_in_place = False
         self.last_merge_incremental = False
+        # Optional statistics hook: called after every merge with the delta
+        # and post-merge tuple/distinct-key counts (already maintained by the
+        # run structure, so observation is free).  Wired by Relation when the
+        # engine runs with a StatsCatalog; see relational/stats.py.
+        self.stats_observer = None
 
         join_columns = tuple(int(c) for c in join_columns)
         if arity and any(c < 0 or c >= arity for c in join_columns):
@@ -504,8 +509,12 @@ class HISA:
             delta._consume()
             self.last_merge_in_place = True
             self.last_merge_incremental = True
+            self._notify_stats(0, 0)
             return self
 
+        # Capture the delta's counts before either merge path consumes it.
+        delta_rows = delta.tuple_count
+        delta_distinct = delta.distinct_key_count
         use_incremental = (
             incremental
             and self.n_join > 0
@@ -515,8 +524,33 @@ class HISA:
             and not (self.table is None and delta.table is not None)
         )
         if use_incremental:
-            return self._merge_incremental(delta, manager, charge=charge)
-        return self._merge_rebuild(delta, manager, charge=charge)
+            merged = self._merge_incremental(delta, manager, charge=charge)
+        else:
+            merged = self._merge_rebuild(delta, manager, charge=charge)
+        self._notify_stats(delta_rows, delta_distinct)
+        return merged
+
+    @property
+    def max_run_length(self) -> int:
+        """Longest join-key run — the worst-case matches one probe key returns.
+
+        Uncharged host introspection over the incrementally maintained run
+        structure (same precedent as the divergence inspection in the join
+        operators): the planner's skew signal, not a datapath kernel.
+        """
+        if not int(self.run_lengths.size):
+            return 0
+        return int(self.backend.to_host(self.run_lengths).max())
+
+    def _notify_stats(self, delta_rows: int, delta_distinct: int) -> None:
+        if self.stats_observer is not None:
+            self.stats_observer(
+                delta_rows=delta_rows,
+                delta_distinct=delta_distinct,
+                total_rows=self.tuple_count,
+                total_distinct=self.distinct_key_count,
+                max_multiplicity=self.max_run_length,
+            )
 
     # -- data-tier helper ------------------------------------------------
     def _append_data(

@@ -81,6 +81,7 @@ class Relation:
         buffer_growth_factor: float = 8.0,
         incremental_merge: bool = True,
         identity_index: bool = True,
+        stats: "object | None" = None,
     ) -> None:
         if arity <= 0:
             raise SchemaError(f"relation {name!r} must have positive arity, got {arity}")
@@ -88,6 +89,9 @@ class Relation:
         self.backend = device.backend
         self.name = name
         self.arity = int(arity)
+        #: Optional StatsCatalog; every index merge reports its (free)
+        #: delta/total counts into it for the cost-based planner.
+        self.stats = stats
         self.load_factor = float(load_factor)
         self.eager_buffers = bool(eager_buffers)
         self.buffer_growth_factor = float(buffer_growth_factor)
@@ -154,6 +158,7 @@ class Relation:
                 growth_factor=self.buffer_growth_factor,
                 label=f"{self.name}.merge_buffer",
             )
+            self._attach_stats(self.full_indexes[join_columns], join_columns)
 
     @property
     def index_column_sets(self) -> set[tuple[int, ...]]:
@@ -214,6 +219,7 @@ class Relation:
                     growth_factor=self.buffer_growth_factor,
                     label=f"{self.name}.merge_buffer",
                 )
+                self._attach_stats(self.full_indexes[columns], columns)
 
     def add_new(self, rows: RowsLike, *, device_resident: bool = False) -> None:
         """Append freshly derived tuples (rows or a columnar batch) to *new*.
@@ -507,6 +513,38 @@ class Relation:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _attach_stats(self, hisa: HISA, columns: tuple[int, ...]) -> None:
+        """Point one index's merge observer at the shared stats catalog.
+
+        The initial build counts as a merge of the whole relation (iteration
+        1's delta scan reads exactly these rows), so the catalog is seeded
+        immediately rather than waiting for the first end_iteration.
+        """
+        if self.stats is None:
+            return
+        catalog, name, arity = self.stats, self.name, self.arity
+
+        def observe(*, delta_rows, delta_distinct, total_rows, total_distinct, max_multiplicity=None):
+            catalog.observe_merge(
+                name,
+                arity,
+                columns,
+                delta_rows=delta_rows,
+                delta_distinct=delta_distinct,
+                total_rows=total_rows,
+                total_distinct=total_distinct,
+                max_multiplicity=max_multiplicity,
+            )
+
+        hisa.stats_observer = observe
+        observe(
+            delta_rows=hisa.tuple_count,
+            delta_distinct=hisa.distinct_key_count,
+            total_rows=hisa.tuple_count,
+            total_distinct=hisa.distinct_key_count,
+            max_multiplicity=hisa.max_run_length,
+        )
+
     def _coerce(self, rows: Array) -> Array:
         backend = self.backend
         rows = backend.asarray(rows, dtype=backend.int64)

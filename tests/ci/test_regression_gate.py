@@ -89,6 +89,26 @@ def healthy_robustness_artifact(overhead_at_50=1.03):
     }
 
 
+def healthy_planner_artifact(speedup=2.5, blowup=400.0, cspa_ratio=1.0):
+    return {
+        "triangle_wcoj": {
+            "binary": {"triangle_count": 12006, "simulated_seconds": 0.0028},
+            "wcoj": {
+                "triangle_count": 12006,
+                "simulated_seconds": 0.0028 / speedup,
+                "head_algorithm": "wcoj",
+            },
+            "intermediate_blowup": blowup,
+            "wcoj_speedup": speedup,
+        },
+        "cost_no_regression": {
+            "tc": {"cost_vs_greedy": 1.0},
+            "sg": {"cost_vs_greedy": 0.98},
+            "cspa": {"cost_vs_greedy": cspa_ratio},
+        },
+    }
+
+
 # ----------------------------------------------------------------------
 # Gate functions
 # ----------------------------------------------------------------------
@@ -99,6 +119,7 @@ def test_healthy_artifacts_pass_every_gate():
         healthy_merge_artifact(),
         healthy_sharded_artifact(),
         healthy_robustness_artifact(),
+        healthy_planner_artifact(),
     )
     assert failures == []
 
@@ -281,6 +302,58 @@ def test_robustness_gate_requires_uncheckpointed_baseline_and_gated_entry():
     )
 
 
+def test_planner_gate_fails_on_wcoj_slowdown():
+    failures = check_regression.check_planner(healthy_planner_artifact(speedup=1.2))
+    assert len(failures) == 1
+    assert "1.20x" in failures[0]
+    assert "1.50x floor" in failures[0]
+
+
+def test_planner_gate_boundary_is_inclusive():
+    assert check_regression.check_planner(healthy_planner_artifact(speedup=1.5)) == []
+    assert check_regression.check_planner(healthy_planner_artifact(speedup=1.49)) != []
+
+
+def test_planner_gate_requires_generic_join_actually_selected():
+    # A 2x "speedup" delivered by the binary algorithm means the planner
+    # silently stopped choosing WCOJ — the number would be vacuous.
+    artifact = healthy_planner_artifact()
+    artifact["triangle_wcoj"]["wcoj"]["head_algorithm"] = "binary"
+    failures = check_regression.check_planner(artifact)
+    assert any("stopped selecting the generic join" in f for f in failures)
+
+
+def test_planner_gate_requires_matching_triangle_counts():
+    artifact = healthy_planner_artifact()
+    artifact["triangle_wcoj"]["wcoj"]["triangle_count"] = 12007
+    failures = check_regression.check_planner(artifact)
+    assert any("changed the output" in f for f in failures)
+
+
+def test_planner_gate_requires_binary_hostile_instance():
+    # Below a 10x intermediate blowup the workload can't demonstrate the
+    # worst-case gap the gate exists to protect.
+    failures = check_regression.check_planner(healthy_planner_artifact(blowup=4.0))
+    assert any("not binary-hostile enough" in f for f in failures)
+
+
+def test_planner_gate_fails_on_cost_planner_regression():
+    failures = check_regression.check_planner(healthy_planner_artifact(cspa_ratio=1.12))
+    assert len(failures) == 1
+    assert "cspa" in failures[0]
+    assert "1.05x ceiling" in failures[0]
+
+
+def test_planner_gate_cost_boundary_is_inclusive():
+    assert check_regression.check_planner(healthy_planner_artifact(cspa_ratio=1.05)) == []
+    assert check_regression.check_planner(healthy_planner_artifact(cspa_ratio=1.051)) != []
+
+
+def test_planner_gate_fails_on_empty_artifact():
+    assert check_regression.check_planner({}) != []
+    assert check_regression.check_planner({"triangle_wcoj": {}}) != []
+
+
 # ----------------------------------------------------------------------
 # CLI exit codes (what CI actually observes)
 # ----------------------------------------------------------------------
@@ -350,6 +423,27 @@ def test_cli_honours_filtered_exchange_ratio_override(tmp_path):
             ["--sharded-json", sharded, "--max-filtered-exchange-ratio", "0.95"]
         )
         == 0
+    )
+
+
+def test_cli_gates_planner_artifact(tmp_path, capsys):
+    healthy = write(tmp_path, "planner.json", healthy_planner_artifact())
+    assert check_regression.main(["--planner-json", healthy]) == 0
+    regressed = write(
+        tmp_path, "planner_bad.json", healthy_planner_artifact(speedup=1.1)
+    )
+    assert check_regression.main(["--planner-json", regressed]) == 1
+    assert "wcoj speedup" in capsys.readouterr().err
+    # Threshold overrides mirror the other gates' CLI knobs.
+    assert (
+        check_regression.main(["--planner-json", regressed, "--min-wcoj-speedup", "1.05"]) == 0
+    )
+    slow_cost = write(
+        tmp_path, "planner_cost_bad.json", healthy_planner_artifact(cspa_ratio=1.08)
+    )
+    assert check_regression.main(["--planner-json", slow_cost]) == 1
+    assert (
+        check_regression.main(["--planner-json", slow_cost, "--max-cost-regression", "1.1"]) == 0
     )
 
 
