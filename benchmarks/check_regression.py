@@ -35,6 +35,12 @@ absolute wall-clock noise cancels out:
   simulated time with identical output; and the ``cost`` planner's binary
   ordering must never lose more than ``--max-cost-regression`` (default
   1.05x) to the seed's greedy order on TC, SG or CSPA.
+* **serving epochs** — on every trickle workload (|Δ|/|EDB| <= 1% per
+  epoch), the serving engine's median insert epoch must beat the full
+  re-fixpoint over the same final EDB by ``--min-serving-speedup`` (default
+  5x) simulated time, the incremental answer must match the re-fixpoint
+  count, and the program cache must have compiled each program exactly
+  once; a collapsing speedup means epochs stopped being O(Δ)-shaped.
 
 Each gate is a pure function over the parsed artifact (returning a list of
 violation messages) so the logic is unit-testable without touching the
@@ -66,6 +72,12 @@ MAX_COST_REGRESSION = 1.05
 #: The intermediate blowup the WCOJ gate requires the workload to exhibit —
 #: below this the triangle instance is not binary-hostile enough to gate on.
 MIN_INTERMEDIATE_BLOWUP = 10.0
+#: Default floor for the serving engine's median insert-epoch speedup over a
+#: full re-fixpoint of the same final EDB (simulated time).
+MIN_SERVING_SPEEDUP = 5.0
+#: The serving gate only means something while epochs stay a trickle: every
+#: gated workload must keep |Δ|/|EDB| at or below this per epoch.
+MAX_SERVING_DELTA_RATIO = 0.01
 
 
 def check_dispatch_ratio(artifact: dict, max_ratio: float = MAX_DISPATCH_RATIO) -> list[str]:
@@ -266,12 +278,57 @@ def check_planner(
     return failures
 
 
+def check_serving(
+    artifact: dict, min_speedup: float = MIN_SERVING_SPEEDUP
+) -> list[str]:
+    """Gate the incremental-serving epochs recorded in BENCH_serving."""
+    workloads = artifact.get("workloads") or {}
+    if not workloads:
+        return ["serving artifact has no workloads section"]
+    failures: list[str] = []
+    for key, entry in sorted(workloads.items()):
+        ratio = entry.get("delta_ratio")
+        if ratio is None:
+            failures.append(f"workloads[{key}] has no delta_ratio — nothing to gate")
+            continue
+        if ratio > MAX_SERVING_DELTA_RATIO:
+            failures.append(
+                f"workloads[{key}] trickles {ratio * 100:.2f}% of the EDB per epoch "
+                f"(> {MAX_SERVING_DELTA_RATIO * 100:.0f}%) — the workload is not a "
+                "trickle, so the epoch-speedup gate would be vacuous"
+            )
+        epochs = (entry.get("insert_epoch_simulated_seconds") or {}).get("samples") or []
+        if not epochs:
+            failures.append(f"workloads[{key}] recorded no insert epochs")
+            continue
+        speedup = entry.get("incremental_speedup")
+        if speedup is None:
+            failures.append(f"workloads[{key}] has no incremental_speedup")
+        elif speedup < min_speedup:
+            failures.append(
+                f"serving epoch speedup {speedup:.2f}x on {key} fell below the "
+                f"{min_speedup:.2f}x floor: the median insert epoch stopped being "
+                "O(Δ)-shaped relative to a full re-fixpoint"
+            )
+    cache = artifact.get("program_cache") or {}
+    misses = cache.get("misses")
+    if misses is None:
+        failures.append("serving artifact has no program_cache stats")
+    elif misses > len(workloads):
+        failures.append(
+            f"program cache compiled {misses} times for {len(workloads)} programs — "
+            "the compiled-program cache stopped deduplicating rule sets"
+        )
+    return failures
+
+
 def run_gates(
     backend_artifact: dict | None,
     merge_artifact: dict | None,
     sharded_artifact: dict | None,
     robustness_artifact: dict | None = None,
     planner_artifact: dict | None = None,
+    serving_artifact: dict | None = None,
     *,
     max_dispatch_ratio: float = MAX_DISPATCH_RATIO,
     min_merge_ratio: float = MIN_MERGE_RATIO,
@@ -279,6 +336,7 @@ def run_gates(
     max_filtered_exchange_ratio: float = MAX_FILTERED_EXCHANGE_RATIO,
     min_wcoj_speedup: float = MIN_WCOJ_SPEEDUP,
     max_cost_regression: float = MAX_COST_REGRESSION,
+    min_serving_speedup: float = MIN_SERVING_SPEEDUP,
 ) -> list[str]:
     """Evaluate every gate whose artifact was supplied; returns all violations."""
     failures: list[str] = []
@@ -292,6 +350,8 @@ def run_gates(
         failures += check_robustness(robustness_artifact, max_checkpoint_overhead)
     if planner_artifact is not None:
         failures += check_planner(planner_artifact, min_wcoj_speedup, max_cost_regression)
+    if serving_artifact is not None:
+        failures += check_serving(serving_artifact, min_serving_speedup)
     return failures
 
 
@@ -310,6 +370,7 @@ def main(argv: list[str] | None = None) -> int:
         "--robustness-json", type=Path, default=None, help="BENCH_robustness artifact"
     )
     parser.add_argument("--planner-json", type=Path, default=None, help="BENCH_planner artifact")
+    parser.add_argument("--serving-json", type=Path, default=None, help="BENCH_serving artifact")
     parser.add_argument("--max-dispatch-ratio", type=float, default=MAX_DISPATCH_RATIO)
     parser.add_argument("--min-merge-ratio", type=float, default=MIN_MERGE_RATIO)
     parser.add_argument(
@@ -320,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--min-wcoj-speedup", type=float, default=MIN_WCOJ_SPEEDUP)
     parser.add_argument("--max-cost-regression", type=float, default=MAX_COST_REGRESSION)
+    parser.add_argument("--min-serving-speedup", type=float, default=MIN_SERVING_SPEEDUP)
     args = parser.parse_args(argv)
     if (
         args.backend_json is None
@@ -327,6 +389,7 @@ def main(argv: list[str] | None = None) -> int:
         and args.sharded_json is None
         and args.robustness_json is None
         and args.planner_json is None
+        and args.serving_json is None
     ):
         parser.error("supply at least one artifact to gate")
 
@@ -336,12 +399,14 @@ def main(argv: list[str] | None = None) -> int:
         _load(args.sharded_json),
         _load(args.robustness_json),
         _load(args.planner_json),
+        _load(args.serving_json),
         max_dispatch_ratio=args.max_dispatch_ratio,
         min_merge_ratio=args.min_merge_ratio,
         max_checkpoint_overhead=args.max_checkpoint_overhead,
         max_filtered_exchange_ratio=args.max_filtered_exchange_ratio,
         min_wcoj_speedup=args.min_wcoj_speedup,
         max_cost_regression=args.max_cost_regression,
+        min_serving_speedup=args.min_serving_speedup,
     )
     if failures:
         print("PERF REGRESSION GATE FAILED:", file=sys.stderr)

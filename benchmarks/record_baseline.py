@@ -53,6 +53,7 @@ BACKEND_ARTIFACT = Path(__file__).resolve().parent / "BENCH_backend.json"
 SHARDED_ARTIFACT = Path(__file__).resolve().parent / "BENCH_sharded.json"
 ROBUSTNESS_ARTIFACT = Path(__file__).resolve().parent / "BENCH_robustness.json"
 PLANNER_ARTIFACT = Path(__file__).resolve().parent / "BENCH_planner.json"
+SERVING_ARTIFACT = Path(__file__).resolve().parent / "BENCH_serving.json"
 
 
 def time_single_merge(n_full: int, delta_size: int, *, incremental: bool, repeats: int = 3) -> float:
@@ -786,6 +787,182 @@ def record_planner(quick: bool) -> dict:
     return artifact
 
 
+# ----------------------------------------------------------------------
+# Serving: incremental epochs vs full re-fixpoints on trickle workloads
+# ----------------------------------------------------------------------
+
+def _percentiles(samples: list[float]) -> dict:
+    ordered = sorted(samples)
+    count = len(ordered)
+    return {
+        "samples": [round(s, 6) for s in samples],
+        "p50": round(ordered[count // 2], 6),
+        "p95": round(ordered[min(count - 1, max(0, int(round(count * 0.95)) - 1))], 6),
+        "max": round(ordered[-1], 6),
+        "mean": round(sum(ordered) / count, 6),
+    }
+
+
+def time_serving_trickle(
+    source: str,
+    edges: np.ndarray,
+    count_name: str,
+    *,
+    batch: int,
+    epochs: int,
+    retract_epochs: int,
+    cache,
+) -> dict:
+    """Trickle-insert (then trickle-retract) serving epochs vs re-fixpoint.
+
+    The final ``batch * epochs`` EDB rows are held out of the bootstrap and
+    injected one batch per epoch, so every epoch's |Δ|/|EDB| stays at the
+    trickle ratio; ``retract_epochs`` then delete the first few batches
+    again (DRed).  All latencies are deterministic *simulated* seconds from
+    the charged cost model.  The comparator is the batch engine's full
+    re-fixpoint over the same final EDB — what a serving tier without
+    cross-request incrementality would pay per mutation batch.
+    """
+    from repro.serving import ServingEngine
+
+    held = edges[-batch * epochs :]
+    base = edges[: -batch * epochs]
+    host_start = time.perf_counter()
+    engine = ServingEngine(
+        source, {"edge": base}, background=False, fault_plan="none", cache=cache
+    )
+    bootstrap_host_seconds = time.perf_counter() - host_start
+    insert_sims: list[float] = []
+    iterations: list[int] = []
+    for index in range(epochs):
+        chunk = held[index * batch : (index + 1) * batch]
+        result = engine.submit(inserts={"edge": chunk}).result()
+        insert_sims.append(result.simulated_seconds)
+        iterations.append(result.iterations)
+    final_count = engine.query(count_name).count
+    retract_sims: list[float] = []
+    for index in range(retract_epochs):
+        chunk = held[index * batch : (index + 1) * batch]
+        result = engine.submit(retracts={"edge": chunk}).result()
+        retract_sims.append(result.simulated_seconds)
+    engine.close()
+
+    refixpoint = GPULogEngine(
+        device="h100", oom_enabled=False, collect_relations=False, fault_plan="none"
+    )
+    refixpoint.add_fact_array("edge", edges)
+    result = refixpoint.run(source)
+    full_simulated = result.elapsed_seconds
+    if result.count(count_name) != final_count:
+        raise AssertionError(
+            f"serving diverged: |{count_name}|={final_count} after trickle "
+            f"inserts, re-fixpoint produced {result.count(count_name)}"
+        )
+    refixpoint.close()
+
+    inserts = _percentiles(insert_sims)
+    info = {
+        "edges": int(edges.shape[0]),
+        "batch": batch,
+        "epochs": epochs,
+        "delta_ratio": round(batch / edges.shape[0], 5),
+        f"{count_name}_count": final_count,
+        "bootstrap_host_seconds": round(bootstrap_host_seconds, 4),
+        "full_refixpoint_simulated_seconds": round(full_simulated, 6),
+        "insert_epoch_simulated_seconds": inserts,
+        "insert_epoch_iterations": iterations,
+        "incremental_speedup": round(full_simulated / max(1e-12, inserts["p50"]), 2),
+        "worst_epoch_speedup": round(full_simulated / max(1e-12, inserts["max"]), 2),
+    }
+    if retract_sims:
+        retracts = _percentiles(retract_sims)
+        info["retract_epoch_simulated_seconds"] = retracts
+        info["retract_speedup"] = round(full_simulated / max(1e-12, retracts["p50"]), 2)
+    return info
+
+
+def record_serving(quick: bool) -> dict:
+    """Record the serving-engine baseline to ``BENCH_serving.json``.
+
+    Two trickle workloads, both with |Δ|/|EDB| <= 1% per epoch:
+
+    * ``sg_trickle`` — leaf edges of the SG tree (depth 6 quick / 7 full)
+      arrive in batches; every insert epoch derives the new same-generation
+      pairs from resident state in ~2 delta iterations.
+    * ``tc_trickle`` — a dense random digraph (one giant SCC, |reach| = n²)
+      receives edge batches; incremental closure maintenance touches only
+      the new rows' join frontier.
+
+    The CI gate (``check_regression.py --serving-json``) requires the median
+    insert epoch to beat the full re-fixpoint by ``--min-serving-speedup``
+    (default 5x) on both workloads, identical final counts, and the program
+    cache to have compiled each program exactly once.  Retract (DRed) epoch
+    latencies are recorded for trajectory but not gated: over-deletion plus
+    re-derivation is allowed to cost more than an insert epoch.
+    """
+    from repro.serving import ProgramCache
+
+    if quick:
+        depth, fan, sg_batch, sg_epochs = 6, 3, 8, 8
+        tc_nodes, tc_draws, tc_batch, tc_epochs = 400, 3200, 16, 6
+    else:
+        depth, fan, sg_batch, sg_epochs = 7, 3, 12, 10
+        tc_nodes, tc_draws, tc_batch, tc_epochs = 800, 6400, 32, 8
+
+    cache = ProgramCache()
+    artifact: dict = {
+        "schema_version": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "quick": bool(quick),
+        "workloads": {},
+    }
+
+    sg_edges = sg_tree_edges(depth, fan)
+    sg = time_serving_trickle(
+        SG_SOURCE,
+        sg_edges,
+        "sg",
+        batch=sg_batch,
+        epochs=sg_epochs,
+        retract_epochs=min(4, sg_epochs),
+        cache=cache,
+    )
+    sg.update({"tree_depth": depth, "tree_fan": fan})
+    artifact["workloads"]["sg_trickle"] = sg
+
+    rng = np.random.default_rng(7)
+    tc_edges = np.unique(
+        rng.integers(0, tc_nodes, size=(tc_draws, 2), dtype=np.int64), axis=0
+    )
+    tc_edges = tc_edges[tc_edges[:, 0] != tc_edges[:, 1]]
+    tc = time_serving_trickle(
+        REACH_SOURCE,
+        tc_edges,
+        "reach",
+        batch=tc_batch,
+        epochs=tc_epochs,
+        retract_epochs=min(4, tc_epochs),
+        cache=cache,
+    )
+    tc.update({"nodes": tc_nodes})
+    artifact["workloads"]["tc_trickle"] = tc
+
+    artifact["program_cache"] = {"hits": cache.hits, "misses": cache.misses}
+    for key, entry in artifact["workloads"].items():
+        print(
+            f"{key}: |EDB|={entry['edges']} batch={entry['batch']} "
+            f"(Δ={entry['delta_ratio'] * 100:.2f}%)  re-fixpoint "
+            f"{entry['full_refixpoint_simulated_seconds']}s  insert epoch p50 "
+            f"{entry['insert_epoch_simulated_seconds']['p50']}s "
+            f"({entry['incremental_speedup']}x, worst "
+            f"{entry['worst_epoch_speedup']}x)  retract epoch p50 "
+            f"{entry.get('retract_epoch_simulated_seconds', {}).get('p50', 'n/a')}s"
+        )
+    return artifact
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small sizes for CI smoke runs")
@@ -795,6 +972,7 @@ def main() -> None:
     parser.add_argument("--sharded-output", type=Path, default=SHARDED_ARTIFACT)
     parser.add_argument("--robustness-output", type=Path, default=ROBUSTNESS_ARTIFACT)
     parser.add_argument("--planner-output", type=Path, default=PLANNER_ARTIFACT)
+    parser.add_argument("--serving-output", type=Path, default=SERVING_ARTIFACT)
     parser.add_argument(
         "--backend",
         default=None,
@@ -835,6 +1013,12 @@ def main() -> None:
         help="record only BENCH_planner.json (WCOJ vs binary triangle "
         "counting plus the cost planner's TC/SG/CSPA no-regression check)",
     )
+    parser.add_argument(
+        "--serving-only",
+        action="store_true",
+        help="record only BENCH_serving.json (incremental serving epochs vs "
+        "full re-fixpoints on the SG/TC trickle workloads)",
+    )
     args = parser.parse_args()
     exclusive = [
         args.columnar_only,
@@ -843,11 +1027,13 @@ def main() -> None:
         args.sharded_only,
         args.robustness_only,
         args.planner_only,
+        args.serving_only,
     ]
     if sum(exclusive) > 1:
         parser.error(
             "--columnar-only, --merge-only, --backend-only, --sharded-only, "
-            "--robustness-only and --planner-only are mutually exclusive"
+            "--robustness-only, --planner-only and --serving-only are "
+            "mutually exclusive"
         )
     if args.backend:
         import os
@@ -876,6 +1062,12 @@ def main() -> None:
         planner_artifact = record_planner(args.quick)
         args.planner_output.write_text(json.dumps(planner_artifact, indent=2) + "\n")
         print(f"wrote {args.planner_output}")
+        return
+
+    if args.serving_only:
+        serving_artifact = record_serving(args.quick)
+        args.serving_output.write_text(json.dumps(serving_artifact, indent=2) + "\n")
+        print(f"wrote {args.serving_output}")
         return
 
     if not args.merge_only:

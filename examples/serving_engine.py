@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Streaming incremental serving: one resident fixpoint, many epochs.
+
+A :class:`~repro.serving.ServingEngine` loads a Datalog program once, runs
+the bootstrap fixpoint, and then keeps every relation's HISA state resident
+on the simulated GPU.  Each ``submit`` batch becomes one *epoch*: inserts
+run semi-naïve evaluation seeded from the injected delta only, retracts run
+DRed (over-delete, then re-derive survivors), and both cost O(Δ)-shaped
+simulated time instead of a full re-fixpoint.  ``query`` serves immutable,
+versioned snapshots — readers never see a half-merged epoch.
+
+The walkthrough below streams edges into transitive closure, demonstrates
+coalescing (concurrent submissions folded into one epoch), retraction, and
+the compiled-program cache, and ends by checking the resident answer is
+byte-identical to a from-scratch fixpoint over the same final EDB.
+"""
+
+import numpy as np
+
+from repro.queries import REACH_SOURCE
+from repro.serving import DEFAULT_PROGRAM_CACHE, ServingEngine
+
+
+def main() -> None:
+    edges = [(i, i + 1) for i in range(30)]  # a 31-node chain
+    engine = ServingEngine(REACH_SOURCE, {"edge": edges}, fault_plan="none")
+    bootstrap = engine.query("reach")
+    print(
+        f"bootstrap: |reach| = {bootstrap.count} "
+        f"(version {bootstrap.version}, epoch {bootstrap.epoch})"
+    )
+
+    # --- insert epoch: extend the chain, maintained from the delta only --
+    ticket = engine.submit(inserts={"edge": [(30, 31)]})
+    result = ticket.result()  # blocks until the background worker commits
+    grown = engine.query("reach")
+    print(
+        f"insert epoch {result.epoch}: |reach| {bootstrap.count} -> {grown.count} "
+        f"in {result.iterations} delta iterations, "
+        f"{result.simulated_seconds * 1e3:.3f} simulated ms"
+    )
+
+    # --- coalescing: submissions queued together become ONE epoch --------
+    first = engine.submit(inserts={"edge": [(31, 32)]})
+    second = engine.submit(inserts={"edge": [(32, 33)]})
+    a, b = first.result(), second.result()
+    assert a is b and a.coalesced == 2
+    print(f"coalesced epoch {a.epoch}: 2 submissions, one fixpoint")
+
+    # --- retract epoch: DRed over-deletes, then re-derives survivors -----
+    # Add an alternative route 0 -> 100 -> 1, then delete the direct edge:
+    # every 0-to-* pair transitively supported by (0, 1) must survive via
+    # the detour, which is exactly what DRed's re-derivation phase proves.
+    engine.submit(inserts={"edge": [(0, 100), (100, 1)]}).result()
+    result = engine.submit(retracts={"edge": [(0, 1)]}).result()
+    print(
+        f"retract epoch {result.epoch}: over-deleted {result.retracted.get('reach', 0)} "
+        f"reach rows, re-derived {result.rederived.get('reach', 0)} survivors "
+        f"via the 0 -> 100 -> 1 detour"
+    )
+
+    # --- snapshots are versioned and immutable ---------------------------
+    snapshot = engine.query("reach")
+    assert (0, 1) in snapshot.as_set()  # survived the retraction
+    print(
+        f"snapshot: |reach| = {snapshot.count} at version {snapshot.version}; "
+        f"rows are read-only: writeable={snapshot.rows.flags.writeable}"
+    )
+
+    # --- the compiled program is cached by rule-set hash ------------------
+    hits_before = DEFAULT_PROGRAM_CACHE.hits
+    second_engine = ServingEngine(REACH_SOURCE, {"edge": [(0, 1)]}, fault_plan="none")
+    second_engine.close()
+    print(
+        f"second engine reused the compiled program: "
+        f"cache hits {hits_before} -> {DEFAULT_PROGRAM_CACHE.hits}"
+    )
+
+    # --- equivalence: epochs must be invisible in the final answer --------
+    final_edges = sorted(
+        (set(edges) | {(30, 31), (31, 32), (32, 33), (0, 100), (100, 1)}) - {(0, 1)}
+    )
+    scratch = ServingEngine(REACH_SOURCE, {"edge": final_edges}, fault_plan="none")
+    incremental, fresh = engine.query("reach"), scratch.query("reach")
+    identical = incremental.rows.tobytes() == fresh.rows.tobytes()
+    scratch.close()
+    engine.close()
+    print(f"incremental == from-scratch fixpoint: {identical}")
+    if not identical:
+        raise SystemExit("serving engine diverged from the batch fixpoint")
+
+    assert np.array_equal(incremental.rows, fresh.rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,14 @@
-"""Datalog front-end and the GPUlog engine facade."""
+"""Datalog front-end and the GPUlog engine facade.
+
+The compilation pipeline runs parser → AST → static analysis (dependency
+graph, SCC stratification, required-index discovery) → planner (rule
+versions: the semi-naïve delta rewrite, cost-based join ordering, WCOJ
+selection for cyclic rules) → the semi-naïve evaluator — single-device in
+:mod:`.seminaive`, multi-device with charged exchanges in :mod:`.sharded`.
+:class:`~repro.datalog.engine.GPULogEngine` is the one-shot facade over all
+of it; the resident, incrementally-maintained counterpart lives in
+:mod:`repro.serving`.  See ``docs/architecture.md`` for the layer guide.
+"""
 
 from .analysis import ProgramAnalysis, Stratum, analyze_program, dependency_graph
 from .ast import (

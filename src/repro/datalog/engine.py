@@ -134,6 +134,29 @@ class SymbolTable:
         return len(self._by_symbol)
 
 
+def intern_program(program: Program, symbols: SymbolTable) -> Program:
+    """Replace string constants in ``program`` with interned identifiers.
+
+    Shared by the batch engine and the serving engine so a program and its
+    facts always agree on constant encoding within one engine instance.
+    """
+
+    def intern_term(term):
+        if isinstance(term, Constant) and isinstance(term.value, str):
+            return Constant(symbols.encode(term.value))
+        return term
+
+    rules = []
+    for rule in program.rules:
+        head = Atom(rule.head.relation, tuple(intern_term(t) for t in rule.head.terms))
+        body = tuple(Atom(a.relation, tuple(intern_term(t) for t in a.terms)) for a in rule.body)
+        comparisons = tuple(
+            Comparison(c.op, intern_term(c.left), intern_term(c.right)) for c in rule.comparisons
+        )
+        rules.append(Rule(head=head, body=body, comparisons=comparisons))
+    return Program(tuple(rules), name=program.name)
+
+
 @dataclass
 class EvaluationResult:
     """Everything an experiment needs to know about one engine run."""
@@ -799,20 +822,7 @@ class GPULogEngine:
     # ------------------------------------------------------------------
     def _intern_program(self, program: Program) -> Program:
         """Replace string constants in the program with interned identifiers."""
-        def intern_term(term):
-            if isinstance(term, Constant) and isinstance(term.value, str):
-                return Constant(self.symbols.encode(term.value))
-            return term
-
-        rules = []
-        for rule in program.rules:
-            head = Atom(rule.head.relation, tuple(intern_term(t) for t in rule.head.terms))
-            body = tuple(Atom(a.relation, tuple(intern_term(t) for t in a.terms)) for a in rule.body)
-            comparisons = tuple(
-                Comparison(c.op, intern_term(c.left), intern_term(c.right)) for c in rule.comparisons
-            )
-            rules.append(Rule(head=head, body=body, comparisons=comparisons))
-        return Program(tuple(rules), name=program.name)
+        return intern_program(program, self.symbols)
 
     def _resolve_arities(self, program: Program) -> dict[str, int]:
         arities = dict(program.relation_arities())

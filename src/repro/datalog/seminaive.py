@@ -241,6 +241,48 @@ class SemiNaiveEvaluator:
         return stats
 
     # ------------------------------------------------------------------
+    def delta_fixpoint(
+        self,
+        versions: list[RuleVersion],
+        seeds: dict[str, "np.ndarray"],
+        *,
+        relation_names: list[str] | None = None,
+    ) -> tuple[int, int, int]:
+        """Run one delta-seeded semi-naïve fixpoint (a serving epoch).
+
+        ``seeds`` maps relation names to *host* row arrays to inject; each is
+        appended through the charged ``add_new`` H2D edge and distilled into
+        a delta by ``end_iteration`` (rows already present are filtered by
+        populate-delta, so re-inserting a known fact is a no-op).  The loop
+        then runs exactly the recursive machinery of :meth:`_run_fixpoint`
+        over ``versions`` — the caller supplies delta versions for *every*
+        body atom of every rule (EDB atoms included), which is the complete
+        incremental-maintenance version set for positive programs: any new
+        derivation must use at least one delta tuple in some body position,
+        and joint (delta × delta) derivations are covered because every delta
+        is merged into its full version at the previous iteration boundary.
+
+        Preconditions (the serving engine maintains them as invariants):
+        every relation's delta is empty on entry, and every index any of
+        ``versions`` probes was registered before the relation initialized.
+        Returns ``(iterations, in_place_merges, rebuild_merges)``; zero
+        iterations means every seed was already present.
+        """
+        names = sorted(relation_names if relation_names is not None else self.relations)
+        total_delta = 0
+        for name in sorted(seeds):
+            rows = seeds[name]
+            if len(rows):
+                self.relations[name].add_new(rows)
+            total_delta += self.relations[name].end_iteration().delta_count
+        if total_delta == 0:
+            return 0, 0, 0
+        # Stratum -1: the epoch fixpoint is joint across strata (sound for
+        # the positive programs this engine evaluates — monotonicity makes
+        # stratum order a scheduling choice, not a semantic one).
+        return self._run_fixpoint(-1, names, list(versions))
+
+    # ------------------------------------------------------------------
     def _run_fixpoint(
         self,
         stratum_index: int,

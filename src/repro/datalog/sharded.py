@@ -357,6 +357,50 @@ class ShardedSemiNaiveEvaluator:
                 )
 
     # ------------------------------------------------------------------
+    def delta_fixpoint(
+        self,
+        versions: list[RuleVersion],
+        seeds: dict[str, "np.ndarray"],
+        *,
+        relation_names: list[str] | None = None,
+    ) -> tuple[int, int, int]:
+        """Run one delta-seeded fixpoint across the shard cluster (an epoch).
+
+        The sharded twin of
+        :meth:`~repro.datalog.seminaive.SemiNaiveEvaluator.delta_fixpoint`:
+        host seed rows are routed to their owner shards (charged per-shard
+        H2D), distilled into per-shard deltas, and the cluster fixpoint runs
+        the supplied all-atom delta versions through the ordinary exchange
+        machinery until every shard's delta is empty.
+
+        Exchange caches are invalidated on entry *and* exit: replicated EDB
+        inners and semi-join filters were built against pre-epoch fulls, and
+        a mutation (especially a retraction applied between epochs) makes
+        them stale — replicas would serve deleted tuples, which is a
+        correctness bug, not just a pruning inefficiency.  They are rebuilt,
+        charged, on first use inside the epoch.
+        """
+        names = sorted(relation_names if relation_names is not None else self.relations)
+        self._invalidate_exchange_state()
+        try:
+            total_delta = 0
+            for name in sorted(seeds):
+                rows = seeds[name]
+                relation = self.relations[name]
+                if len(rows):
+                    relation.add_new(rows)
+                result = relation.end_iteration()
+                total_delta += result.delta_count
+                if result.delta_count and self._filters.has_relation(name):
+                    self._filters.refresh(name, relation.shards)
+            if total_delta == 0:
+                return 0, 0, 0
+            # Stratum -1: joint across strata, sound for positive programs.
+            return self._run_fixpoint(-1, names, list(versions))
+        finally:
+            self._invalidate_exchange_state()
+
+    # ------------------------------------------------------------------
     def _run_fixpoint(
         self,
         stratum_index: int,

@@ -33,6 +33,9 @@ PHASE_SHARD_EXCHANGE = "shard_exchange"
 PHASE_CHECKPOINT = "checkpoint"
 #: Fault-recovery work: retry backoff, checkpoint restores, device rebuilds.
 PHASE_RECOVERY = "fault_recovery"
+#: Serving retraction epochs: membership probes, compaction and the index
+#: rebuilds that apply a DRed deletion to resident relation state.
+PHASE_RETRACTION = "retraction"
 #: Negative credits for exchange time hidden behind overlapped compute.
 PHASE_EXCHANGE_OVERLAP = "exchange_overlap"
 

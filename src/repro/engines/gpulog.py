@@ -56,6 +56,33 @@ class GPULogAdapter(BaselineEngine):
         self.planner = planner
         self.last_result = None
 
+    def serving_engine(
+        self,
+        program: Union[Program, str],
+        facts: Mapping[str, np.ndarray] | None = None,
+        **kwargs,
+    ):
+        """Open a long-lived :class:`~repro.serving.engine.ServingEngine`.
+
+        Unlike :meth:`run`, state stays resident across requests: the caller
+        submits insert/retract epochs and reads versioned snapshots, and the
+        adapter's device/sharding/planner configuration carries over.  Extra
+        keyword arguments are forwarded (e.g. ``background=False`` for a
+        synchronous engine, ``cache=`` for a private program cache).
+        """
+        from ..serving.engine import ServingEngine
+
+        kwargs.setdefault("device", self.spec)
+        kwargs.setdefault("memory_capacity_bytes", self.memory_capacity_bytes)
+        kwargs.setdefault("eager_buffers", self.eager_buffers)
+        kwargs.setdefault("buffer_growth_factor", self.buffer_growth_factor)
+        kwargs.setdefault("load_factor", self.load_factor)
+        kwargs.setdefault("columnar", self.columnar)
+        kwargs.setdefault("backend", self.backend)
+        kwargs.setdefault("num_shards", self.num_shards)
+        kwargs.setdefault("planner", self.planner)
+        return ServingEngine(program, facts, **kwargs)
+
     def run(
         self,
         program: Union[Program, str],

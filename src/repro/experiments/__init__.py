@@ -18,6 +18,7 @@ from .runner import (
     scale_factor,
 )
 from .planner_bench import hub_graph, run_clique4, run_planner_workload, run_triangle, wedge_count
+from .serving_workload import run_serving_workload, trickle_epochs
 from .table1_ebm import PAPER_TABLE1, TABLE1_DATASETS, run_table1
 from .table2_reach import PAPER_TABLE2, TABLE2_DATASETS, run_table2
 from .table3_sg import PAPER_TABLE3, TABLE3_DATASETS, run_table3
@@ -38,6 +39,7 @@ ALL_EXPERIMENTS = {
     "ablation-load-factor": run_load_factor_ablation,
     "triangle": run_triangle,
     "clique4": run_clique4,
+    "serving": run_serving_workload,
 }
 
 __all__ = [
@@ -75,6 +77,7 @@ __all__ = [
     "run_load_factor_ablation",
     "run_materialization_ablation",
     "run_planner_workload",
+    "run_serving_workload",
     "run_table1",
     "run_table2",
     "run_table3",
@@ -83,5 +86,6 @@ __all__ = [
     "run_table6",
     "run_triangle",
     "scale_factor",
+    "trickle_epochs",
     "wedge_count",
 ]

@@ -1,4 +1,17 @@
-"""Relational substrate: HISA, hash tables, relational-algebra kernels, buffers."""
+"""Relational substrate: HISA, hash tables, relational-algebra kernels, buffers.
+
+Everything here is device-resident state and device-kernel computation:
+:class:`~repro.relational.hisa.HISA` indexes (sorted capacity-backed column
+buffers + run-structured index + open-addressing hash table, with an O(Δ)
+incremental ``merge``), lazy :class:`~repro.relational.columnbatch.ColumnBatch`
+operands, the join/dedup/difference operators, semi-naïve
+:class:`~repro.relational.relation.Relation` version triples and their
+sharded router, planner statistics, semi-join exchange filters, and
+iteration-boundary checkpoints.  No module in this package imports an array
+library — every primitive goes through the owning device's
+:class:`~repro.backend.base.ArrayBackend`, and host arrays cross only at
+the charged transfer edges.  See ``docs/architecture.md``.
+"""
 
 from .buffers import (
     BufferManagerStats,

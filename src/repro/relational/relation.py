@@ -25,8 +25,10 @@ boundary exactly twice, and both edges are charged to the cost model:
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..backend import Array
 from ..device.device import Device
@@ -39,6 +41,7 @@ from ..device.profiler import (
     PHASE_MERGE,
     PHASE_POPULATE_DELTA,
     PHASE_RECOVERY,
+    PHASE_RETRACTION,
 )
 from ..errors import DeviceOutOfMemoryError, SchemaError
 from .buffers import MergeBufferManager, make_buffer_manager
@@ -422,6 +425,103 @@ class Relation:
                 )
         self._iteration = int(partition.iteration)
         del self.history[self._iteration :]
+
+    # ------------------------------------------------------------------
+    # Serving-epoch support (membership probes, retraction, shadow deltas)
+    # ------------------------------------------------------------------
+    def present_rows(self, rows, *, device_resident: bool = False) -> "Array":
+        """Host rows of ``rows`` that currently exist in the full version.
+
+        The membership semi-join the serving engine's DRed over-delete phase
+        starts from: requested retractions (and candidate over-deletions) are
+        intersected with the resident full version before they enter the
+        deletion frontier.  Host payloads pay the charged H2D upload, the
+        probe is the canonical index's exact ``contains`` lookup, and the
+        surviving rows come back through the charged D2H edge.
+        """
+        if not device_resident:
+            rows = self.device.kernels.from_host(
+                rows, dtype=self.backend.int64, label=f"{self.name}.h2d_present_probe"
+            )
+        rows = self._coerce(rows)
+        if rows.shape[0] == 0 or self.full_count == 0:
+            return np.empty((0, self.arity), dtype=np.int64)
+        with self.device.profiler.phase(PHASE_RETRACTION):
+            mask = self.canonical_index.contains(rows)
+            kept = self.device.kernels.stream_compact(
+                rows, mask, label=f"{self.name}.present_compact"
+            )
+            return self.device.kernels.to_host(kept, label=f"{self.name}.d2h_present")
+
+    def retract(self, rows, *, device_resident: bool = False) -> int:
+        """Remove ``rows`` from the full version; returns how many were removed.
+
+        The apply step of a DRed deletion epoch.  HISA's merge path is
+        insert-only, so retraction rebuilds: a temporary all-column index over
+        the retract set masks the full version, survivors are stream-compacted,
+        and every registered index is rebuilt from the compacted rows through
+        the ordinary :meth:`initialize` path (all of it charged under the
+        retraction phase).  The delta is cleared afterwards — between serving
+        epochs every delta is empty by invariant.
+        """
+        if not device_resident:
+            rows = self.device.kernels.from_host(
+                rows, dtype=self.backend.int64, label=f"{self.name}.h2d_retract"
+            )
+        rows = self._coerce(rows)
+        if rows.shape[0] == 0 or self.full_count == 0:
+            self.clear_delta()
+            return 0
+        with self.device.profiler.phase(PHASE_RETRACTION):
+            probe = HISA(
+                self.device,
+                rows,
+                self._all_columns,
+                load_factor=self.load_factor,
+                label=f"{self.name}.retract_probe",
+            )
+            try:
+                full = self.full_rows()
+                doomed = probe.contains(full)
+            finally:
+                probe.free()
+            keep = self.backend.compare("==", doomed, False)
+            remaining = self.device.kernels.stream_compact(
+                full, keep, label=f"{self.name}.retract_compact"
+            )
+            removed = self.full_count - int(remaining.shape[0])
+            if removed == 0:
+                self.clear_delta()
+                return 0
+            self.free()
+            self.initialize(remaining, device_resident=True)
+        self.clear_delta()
+        return removed
+
+    @contextmanager
+    def shadow_delta(self, rows, *, device_resident: bool = False):
+        """Temporarily present ``rows`` as this relation's delta version.
+
+        The DRed over-delete phase executes delta rule versions with the
+        deletion frontier standing in for the delta while the full version
+        (still pre-deletion) serves the probes.  The real delta (empty
+        between epochs by invariant) is restored on exit; the shadow rows
+        are never merged and never allocate a delta buffer.
+        """
+        if not device_resident:
+            rows = self.device.kernels.from_host(
+                rows, dtype=self.backend.int64, label=f"{self.name}.h2d_shadow_delta"
+            )
+        rows = self._coerce(rows)
+        saved = self._delta
+        saved_view = self._delta_rows_view
+        self._delta = rows
+        self._delta_rows_view = None
+        try:
+            yield self
+        finally:
+            self._delta = saved
+            self._delta_rows_view = saved_view
 
     def clear_delta(self) -> None:
         """Drop the delta version (used when a stratum reaches its fixpoint)."""

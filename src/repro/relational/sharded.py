@@ -25,6 +25,10 @@ shard's ``add_new`` (see :mod:`repro.datalog.sharded`).
 
 from __future__ import annotations
 
+from contextlib import ExitStack, contextmanager
+
+import numpy as np
+
 from ..backend import Array
 from ..device.cost import KernelCost
 from ..device.device import Device
@@ -237,6 +241,63 @@ class ShardedRelation:
     def add_new_shard(self, shard: int, rows, *, device_resident: bool = False) -> None:
         """Append tuples already routed to ``shard`` to its *new* version."""
         self.shards[shard].add_new(rows, device_resident=device_resident)
+
+    def add_new(self, rows) -> None:
+        """Partition *host* rows by owner shard and append each part to *new*.
+
+        The sharded half of the serving engine's epoch seeding: injected
+        facts are routed host-side by the canonical shard column (the same
+        fold the loader and the exchange use), and each owner shard pays its
+        own charged H2D upload.
+        """
+        parts = partition_rows_host(rows, self.shard_column, self.num_shards)
+        for shard, part in zip(self.shards, parts):
+            if part.shape[0]:
+                shard.add_new(part)
+
+    def present_rows(self, rows) -> np.ndarray:
+        """Host rows of ``rows`` that exist in the (global) full version.
+
+        Routes each row to its owner shard and concatenates the per-shard
+        membership probes — valid because every tuple has exactly one owner.
+        """
+        parts = partition_rows_host(rows, self.shard_column, self.num_shards)
+        found = [
+            shard.present_rows(part)
+            for shard, part in zip(self.shards, parts)
+            if part.shape[0]
+        ]
+        found = [part for part in found if part.shape[0]]
+        if not found:
+            return np.empty((0, self.arity), dtype=np.int64)
+        return np.concatenate(found, axis=0)
+
+    def retract(self, rows) -> int:
+        """Remove host ``rows`` from the full version; returns removed count.
+
+        Each owner shard rebuilds its own partition (see
+        :meth:`Relation.retract`); counts sum because ownership is disjoint.
+        """
+        parts = partition_rows_host(rows, self.shard_column, self.num_shards)
+        return sum(
+            shard.retract(part)
+            for shard, part in zip(self.shards, parts)
+            if part.shape[0]
+        )
+
+    @contextmanager
+    def shadow_delta(self, rows):
+        """Temporarily present host ``rows`` as the delta on their owner shards.
+
+        The sharded DRed over-delete probe: the frontier is partitioned by
+        the canonical shard column so each shard's shadow delta holds exactly
+        the rows it owns — the same placement a real merged delta would have.
+        """
+        parts = partition_rows_host(rows, self.shard_column, self.num_shards)
+        with ExitStack() as stack:
+            for shard, part in zip(self.shards, parts):
+                stack.enter_context(shard.shadow_delta(part))
+            yield self
 
     def end_iteration(self) -> IterationStats:
         """Run populate-delta / merge / clear-new on every shard.

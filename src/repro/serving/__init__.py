@@ -1,0 +1,27 @@
+"""Long-lived serving layer: resident state, differential epochs, snapshots.
+
+The batch engines in :mod:`repro.engines` answer one query per process-like
+``run()``: load, fixpoint, download, free.  This package keeps everything
+resident instead — compiled plans in a :class:`ProgramCache`, per-relation
+HISA state on the simulated device, and immutable :class:`RelationSnapshot`
+commit copies for readers — so a stream of small insert/retract batches pays
+O(|Δ|)-shaped epochs (semi-naïve from the injected delta, DRed for deletes)
+instead of O(|database|) re-fixpoints.  See ``docs/serving.md``.
+"""
+
+from .cache import DEFAULT_PROGRAM_CACHE, CompiledProgram, ProgramCache, rule_set_hash
+from .engine import EpochResult, EpochTicket, ServingEngine
+from .snapshot import RelationSnapshot, SnapshotTable, canonical_rows
+
+__all__ = [
+    "CompiledProgram",
+    "DEFAULT_PROGRAM_CACHE",
+    "EpochResult",
+    "EpochTicket",
+    "ProgramCache",
+    "RelationSnapshot",
+    "ServingEngine",
+    "SnapshotTable",
+    "canonical_rows",
+    "rule_set_hash",
+]

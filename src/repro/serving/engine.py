@@ -1,0 +1,772 @@
+"""Long-lived serving engine: differential fixpoints over resident relations.
+
+Every batch-engine run is one-shot: load facts, run the fixpoint, download
+results, free everything.  A client that inserts ten facts into a loaded
+database re-derives the whole IDB from scratch — throwing away exactly the
+O(Δ) semi-naïve machinery the evaluator is built on.  :class:`ServingEngine`
+keeps the machinery *resident*:
+
+* the program is compiled once through the shared
+  :class:`~repro.serving.cache.ProgramCache` (keyed by rule-set hash), which
+  also precompiles the *epoch version set* — one delta version per rule per
+  body atom, EDB atoms included — and one full re-derive version per rule;
+* per-relation HISA state stays on the simulated device across requests;
+* :meth:`submit` enqueues insertions/retractions and returns a ticket; all
+  mutations pending when an epoch starts are **coalesced** into one epoch
+  (last-writer-wins per tuple), which runs semi-naïve **from the injected
+  delta only** via the evaluator's ``delta_fixpoint`` entry point;
+* retractions run **DRed** (delete-and-re-derive): over-delete the deletion
+  cone with delta versions shadow-seeded from the retract set, apply the
+  deletions with retraction-aware index rebuilds, re-derive survivors with
+  the full versions, then propagate re-insertions through the same delta
+  fixpoint as ordinary inserts;
+* :meth:`query` reads per-relation **versioned snapshots**
+  (:mod:`repro.serving.snapshot`): immutable canonical copies, materialized
+  lazily — a commit only bumps the changed relations' versions, and the
+  charged D2H download happens on the first query of a stale relation.
+  Repeat reads of an unchanged relation never block on in-flight epochs.
+
+Charged-cost boundaries are unchanged from the batch engine: seed rows and
+retract probes pay H2D, snapshot materialization pays D2H (on the query
+path, so epoch latency prices exactly the incremental maintenance), and
+every kernel an epoch launches (joins, merges, retraction rebuilds, shard
+exchanges) goes through the same cost model — epoch latencies in simulated
+seconds are directly comparable to a full re-fixpoint of the same program.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from concurrent.futures import Future
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, Union
+
+import numpy as np
+
+from ..datalog.ast import Program
+from ..datalog.engine import (
+    OVERLAP_ENV_VAR,
+    SEMIJOIN_ENV_VAR,
+    FactValue,
+    SymbolTable,
+    _default_num_shards,
+    _default_planner,
+    _env_flag,
+    intern_program,
+)
+from ..datalog.planner import PLANNERS, RuleVersion
+from ..datalog.seminaive import SemiNaiveEvaluator
+from ..datalog.sharded import (
+    DEFAULT_REPLICATE_MAX_BYTES,
+    ShardedSemiNaiveEvaluator,
+    shard_columns_for_plan,
+)
+from ..device.device import Device
+from ..device.profiler import PHASE_LOAD
+from ..device.spec import DeviceSpec, device_preset
+from ..errors import DeviceBufferError, SchemaError
+from ..relational.columnbatch import ColumnBatch
+from ..relational.relation import Relation
+from ..relational.sharded import ShardedRelation
+from .cache import DEFAULT_PROGRAM_CACHE, CompiledProgram, ProgramCache
+from .snapshot import RelationSnapshot, SnapshotTable, canonical_rows
+
+__all__ = ["EpochResult", "EpochTicket", "ServingEngine"]
+
+FactRows = Iterable[Sequence[FactValue]]
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """What one committed epoch did, in counts and charged time."""
+
+    #: epoch number (1-based; 0 is the bootstrap fixpoint)
+    epoch: int
+    #: submissions coalesced into this epoch
+    coalesced: int
+    #: delta-fixpoint iterations the epoch ran (0 = every seed already known)
+    iterations: int
+    #: seed rows injected per relation (client inserts + DRed re-derivations)
+    inserted: dict[str, int] = field(default_factory=dict)
+    #: rows actually removed per relation, cascaded deletions included
+    retracted: dict[str, int] = field(default_factory=dict)
+    #: over-deleted rows that survived DRed re-derivation, per relation
+    rederived: dict[str, int] = field(default_factory=dict)
+    #: simulated seconds the epoch charged (max over shard devices)
+    simulated_seconds: float = 0.0
+    #: host wall-clock seconds the epoch took
+    host_seconds: float = 0.0
+    #: snapshot versions this epoch published (changed relations only)
+    snapshot_versions: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def changed_relations(self) -> tuple[str, ...]:
+        return tuple(sorted(self.snapshot_versions))
+
+
+class EpochTicket:
+    """Handle returned by :meth:`ServingEngine.submit`.
+
+    Resolves to the :class:`EpochResult` of the epoch that committed the
+    submission (several tickets share one result when their submissions
+    coalesce).  In synchronous engines (``background=False``) calling
+    :meth:`result` flushes pending mutations first, so a ticket never
+    deadlocks waiting for a worker that does not exist.
+    """
+
+    def __init__(self, engine: "ServingEngine", future: "Future[EpochResult]") -> None:
+        self._engine = engine
+        self._future = future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> EpochResult:
+        if not self._future.done() and not self._engine.background:
+            self._engine.flush()
+        return self._future.result(timeout)
+
+
+@dataclass
+class _Mutation:
+    inserts: dict[str, list[tuple[int, ...]]]
+    retracts: dict[str, list[tuple[int, ...]]]
+    future: "Future[EpochResult]"
+
+
+class ServingEngine:
+    """A resident GPU Datalog database with incremental epochs and snapshots."""
+
+    def __init__(
+        self,
+        program: Union[Program, str],
+        facts: Mapping[str, FactRows] | None = None,
+        *,
+        device: Union[DeviceSpec, str] = "h100",
+        memory_capacity_bytes: int | None = None,
+        num_shards: int | None = None,
+        planner: str | None = None,
+        backend: "str | None" = None,
+        columnar: bool = True,
+        load_factor: float = 0.8,
+        eager_buffers: bool = True,
+        buffer_growth_factor: float = 8.0,
+        incremental_merge: bool = True,
+        max_iterations: int = 1_000_000,
+        semijoin_filter: bool | None = None,
+        overlap: bool | None = None,
+        replicate_max_bytes: int = DEFAULT_REPLICATE_MAX_BYTES,
+        cache: ProgramCache | None = None,
+        background: bool = True,
+        fault_plan: "str | None" = None,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(program, str):
+            program = Program.parse(program, name=name or "serving")
+        resolved_shards = num_shards if num_shards is not None else _default_num_shards()
+        if resolved_shards < 1:
+            raise SchemaError(f"num_shards must be >= 1, got {resolved_shards}")
+        resolved_planner = _default_planner() if planner is None else str(planner)
+        if resolved_planner not in PLANNERS:
+            raise SchemaError(
+                f"unknown planner {resolved_planner!r}; expected one of {', '.join(PLANNERS)}"
+            )
+        self.num_shards = int(resolved_shards)
+        self.planner = resolved_planner
+        self.columnar = bool(columnar)
+        self.background = bool(background)
+        self.cache = cache if cache is not None else DEFAULT_PROGRAM_CACHE
+        self.symbols = SymbolTable()
+
+        spec = device_preset(device) if isinstance(device, str) else device
+        # Resolve the fault plan once (explicit argument or REPRO_FAULT_PLAN)
+        # and share the instance across every shard device, so occurrence
+        # counters are cluster-global — the batch engine's convention.  The
+        # primary resolves; siblings get the instance or an explicit "none"
+        # (which stops them re-resolving the environment into fresh plans).
+        self.devices = [
+            Device(spec, memory_capacity_bytes=memory_capacity_bytes, backend=backend,
+                   fault_plan=fault_plan)
+        ]
+        shared_plan = self.devices[0].fault_plan
+        self.devices += [
+            Device(
+                spec,
+                memory_capacity_bytes=memory_capacity_bytes,
+                backend=backend,
+                fault_plan=shared_plan if shared_plan is not None else "none",
+            )
+            for _ in range(self.num_shards - 1)
+        ]
+        self.device = self.devices[0]
+
+        # ------------------------------------------------------------------
+        # Compile (cached) and resolve the schema.
+        # ------------------------------------------------------------------
+        self.program = intern_program(program, self.symbols)
+        self.compiled: CompiledProgram = self.cache.get(self.program, planner=self.planner)
+        self._arities = dict(self.program.relation_arities())
+        staged_facts: dict[str, np.ndarray] = {}
+        for relation_name, rows in (facts or {}).items():
+            encoded = self._encode_rows(relation_name, rows, register=True)
+            staged_facts[relation_name] = encoded
+
+        # ------------------------------------------------------------------
+        # Build resident relations, registering *every* index any plan —
+        # bootstrap, epoch delta versions, DRed full versions — will probe,
+        # before the first initialize (indexes then ride the shared sort).
+        # ------------------------------------------------------------------
+        relation_config = dict(
+            load_factor=float(load_factor),
+            eager_buffers=bool(eager_buffers),
+            buffer_growth_factor=float(buffer_growth_factor),
+            incremental_merge=bool(incremental_merge),
+        )
+        self.relations: dict[str, Relation | ShardedRelation] = {}
+        if self.num_shards > 1:
+            shard_columns = shard_columns_for_plan(self.compiled.plan, self._arities)
+            for relation_name, arity in self._arities.items():
+                self.relations[relation_name] = ShardedRelation(
+                    self.devices,
+                    relation_name,
+                    arity,
+                    shard_column=shard_columns.get(relation_name, 0),
+                    **relation_config,
+                )
+        else:
+            for relation_name, arity in self._arities.items():
+                self.relations[relation_name] = Relation(
+                    self.device, relation_name, arity, **relation_config
+                )
+        for relation_name, columns in self.compiled.required_indexes:
+            relation = self.relations.get(relation_name)
+            if relation is not None:
+                relation.require_index(columns)
+
+        # ------------------------------------------------------------------
+        # Load the EDB, run the bootstrap fixpoint, publish snapshot v1.
+        # ------------------------------------------------------------------
+        idb = self.compiled.idb_relations
+        idb_facts: dict[str, np.ndarray] = {}
+        with ExitStack() as stack:
+            for dev in self.devices:
+                stack.enter_context(dev.profiler.phase(PHASE_LOAD))
+            for relation_name, relation in self.relations.items():
+                rows = staged_facts.get(
+                    relation_name, np.empty((0, relation.arity), dtype=np.int64)
+                )
+                if relation_name in idb:
+                    if rows.shape[0]:
+                        idb_facts[relation_name] = rows
+                else:
+                    relation.initialize(rows)
+
+        if self.num_shards > 1:
+            self._evaluator: SemiNaiveEvaluator | ShardedSemiNaiveEvaluator = (
+                ShardedSemiNaiveEvaluator(
+                    self.devices,
+                    self.compiled.plan,
+                    self.relations,
+                    max_iterations=int(max_iterations),
+                    program_name=self.program.name,
+                    program_source=str(self.program),
+                    semijoin_filter=(
+                        _env_flag(SEMIJOIN_ENV_VAR, True)
+                        if semijoin_filter is None
+                        else bool(semijoin_filter)
+                    ),
+                    overlap=_env_flag(OVERLAP_ENV_VAR, True) if overlap is None else bool(overlap),
+                    replicate_max_bytes=int(replicate_max_bytes),
+                )
+            )
+        else:
+            self._evaluator = SemiNaiveEvaluator(
+                self.device,
+                self.compiled.plan,
+                self.relations,
+                columnar=self.columnar,
+                max_iterations=int(max_iterations),
+                program_name=self.program.name,
+                program_source=str(self.program),
+            )
+        self.bootstrap_stats = self._evaluator.evaluate(idb_facts)
+        # Invariant: between epochs every delta is empty.  ``initialize``
+        # leaves EDB deltas holding *all* rows (they are never end_iterated
+        # by the bootstrap), which would make the first epoch re-join the
+        # entire EDB as if it were new.
+        for relation in self.relations.values():
+            relation.clear_delta()
+
+        self.epoch = 0
+        self.last_epoch: EpochResult | None = None
+        self.snapshots = SnapshotTable()
+        # Snapshots are *lazy*: a commit only bumps the per-relation version;
+        # the charged D2H download happens on the first query of a changed
+        # relation.  Epoch latency therefore prices exactly the incremental
+        # maintenance work, and relations nobody reads are never downloaded.
+        self._versions = {name: 1 for name in self.relations}
+        self._changed_epoch = {name: 0 for name in self.relations}
+
+        # ------------------------------------------------------------------
+        # Mutation queue + optional background epoch worker.
+        # ------------------------------------------------------------------
+        self._engine_lock = threading.RLock()
+        self._queue = threading.Condition()
+        self._pending: list[_Mutation] = []
+        self._inflight = False
+        self._closed = False
+        self._worker: threading.Thread | None = None
+        if self.background:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name=f"serving-{self.program.name}", daemon=True
+            )
+            self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        inserts: Mapping[str, FactRows] | None = None,
+        retracts: Mapping[str, FactRows] | None = None,
+    ) -> EpochTicket:
+        """Enqueue a mutation batch; returns a ticket for its epoch's result.
+
+        Everything pending when the next epoch starts is coalesced into that
+        one epoch.  Within an epoch the submissions' serial order is
+        honoured per tuple (last writer wins): retract-then-insert nets to
+        the row being present, insert-then-retract to absent.
+        """
+        encoded_inserts = {
+            relation_name: [tuple(row) for row in self._encode_rows(relation_name, rows)]
+            for relation_name, rows in (inserts or {}).items()
+        }
+        encoded_retracts = {
+            relation_name: [tuple(row) for row in self._encode_rows(relation_name, rows)]
+            for relation_name, rows in (retracts or {}).items()
+        }
+        mutation = _Mutation(encoded_inserts, encoded_retracts, Future())
+        with self._queue:
+            if self._closed:
+                raise RuntimeError("serving engine is closed")
+            self._pending.append(mutation)
+            self._queue.notify_all()
+        return EpochTicket(self, mutation.future)
+
+    def flush(self) -> None:
+        """Block until every submission enqueued so far has committed.
+
+        Synchronous engines run the pending epoch inline on the calling
+        thread; background engines wait for the worker to drain the queue.
+        """
+        if self.background:
+            with self._queue:
+                while self._pending or self._inflight:
+                    self._queue.wait()
+            return
+        while True:
+            with self._queue:
+                if not self._pending:
+                    return
+                batch, self._pending = self._pending, []
+            self._commit(batch)
+
+    def query(self, relation_name: str, *, decode: bool = False):
+        """Read the newest committed snapshot of ``relation_name``.
+
+        Returns the :class:`RelationSnapshot` (raw interned int64 rows in
+        canonical order), or — with ``decode=True`` — the decoded list of
+        tuples.  If the relation changed since it was last read, the first
+        query pays the charged D2H download (and briefly synchronizes with
+        the epoch worker); repeat reads of an unchanged relation return the
+        cached immutable snapshot without blocking on in-flight epochs.
+        """
+        if relation_name not in self.relations:
+            raise SchemaError(f"unknown relation {relation_name!r}")
+        snapshot = self._materialize(relation_name)
+        if not decode:
+            return snapshot
+        decode_value = self.symbols.decode
+        return [tuple(decode_value(value) for value in row) for row in snapshot.rows.tolist()]
+
+    def query_many(self, relation_names: list[str]) -> dict[str, RelationSnapshot]:
+        """One consistent cut across several relations (single epoch boundary)."""
+        for relation_name in relation_names:
+            if relation_name not in self.relations:
+                raise SchemaError(f"unknown relation {relation_name!r}")
+        with self._engine_lock:
+            return {name: self._materialize(name) for name in relation_names}
+
+    def snapshot_version(self, relation_name: str) -> int:
+        if relation_name not in self.relations:
+            raise SchemaError(f"unknown relation {relation_name!r}")
+        with self._engine_lock:
+            return self._versions[relation_name]
+
+    def relation_names(self) -> list[str]:
+        return sorted(self.relations)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated seconds charged so far (max over shard devices)."""
+        return max(device.elapsed_seconds for device in self.devices)
+
+    def close(self) -> None:
+        """Stop the worker (committing nothing further) and free device state."""
+        with self._queue:
+            if self._closed:
+                return
+            self._closed = True
+            pending, self._pending = self._pending, []
+            self._queue.notify_all()
+        for mutation in pending:
+            mutation.future.cancel()
+        if self._worker is not None:
+            self._worker.join(timeout=30.0)
+            self._worker = None
+        with self._engine_lock:
+            relations, self.relations = self.relations, {}
+            for relation in relations.values():
+                try:
+                    relation.free()
+                except DeviceBufferError:
+                    continue
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Epoch execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._queue:
+                while not self._pending and not self._closed:
+                    self._queue.wait()
+                if self._closed:
+                    return
+                batch, self._pending = self._pending, []
+                self._inflight = True
+            try:
+                self._commit(batch)
+            finally:
+                with self._queue:
+                    self._inflight = False
+                    self._queue.notify_all()
+
+    def _commit(self, batch: list[_Mutation]) -> None:
+        try:
+            result = self._run_epoch(batch)
+        except BaseException as error:  # noqa: BLE001 - forwarded to tickets
+            for mutation in batch:
+                mutation.future.set_exception(error)
+            return
+        for mutation in batch:
+            mutation.future.set_result(result)
+
+    def _run_epoch(self, batch: list[_Mutation]) -> EpochResult:
+        with self._engine_lock:
+            host_start = time.perf_counter()
+            sim_start = [device.elapsed_seconds for device in self._device_list()]
+
+            net_inserts, net_retracts = self._coalesce(batch)
+
+            # --- DRed: over-delete, apply, re-derive --------------------
+            retracted_counts: dict[str, int] = {}
+            rederived_counts: dict[str, int] = {}
+            survivors: dict[str, set[tuple[int, ...]]] = {}
+            if net_retracts:
+                deleted = self._over_delete(net_retracts)
+                for relation_name in sorted(deleted):
+                    rows = self._rows_array(deleted[relation_name], relation_name)
+                    removed = self.relations[relation_name].retract(rows)
+                    if removed:
+                        retracted_counts[relation_name] = removed
+                # The over-delete probes lazily built exchange state (semi-
+                # join filters, replicated inners) from the *pre-deletion*
+                # fulls; the re-derive must see post-deletion state only.
+                if isinstance(self._evaluator, ShardedSemiNaiveEvaluator):
+                    self._evaluator._invalidate_exchange_state()
+                survivors = self._rederive(deleted)
+                rederived_counts = {
+                    relation_name: len(rows) for relation_name, rows in survivors.items() if rows
+                }
+
+            # --- Insert epoch: delta fixpoint from the injected seeds ---
+            seeds: dict[str, np.ndarray] = {}
+            inserted_counts: dict[str, int] = {}
+            for relation_name, rows in net_inserts.items():
+                if rows:
+                    seeds[relation_name] = self._rows_array(rows, relation_name)
+            for relation_name, rows in survivors.items():
+                if not rows:
+                    continue
+                fresh = self._rows_array(rows, relation_name)
+                if relation_name in seeds:
+                    seeds[relation_name] = np.concatenate([seeds[relation_name], fresh], axis=0)
+                else:
+                    seeds[relation_name] = fresh
+            for relation_name, rows in seeds.items():
+                inserted_counts[relation_name] = int(rows.shape[0])
+
+            history_marks = {
+                relation_name: len(relation.history)
+                for relation_name, relation in self.relations.items()
+            }
+            iterations = 0
+            if seeds:
+                iterations, _, _ = self._evaluator.delta_fixpoint(
+                    list(self.compiled.epoch_versions), seeds
+                )
+
+            # --- Commit: bump and publish snapshots of changed relations
+            changed = set(retracted_counts)
+            for relation_name, relation in self.relations.items():
+                for entry in relation.history[history_marks[relation_name] :]:
+                    if entry.delta_count:
+                        changed.add(relation_name)
+                        break
+            self.epoch += 1
+            published: dict[str, int] = {}
+            for relation_name in sorted(changed):
+                self._versions[relation_name] += 1
+                self._changed_epoch[relation_name] = self.epoch
+                published[relation_name] = self._versions[relation_name]
+
+            sim_end = [device.elapsed_seconds for device in self._device_list()]
+            result = EpochResult(
+                epoch=self.epoch,
+                coalesced=len(batch),
+                iterations=iterations,
+                inserted=inserted_counts,
+                retracted=retracted_counts,
+                rederived=rederived_counts,
+                simulated_seconds=max(
+                    (end - start for start, end in zip(sim_start, sim_end)), default=0.0
+                ),
+                host_seconds=time.perf_counter() - host_start,
+                snapshot_versions=published,
+            )
+            self.last_epoch = result
+            return result
+
+    def _coalesce(
+        self, batch: list[_Mutation]
+    ) -> tuple[dict[str, list[tuple[int, ...]]], dict[str, list[tuple[int, ...]]]]:
+        """Fold a batch into net per-tuple operations (last writer wins)."""
+        final_op: dict[str, dict[tuple[int, ...], str]] = defaultdict(dict)
+        for mutation in batch:
+            for relation_name, rows in mutation.retracts.items():
+                for row in rows:
+                    final_op[relation_name][row] = "retract"
+            for relation_name, rows in mutation.inserts.items():
+                for row in rows:
+                    final_op[relation_name][row] = "insert"
+        net_inserts: dict[str, list[tuple[int, ...]]] = {}
+        net_retracts: dict[str, list[tuple[int, ...]]] = {}
+        for relation_name, ops in final_op.items():
+            inserts = sorted(row for row, op in ops.items() if op == "insert")
+            retracts = sorted(row for row, op in ops.items() if op == "retract")
+            if inserts:
+                net_inserts[relation_name] = inserts
+            if retracts:
+                net_retracts[relation_name] = retracts
+        return net_inserts, net_retracts
+
+    def _over_delete(
+        self, net_retracts: dict[str, list[tuple[int, ...]]]
+    ) -> dict[str, set[tuple[int, ...]]]:
+        """DRed phase 1: the deletion cone, computed against pre-deletion fulls.
+
+        Seeds the frontier with the requested retractions that actually
+        exist, then repeatedly shadow-presents each relation's frontier as
+        its delta and executes the epoch's delta versions: any currently-
+        present head tuple one join step away from a deleted tuple joins the
+        cone.  Probing pre-deletion fulls is what makes this the textbook
+        over-approximation — every derivation that *uses* a deleted tuple is
+        found, including ones whose other support is also doomed.
+        """
+        deleted: dict[str, set[tuple[int, ...]]] = {}
+        frontier: dict[str, set[tuple[int, ...]]] = {}
+        for relation_name, rows in net_retracts.items():
+            present = self.relations[relation_name].present_rows(
+                self._rows_array(rows, relation_name)
+            )
+            tuples = {tuple(int(value) for value in row) for row in present}
+            if tuples:
+                deleted[relation_name] = set(tuples)
+                frontier[relation_name] = tuples
+        while frontier:
+            next_frontier: dict[str, set[tuple[int, ...]]] = defaultdict(set)
+            for version in self.compiled.epoch_versions:
+                source = version.initial.relation
+                if source not in frontier:
+                    continue
+                shadow = self._rows_array(frontier[source], source)
+                with self.relations[source].shadow_delta(shadow):
+                    derived = self._collect_version_rows(version)
+                if not derived.shape[0]:
+                    continue
+                head = version.head_relation
+                candidates = {
+                    tuple(int(value) for value in row) for row in derived
+                } - deleted.get(head, set())
+                if not candidates:
+                    continue
+                present = self.relations[head].present_rows(
+                    self._rows_array(candidates, head)
+                )
+                fresh = {
+                    tuple(int(value) for value in row) for row in present
+                } - deleted.get(head, set())
+                if fresh:
+                    next_frontier[head] |= fresh
+            frontier = {}
+            for head, fresh in next_frontier.items():
+                deleted.setdefault(head, set()).update(fresh)
+                frontier[head] = fresh
+        return deleted
+
+    def _rederive(
+        self, deleted: dict[str, set[tuple[int, ...]]]
+    ) -> dict[str, set[tuple[int, ...]]]:
+        """DRed phase 3: over-deleted tuples still derivable from what remains.
+
+        Runs each affected rule's *full* version against the post-deletion
+        database and intersects the output with that rule's share of the
+        deletion cone.  Survivors are seeded back through the insert-epoch
+        delta fixpoint, which transitively resurrects anything derivable
+        from them — the standard DRed completeness argument.
+        """
+        idb = self.compiled.idb_relations
+        targets = {name for name, rows in deleted.items() if rows and name in idb}
+        survivors: dict[str, set[tuple[int, ...]]] = {}
+        if not targets:
+            return survivors
+        for version in self.compiled.full_versions:
+            head = version.head_relation
+            if head not in targets:
+                continue
+            derived = self._collect_version_rows(version)
+            if not derived.shape[0]:
+                continue
+            regained = {
+                tuple(int(value) for value in row) for row in derived
+            } & deleted[head]
+            if regained:
+                survivors.setdefault(head, set()).update(regained)
+        return survivors
+
+    def _collect_version_rows(self, version: RuleVersion) -> np.ndarray:
+        """Execute one rule version and download its head rows (charged D2H)."""
+        arity = len(version.head)
+        label = f"{version.head_relation}.d2h_dred"
+        if isinstance(self._evaluator, ShardedSemiNaiveEvaluator):
+            parts = []
+            for shard, batch in enumerate(self._evaluator._execute_version(version)):
+                if len(batch):
+                    rows = batch.as_rows(label=f"{version.head_relation}.dred_materialize")
+                    parts.append(self._evaluator.devices[shard].kernels.to_host(rows, label=label))
+            if not parts:
+                return np.empty((0, arity), dtype=np.int64)
+            return np.concatenate(parts, axis=0)
+        result = self._evaluator._execute_version(version)
+        if len(result) == 0:
+            return np.empty((0, arity), dtype=np.int64)
+        if isinstance(result, ColumnBatch):
+            result = result.as_rows(label=f"{version.head_relation}.dred_materialize")
+        return self.device.kernels.to_host(result, label=label)
+
+    # ------------------------------------------------------------------
+    # Snapshots / encoding helpers
+    # ------------------------------------------------------------------
+    def _materialize(self, relation_name: str) -> RelationSnapshot:
+        """Return the current snapshot, downloading it if the cache is stale.
+
+        Fast path (no engine lock): the cached snapshot already matches the
+        committed version.  Slow path: take the engine lock — briefly
+        serializing with the epoch worker — re-check, then pay the charged
+        D2H download and publish the canonical copy for later readers.
+        """
+        target = self._versions[relation_name]
+        try:
+            cached = self.snapshots.read(relation_name)
+            if cached.version == target:
+                return cached
+        except KeyError:
+            pass
+        with self._engine_lock:
+            target = self._versions[relation_name]
+            try:
+                cached = self.snapshots.read(relation_name)
+                if cached.version == target:
+                    return cached
+            except KeyError:
+                pass
+            relation = self.relations[relation_name]
+            snapshot = RelationSnapshot(
+                name=relation_name,
+                version=target,
+                epoch=self._changed_epoch[relation_name],
+                rows=canonical_rows(relation.full_rows_host(charge=True), relation.arity),
+            )
+            self.snapshots.publish({relation_name: snapshot})
+            return snapshot
+
+    def _device_list(self) -> list[Device]:
+        if isinstance(self._evaluator, ShardedSemiNaiveEvaluator):
+            return list(self._evaluator.devices)
+        return [self.device]
+
+    def _encode_rows(
+        self, relation_name: str, rows: FactRows, *, register: bool = False
+    ) -> np.ndarray:
+        """Encode client rows (ints/strings) into an int64 host array."""
+        known_arity = self._arities.get(relation_name)
+        if known_arity is None and not register:
+            raise SchemaError(f"unknown relation {relation_name!r}")
+        if isinstance(rows, np.ndarray) and rows.dtype.kind in "iu":
+            encoded = np.asarray(rows, dtype=np.int64)
+            if encoded.ndim != 2:
+                raise SchemaError(f"fact array for {relation_name!r} must be 2-D")
+        else:
+            materialized = [
+                tuple(self.symbols.encode(value) for value in row) for row in rows
+            ]
+            if not materialized:
+                encoded = np.empty((0, known_arity or 0), dtype=np.int64)
+            else:
+                widths = {len(row) for row in materialized}
+                if len(widths) != 1:
+                    raise SchemaError(
+                        f"facts for {relation_name!r} have inconsistent arities {sorted(widths)}"
+                    )
+                encoded = np.asarray(materialized, dtype=np.int64)
+        if known_arity is None:
+            # A fact-only relation no rule mentions: adopt its arity.
+            if encoded.shape[0] == 0:
+                raise SchemaError(
+                    f"cannot infer the arity of {relation_name!r} from zero facts"
+                )
+            self._arities[relation_name] = int(encoded.shape[1])
+        elif encoded.shape[0] and encoded.shape[1] != known_arity:
+            raise SchemaError(
+                f"relation {relation_name!r} has arity {known_arity}, "
+                f"got rows of width {encoded.shape[1]}"
+            )
+        return encoded.reshape(-1, self._arities[relation_name])
+
+    def _rows_array(
+        self, rows: "Iterable[tuple[int, ...]]", relation_name: str
+    ) -> np.ndarray:
+        arity = self.relations[relation_name].arity
+        rows = sorted(rows) if isinstance(rows, set) else list(rows)
+        if not rows:
+            return np.empty((0, arity), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64).reshape(-1, arity)

@@ -1,0 +1,100 @@
+"""Versioned, immutable per-relation snapshots for consistent serving reads.
+
+HISA merges mutate storage in place, so a reader holding a device view while
+an epoch merges would observe torn state.  The serving engine therefore
+serves *immutable copies*: when an epoch changes a relation it bumps the
+relation's version, and the first query of the stale relation downloads the
+full version once (the charged D2H edge), canonicalizes it to lexicographic
+row order host-side, freezes it, and installs it in the
+:class:`SnapshotTable` under its lock.  Readers get whichever immutable
+snapshot matches the committed version — never a half-merged epoch — and two
+engines that reach the same logical database publish byte-identical arrays
+regardless of epoch history or shard count (canonical order erases merge and
+shard-concatenation order).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RelationSnapshot", "SnapshotTable"]
+
+
+def canonical_rows(rows: np.ndarray, arity: int) -> np.ndarray:
+    """Lex-sorted, read-only copy of host rows — the canonical snapshot form.
+
+    Host-side post-processing of the already-downloaded result (like result
+    decoding in the batch engine): the charged work is the D2H transfer the
+    caller paid; the sort only canonicalizes presentation order.
+    """
+    rows = np.asarray(rows, dtype=np.int64).reshape(-1, arity)
+    if rows.shape[0] > 1:
+        order = np.lexsort(tuple(rows[:, column] for column in reversed(range(arity))))
+        rows = rows[order]
+    rows = np.ascontiguousarray(rows)
+    rows.setflags(write=False)
+    return rows
+
+
+@dataclass(frozen=True)
+class RelationSnapshot:
+    """One immutable, canonically-ordered copy of a relation's full version."""
+
+    name: str
+    #: monotonically increasing per-relation version (bumped when an epoch
+    #: changes the relation; unchanged relations keep their snapshot)
+    version: int
+    #: epoch that committed this snapshot (0 = the bootstrap fixpoint)
+    epoch: int
+    #: read-only ``(n, arity)`` int64 host rows in lexicographic order
+    rows: np.ndarray = field(repr=False)
+
+    @property
+    def count(self) -> int:
+        return int(self.rows.shape[0])
+
+    def as_set(self) -> set[tuple[int, ...]]:
+        return {tuple(int(value) for value in row) for row in self.rows}
+
+
+class SnapshotTable:
+    """Thread-safe map of the newest :class:`RelationSnapshot` per relation.
+
+    Publication is atomic per epoch: the committing thread swaps every
+    changed relation's snapshot inside one lock acquisition, so a reader
+    never sees relation A from epoch N next to relation B from epoch N-1
+    within a single :meth:`publish` generation... readers that fetch two
+    relations sequentially can still interleave with a commit, which is why
+    :meth:`read_many` exists for multi-relation consistency.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshots: dict[str, RelationSnapshot] = {}
+
+    def publish(self, snapshots: dict[str, RelationSnapshot]) -> None:
+        """Atomically install the given snapshots (one epoch's commit set)."""
+        with self._lock:
+            self._snapshots.update(snapshots)
+
+    def read(self, name: str) -> RelationSnapshot:
+        with self._lock:
+            try:
+                return self._snapshots[name]
+            except KeyError:
+                raise KeyError(f"no snapshot for relation {name!r}") from None
+
+    def read_many(self, names: list[str]) -> dict[str, RelationSnapshot]:
+        """One consistent cut across several relations (single lock hold)."""
+        with self._lock:
+            return {name: self._snapshots[name] for name in names}
+
+    def version(self, name: str) -> int:
+        return self.read(name).version
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._snapshots)

@@ -109,6 +109,35 @@ def healthy_planner_artifact(speedup=2.5, blowup=400.0, cspa_ratio=1.0):
     }
 
 
+def healthy_serving_artifact(speedup=7.5, delta_ratio=0.004, misses=2):
+    def workload(count_name, count, speedup):
+        return {
+            "edges": 4000,
+            "batch": 8,
+            "epochs": 8,
+            "delta_ratio": delta_ratio,
+            f"{count_name}_count": count,
+            "full_refixpoint_simulated_seconds": 0.02,
+            "insert_epoch_simulated_seconds": {
+                "samples": [0.02 / speedup] * 8,
+                "p50": 0.02 / speedup,
+                "p95": 0.02 / speedup,
+                "max": 0.02 / speedup,
+                "mean": 0.02 / speedup,
+            },
+            "incremental_speedup": speedup,
+            "worst_epoch_speedup": speedup,
+        }
+
+    return {
+        "workloads": {
+            "sg_trickle": workload("sg", 590_000, speedup),
+            "tc_trickle": workload("reach", 160_000, speedup),
+        },
+        "program_cache": {"hits": 0, "misses": misses},
+    }
+
+
 # ----------------------------------------------------------------------
 # Gate functions
 # ----------------------------------------------------------------------
@@ -120,6 +149,7 @@ def test_healthy_artifacts_pass_every_gate():
         healthy_sharded_artifact(),
         healthy_robustness_artifact(),
         healthy_planner_artifact(),
+        healthy_serving_artifact(),
     )
     assert failures == []
 
@@ -354,6 +384,51 @@ def test_planner_gate_fails_on_empty_artifact():
     assert check_regression.check_planner({"triangle_wcoj": {}}) != []
 
 
+def test_serving_gate_fails_on_speedup_collapse():
+    failures = check_regression.check_serving(healthy_serving_artifact(speedup=3.2))
+    assert len(failures) == 2  # both workloads regressed
+    assert all("3.20x" in failure for failure in failures)
+    assert all("5.00x floor" in failure for failure in failures)
+
+
+def test_serving_gate_boundary_is_inclusive():
+    assert check_regression.check_serving(healthy_serving_artifact(speedup=5.0)) == []
+    assert check_regression.check_serving(healthy_serving_artifact(speedup=4.99)) != []
+
+
+def test_serving_gate_rejects_non_trickle_workloads():
+    # A 5% batch is not a trickle: the speedup number would be gating the
+    # wrong regime, so the artifact itself is rejected.
+    failures = check_regression.check_serving(healthy_serving_artifact(delta_ratio=0.05))
+    assert any("not a" in f and "trickle" in f for f in failures)
+
+
+def test_serving_gate_requires_recorded_epochs():
+    artifact = healthy_serving_artifact()
+    artifact["workloads"]["sg_trickle"]["insert_epoch_simulated_seconds"]["samples"] = []
+    failures = check_regression.check_serving(artifact)
+    assert any("no insert epochs" in f for f in failures)
+
+
+def test_serving_gate_requires_program_cache_dedup():
+    # More compiles than workloads means the rule-set-hash cache stopped
+    # deduplicating and every epoch is paying bootstrap costs.
+    failures = check_regression.check_serving(healthy_serving_artifact(misses=5))
+    assert any("stopped deduplicating" in f for f in failures)
+
+
+def test_serving_gate_fails_on_empty_artifact():
+    assert check_regression.check_serving({}) != []
+    assert check_regression.check_serving({"workloads": {}}) != []
+
+
+def test_serving_gate_fails_on_missing_cache_stats():
+    artifact = healthy_serving_artifact()
+    del artifact["program_cache"]
+    failures = check_regression.check_serving(artifact)
+    assert any("program_cache" in f for f in failures)
+
+
 # ----------------------------------------------------------------------
 # CLI exit codes (what CI actually observes)
 # ----------------------------------------------------------------------
@@ -444,6 +519,20 @@ def test_cli_gates_planner_artifact(tmp_path, capsys):
     assert check_regression.main(["--planner-json", slow_cost]) == 1
     assert (
         check_regression.main(["--planner-json", slow_cost, "--max-cost-regression", "1.1"]) == 0
+    )
+
+
+def test_cli_gates_serving_artifact(tmp_path, capsys):
+    healthy = write(tmp_path, "serving.json", healthy_serving_artifact())
+    assert check_regression.main(["--serving-json", healthy]) == 0
+    regressed = write(
+        tmp_path, "serving_bad.json", healthy_serving_artifact(speedup=2.0)
+    )
+    assert check_regression.main(["--serving-json", regressed]) == 1
+    assert "serving epoch speedup" in capsys.readouterr().err
+    # Threshold override mirrors the other gates' CLI knobs.
+    assert (
+        check_regression.main(["--serving-json", regressed, "--min-serving-speedup", "1.5"]) == 0
     )
 
 

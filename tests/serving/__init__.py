@@ -1,0 +1,1 @@
+"""Tests for the long-lived serving layer (repro.serving)."""

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Docs health check: intra-repo links must resolve, code blocks must run.
+
+Two failure modes this catches, both of which used to ship silently:
+
+* **Broken intra-repo links** — every relative ``[text](path)`` target in
+  the checked markdown files must exist on disk (URL fragments are
+  stripped; external ``http(s):``/``mailto:`` links are ignored).
+* **Stale code blocks** — every fenced ```` ```python ```` block is
+  executed with ``src/`` on ``sys.path``; a block that raises means the
+  documented API drifted from the code.  Blocks that are deliberately
+  illustrative (pseudo-code, ``...`` bodies) opt out by placing
+  ``<!-- docs: no-run -->`` on the line directly above the fence.
+
+Exit status is non-zero on any failure, so CI can gate on it directly:
+
+    python tools/check_docs.py            # check the default doc set
+    python tools/check_docs.py README.md  # or an explicit file list
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The documentation surface the CI docs job checks.
+DEFAULT_DOCS = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md", "docs"]
+
+#: Markdown inline links: [text](target).  Images ![alt](target) match too
+#: via the optional leading "!".  Reference-style links are not used in
+#: this repo's docs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+NO_RUN_MARKER = "<!-- docs: no-run -->"
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def collect_files(arguments: list[str]) -> list[Path]:
+    targets = arguments or DEFAULT_DOCS
+    files: list[Path] = []
+    for target in targets:
+        path = REPO_ROOT / target
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"docs check: no such file or directory: {target}", file=sys.stderr)
+            return []
+    return files
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    failures: list[str] = []
+    fenced = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+        if fenced:
+            continue  # code blocks may contain [x](y)-shaped strings
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                    f"broken link target {target!r}"
+                )
+    return failures
+
+
+def extract_python_blocks(text: str) -> list[tuple[int, str, bool]]:
+    """Return (start_line, source, runnable) per ```python fence."""
+    blocks: list[tuple[int, str, bool]] = []
+    lines = text.splitlines()
+    index = 0
+    previous_content = ""
+    while index < len(lines):
+        line = lines[index]
+        if line.strip().startswith("```"):
+            language = line.strip().lstrip("`").strip()
+            fence_line = index + 1
+            body: list[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].strip().startswith("```"):
+                body.append(lines[index])
+                index += 1
+            if language == "python":
+                runnable = previous_content != NO_RUN_MARKER
+                blocks.append((fence_line, "\n".join(body), runnable))
+            previous_content = ""
+        elif line.strip():
+            previous_content = line.strip()
+        index += 1
+    return blocks
+
+
+def run_block(path: Path, line: int, source: str) -> list[str]:
+    namespace: dict = {"__name__": f"docs_block_{path.stem}_{line}"}
+    try:
+        exec(compile(source, f"{path}:{line}", "exec"), namespace)
+    except Exception:
+        trace = traceback.format_exc(limit=3)
+        return [
+            f"{path.relative_to(REPO_ROOT)}:{line}: python block raised\n"
+            + "".join(f"    {l}\n" for l in trace.splitlines())
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    files = collect_files(arguments)
+    if not files:
+        return 2
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    failures: list[str] = []
+    blocks_run = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        failures.extend(check_links(path, text))
+        for line, source, runnable in extract_python_blocks(text):
+            if not runnable:
+                continue
+            failures.extend(run_block(path, line, source))
+            blocks_run += 1
+
+    if failures:
+        print("DOCS CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"docs check passed: {len(files)} files, links resolved, "
+        f"{blocks_run} python blocks executed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
