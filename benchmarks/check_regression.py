@@ -40,7 +40,11 @@ absolute wall-clock noise cancels out:
   re-fixpoint over the same final EDB by ``--min-serving-speedup`` (default
   5x) simulated time, the incremental answer must match the re-fixpoint
   count, and the program cache must have compiled each program exactly
-  once; a collapsing speedup means epochs stopped being O(Δ)-shaped.
+  once; a collapsing speedup means epochs stopped being O(Δ)-shaped.  The
+  epoch-transactional configuration (WAL + boundary checkpoints) must also
+  stay within ``--max-serving-protection-overhead`` (default 1.15x) of the
+  unprotected engine's p50 insert epoch, with identical output and at least
+  one WAL commit actually exercised.
 
 Each gate is a pure function over the parsed artifact (returning a list of
 violation messages) so the logic is unit-testable without touching the
@@ -78,6 +82,10 @@ MIN_SERVING_SPEEDUP = 5.0
 #: The serving gate only means something while epochs stay a trickle: every
 #: gated workload must keep |Δ|/|EDB| at or below this per epoch.
 MAX_SERVING_DELTA_RATIO = 0.01
+#: Default ceiling for the epoch-transactional serving engine (WAL +
+#: boundary checkpoints) vs the unprotected engine, p50 insert epoch
+#: simulated time.  Durability must stay a small tax on the trickle path.
+MAX_SERVING_PROTECTION_OVERHEAD = 1.15
 
 
 def check_dispatch_ratio(artifact: dict, max_ratio: float = MAX_DISPATCH_RATIO) -> list[str]:
@@ -279,7 +287,9 @@ def check_planner(
 
 
 def check_serving(
-    artifact: dict, min_speedup: float = MIN_SERVING_SPEEDUP
+    artifact: dict,
+    min_speedup: float = MIN_SERVING_SPEEDUP,
+    max_protection_overhead: float = MAX_SERVING_PROTECTION_OVERHEAD,
 ) -> list[str]:
     """Gate the incremental-serving epochs recorded in BENCH_serving."""
     workloads = artifact.get("workloads") or {}
@@ -319,6 +329,38 @@ def check_serving(
             f"program cache compiled {misses} times for {len(workloads)} programs — "
             "the compiled-program cache stopped deduplicating rule sets"
         )
+    protection = artifact.get("protection_overhead")
+    if protection is None:
+        failures.append(
+            "serving artifact has no protection_overhead section — the WAL + "
+            "epoch-checkpoint cost went unmeasured"
+        )
+    else:
+        overhead = protection.get("overhead_ratio")
+        if overhead is None:
+            failures.append("protection_overhead has no overhead_ratio")
+        elif overhead > max_protection_overhead:
+            failures.append(
+                f"epoch-transactional serving costs {overhead:.3f}x the unprotected "
+                f"trickle epoch, above the {max_protection_overhead:.2f}x ceiling: "
+                "durability stopped being a small tax on the serving path"
+            )
+        protected = protection.get("protected") or {}
+        unprotected = protection.get("unprotected") or {}
+        if (
+            protected.get("reach_count") is not None
+            and protected.get("reach_count") != unprotected.get("reach_count")
+        ):
+            failures.append(
+                "protected and unprotected serving runs diverged: "
+                f"|reach|={protected.get('reach_count')} vs "
+                f"{unprotected.get('reach_count')}"
+            )
+        if protected and not protected.get("wal_commits"):
+            failures.append(
+                "protected serving arm recorded no WAL commits — the overhead "
+                "measurement did not exercise the durability path"
+            )
     return failures
 
 
@@ -337,6 +379,7 @@ def run_gates(
     min_wcoj_speedup: float = MIN_WCOJ_SPEEDUP,
     max_cost_regression: float = MAX_COST_REGRESSION,
     min_serving_speedup: float = MIN_SERVING_SPEEDUP,
+    max_serving_protection_overhead: float = MAX_SERVING_PROTECTION_OVERHEAD,
 ) -> list[str]:
     """Evaluate every gate whose artifact was supplied; returns all violations."""
     failures: list[str] = []
@@ -351,7 +394,9 @@ def run_gates(
     if planner_artifact is not None:
         failures += check_planner(planner_artifact, min_wcoj_speedup, max_cost_regression)
     if serving_artifact is not None:
-        failures += check_serving(serving_artifact, min_serving_speedup)
+        failures += check_serving(
+            serving_artifact, min_serving_speedup, max_serving_protection_overhead
+        )
     return failures
 
 
@@ -382,6 +427,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-wcoj-speedup", type=float, default=MIN_WCOJ_SPEEDUP)
     parser.add_argument("--max-cost-regression", type=float, default=MAX_COST_REGRESSION)
     parser.add_argument("--min-serving-speedup", type=float, default=MIN_SERVING_SPEEDUP)
+    parser.add_argument(
+        "--max-serving-protection-overhead",
+        type=float,
+        default=MAX_SERVING_PROTECTION_OVERHEAD,
+    )
     args = parser.parse_args(argv)
     if (
         args.backend_json is None
@@ -407,6 +457,7 @@ def main(argv: list[str] | None = None) -> int:
         min_wcoj_speedup=args.min_wcoj_speedup,
         max_cost_regression=args.max_cost_regression,
         min_serving_speedup=args.min_serving_speedup,
+        max_serving_protection_overhead=args.max_serving_protection_overhead,
     )
     if failures:
         print("PERF REGRESSION GATE FAILED:", file=sys.stderr)

@@ -881,6 +881,106 @@ def time_serving_trickle(
     return info
 
 
+def time_protection_overhead(quick: bool) -> dict:
+    """What epoch transactionality costs: protected vs unprotected trickle.
+
+    Runs the same TC trickle twice — once with ``transactional=False`` and
+    no durability (the pre-WAL engine), once with the defaults plus a
+    ``DiskWal`` and a ``DiskCheckpointStore`` in a temp directory (the
+    full epoch-transactional configuration: boundary state capture, WAL
+    appends with fsync-on-commit, checkpoint cadence 1).  ``overhead_ratio``
+    compares the *simulated* p50 insert epoch — the boundary captures are
+    D2H traffic the cost model charges, so the ratio is deterministic; WAL
+    fsyncs are host-side and recorded separately for trajectory.  The CI
+    gate (``--max-serving-protection-overhead``) caps the ratio at 1.15x.
+    """
+    import os
+    import tempfile
+
+    from repro.relational import DiskCheckpointStore
+    from repro.serving import DiskWal, ServingEngine
+
+    if quick:
+        chain_length, batch, epochs = 150, 1, 6
+    else:
+        chain_length, batch, epochs = 400, 4, 10
+    edges = np.array([[i, i + 1] for i in range(chain_length)], dtype=np.int64)
+    held = edges[-batch * epochs :]
+    base = edges[: -batch * epochs]
+
+    def run_arm(protected: bool) -> dict:
+        with tempfile.TemporaryDirectory() as tmp:
+            wal = DiskWal(os.path.join(tmp, "wal.jsonl")) if protected else None
+            store = (
+                DiskCheckpointStore(os.path.join(tmp, "ckpt")) if protected else None
+            )
+            engine = ServingEngine(
+                REACH_SOURCE,
+                {"edge": base},
+                background=False,
+                fault_plan="none",
+                transactional=protected,
+                wal=wal,
+                checkpoint_store=store,
+            )
+            sims: list[float] = []
+            host_start = time.perf_counter()
+            for index in range(epochs):
+                chunk = held[index * batch : (index + 1) * batch]
+                result = engine.submit(inserts={"edge": chunk}).result()
+                sims.append(result.simulated_seconds)
+            host_seconds = time.perf_counter() - host_start
+            arm = {
+                "transactional": protected,
+                "reach_count": engine.query("reach").count,
+                "insert_epoch_simulated_seconds": _percentiles(sims),
+                "total_simulated_seconds": round(engine.simulated_seconds, 6),
+                "host_seconds": round(host_seconds, 4),
+            }
+            if protected:
+                arm["wal_syncs"] = wal.syncs
+                arm["wal_commits"] = wal.commits
+                arm["checkpoints_kept"] = len(store.list_ids())
+            engine.close()
+            return arm
+
+    unprotected = run_arm(False)
+    protected = run_arm(True)
+    if protected["reach_count"] != unprotected["reach_count"]:
+        raise AssertionError(
+            f"protected serving diverged: |reach|={protected['reach_count']}, "
+            f"unprotected produced {unprotected['reach_count']}"
+        )
+    info = {
+        "chain_length": chain_length,
+        "batch": batch,
+        "epochs": epochs,
+        "unprotected": unprotected,
+        "protected": protected,
+        "overhead_ratio": round(
+            protected["insert_epoch_simulated_seconds"]["p50"]
+            / max(1e-12, unprotected["insert_epoch_simulated_seconds"]["p50"]),
+            4,
+        ),
+        # Aggregate cost including the off-critical-path checkpoint D2H —
+        # recorded for trajectory; the gate caps the epoch-latency ratio.
+        "total_overhead_ratio": round(
+            protected["total_simulated_seconds"]
+            / max(1e-12, unprotected["total_simulated_seconds"]),
+            4,
+        ),
+    }
+    print(
+        f"protection overhead (chain={chain_length}, batch={batch}): unprotected "
+        f"epoch p50 {unprotected['insert_epoch_simulated_seconds']['p50']}s  "
+        f"protected {protected['insert_epoch_simulated_seconds']['p50']}s  "
+        f"({info['overhead_ratio']}x epoch, {info['total_overhead_ratio']}x total, "
+        f"{protected['wal_syncs']} WAL fsyncs, "
+        f"{protected['checkpoints_kept']} checkpoints kept)"
+    )
+    return info
+
+
 def record_serving(quick: bool) -> dict:
     """Record the serving-engine baseline to ``BENCH_serving.json``.
 
@@ -899,6 +999,10 @@ def record_serving(quick: bool) -> dict:
     cache to have compiled each program exactly once.  Retract (DRed) epoch
     latencies are recorded for trajectory but not gated: over-deletion plus
     re-derivation is allowed to cost more than an insert epoch.
+
+    A third section, ``protection_overhead``, prices the epoch-transactional
+    machinery (WAL + boundary checkpoints) against the unprotected engine;
+    the gate caps it at ``--max-serving-protection-overhead`` (default 1.15x).
     """
     from repro.serving import ProgramCache
 
@@ -949,6 +1053,7 @@ def record_serving(quick: bool) -> dict:
     tc.update({"nodes": tc_nodes})
     artifact["workloads"]["tc_trickle"] = tc
 
+    artifact["protection_overhead"] = time_protection_overhead(quick)
     artifact["program_cache"] = {"hits": cache.hits, "misses": cache.misses}
     for key, entry in artifact["workloads"].items():
         print(

@@ -133,6 +133,42 @@ class SymbolTable:
     def __len__(self) -> int:
         return len(self._by_symbol)
 
+    def entries(self) -> list[tuple[str, int]]:
+        """Every ``(symbol, identifier)`` pair in interning order.
+
+        Insertion order is the allocation order (identifiers are dense from
+        ``BASE``), so the full listing — or a tail of it via
+        :meth:`entries_from` — round-trips through :meth:`restore_entries`
+        into an identically-allocating table.  The serving engine persists
+        these in write-ahead-log batches and checkpoint metadata.
+        """
+        return list(self._by_symbol.items())
+
+    def entries_from(self, start: int) -> list[tuple[str, int]]:
+        """The entries interned at position ``start`` onward (a delta)."""
+        return list(self._by_symbol.items())[start:]
+
+    def restore_entries(self, entries) -> None:
+        """Re-intern persisted ``(symbol, identifier)`` pairs verbatim.
+
+        Idempotent for matching pairs; a symbol already interned under a
+        *different* identifier means the entries came from a foreign table
+        and decoding would be ambiguous, so that is rejected.
+        """
+        for symbol, identifier in entries:
+            symbol = str(symbol)
+            identifier = int(identifier)
+            existing = self._by_symbol.get(symbol)
+            if existing is not None:
+                if existing != identifier:
+                    raise DatalogError(
+                        f"symbol {symbol!r} already interned as {existing}, "
+                        f"cannot restore it as {identifier}"
+                    )
+                continue
+            self._by_symbol[symbol] = identifier
+            self._by_id[identifier] = symbol
+
 
 def intern_program(program: Program, symbols: SymbolTable) -> Program:
     """Replace string constants in ``program`` with interned identifiers.

@@ -32,10 +32,13 @@ Spec string format (used by the env var and :meth:`FaultPlan.parse`)::
     kind:pattern:every=97:times=2
 
 Multiple specs are separated by ``;``.  ``pattern`` is an ``fnmatch`` glob
-over the kernel name / allocation label.  Two names are special: ``none``
-(explicitly no faults, overriding the environment) and ``ci-default`` (the
+over the kernel name / allocation label.  Three names are special: ``none``
+(explicitly no faults, overriding the environment), ``ci-default`` (the
 chaos-mode plan used by CI: sparse transient faults on join kernels, an
-injected allocation failure, and one exchange fault).
+injected allocation failure, and one exchange fault), and ``serving-chaos``
+(bounded faults aimed at serving-epoch sites — delta-fixpoint kernels, DRed
+rebuilds, shard exchanges — that the serving engine's whole-epoch replay
+ladder must absorb).
 """
 
 from __future__ import annotations
@@ -70,6 +73,14 @@ _KINDS = (KIND_KERNEL, KIND_ALLOC, KIND_EXCHANGE)
 #: Sparse on purpose — the default retry budget (3) must absorb it without
 #: per-test tuning.
 CI_DEFAULT_SPEC = "kernel:*<-*:every=211:times=3;alloc:*.new:at=7;exchange:*:at=3"
+
+#: Chaos plan aimed at the *serving* fault sites: epoch delta-fixpoint joins,
+#: DRed retraction rebuilds, and shard exchanges all charge kernels/transfers
+#: after the bootstrap horizon these occurrence indices target.  Every spec is
+#: ``times``-bounded so a whole-epoch replay (the serving ladder's rung above
+#: the evaluator's per-version retries) eventually runs fault-free — the plan
+#: exercises rollback, not permanent outage.
+SERVING_CHAOS_SPEC = "kernel:*:every=131:times=2;exchange:*:at=4:times=1"
 
 
 @dataclass
@@ -145,6 +156,11 @@ class FaultPlan:
             plan = cls.parse(CI_DEFAULT_SPEC)
             assert plan is not None
             plan.name = "ci-default"
+            return plan
+        if text.lower() == "serving-chaos":
+            plan = cls.parse(SERVING_CHAOS_SPEC)
+            assert plan is not None
+            plan.name = "serving-chaos"
             return plan
         specs = []
         for chunk in text.split(";"):

@@ -146,6 +146,55 @@ class FixpointInterrupted(EvaluationError):
         super().__init__(message)
 
 
+class EpochAborted(EvaluationError):
+    """A serving epoch exhausted its fault-recovery budget and was rolled back.
+
+    The engine restored every relation (and all snapshot versions) to the
+    last committed epoch before raising, so the database is exactly as if
+    the epoch had never started; only the aborted epoch's tickets see this
+    error.  ``cause`` is the final fault that exhausted the ladder and
+    ``attempts`` how many whole-epoch replays were tried.
+    """
+
+    def __init__(self, message: str, *, epoch: int = 0, attempts: int = 0,
+                 cause: "Exception | None" = None):
+        self.epoch = int(epoch)
+        self.attempts = int(attempts)
+        self.cause = cause
+        super().__init__(message)
+
+
+class ServingError(ReproError):
+    """Base class for serving-engine admission/lifecycle errors."""
+
+
+class AdmissionRejected(ServingError):
+    """A mutation was refused by the serving engine's admission controller.
+
+    Raised to the submitter under the ``reject`` policy (queue full) and the
+    ``block`` policy (deadline expired), and set on a queued ticket's future
+    under ``shed-oldest`` (the batch was dropped to admit newer work).
+    ``policy`` names the admission policy that refused the batch.
+    """
+
+    def __init__(self, message: str, *, policy: str = "", pending: int = 0):
+        self.policy = policy
+        self.pending = int(pending)
+        super().__init__(message)
+
+
+class EngineClosed(ServingError, RuntimeError):
+    """The serving engine is closed (or failed to close cleanly).
+
+    Subclasses :class:`RuntimeError` for backward compatibility with callers
+    that caught ``RuntimeError`` around ``submit`` on a closed engine.
+    """
+
+
+class WalError(ServingError):
+    """Raised when a write-ahead-log record cannot be appended or replayed."""
+
+
 class EngineError(ReproError):
     """Base class for comparison-engine errors."""
 

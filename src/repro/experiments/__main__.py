@@ -21,6 +21,7 @@ from ..datalog.engine import OVERLAP_ENV_VAR, PLANNER_ENV_VAR, SEMIJOIN_ENV_VAR,
 from ..datalog.planner import PLANNERS
 from . import ALL_EXPERIMENTS
 from .planner_bench import EXPLAIN_ENV_VAR
+from .serving_workload import PROTECTED_ENV_VAR
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -77,6 +78,13 @@ def main(argv: list[str] | None = None) -> int:
         help="ablation: disable double-buffered exchange/compute overlap in "
         f"sharded runs (exports {OVERLAP_ENV_VAR}=0)",
     )
+    parser.add_argument(
+        "--serving-protected",
+        action="store_true",
+        help="add epoch-transactional rows (disk WAL + per-epoch durable "
+        "checkpoints) to the serving experiment next to the unprotected "
+        f"baseline (exports {PROTECTED_ENV_VAR}=1)",
+    )
     args = parser.parse_args(argv)
     if args.backend:
         # One switch retargets every Device the experiment drivers build.
@@ -97,6 +105,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ[SEMIJOIN_ENV_VAR] = "0"
     if args.no_exchange_overlap:
         os.environ[OVERLAP_ENV_VAR] = "0"
+    if args.serving_protected:
+        os.environ[PROTECTED_ENV_VAR] = "1"
 
     requested = list(args.experiments)
     if not requested or requested == ["list"]:

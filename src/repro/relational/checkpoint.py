@@ -203,7 +203,18 @@ class DiskCheckpointStore(CheckpointStore):
             for shard, partition in enumerate(state.partitions):
                 arrays[f"{name}/{shard}/full"] = partition.full
                 arrays[f"{name}/{shard}/delta"] = partition.delta
-        np.savez_compressed(payload_path, **arrays)
+        # Crash-atomic save order: payload first, then the manifest via
+        # rename.  A checkpoint only becomes visible (``list_ids`` keys off
+        # manifests) once both files are durable, so a crash mid-save leaves
+        # at worst an orphan ``.npz``/``.tmp`` that listing ignores — the
+        # previous checkpoint stays loadable.  This is the discipline the
+        # serving engine's recovery path relies on.
+        payload_tmp = payload_path + ".tmp"
+        with open(payload_tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(payload_tmp, payload_path)
         manifest = {
             "program_name": checkpoint.program_name,
             "stratum_index": checkpoint.stratum_index,
@@ -213,8 +224,12 @@ class DiskCheckpointStore(CheckpointStore):
             "program_source": checkpoint.program_source,
             "metadata": checkpoint.metadata,
         }
-        with open(manifest_path, "w", encoding="utf-8") as handle:
+        manifest_tmp = manifest_path + ".tmp"
+        with open(manifest_tmp, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(manifest_tmp, manifest_path)
         self._prune()
         return checkpoint.checkpoint_id
 
@@ -259,6 +274,10 @@ class DiskCheckpointStore(CheckpointStore):
             entry[: -len(".json")]
             for entry in os.listdir(self.directory)
             if entry.endswith(".json")
+            # An orphan manifest (payload lost or never renamed into place)
+            # is not a loadable checkpoint; listing it would make ``latest``
+            # fail on a file a crash left behind.
+            and os.path.exists(os.path.join(self.directory, entry[: -len(".json")] + ".npz"))
         ]
         return sorted(ids)
 

@@ -10,18 +10,26 @@ instead of O(|database|) re-fixpoints.  See ``docs/serving.md``.
 """
 
 from .cache import DEFAULT_PROGRAM_CACHE, CompiledProgram, ProgramCache, rule_set_hash
-from .engine import EpochResult, EpochTicket, ServingEngine
+from .engine import ADMISSION_POLICIES, EpochResult, EpochTicket, ServingEngine
+from .recovery import recover_engine
 from .snapshot import RelationSnapshot, SnapshotTable, canonical_rows
+from .wal import DiskWal, InMemoryWal, WalBatch, WriteAheadLog
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "CompiledProgram",
     "DEFAULT_PROGRAM_CACHE",
+    "DiskWal",
     "EpochResult",
     "EpochTicket",
+    "InMemoryWal",
     "ProgramCache",
     "RelationSnapshot",
     "ServingEngine",
     "SnapshotTable",
+    "WalBatch",
+    "WriteAheadLog",
     "canonical_rows",
+    "recover_engine",
     "rule_set_hash",
 ]

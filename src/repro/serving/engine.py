@@ -32,6 +32,26 @@ path, so epoch latency prices exactly the incremental maintenance), and
 every kernel an epoch launches (joins, merges, retraction rebuilds, shard
 exchanges) goes through the same cost model — epoch latencies in simulated
 seconds are directly comparable to a full re-fixpoint of the same program.
+
+Epochs are **transactions** (``transactional=True``, the default): the
+engine keeps a host copy of every relation's state as of the last committed
+epoch, and a fault inside an epoch — kernel fault, injected OOM, exchange
+error, shard crash, all scriptable via :class:`~repro.device.faults.
+FaultPlan` — first rides the evaluators' own retry/backoff ladder and then,
+at the serving layer, triggers whole-epoch rollback-and-replay.  When the
+epoch retry budget is also exhausted the epoch **aborts**: state and
+snapshot versions roll back to the last commit, only that epoch's tickets
+fail (with :class:`~repro.errors.EpochAborted`), and reads keep serving the
+pre-epoch snapshots.  With a :class:`~repro.serving.wal.WriteAheadLog` every
+submission is logged before its ticket is returned and every commit writes
+a durable marker; together with a periodic checkpoint into a
+:class:`~repro.relational.checkpoint.CheckpointStore`,
+:meth:`ServingEngine.recover` rebuilds a crashed engine to the exact
+pre-crash state (checkpoint + committed-group replay + one catch-up epoch
+for acknowledged-but-uncommitted batches).  A bounded mutation queue
+(``max_pending`` + ``block``/``reject``/``shed-oldest`` policies), a health
+state machine (``healthy → degraded → recovering``), and backlog-widened
+coalescing windows keep the engine graceful under overload.
 """
 
 from __future__ import annotations
@@ -65,16 +85,45 @@ from ..datalog.sharded import (
     shard_columns_for_plan,
 )
 from ..device.device import Device
-from ..device.profiler import PHASE_LOAD
+from ..device.profiler import PHASE_CHECKPOINT, PHASE_LOAD
 from ..device.spec import DeviceSpec, device_preset
-from ..errors import DeviceBufferError, SchemaError
+from ..errors import (
+    AdmissionRejected,
+    CheckpointError,
+    DeviceBufferError,
+    DeviceError,
+    EngineClosed,
+    EpochAborted,
+    ExchangeError,
+    FixpointInterrupted,
+    SchemaError,
+)
+from ..relational.checkpoint import (
+    CheckpointStore,
+    EvaluationCheckpoint,
+    RelationState,
+)
 from ..relational.columnbatch import ColumnBatch
 from ..relational.relation import Relation
 from ..relational.sharded import ShardedRelation
 from .cache import DEFAULT_PROGRAM_CACHE, CompiledProgram, ProgramCache
 from .snapshot import RelationSnapshot, SnapshotTable, canonical_rows
+from .wal import WalBatch, WriteAheadLog
 
-__all__ = ["EpochResult", "EpochTicket", "ServingEngine"]
+__all__ = ["ADMISSION_POLICIES", "EpochResult", "EpochTicket", "ServingEngine"]
+
+#: Admission policies for a bounded mutation queue (``max_pending``):
+#: ``block`` waits for space (until ``admission_timeout``), ``reject`` raises
+#: :class:`AdmissionRejected` immediately, ``shed-oldest`` drops the oldest
+#: queued batch (failing its ticket) to admit the newcomer.
+ADMISSION_POLICIES = ("block", "reject", "shed-oldest")
+
+#: Health states: ``healthy`` (committing normally), ``degraded`` (backlog at
+#: or above the overload threshold, shedding, or a recent abort), and
+#: ``recovering`` (mid rollback/replay, or replaying a WAL after a crash).
+HEALTH_HEALTHY = "healthy"
+HEALTH_DEGRADED = "degraded"
+HEALTH_RECOVERING = "recovering"
 
 FactRows = Iterable[Sequence[FactValue]]
 
@@ -101,6 +150,10 @@ class EpochResult:
     host_seconds: float = 0.0
     #: snapshot versions this epoch published (changed relations only)
     snapshot_versions: dict[str, int] = field(default_factory=dict)
+    #: whole-epoch attempts the transaction ladder needed (1 = no fault)
+    attempts: int = 1
+    #: engine health at commit time (``healthy`` / ``degraded``)
+    health: str = HEALTH_HEALTHY
 
     @property
     def changed_relations(self) -> tuple[str, ...]:
@@ -135,6 +188,8 @@ class _Mutation:
     inserts: dict[str, list[tuple[int, ...]]]
     retracts: dict[str, list[tuple[int, ...]]]
     future: "Future[EpochResult]"
+    #: write-ahead-log sequence number (0 = engine runs without a WAL)
+    seq: int = 0
 
 
 class ServingEngine:
@@ -163,6 +218,18 @@ class ServingEngine:
         background: bool = True,
         fault_plan: "str | None" = None,
         name: str | None = None,
+        transactional: bool = True,
+        epoch_retries: int = 2,
+        wal: WriteAheadLog | None = None,
+        checkpoint_store: CheckpointStore | None = None,
+        checkpoint_every_epochs: int = 1,
+        max_pending: int | None = None,
+        admission_policy: str = "block",
+        admission_timeout: float | None = None,
+        overload_threshold: int | None = None,
+        coalesce_window: float = 0.0,
+        max_coalesce_window: float = 0.05,
+        _restore: EvaluationCheckpoint | None = None,
     ) -> None:
         if isinstance(program, str):
             program = Program.parse(program, name=name or "serving")
@@ -174,12 +241,56 @@ class ServingEngine:
             raise SchemaError(
                 f"unknown planner {resolved_planner!r}; expected one of {', '.join(PLANNERS)}"
             )
+        if admission_policy not in ADMISSION_POLICIES:
+            raise SchemaError(
+                f"unknown admission policy {admission_policy!r}; "
+                f"expected one of {', '.join(ADMISSION_POLICIES)}"
+            )
+        if max_pending is not None and int(max_pending) < 1:
+            raise SchemaError(f"max_pending must be >= 1, got {max_pending}")
         self.num_shards = int(resolved_shards)
         self.planner = resolved_planner
         self.columnar = bool(columnar)
         self.background = bool(background)
         self.cache = cache if cache is not None else DEFAULT_PROGRAM_CACHE
         self.symbols = SymbolTable()
+
+        # Transaction / durability / admission configuration.
+        self.transactional = bool(transactional)
+        self.epoch_retries = int(epoch_retries)
+        self.wal = wal
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_every_epochs = max(1, int(checkpoint_every_epochs))
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.admission_policy = admission_policy
+        self.admission_timeout = None if admission_timeout is None else float(admission_timeout)
+        self.overload_threshold = None if overload_threshold is None else int(overload_threshold)
+        self.coalesce_window = float(coalesce_window)
+        self.max_coalesce_window = float(max_coalesce_window)
+        #: epochs the transaction ladder aborted (state rolled back)
+        self.epoch_aborts = 0
+        #: batches dropped by the ``shed-oldest`` admission policy
+        self.shed_batches = 0
+        #: worker waits widened to ``max_coalesce_window`` under backlog
+        self.widened_windows = 0
+        self._health = HEALTH_HEALTHY
+        self._replaying = False
+        self._committed_seq = 0
+        #: host state of every relation as of the last committed epoch —
+        #: the rollback target, refreshed per commit for changed relations
+        self._epoch_states: dict[str, RelationState] = {}
+
+        serving_meta: dict | None = None
+        if _restore is not None:
+            serving_meta = (_restore.metadata or {}).get("serving")
+            if not serving_meta:
+                raise CheckpointError(
+                    "checkpoint carries no serving metadata; it was not written "
+                    "by a ServingEngine"
+                )
+            # Restore the symbol table first: the interned program source and
+            # every logged batch encode through these exact identifiers.
+            self.symbols.restore_entries(serving_meta.get("symbols", ()))
 
         spec = device_preset(device) if isinstance(device, str) else device
         # Resolve the fault plan once (explicit argument or REPRO_FAULT_PLAN)
@@ -209,6 +320,11 @@ class ServingEngine:
         self.program = intern_program(program, self.symbols)
         self.compiled: CompiledProgram = self.cache.get(self.program, planner=self.planner)
         self._arities = dict(self.program.relation_arities())
+        if _restore is not None:
+            # Fact-only relations no rule mentions adopted their arity from
+            # the original constructor facts; re-adopt from the checkpoint.
+            for state in _restore.relations.values():
+                self._arities.setdefault(state.name, state.arity)
         staged_facts: dict[str, np.ndarray] = {}
         for relation_name, rows in (facts or {}).items():
             encoded = self._encode_rows(relation_name, rows, register=True)
@@ -255,6 +371,11 @@ class ServingEngine:
             for dev in self.devices:
                 stack.enter_context(dev.profiler.phase(PHASE_LOAD))
             for relation_name, relation in self.relations.items():
+                if _restore is not None:
+                    # Recovery path: initialize everything empty so the
+                    # checkpoint restore below has live HISA state to replace.
+                    relation.initialize(np.empty((0, relation.arity), dtype=np.int64))
+                    continue
                 rows = staged_facts.get(
                     relation_name, np.empty((0, relation.arity), dtype=np.int64)
                 )
@@ -292,23 +413,56 @@ class ServingEngine:
                 program_name=self.program.name,
                 program_source=str(self.program),
             )
-        self.bootstrap_stats = self._evaluator.evaluate(idb_facts)
-        # Invariant: between epochs every delta is empty.  ``initialize``
-        # leaves EDB deltas holding *all* rows (they are never end_iterated
-        # by the bootstrap), which would make the first epoch re-join the
-        # entire EDB as if it were new.
-        for relation in self.relations.values():
-            relation.clear_delta()
-
-        self.epoch = 0
         self.last_epoch: EpochResult | None = None
         self.snapshots = SnapshotTable()
-        # Snapshots are *lazy*: a commit only bumps the per-relation version;
-        # the charged D2H download happens on the first query of a changed
-        # relation.  Epoch latency therefore prices exactly the incremental
-        # maintenance work, and relations nobody reads are never downloaded.
-        self._versions = {name: 1 for name in self.relations}
-        self._changed_epoch = {name: 0 for name in self.relations}
+        if _restore is None:
+            self.bootstrap_stats: "object | None" = self._evaluator.evaluate(idb_facts)
+            # Invariant: between epochs every delta is empty.  ``initialize``
+            # leaves EDB deltas holding *all* rows (they are never end_iterated
+            # by the bootstrap), which would make the first epoch re-join the
+            # entire EDB as if it were new.
+            for relation in self.relations.values():
+                relation.clear_delta()
+            self.epoch = 0
+            # Snapshots are *lazy*: a commit only bumps the per-relation
+            # version; the charged D2H download happens on the first query of
+            # a changed relation.  Epoch latency therefore prices exactly the
+            # incremental maintenance work, and relations nobody reads are
+            # never downloaded.
+            self._versions = {name: 1 for name in self.relations}
+            self._changed_epoch = {name: 0 for name in self.relations}
+        else:
+            # Recovery: skip the bootstrap fixpoint and load the checkpoint's
+            # (full, delta) partitions instead — deltas are empty at an epoch
+            # boundary, so the between-epoch invariant holds by construction.
+            self.bootstrap_stats = None
+            for relation_name, relation in self.relations.items():
+                state = _restore.relations.get(relation_name)
+                if state is None:
+                    raise CheckpointError(
+                        f"checkpoint {_restore.checkpoint_id!r} is missing "
+                        f"relation {relation_name!r}"
+                    )
+                if isinstance(relation, ShardedRelation):
+                    relation.restore(state)
+                else:
+                    relation.restore(state.partitions[0])
+            if isinstance(self._evaluator, ShardedSemiNaiveEvaluator):
+                self._evaluator._invalidate_exchange_state()
+            assert serving_meta is not None
+            self.epoch = int(serving_meta.get("epoch", 0))
+            self._versions = {
+                str(k): int(v) for k, v in serving_meta.get("versions", {}).items()
+            }
+            self._changed_epoch = {
+                str(k): int(v) for k, v in serving_meta.get("changed_epoch", {}).items()
+            }
+            for relation_name in self.relations:
+                self._versions.setdefault(relation_name, 1)
+                self._changed_epoch.setdefault(relation_name, 0)
+            self._committed_seq = int(serving_meta.get("covered_seq", 0))
+            # The checkpoint's host partitions double as the rollback target.
+            self._epoch_states = dict(_restore.relations)
 
         # ------------------------------------------------------------------
         # Mutation queue + optional background epoch worker.
@@ -317,13 +471,25 @@ class ServingEngine:
         self._queue = threading.Condition()
         self._pending: list[_Mutation] = []
         self._inflight = False
+        self._inflight_batch: list[_Mutation] | None = None
         self._closed = False
         self._worker: threading.Thread | None = None
-        if self.background:
-            self._worker = threading.Thread(
-                target=self._worker_loop, name=f"serving-{self.program.name}", daemon=True
-            )
-            self._worker.start()
+        #: seconds close() waits for the worker before declaring it stuck
+        self._close_join_timeout = 30.0
+
+        if _restore is None:
+            if self.transactional or self.checkpoint_store is not None:
+                # Epoch-0 baseline: the state every first-epoch rollback (and
+                # every recovery with no later checkpoint) returns to.
+                self._epoch_states = {
+                    name: self._capture(name) for name in self.relations
+                }
+            if self.checkpoint_store is not None:
+                self._save_serving_checkpoint()
+            self._start_worker()
+        # In recovery mode the caller (ServingEngine.recover) replays the WAL
+        # before starting the worker, so replay epochs cannot interleave with
+        # fresh submissions.
 
     # ------------------------------------------------------------------
     # Public API
@@ -340,6 +506,7 @@ class ServingEngine:
         honoured per tuple (last writer wins): retract-then-insert nets to
         the row being present, insert-then-retract to absent.
         """
+        symbol_mark = len(self.symbols)
         encoded_inserts = {
             relation_name: [tuple(row) for row in self._encode_rows(relation_name, rows)]
             for relation_name, rows in (inserts or {}).items()
@@ -348,10 +515,56 @@ class ServingEngine:
             relation_name: [tuple(row) for row in self._encode_rows(relation_name, rows)]
             for relation_name, rows in (retracts or {}).items()
         }
+        new_symbols = self.symbols.entries_from(symbol_mark)
         mutation = _Mutation(encoded_inserts, encoded_retracts, Future())
+        deadline = (
+            None
+            if self.admission_timeout is None
+            else time.monotonic() + self.admission_timeout
+        )
         with self._queue:
             if self._closed:
-                raise RuntimeError("serving engine is closed")
+                raise EngineClosed("serving engine is closed")
+            while self.max_pending is not None and len(self._pending) >= self.max_pending:
+                if self.admission_policy == "reject":
+                    raise AdmissionRejected(
+                        f"mutation queue is full ({len(self._pending)} pending, "
+                        f"max_pending={self.max_pending})",
+                        policy="reject",
+                        pending=len(self._pending),
+                    )
+                if self.admission_policy == "shed-oldest":
+                    shed = self._pending.pop(0)
+                    self.shed_batches += 1
+                    self._health = HEALTH_DEGRADED
+                    if self.wal is not None and shed.seq:
+                        self.wal.append_abort([shed.seq], reason="shed-oldest")
+                    shed.future.set_exception(
+                        AdmissionRejected(
+                            "batch shed under backlog to admit newer work",
+                            policy="shed-oldest",
+                            pending=len(self._pending),
+                        )
+                    )
+                    continue
+                # block: wait for the worker to drain, up to the deadline
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise AdmissionRejected(
+                        f"admission deadline ({self.admission_timeout:.3f}s) expired "
+                        f"with {len(self._pending)} batches pending",
+                        policy="block",
+                        pending=len(self._pending),
+                    )
+                self._queue.wait(remaining)
+                if self._closed:
+                    raise EngineClosed("serving engine is closed")
+            if self.wal is not None:
+                # Logged *before* the ticket is returned: once the submitter
+                # holds the ticket, the batch survives a process crash.
+                mutation.seq = self.wal.append_batch(
+                    mutation.inserts, mutation.retracts, symbols=new_symbols
+                )
             self._pending.append(mutation)
             self._queue.notify_all()
         return EpochTicket(self, mutation.future)
@@ -409,24 +622,83 @@ class ServingEngine:
     def relation_names(self) -> list[str]:
         return sorted(self.relations)
 
+    def health(self) -> str:
+        """Current health state: ``healthy``, ``degraded``, or ``recovering``."""
+        return self._health
+
     @property
     def simulated_seconds(self) -> float:
         """Total simulated seconds charged so far (max over shard devices)."""
         return max(device.elapsed_seconds for device in self.devices)
 
     def close(self) -> None:
-        """Stop the worker (committing nothing further) and free device state."""
+        """Stop the worker (committing nothing further) and free device state.
+
+        Pending submissions fail with :class:`EngineClosed` (and are marked
+        aborted in the WAL — the submitter was told they did not commit).  If
+        the worker thread refuses to stop within 30 s the in-flight epoch's
+        tickets are failed too and :class:`EngineClosed` is raised rather
+        than silently leaking a live thread over freed device state.
+        """
         with self._queue:
             if self._closed:
                 return
             self._closed = True
             pending, self._pending = self._pending, []
             self._queue.notify_all()
+        closed_error = EngineClosed("serving engine closed before this batch committed")
         for mutation in pending:
-            mutation.future.cancel()
-        if self._worker is not None:
-            self._worker.join(timeout=30.0)
-            self._worker = None
+            if not mutation.future.done():
+                mutation.future.set_exception(closed_error)
+        if self.wal is not None:
+            seqs = [mutation.seq for mutation in pending if mutation.seq]
+            if seqs:
+                self.wal.append_abort(seqs, reason="engine-closed")
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.join(timeout=self._close_join_timeout)
+            if worker.is_alive():
+                with self._queue:
+                    stuck = list(self._inflight_batch or ())
+                stuck_error = EngineClosed(
+                    "serving worker thread failed to stop within 30s; "
+                    "its epoch's tickets have been failed and device state "
+                    "was left in place"
+                )
+                for mutation in stuck:
+                    if not mutation.future.done():
+                        mutation.future.set_exception(stuck_error)
+                raise stuck_error
+        if self.wal is not None:
+            self.wal.close()
+        with self._engine_lock:
+            relations, self.relations = self.relations, {}
+            for relation in relations.values():
+                try:
+                    relation.free()
+                except DeviceBufferError:
+                    continue
+
+    def crash(self) -> None:
+        """Abandon the engine the way a dying process would (test/demo hook).
+
+        Unlike :meth:`close`, no abort markers are written and pending
+        tickets are left unresolved — exactly the artifacts a real crash
+        leaves behind, so :meth:`recover` has honest input: the WAL keeps the
+        acknowledged-but-uncommitted batches, the checkpoint store keeps the
+        last durable state, and nothing pretends the work was cancelled.
+        """
+        with self._queue:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending = []
+            self._queue.notify_all()
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.join(timeout=self._close_join_timeout)
+        if self.wal is not None:
+            self.wal.close()
         with self._engine_lock:
             relations, self.relations = self.relations, {}
             for relation in relations.values():
@@ -441,9 +713,82 @@ class ServingEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @classmethod
+    def recover(
+        cls,
+        store: CheckpointStore,
+        wal: "WriteAheadLog | None" = None,
+        **engine_kwargs,
+    ) -> "ServingEngine":
+        """Rebuild a crashed engine from its checkpoint store and WAL.
+
+        Loads the newest serving checkpoint, replays every WAL commit group
+        past its horizon epoch by epoch, then folds the acknowledged-but-
+        uncommitted batches into one catch-up epoch — reaching the exact
+        logical state the crashed engine had acknowledged.  See
+        :mod:`repro.serving.recovery` for the replay plan details.
+        """
+        from .recovery import recover_engine
+
+        return recover_engine(store, wal, **engine_kwargs)
+
+    def _apply_replay(self, batches: "list[WalBatch]", *, commit: bool) -> EpochResult:
+        """Run one recovery epoch from logged batches.
+
+        ``commit=False`` replays a group the crashed engine already committed
+        (its marker is in the log; writing another would corrupt it) —
+        ``commit=True`` is the catch-up epoch for pending batches, which
+        earns a fresh commit marker like any live epoch.
+        """
+        for batch in batches:
+            self.symbols.restore_entries(batch.symbols)
+        mutations = [
+            _Mutation(
+                {name: list(rows) for name, rows in batch.inserts.items()},
+                {name: list(rows) for name, rows in batch.retracts.items()},
+                Future(),
+                seq=batch.seq,
+            )
+            for batch in batches
+        ]
+        self._replaying = not commit
+        try:
+            result = self._run_epoch(mutations)
+        finally:
+            self._replaying = False
+        for mutation in mutations:
+            mutation.future.set_result(result)
+        return result
+
     # ------------------------------------------------------------------
     # Epoch execution
     # ------------------------------------------------------------------
+    def _start_worker(self) -> None:
+        if self.background and self._worker is None and not self._closed:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name=f"serving-{self.program.name}", daemon=True
+            )
+            self._worker.start()
+
+    def _coalesce_window_seconds(self) -> float:
+        """Seconds the worker lingers gathering more submissions (lock held).
+
+        Under backlog (``overload_threshold`` reached) the window widens to
+        ``max_coalesce_window``: one bigger coalesced epoch amortizes its
+        fixed per-epoch costs over more mutations — the graceful-degradation
+        counterpart of shedding.
+        """
+        window = self.coalesce_window
+        if (
+            self.overload_threshold is not None
+            and len(self._pending) >= self.overload_threshold
+        ):
+            self._health = HEALTH_DEGRADED
+            if self.max_coalesce_window > window:
+                window = self.max_coalesce_window
+                self.widened_windows += 1
+        return window
+
     def _worker_loop(self) -> None:
         while True:
             with self._queue:
@@ -451,26 +796,244 @@ class ServingEngine:
                     self._queue.wait()
                 if self._closed:
                     return
+                window = self._coalesce_window_seconds()
+                if window > 0.0:
+                    deadline = time.monotonic() + window
+                    while not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0.0:
+                            break
+                        self._queue.wait(remaining)
+                    if self._closed:
+                        return
                 batch, self._pending = self._pending, []
                 self._inflight = True
+                self._inflight_batch = batch
+                # Wake submitters blocked on admission: the queue drained.
+                self._queue.notify_all()
             try:
                 self._commit(batch)
             finally:
                 with self._queue:
                     self._inflight = False
+                    self._inflight_batch = None
                     self._queue.notify_all()
 
     def _commit(self, batch: list[_Mutation]) -> None:
+        # The done() guards protect against a racing close(): a stuck-worker
+        # close fails the in-flight tickets with EngineClosed, and resolving
+        # them a second time here would raise InvalidStateError in the worker.
         try:
             result = self._run_epoch(batch)
         except BaseException as error:  # noqa: BLE001 - forwarded to tickets
             for mutation in batch:
-                mutation.future.set_exception(error)
+                if not mutation.future.done():
+                    mutation.future.set_exception(error)
             return
         for mutation in batch:
-            mutation.future.set_result(result)
+            if not mutation.future.done():
+                mutation.future.set_result(result)
 
     def _run_epoch(self, batch: list[_Mutation]) -> EpochResult:
+        """Run one epoch, transactionally when enabled.
+
+        The serving rung of the fault ladder: the evaluators already retry
+        transient kernels per version, chunk around OOM, and (with their own
+        checkpoints) rebuild crashed shards; whatever still escapes —
+        :class:`FixpointInterrupted` from an exhausted evaluator budget, or a
+        raw device fault from the DRed machinery that runs outside the
+        fixpoint — triggers whole-epoch rollback and replay here.  When the
+        epoch budget is exhausted too, the epoch aborts: state stays rolled
+        back at the last commit, this batch's tickets get
+        :class:`EpochAborted`, and reads keep serving.
+        """
+        with self._engine_lock:
+            seqs = [mutation.seq for mutation in batch if mutation.seq]
+            if not self.transactional:
+                result = self._run_epoch_attempt(batch, attempt=1)
+                self._finish_commit(seqs)
+                return result
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = self._run_epoch_attempt(batch, attempt=attempt)
+                except (DeviceError, FixpointInterrupted) as error:
+                    self._health = HEALTH_RECOVERING
+                    self._rollback(error)
+                    if attempt > self.epoch_retries:
+                        self.epoch_aborts += 1
+                        self._health = HEALTH_DEGRADED
+                        if self.wal is not None and not self._replaying and seqs:
+                            self.wal.append_abort(seqs, reason=f"epoch-aborted: {error}")
+                        raise EpochAborted(
+                            f"epoch {self.epoch + 1} aborted after {attempt} attempts "
+                            f"and rolled back to epoch {self.epoch}: {error}",
+                            epoch=self.epoch + 1,
+                            attempts=attempt,
+                            cause=error,
+                        ) from error
+                    self._evaluator._charge_backoff(
+                        attempt, label=f"serving_epoch{self.epoch + 1}"
+                    )
+                    continue
+                self._finish_commit(seqs)
+                return result
+
+    def _finish_commit(self, seqs: list[int]) -> None:
+        """Post-commit durability: WAL commit marker + periodic checkpoint."""
+        if seqs:
+            self._committed_seq = max(self._committed_seq, max(seqs))
+        if self.wal is not None and not self._replaying and seqs:
+            self.wal.append_commit(self.epoch, seqs)
+        if (
+            self.checkpoint_store is not None
+            and not self._replaying
+            and self.epoch % self.checkpoint_every_epochs == 0
+        ):
+            self._save_serving_checkpoint()
+
+    def _rollback(self, error: BaseException) -> None:
+        """Restore every relation to the last committed epoch's state.
+
+        If the failure chain contains an :class:`ExchangeError` the receiving
+        shard's device died with its buffers: the evaluator raised without
+        rebuilding it (it had no fixpoint checkpoint of its own), so the
+        rebuild happens here, against the *serving* layer's epoch-boundary
+        states.  Snapshot versions were never bumped mid-epoch, so committed
+        reads stay valid throughout; ``discard_newer`` enforces exactly that
+        invariant.
+
+        Fault injection is suspended for the duration: rollback models
+        driver-level recovery, and its own frees/uploads are not production
+        fault sites — with injection live, an ``every=1`` plan would fault
+        the restore mid-flight and leave exactly the torn state rollback
+        exists to prevent.
+        """
+        saved_plans = [device.fault_plan for device in self.devices]
+        for device in self.devices:
+            device.fault_plan = None
+        try:
+            self._rollback_unprotected(error)
+        finally:
+            # self.devices may have been swapped by a shard rebuild; plans
+            # reattach by shard index (the engine shares one plan instance).
+            for device, plan in zip(self.devices, saved_plans):
+                device.fault_plan = plan
+
+    def _rollback_unprotected(self, error: BaseException) -> None:
+        if isinstance(self._evaluator, ShardedSemiNaiveEvaluator):
+            exchange: ExchangeError | None = None
+            seen: set[int] = set()
+            cursor: BaseException | None = error
+            while cursor is not None and id(cursor) not in seen:
+                seen.add(id(cursor))
+                if isinstance(cursor, ExchangeError):
+                    exchange = cursor
+                    break
+                cursor = (
+                    getattr(cursor, "cause", None)
+                    or cursor.__cause__
+                    or cursor.__context__
+                )
+            if exchange is not None:
+                self._evaluator._rebuild_crashed_shard(exchange)
+                self.devices = list(self._evaluator.devices)
+                self.device = self.devices[0]
+        for relation_name, relation in self.relations.items():
+            state = self._epoch_states.get(relation_name)
+            if state is None:
+                continue
+            if isinstance(relation, ShardedRelation):
+                relation.restore(state)
+            else:
+                relation.restore(state.partitions[0])
+        if isinstance(self._evaluator, ShardedSemiNaiveEvaluator):
+            self._evaluator._invalidate_exchange_state()
+        self.snapshots.discard_newer(self._versions)
+
+    def _capture(self, relation_name: str) -> RelationState:
+        """Host-snapshot one relation's (full, delta) state, uncharged.
+
+        The rollback baseline rides the copy engine in the background,
+        overlapped with serving reads — it is not on the epoch's critical
+        path, so charging its D2H to the epoch would break the O(|Δ|) shape
+        the trickle benchmark gates.  The simulated cost model sees
+        checkpoint traffic when a checkpoint is actually persisted
+        (:meth:`_save_serving_checkpoint` charges the D2H then), mirroring
+        the batch engine's checkpoint phase.
+        """
+        relation = self.relations[relation_name]
+        state = relation.checkpoint_state(charge=False)
+        if isinstance(state, RelationState):
+            return state
+        return RelationState(name=relation_name, arity=relation.arity, partitions=[state])
+
+    def _charge_checkpoint_io(self) -> None:
+        """Charge the D2H traffic of persisting :attr:`_epoch_states` durably.
+
+        Fault plans are suspended for the duration: persistence happens
+        after the epoch committed, outside the transaction — like rollback,
+        it models driver-level bookkeeping, not a production fault site.
+        """
+        plans = [device.fault_plan for device in self.devices]
+        for device in self.devices:
+            device.fault_plan = None
+        try:
+            for name, state in self._epoch_states.items():
+                for index, partition in enumerate(state.partitions):
+                    device = self.devices[index % len(self.devices)]
+                    with device.profiler.phase(PHASE_CHECKPOINT):
+                        device.kernels.to_host(
+                            partition.full, label=f"{name}.d2h_checkpoint"
+                        )
+                        device.kernels.to_host(
+                            partition.delta, label=f"{name}.d2h_checkpoint"
+                        )
+        finally:
+            for index, plan in enumerate(plans):
+                if index < len(self.devices):
+                    self.devices[index].fault_plan = plan
+
+    def _save_serving_checkpoint(self) -> None:
+        """Write a durable epoch-boundary checkpoint and compact the WAL.
+
+        Reuses the host states :attr:`_epoch_states` already holds, charging
+        their D2H under the checkpoint phase now that the copies become
+        durable.  ``metadata["serving"]``
+        carries everything :meth:`recover` needs beyond relation state:
+        epoch counter, snapshot versions, the WAL horizon the checkpoint
+        covers, and the symbol table that interned the program and rows.
+        """
+        assert self.checkpoint_store is not None
+        self._charge_checkpoint_io()
+        checkpoint = EvaluationCheckpoint(
+            program_name=self.program.name,
+            stratum_index=-1,
+            iteration=self.epoch,
+            num_shards=self.num_shards,
+            relations=dict(self._epoch_states),
+            program_source=str(self.program),
+            metadata={
+                "serving": {
+                    "epoch": self.epoch,
+                    "versions": dict(self._versions),
+                    "changed_epoch": dict(self._changed_epoch),
+                    "covered_seq": self._committed_seq,
+                    "symbols": [[s, i] for s, i in self.symbols.entries()],
+                    "planner": self.planner,
+                    "num_shards": self.num_shards,
+                }
+            },
+        )
+        checkpoint_id = self.checkpoint_store.save(checkpoint)
+        if self.wal is not None:
+            self.wal.append_checkpoint(
+                self.epoch, self._committed_seq, checkpoint_id=checkpoint_id
+            )
+            self.wal.compact(self._committed_seq)
+
+    def _run_epoch_attempt(self, batch: list[_Mutation], *, attempt: int) -> EpochResult:
         with self._engine_lock:
             host_start = time.perf_counter()
             sim_start = [device.elapsed_seconds for device in self._device_list()]
@@ -532,12 +1095,31 @@ class ServingEngine:
                     if entry.delta_count:
                         changed.add(relation_name)
                         break
+
+            # Epoch-boundary capture (still *before* any version bump: a
+            # fault during these D2H downloads rolls back against the old
+            # baselines and no reader ever saw a new version).  Staged into a
+            # side dict so a mid-capture fault cannot corrupt the rollback
+            # target with a half-updated epoch.
+            new_states: dict[str, RelationState] = {}
+            if self.transactional or self.checkpoint_store is not None:
+                for relation_name in sorted(changed):
+                    new_states[relation_name] = self._capture(relation_name)
+
             self.epoch += 1
             published: dict[str, int] = {}
             for relation_name in sorted(changed):
                 self._versions[relation_name] += 1
                 self._changed_epoch[relation_name] = self.epoch
                 published[relation_name] = self._versions[relation_name]
+            self._epoch_states.update(new_states)
+
+            with self._queue:
+                backlog = len(self._pending)
+            if self.overload_threshold is not None and backlog >= self.overload_threshold:
+                self._health = HEALTH_DEGRADED
+            else:
+                self._health = HEALTH_HEALTHY
 
             sim_end = [device.elapsed_seconds for device in self._device_list()]
             result = EpochResult(
@@ -552,6 +1134,8 @@ class ServingEngine:
                 ),
                 host_seconds=time.perf_counter() - host_start,
                 snapshot_versions=published,
+                attempts=attempt,
+                health=self._health,
             )
             self.last_epoch = result
             return result

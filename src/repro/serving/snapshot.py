@@ -98,3 +98,23 @@ class SnapshotTable:
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._snapshots)
+
+    def discard_newer(self, versions: dict[str, int]) -> list[str]:
+        """Drop any snapshot whose version exceeds its committed ``versions`` pin.
+
+        The rollback barrier: an aborted epoch restores relations and leaves
+        the committed version map untouched, so a snapshot ahead of its pin
+        could only describe rolled-back state and must not be served.  (The
+        engine bumps versions strictly after the epoch's device work, so this
+        is a belt-and-braces invariant check more than a hot path.)  Returns
+        the names discarded.
+        """
+        with self._lock:
+            stale = [
+                name
+                for name, snapshot in self._snapshots.items()
+                if snapshot.version > versions.get(name, snapshot.version)
+            ]
+            for name in stale:
+                del self._snapshots[name]
+            return stale

@@ -109,7 +109,9 @@ def healthy_planner_artifact(speedup=2.5, blowup=400.0, cspa_ratio=1.0):
     }
 
 
-def healthy_serving_artifact(speedup=7.5, delta_ratio=0.004, misses=2):
+def healthy_serving_artifact(
+    speedup=7.5, delta_ratio=0.004, misses=2, protection_overhead=1.06, wal_commits=10
+):
     def workload(count_name, count, speedup):
         return {
             "edges": 4000,
@@ -133,6 +135,25 @@ def healthy_serving_artifact(speedup=7.5, delta_ratio=0.004, misses=2):
         "workloads": {
             "sg_trickle": workload("sg", 590_000, speedup),
             "tc_trickle": workload("reach", 160_000, speedup),
+        },
+        "protection_overhead": {
+            "chain_length": 400,
+            "batch": 4,
+            "epochs": 10,
+            "unprotected": {
+                "transactional": False,
+                "reach_count": 12_000,
+                "insert_epoch_simulated_seconds": {"p50": 0.001},
+            },
+            "protected": {
+                "transactional": True,
+                "reach_count": 12_000,
+                "insert_epoch_simulated_seconds": {"p50": 0.001 * protection_overhead},
+                "wal_syncs": wal_commits,
+                "wal_commits": wal_commits,
+                "checkpoints_kept": 2,
+            },
+            "overhead_ratio": protection_overhead,
         },
         "program_cache": {"hits": 0, "misses": misses},
     }
@@ -427,6 +448,62 @@ def test_serving_gate_fails_on_missing_cache_stats():
     del artifact["program_cache"]
     failures = check_regression.check_serving(artifact)
     assert any("program_cache" in f for f in failures)
+
+
+def test_serving_protection_overhead_regression_fails():
+    failures = check_regression.check_serving(
+        healthy_serving_artifact(protection_overhead=1.30)
+    )
+    assert len(failures) == 1
+    assert "1.300x" in failures[0]
+    assert "1.15x ceiling" in failures[0]
+
+
+def test_serving_protection_overhead_boundary_is_inclusive():
+    assert (
+        check_regression.check_serving(healthy_serving_artifact(protection_overhead=1.15))
+        == []
+    )
+    assert (
+        check_regression.check_serving(healthy_serving_artifact(protection_overhead=1.151))
+        != []
+    )
+
+
+def test_serving_protection_overhead_ceiling_is_configurable():
+    artifact = healthy_serving_artifact(protection_overhead=1.30)
+    assert (
+        check_regression.check_serving(artifact, max_protection_overhead=1.40) == []
+    )
+
+
+def test_serving_gate_requires_protection_section():
+    artifact = healthy_serving_artifact()
+    del artifact["protection_overhead"]
+    failures = check_regression.check_serving(artifact)
+    assert any("protection_overhead" in f for f in failures)
+
+
+def test_serving_gate_requires_protection_ratio():
+    artifact = healthy_serving_artifact()
+    del artifact["protection_overhead"]["overhead_ratio"]
+    failures = check_regression.check_serving(artifact)
+    assert any("overhead_ratio" in f for f in failures)
+
+
+def test_serving_gate_fails_on_protected_divergence():
+    artifact = healthy_serving_artifact()
+    artifact["protection_overhead"]["protected"]["reach_count"] = 11_999
+    failures = check_regression.check_serving(artifact)
+    assert any("diverged" in f for f in failures)
+
+
+def test_serving_gate_requires_wal_commits_exercised():
+    # A protected arm that never committed through the WAL measured nothing.
+    failures = check_regression.check_serving(
+        healthy_serving_artifact(wal_commits=0)
+    )
+    assert any("no WAL commits" in f for f in failures)
 
 
 # ----------------------------------------------------------------------

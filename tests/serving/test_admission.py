@@ -1,0 +1,188 @@
+"""Admission control, overload shedding, and health reporting."""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionRejected, EngineClosed, SchemaError
+from repro.queries import REACH_SOURCE
+from repro.serving import ADMISSION_POLICIES, InMemoryWal, ServingEngine
+
+CHAIN = [(i, i + 1) for i in range(6)]
+
+
+def make_engine(**kwargs):
+    kwargs.setdefault("fault_plan", "none")
+    kwargs.setdefault("num_shards", 1)
+    return ServingEngine(REACH_SOURCE, {"edge": CHAIN}, background=False, **kwargs)
+
+
+def test_policy_names_are_validated():
+    assert set(ADMISSION_POLICIES) == {"block", "reject", "shed-oldest"}
+    with pytest.raises(SchemaError, match="admission policy"):
+        make_engine(admission_policy="drop-table")
+    with pytest.raises(SchemaError, match="max_pending"):
+        make_engine(max_pending=0)
+
+
+def test_unbounded_queue_admits_everything():
+    engine = make_engine()
+    try:
+        tickets = [engine.submit(inserts={"edge": [(10 + i, 11 + i)]}) for i in range(8)]
+        engine.flush()
+        assert all(ticket.done() for ticket in tickets)
+    finally:
+        engine.close()
+
+
+def test_reject_policy_raises_when_full():
+    # A synchronous engine never drains between submits, so the queue fills.
+    engine = make_engine(max_pending=2, admission_policy="reject")
+    try:
+        engine.submit(inserts={"edge": [(10, 11)]})
+        engine.submit(inserts={"edge": [(11, 12)]})
+        with pytest.raises(AdmissionRejected) as excinfo:
+            engine.submit(inserts={"edge": [(12, 13)]})
+        assert excinfo.value.policy == "reject"
+        assert excinfo.value.pending == 2
+        # Draining the queue re-opens admission.
+        engine.flush()
+        engine.submit(inserts={"edge": [(12, 13)]})
+        engine.flush()
+        assert (12, 13) in engine.query("edge").as_set()
+    finally:
+        engine.close()
+
+
+def test_shed_oldest_fails_the_evicted_ticket():
+    wal = InMemoryWal()
+    engine = make_engine(max_pending=1, admission_policy="shed-oldest", wal=wal)
+    try:
+        first = engine.submit(inserts={"edge": [(10, 11)]})
+        second = engine.submit(inserts={"edge": [(11, 12)]})
+        # The oldest ticket was evicted and failed; the newest holds the slot.
+        assert first.done() and not second.done()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            first.result()
+        assert excinfo.value.policy == "shed-oldest"
+        assert engine.shed_batches == 1
+        assert engine.health() == "degraded"
+        # The shed batch earned a WAL abort marker: it can never replay.
+        assert wal.aborted_seqs()
+        engine.flush()
+        edges = engine.query("edge").as_set()
+        assert (11, 12) in edges and (10, 11) not in edges
+        # A clean commit restores health.
+        engine.submit(inserts={"edge": [(20, 21)]})
+        engine.flush()
+        assert engine.health() == "healthy"
+    finally:
+        engine.close()
+
+
+def test_block_policy_times_out():
+    engine = make_engine(
+        max_pending=1, admission_policy="block", admission_timeout=0.05
+    )
+    try:
+        engine.submit(inserts={"edge": [(10, 11)]})
+        with pytest.raises(AdmissionRejected) as excinfo:
+            engine.submit(inserts={"edge": [(11, 12)]})
+        assert excinfo.value.policy == "block"
+    finally:
+        engine.close()
+
+
+def test_block_policy_admits_when_worker_drains():
+    engine = ServingEngine(
+        REACH_SOURCE,
+        {"edge": CHAIN},
+        background=True,
+        num_shards=1,
+        fault_plan="none",
+        max_pending=2,
+        admission_policy="block",
+        admission_timeout=10.0,
+    )
+    try:
+        tickets = [engine.submit(inserts={"edge": [(10 + i, 11 + i)]}) for i in range(6)]
+        for ticket in tickets:
+            ticket.result(timeout=30)
+        engine.flush()
+        assert (15, 16) in engine.query("edge").as_set()
+    finally:
+        engine.close()
+
+
+def test_blocked_submitter_wakes_on_close():
+    engine = ServingEngine(
+        REACH_SOURCE,
+        {"edge": CHAIN},
+        background=True,
+        num_shards=1,
+        fault_plan="none",
+        max_pending=1,
+        admission_policy="block",
+        admission_timeout=30.0,
+        coalesce_window=5.0,  # worker sits on the batch: the queue stays full
+    )
+    errors = []
+
+    def submitter():
+        try:
+            engine.submit(inserts={"edge": [(11, 12)]})
+        except Exception as error:  # noqa: BLE001 - recording for the assert
+            errors.append(error)
+
+    engine.submit(inserts={"edge": [(10, 11)]})
+    thread = threading.Thread(target=submitter, daemon=True)
+    thread.start()
+    thread.join(timeout=0.3)
+    assert thread.is_alive()  # genuinely blocked on admission
+    engine.close()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert len(errors) == 1
+    assert isinstance(errors[0], (EngineClosed, AdmissionRejected))
+
+
+def test_overload_widens_coalescing_window():
+    engine = make_engine(
+        coalesce_window=0.001,
+        max_coalesce_window=0.05,
+        overload_threshold=2,
+    )
+    try:
+        # Below threshold: the configured window.
+        assert engine._coalesce_window_seconds() == pytest.approx(0.001)
+        for i in range(3):
+            engine.submit(inserts={"edge": [(30 + i, 31 + i)]})
+        widened = engine._coalesce_window_seconds()
+        assert widened == pytest.approx(0.05)
+        assert engine.widened_windows == 1
+        assert engine.health() == "degraded"
+        engine.flush()
+        assert engine.health() == "healthy"
+    finally:
+        engine.close()
+
+
+def test_health_starts_healthy_and_reports_string():
+    engine = make_engine()
+    try:
+        assert engine.health() == "healthy"
+        engine.submit(inserts={"edge": [(10, 11)]})
+        engine.flush()
+        assert engine.health() == "healthy"
+    finally:
+        engine.close()
+
+
+def test_submit_after_close_raises_engine_closed():
+    engine = make_engine()
+    engine.close()
+    with pytest.raises(EngineClosed):
+        engine.submit(inserts={"edge": [(10, 11)]})
+    # EngineClosed is a RuntimeError for callers that predate the typed error.
+    with pytest.raises(RuntimeError, match="closed"):
+        engine.submit(inserts={"edge": [(10, 11)]})

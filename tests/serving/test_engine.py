@@ -223,3 +223,93 @@ def test_sharded_engine_matches_single_shard():
     finally:
         single.close()
         sharded.close()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle edge cases: stuck workers and ticket semantics.
+# ----------------------------------------------------------------------
+
+
+def test_close_raises_when_worker_is_stuck():
+    """close() must not silently leak a live worker over freed device state."""
+    import time as _time
+
+    from repro.errors import EngineClosed
+
+    eng = ServingEngine(REACH_SOURCE, {"edge": CHAIN}, background=True, fault_plan="none")
+    eng._close_join_timeout = 0.2
+    ticket = None
+    # Hold the engine lock so the worker wedges inside its epoch.
+    eng._engine_lock.acquire()
+    try:
+        ticket = eng.submit(inserts={"edge": [(6, 7)]})
+        deadline = _time.monotonic() + 5.0
+        while not eng._inflight and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        assert eng._inflight  # the worker picked the batch up and is wedged
+        with pytest.raises(EngineClosed):
+            eng.close()
+        # The in-flight ticket was failed, not leaked.
+        with pytest.raises(EngineClosed):
+            ticket.result(timeout=0)
+    finally:
+        eng._engine_lock.release()
+    # Once unwedged the worker drains and exits; close() is then a no-op.
+    deadline = _time.monotonic() + 5.0
+    while eng._worker is None and eng._inflight and _time.monotonic() < deadline:
+        _time.sleep(0.01)
+    eng.close()
+
+
+def test_failed_epoch_ticket_reraises_every_time():
+    from repro.errors import EpochAborted
+
+    eng = ServingEngine(REACH_SOURCE, {"edge": CHAIN}, background=False, fault_plan="none")
+    try:
+        from repro.device import FaultPlan
+
+        plan = FaultPlan.parse("kernel:*:every=1:times=1000000")
+        for device in eng.devices:
+            device.fault_plan = plan
+        ticket = eng.submit(inserts={"edge": [(6, 7)]})
+        with pytest.raises(EpochAborted):
+            ticket.result()
+        # result() is repeatable: the failure does not evaporate on read.
+        with pytest.raises(EpochAborted):
+            ticket.result()
+        for device in eng.devices:
+            device.fault_plan = None
+    finally:
+        eng.close()
+
+
+def test_pending_ticket_fails_on_close():
+    from repro.errors import EngineClosed
+
+    eng = ServingEngine(REACH_SOURCE, {"edge": CHAIN}, background=False, fault_plan="none")
+    ticket = eng.submit(inserts={"edge": [(6, 7)]})
+    eng.close()
+    assert ticket.done()
+    with pytest.raises(EngineClosed):
+        ticket.result()
+
+
+def test_ticket_result_times_out_then_commits():
+    from concurrent.futures import TimeoutError as FutureTimeout
+
+    eng = ServingEngine(
+        REACH_SOURCE,
+        {"edge": CHAIN},
+        background=True,
+        fault_plan="none",
+        coalesce_window=0.3,
+    )
+    try:
+        ticket = eng.submit(inserts={"edge": [(6, 7)]})
+        with pytest.raises(FutureTimeout):
+            ticket.result(timeout=0.05)
+        result = ticket.result(timeout=30)
+        assert result.epoch == 1
+        assert (6, 7) in eng.query("edge").as_set()
+    finally:
+        eng.close()

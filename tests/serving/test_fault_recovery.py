@@ -1,0 +1,369 @@
+"""Epoch transactionality and crash recovery: faults × histories × shards.
+
+Every scenario asserts the strongest equivalence available: the surviving
+(or recovered) engine's snapshots are **byte-identical** to both a fault-free
+engine fed the same history and a from-scratch fixpoint over the final fact
+set.  Aborted epochs must be invisible — same bytes, same snapshot versions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import FaultPlan
+from repro.errors import EpochAborted
+from repro.queries import REACH_SOURCE
+from repro.relational.checkpoint import DiskCheckpointStore, InMemoryCheckpointStore
+from repro.serving import DiskWal, InMemoryWal, ServingEngine
+
+from tests.helpers import transitive_closure
+
+CHAIN = [(i, i + 1) for i in range(6)]
+SHARD_COUNTS = [1, 2]
+
+# (inserts, retracts) per epoch; applied in order to the CHAIN base facts.
+HISTORIES = {
+    "inserts": [({"edge": [(6, 7)]}, {}), ({"edge": [(7, 8), (8, 0)]}, {})],
+    "retracts": [({}, {"edge": [(2, 3)]}), ({}, {"edge": [(4, 5)]})],
+    "mixed": [
+        ({"edge": [(6, 7)]}, {"edge": [(0, 1)]}),
+        ({"edge": [(0, 1)]}, {"edge": [(6, 7)]}),
+    ],
+}
+
+
+def make_engine(num_shards, **kwargs):
+    kwargs.setdefault("fault_plan", "none")
+    return ServingEngine(
+        REACH_SOURCE, {"edge": CHAIN}, background=False, num_shards=num_shards, **kwargs
+    )
+
+
+def run_history(engine, history):
+    for inserts, retracts in history:
+        engine.submit(inserts=inserts, retracts=retracts).result()
+
+
+def final_edges(history):
+    edges = set(CHAIN)
+    for inserts, retracts in history:
+        edges -= set(retracts.get("edge", []))
+        edges |= set(inserts.get("edge", []))
+    return edges
+
+
+def install_plan(engine, spec):
+    """Attach a fresh fault plan post-bootstrap so ``at=N`` counts epochs only."""
+    plan = FaultPlan.parse(spec)
+    for device in engine.devices:
+        device.fault_plan = plan
+    return plan
+
+
+def snapshot_bytes(engine):
+    return {
+        name: engine.query(name).rows.tobytes() for name in ("edge", "reach")
+    }
+
+
+def assert_equivalent(engine, history):
+    """Engine state == fault-free replay == from-scratch fixpoint."""
+    clean = make_engine(engine.num_shards)
+    try:
+        run_history(clean, history)
+        assert snapshot_bytes(engine) == snapshot_bytes(clean)
+    finally:
+        clean.close()
+    edges = final_edges(history)
+    oracle = transitive_closure(np.asarray(sorted(edges), dtype=np.int64))
+    assert engine.query("reach").as_set() == oracle
+
+
+# ----------------------------------------------------------------------
+# Transactional aborts: faults that exhaust the ladder must be invisible.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("history_name", sorted(HISTORIES))
+def test_transient_fault_is_absorbed(num_shards, history_name):
+    history = HISTORIES[history_name]
+    engine = make_engine(num_shards)
+    try:
+        # One kernel fault: the evaluator-level retry ladder absorbs it
+        # without surfacing an abort.
+        install_plan(engine, "kernel:*<-*:at=1:times=1")
+        run_history(engine, history)
+        assert engine.epoch_aborts == 0
+        assert engine.health() == "healthy"
+        assert_equivalent(engine, history)
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize(
+    "spec",
+    [
+        pytest.param("kernel:*:every=1:times=1000000", id="kernel-permanent"),
+        pytest.param("alloc:*:every=1:times=1000000", id="oom-permanent"),
+    ],
+)
+def test_permanent_fault_aborts_epoch_invisibly(num_shards, spec):
+    engine = make_engine(num_shards)
+    try:
+        before_bytes = snapshot_bytes(engine)
+        before_versions = {n: engine.snapshot_version(n) for n in ("edge", "reach")}
+        plan = install_plan(engine, spec)
+        with pytest.raises(EpochAborted) as excinfo:
+            engine.submit(inserts={"edge": [(6, 7)]}).result()
+        assert excinfo.value.attempts == engine.epoch_retries + 1
+        assert engine.epoch_aborts == 1
+        assert engine.health() == "degraded"
+        # The abort is invisible: no bytes moved, no versions moved.
+        assert snapshot_bytes(engine) == before_bytes
+        for name, version in before_versions.items():
+            assert engine.snapshot_version(name) == version
+        assert engine.epoch == 0
+        # Clear the fault and retry the same mutation: commits cleanly.
+        for device in engine.devices:
+            device.fault_plan = None
+        assert plan.fired_events
+        result = engine.submit(inserts={"edge": [(6, 7)]}).result()
+        assert result.epoch == 1
+        assert engine.health() == "healthy"
+        assert_equivalent(engine, [({"edge": [(6, 7)]}, {})])
+    finally:
+        engine.close()
+
+
+def test_exchange_fault_rebuilds_crashed_shard():
+    engine = make_engine(2)
+    try:
+        install_plan(engine, "exchange:*:every=1:times=1000000")
+        with pytest.raises(EpochAborted):
+            engine.submit(inserts={"edge": [(6, 7)]}).result()
+        assert engine.epoch == 0
+        for device in engine.devices:
+            device.fault_plan = None
+        # The crashed shard was rebuilt during rollback: the engine keeps
+        # serving and the next epoch lands on the replacement device.
+        engine.submit(inserts={"edge": [(6, 7)]}).result()
+        assert_equivalent(engine, [({"edge": [(6, 7)]}, {})])
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_bounded_fault_survives_whole_epoch_retry(num_shards):
+    engine = make_engine(num_shards)
+    try:
+        # Enough faults to exhaust the evaluator ladder once, few enough that
+        # the serving-level whole-epoch retry eventually wins.
+        install_plan(engine, "alloc:*:at=2:times=1")
+        result = engine.submit(inserts={"edge": [(6, 7)]}).result()
+        assert result.epoch == 1
+        assert engine.epoch_aborts == 0
+        assert_equivalent(engine, [({"edge": [(6, 7)]}, {})])
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("history_name", sorted(HISTORIES))
+def test_abort_then_commit_history(history_name):
+    """An aborted epoch sandwiched in a history leaves no trace."""
+    history = HISTORIES[history_name]
+    engine = make_engine(1)
+    try:
+        run_history(engine, history[:1])
+        install_plan(engine, "kernel:*:every=1:times=1000000")
+        with pytest.raises(EpochAborted):
+            engine.submit(inserts={"edge": [(40, 41)]}).result()
+        for device in engine.devices:
+            device.fault_plan = None
+        run_history(engine, history[1:])
+        assert_equivalent(engine, history)
+    finally:
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: WAL + checkpoint reproduce the pre-crash state exactly.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("history_name", sorted(HISTORIES))
+def test_recover_from_memory_artifacts(num_shards, history_name):
+    history = HISTORIES[history_name]
+    store, wal = InMemoryCheckpointStore(keep=2), InMemoryWal()
+    engine = make_engine(num_shards, wal=wal, checkpoint_store=store)
+    try:
+        run_history(engine, history)
+        expected = snapshot_bytes(engine)
+        versions = {n: engine.snapshot_version(n) for n in ("edge", "reach")}
+        epoch = engine.epoch
+    finally:
+        engine.crash()
+    recovered = ServingEngine.recover(store, wal, background=False, fault_plan="none")
+    try:
+        assert recovered.health() == "healthy"
+        assert recovered.epoch == epoch
+        assert snapshot_bytes(recovered) == expected
+        for name, version in versions.items():
+            assert recovered.snapshot_version(name) == version
+        assert_equivalent(recovered, history)
+        # The recovered engine is live: it accepts and commits new epochs.
+        recovered.submit(inserts={"edge": [(50, 51)]}).result()
+        assert (50, 51) in recovered.query("edge").as_set()
+    finally:
+        recovered.close()
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_recover_replays_unflushed_batches(num_shards, tmp_path):
+    """Acknowledged batches beyond the last checkpoint survive the crash."""
+    store = DiskCheckpointStore(str(tmp_path / "ckpt"), keep=2)
+    wal = DiskWal(str(tmp_path / "wal.jsonl"))
+    # checkpoint_every_epochs=10: both epochs live only in the WAL.
+    engine = make_engine(
+        num_shards, wal=wal, checkpoint_store=store, checkpoint_every_epochs=10
+    )
+    try:
+        engine.submit(inserts={"edge": [(6, 7)]}).result()
+        engine.submit(retracts={"edge": [(2, 3)]}).result()
+        expected = snapshot_bytes(engine)
+        epoch = engine.epoch
+    finally:
+        engine.crash()
+    recovered = ServingEngine.recover(
+        store,
+        DiskWal(str(tmp_path / "wal.jsonl")),
+        background=False,
+        fault_plan="none",
+    )
+    try:
+        assert recovered.epoch == epoch
+        assert snapshot_bytes(recovered) == expected
+        history = [({"edge": [(6, 7)]}, {}), ({}, {"edge": [(2, 3)]})]
+        assert_equivalent(recovered, history)
+    finally:
+        recovered.close()
+
+
+def test_recover_commits_pending_batch(tmp_path):
+    """A batch acknowledged but never committed becomes the catch-up epoch."""
+    store = DiskCheckpointStore(str(tmp_path / "ckpt"), keep=2)
+    wal = DiskWal(str(tmp_path / "wal.jsonl"))
+    engine = make_engine(1, wal=wal, checkpoint_store=store)
+    try:
+        engine.submit(inserts={"edge": [(6, 7)]}).result()
+        # Enqueue without flushing: the WAL holds the batch, no commit marker.
+        wal.append_batch({"edge": [(7, 8)]}, {})
+    finally:
+        engine.crash()
+    recovered = ServingEngine.recover(
+        store, DiskWal(str(tmp_path / "wal.jsonl")), background=False, fault_plan="none"
+    )
+    try:
+        # The pending batch was folded into a catch-up epoch and committed.
+        history = [({"edge": [(6, 7)]}, {}), ({"edge": [(7, 8)]}, {})]
+        assert_equivalent(recovered, history)
+        reopened = DiskWal(str(tmp_path / "wal.jsonl"))
+        try:
+            assert reopened.pending_batches() == []
+        finally:
+            reopened.close()
+    finally:
+        recovered.close()
+
+
+def test_recover_preserves_string_symbols(tmp_path):
+    store = DiskCheckpointStore(str(tmp_path / "ckpt"), keep=2)
+    wal = DiskWal(str(tmp_path / "wal.jsonl"))
+    engine = ServingEngine(
+        REACH_SOURCE,
+        {"edge": [("a", "b"), ("b", "c")]},
+        background=False,
+        num_shards=1,
+        fault_plan="none",
+        wal=wal,
+        checkpoint_store=store,
+    )
+    try:
+        engine.submit(inserts={"edge": [("c", "d")]}).result()
+    finally:
+        engine.crash()
+    recovered = ServingEngine.recover(
+        store, DiskWal(str(tmp_path / "wal.jsonl")), background=False, fault_plan="none"
+    )
+    try:
+        decoded = set(recovered.query("reach", decode=True))
+        assert ("a", "d") in decoded
+        # New string facts keep interning consistently after recovery.
+        recovered.submit(inserts={"edge": [("d", "e")]}).result()
+        assert ("a", "e") in set(recovered.query("reach", decode=True))
+    finally:
+        recovered.close()
+
+
+def test_serving_chaos_plan_converges():
+    """The named chaos plan is survivable by construction (bounded times)."""
+    engine = make_engine(2)
+    history = HISTORIES["mixed"]
+    try:
+        # Installed post-bootstrap: the plan targets serving epochs, and the
+        # serving-level ladder is what makes its faults survivable.
+        install_plan(engine, "serving-chaos")
+        for inserts, retracts in history:
+            try:
+                engine.submit(inserts=inserts, retracts=retracts).result()
+            except EpochAborted:
+                # A bounded plan may still exhaust one epoch's ladder; the
+                # abort must be invisible and the retry must land.
+                engine.submit(inserts=inserts, retracts=retracts).result()
+        assert_equivalent(engine, history)
+    finally:
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Property: random histories crash at a random point and recover exactly.
+# ----------------------------------------------------------------------
+
+edge_strategy = st.tuples(st.integers(0, 12), st.integers(0, 12))
+epoch_strategy = st.tuples(
+    st.lists(edge_strategy, max_size=3), st.lists(edge_strategy, max_size=3)
+)
+
+
+@given(
+    epochs=st.lists(epoch_strategy, min_size=1, max_size=4),
+    crash_after=st.integers(0, 3),
+    num_shards=st.sampled_from(SHARD_COUNTS),
+)
+@settings(max_examples=10, deadline=None)
+def test_random_history_crash_recovery(epochs, crash_after, num_shards):
+    history = [
+        ({"edge": inserts} if inserts else {}, {"edge": retracts} if retracts else {})
+        for inserts, retracts in epochs
+    ]
+    cut = min(crash_after, len(history))
+    store, wal = InMemoryCheckpointStore(keep=2), InMemoryWal()
+    engine = make_engine(num_shards, wal=wal, checkpoint_store=store)
+    try:
+        run_history(engine, history[:cut])
+        expected = snapshot_bytes(engine)
+        epoch = engine.epoch
+    finally:
+        engine.crash()
+    recovered = ServingEngine.recover(store, wal, background=False, fault_plan="none")
+    try:
+        assert recovered.epoch == epoch
+        assert snapshot_bytes(recovered) == expected
+        # The recovered engine finishes the rest of the history correctly.
+        run_history(recovered, history[cut:])
+        assert_equivalent(recovered, history)
+    finally:
+        recovered.close()
